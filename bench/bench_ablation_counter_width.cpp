@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Extension ablation: pattern-entry counter width.
+ *
+ * The paper's pattern entries are 2-bit machines; this sweep replaces
+ * them with n-bit saturating counters (1-4 bits). One bit has no
+ * hysteresis (it is Last-Time); two bits is A2; wider counters gain
+ * noise immunity but adapt more slowly after behaviour changes — the
+ * classic result that 2 bits is the sweet spot.
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+#include "core/two_level_predictor.hh"
+#include "harness/experiment.hh"
+#include "util/table_printer.hh"
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader(
+        "Extension: counter width",
+        "Pattern-table entries as n-bit saturating counters "
+        "(AHRT(512), 12-bit histories).");
+
+    harness::BenchmarkSuite suite;
+    const unsigned widths[] = {1, 2, 3, 4};
+
+    TablePrinter table("prediction accuracy (percent)");
+    {
+        std::vector<std::string> header = {"benchmark"};
+        for (unsigned width : widths)
+            header.push_back(std::to_string(width) + "-bit");
+        header.emplace_back("A2 (ref)");
+        table.setHeader(header);
+    }
+
+    std::vector<double> log_sums(std::size(widths) + 1, 0.0);
+    for (const std::string &name : suite.benchmarks()) {
+        const trace::TraceBuffer &trace = suite.testTrace(name);
+        std::vector<std::string> row = {name};
+        for (std::size_t w = 0; w <= std::size(widths); ++w) {
+            core::TwoLevelConfig config;
+            config.hrtKind = core::TableKind::Associative;
+            config.hrtEntries = 512;
+            config.historyBits = 12;
+            if (w < std::size(widths))
+                config.counterBits = widths[w];
+            core::TwoLevelPredictor predictor(config);
+            const double accuracy =
+                harness::measure(predictor, trace).accuracyPercent();
+            log_sums[w] += std::log(accuracy);
+            row.push_back(TablePrinter::percentCell(accuracy));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    std::vector<std::string> mean_row = {"Tot G Mean"};
+    for (double log_sum : log_sums) {
+        mean_row.push_back(TablePrinter::percentCell(std::exp(
+            log_sum /
+            static_cast<double>(suite.benchmarks().size()))));
+    }
+    table.addRow(mean_row);
+    table.print(std::cout);
+
+    bench::printExpectation(
+        "the 2-bit column must equal the A2 reference exactly (same "
+        "machine); 1 bit loses the ~1% Last-Time pays everywhere in "
+        "Figure 5; 3-4 bits change little either way — pattern "
+        "history entries see filtered, mostly-consistent streams, so "
+        "extra hysteresis has nothing to buy.");
+    return 0;
+}

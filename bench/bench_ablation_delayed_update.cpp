@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation for Section 3.2's deep-pipeline observation: predictions
+ * are often needed before the previous outcome of the same branch is
+ * confirmed. We delay every update by 0-8 subsequent conditional
+ * branches and measure the flagship AT configuration with and
+ * without the paper's predict-taken-when-unresolved policy.
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+#include "core/delayed_update.hh"
+#include "core/two_level_predictor.hh"
+#include "harness/experiment.hh"
+#include "util/table_printer.hh"
+
+namespace
+{
+
+std::unique_ptr<tlat::core::BranchPredictor>
+makeAt(bool speculative_history)
+{
+    tlat::core::TwoLevelConfig config;
+    config.hrtKind = tlat::core::TableKind::Associative;
+    config.hrtEntries = 512;
+    config.historyBits = 12;
+    config.speculativeHistoryUpdate = speculative_history;
+    return std::make_unique<tlat::core::TwoLevelPredictor>(config);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader(
+        "Section 3.2 ablation",
+        "Update delay (deep pipeline) and the "
+        "predict-taken-when-unresolved policy.");
+
+    harness::BenchmarkSuite suite;
+    const unsigned delays[] = {0, 1, 2, 4, 8};
+
+    struct Mode
+    {
+        const char *label;
+        bool policy;
+        bool speculative;
+    };
+    const Mode modes[] = {
+        {"policy OFF, retire-time history", false, false},
+        {"policy ON (paper), retire-time history", true, false},
+        {"policy OFF, speculative history (extension)", false, true},
+        {"policy ON, speculative history (extension)", true, true},
+    };
+    for (const Mode &mode : modes) {
+        TablePrinter table(
+            std::string("geometric-mean accuracy (percent), ") +
+            mode.label);
+        std::vector<std::string> header = {"benchmark"};
+        for (unsigned delay : delays)
+            header.push_back("delay " + std::to_string(delay));
+        table.setHeader(header);
+
+        std::vector<double> log_sums(std::size(delays), 0.0);
+        for (const std::string &name : suite.benchmarks()) {
+            const trace::TraceBuffer &trace = suite.testTrace(name);
+            std::vector<std::string> row = {name};
+            for (std::size_t d = 0; d < std::size(delays); ++d) {
+                core::DelayedUpdatePredictor predictor(
+                    makeAt(mode.speculative), delays[d],
+                    mode.policy);
+                const double accuracy =
+                    harness::measure(predictor, trace)
+                        .accuracyPercent();
+                log_sums[d] += std::log(accuracy);
+                row.push_back(TablePrinter::percentCell(accuracy));
+            }
+            table.addRow(row);
+        }
+        table.addSeparator();
+        std::vector<std::string> mean_row = {"Tot G Mean"};
+        for (double log_sum : log_sums) {
+            mean_row.push_back(TablePrinter::percentCell(std::exp(
+                log_sum /
+                static_cast<double>(suite.benchmarks().size()))));
+        }
+        table.addRow(mean_row);
+        table.print(std::cout);
+    }
+
+    bench::printExpectation(
+        "accuracy degrades with update delay. The paper's simple "
+        "predict-taken-when-unresolved policy pays off on "
+        "taken-dominated codes (doduc here; the paper's suite was "
+        "~60% taken overall) but over-triggers on benchmarks whose "
+        "hot branches lean not-taken (gcc, espresso in this "
+        "mirror). The speculative-history extension — shift the "
+        "predicted outcome in at fetch, repair on misprediction, "
+        "the approach later hardware adopted — recovers most of the "
+        "delay loss without that bias assumption. All modes "
+        "coincide at delay 0.");
+    return 0;
+}

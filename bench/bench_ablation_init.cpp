@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation for the Section 4.2 initialization policy: history
+ * registers initialized to all ones and automata to the taken-biased
+ * state (because ~60% of branches are taken), versus all-zeros /
+ * weakly-not-taken initialization. The effect is a warm-up
+ * difference; it shrinks as the budget grows.
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+#include "core/two_level_predictor.hh"
+#include "harness/experiment.hh"
+#include "util/table_printer.hh"
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader(
+        "Section 4.2 ablation",
+        "Taken-biased initialization (paper) vs all-zeros "
+        "initialization.");
+
+    harness::BenchmarkSuite suite;
+    TablePrinter table("prediction accuracy (percent)");
+    table.setHeader(
+        {"benchmark", "paper init", "zero init", "delta"});
+
+    double paper_log_sum = 0;
+    double zero_log_sum = 0;
+    for (const std::string &name : suite.benchmarks()) {
+        const trace::TraceBuffer &trace = suite.testTrace(name);
+
+        core::TwoLevelConfig config;
+        config.hrtKind = core::TableKind::Associative;
+        config.hrtEntries = 512;
+        config.historyBits = 12;
+        core::TwoLevelPredictor paper_init(config);
+        config.initHistoryOnes = false;
+        config.automatonInitState = 0;
+        core::TwoLevelPredictor zero_init(config);
+
+        const double paper_accuracy =
+            harness::measure(paper_init, trace).accuracyPercent();
+        const double zero_accuracy =
+            harness::measure(zero_init, trace).accuracyPercent();
+        paper_log_sum += std::log(paper_accuracy);
+        zero_log_sum += std::log(zero_accuracy);
+        table.addRow({name,
+                      TablePrinter::percentCell(paper_accuracy),
+                      TablePrinter::percentCell(zero_accuracy),
+                      TablePrinter::percentCell(zero_accuracy -
+                                                paper_accuracy)});
+    }
+    table.addSeparator();
+    const auto count =
+        static_cast<double>(suite.benchmarks().size());
+    table.addRow({"Tot G Mean",
+                  TablePrinter::percentCell(
+                      std::exp(paper_log_sum / count)),
+                  TablePrinter::percentCell(
+                      std::exp(zero_log_sum / count)),
+                  ""});
+    table.print(std::cout);
+
+    bench::printExpectation(
+        "the paper initializes toward taken because ~60% of its "
+        "suite's conditional branches are taken; the effect is a "
+        "small warm-up difference that shrinks with budget. In this "
+        "mirror suite several integer benchmarks lean not-taken "
+        "(compiler-style rare-path layout), so the zero "
+        "initialization can come out marginally ahead — the ablation "
+        "shows the policy only matters through the suite's taken "
+        "bias, which is the paper's own reasoning.");
+    return 0;
+}

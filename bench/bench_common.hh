@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction binaries.
+ *
+ * Every bench prints:
+ *  - a header naming the paper artifact it regenerates,
+ *  - the measured table in the paper's layout,
+ *  - the paper's qualitative expectation, so the output is
+ *    self-checking by eye.
+ *
+ * The conditional-branch budget per benchmark comes from
+ * TLAT_BRANCH_BUDGET (default 300000; the paper used twenty million —
+ * accuracy differences past the budget are in the third digit).
+ */
+
+#ifndef TLAT_BENCH_BENCH_COMMON_HH
+#define TLAT_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "harness/figure_runner.hh"
+#include "harness/suite.hh"
+
+namespace tlat::bench
+{
+
+/** Prints the bench banner. */
+inline void
+printHeader(const std::string &artifact, const std::string &caption)
+{
+    std::cout << "==================================================="
+                 "=========\n"
+              << "Reproduction of " << artifact << "\n"
+              << caption << "\n"
+              << "branch budget per benchmark: "
+              << harness::branchBudgetFromEnv()
+              << " conditional branches"
+              << " (override with TLAT_BRANCH_BUDGET)\n"
+              << "==================================================="
+                 "=========\n\n";
+}
+
+/** Prints the paper's expectation below the measured table. */
+inline void
+printExpectation(const std::string &text)
+{
+    std::cout << "paper expectation: " << text << "\n\n";
+}
+
+/**
+ * Writes the report as CSV into $TLAT_CSV_DIR/<stem>.csv when that
+ * environment variable is set (for replotting outside the harness).
+ */
+inline void
+maybeWriteCsv(const harness::AccuracyReport &report,
+              const std::string &stem)
+{
+    const char *dir = std::getenv("TLAT_CSV_DIR");
+    if (!dir)
+        return;
+    const std::string path = std::string(dir) + "/" + stem + ".csv";
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    report.printCsv(os);
+    std::cout << "(csv written to " << path << ")\n\n";
+}
+
+} // namespace tlat::bench
+
+#endif // TLAT_BENCH_BENCH_COMMON_HH

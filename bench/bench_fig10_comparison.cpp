@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 10: the headline cross-scheme comparison at matched cost
+ * (512-entry 4-way AHRT everywhere): Two-Level Adaptive Training vs
+ * Static Training vs Lee-Smith BTB vs the profiling scheme vs
+ * Last-Time. Also prints the abstract's headline numbers (accuracy
+ * and miss-rate ratio).
+ */
+
+#include <algorithm>
+
+#include "bench_common.hh"
+#include "harness/experiment.hh"
+#include "predictors/scheme_factory.hh"
+#include "util/table_printer.hh"
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader("Figure 10",
+                       "Comparison of branch prediction schemes.");
+
+    harness::BenchmarkSuite suite;
+    harness::AccuracyReport report = harness::runSchemes(
+        suite, "prediction accuracy (percent)",
+        {
+            "AT(AHRT(512,12SR),PT(2^12,A2),)",
+            "LS(AHRT(512,A2),,)",
+            "Profile",
+            "LS(AHRT(512,LT),,)",
+        },
+        {"AT", "LS-A2", "Profile", "LS-LT"});
+
+    // Static Training evaluated as it would be used: trained on the
+    // training data set where one exists (Table 3), on the testing
+    // set itself otherwise. This is what puts ST "1 to 5 percent
+    // lower" than AT in the paper's comparison — the preset bits
+    // cannot adapt when the training input mispredicts the field
+    // input.
+    {
+        auto st = predictors::makePredictor(
+            "ST(AHRT(512,12SR),PT(2^12,PB),Diff)");
+        for (const std::string &benchmark : suite.benchmarks()) {
+            const trace::TraceBuffer *train =
+                suite.trainTrace(benchmark);
+            const auto result = harness::runExperiment(
+                *st, suite.testTrace(benchmark), train);
+            report.add(benchmark, "ST",
+                       result.accuracy.accuracyPercent());
+        }
+    }
+    report.print(std::cout);
+    bench::maybeWriteCsv(report, "fig10");
+
+    // Abstract headline: miss-rate comparison.
+    const double at_miss = 100.0 - report.totalMean("AT");
+    double best_other = 0.0;
+    for (const char *scheme : {"ST", "LS-A2", "Profile", "LS-LT"})
+        best_other = std::max(best_other, report.totalMean(scheme));
+    std::cout << "headline: AT miss rate "
+              << TablePrinter::percentCell(at_miss)
+              << " % vs best other scheme "
+              << TablePrinter::percentCell(100.0 - best_other)
+              << " % ("
+              << TablePrinter::percentCell(
+                     (100.0 - best_other) / at_miss * 100.0 - 100.0)
+              << " % more pipeline flushes than AT)\n\n";
+
+    bench::printExpectation(
+        "AT on top near 97%; Static Training 1-5% below; the "
+        "profiling scheme about on par with the BTB design (~92.5%); "
+        "Last-Time around 89%. The abstract's claim: a 3% miss rate "
+        "for AT vs 7% best-case for the others — more than a 100% "
+        "reduction in pipeline flushes.");
+    return 0;
+}

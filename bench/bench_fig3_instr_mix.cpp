@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 3: distribution of dynamic instructions — the fraction of
+ * each benchmark's dynamic instruction stream that is branches
+ * (~24% for the integer benchmarks, ~5% for floating point in the
+ * paper), with the non-branch side broken into coarse groups.
+ */
+
+#include "bench_common.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_stats.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader(
+        "Figure 3", "Distribution of dynamic instructions.");
+
+    harness::BenchmarkSuite suite;
+    TablePrinter table("dynamic instruction mix (percent of dynamic "
+                       "instructions)");
+    table.setHeader({"benchmark", "branch", "int alu", "fp alu",
+                     "memory", "other", "dyn instr"});
+
+    double int_branch_sum = 0;
+    double fp_branch_sum = 0;
+    int int_count = 0;
+    int fp_count = 0;
+
+    for (const std::string &name : suite.benchmarks()) {
+        const trace::TraceBuffer &trace = suite.testTrace(name);
+        const trace::InstructionMix &mix = trace.mix();
+        const double total = static_cast<double>(mix.total());
+        const auto pct = [total](std::uint64_t count) {
+            return TablePrinter::percentCell(100.0 * count / total);
+        };
+        table.addRow({name, pct(mix.controlFlow), pct(mix.intAlu),
+                      pct(mix.fpAlu), pct(mix.memory),
+                      pct(mix.other), std::to_string(mix.total())});
+        const double branch_pct =
+            100.0 * mix.branchFraction();
+        if (suite.isFloatingPoint(name)) {
+            fp_branch_sum += branch_pct;
+            ++fp_count;
+        } else {
+            int_branch_sum += branch_pct;
+            ++int_count;
+        }
+    }
+    table.addSeparator();
+    table.addRow({"Int mean",
+                  TablePrinter::percentCell(int_branch_sum /
+                                            int_count),
+                  "", "", "", "", ""});
+    table.addRow({"FP mean",
+                  TablePrinter::percentCell(fp_branch_sum / fp_count),
+                  "", "", "", "", ""});
+    table.print(std::cout);
+
+    bench::printExpectation(
+        "about 24% of dynamic instructions are branches for the "
+        "integer benchmarks and about 5% for the floating point "
+        "benchmarks.");
+    return 0;
+}

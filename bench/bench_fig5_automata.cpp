@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 5: Two-Level Adaptive Training with different pattern-table
+ * automata (A2, A3, A4, Last-Time) on the 512-entry 4-way AHRT with
+ * 12-bit history registers.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader("Figure 5",
+                       "Two-Level Adaptive Training schemes using "
+                       "different state transition automata.");
+
+    harness::BenchmarkSuite suite;
+    const harness::AccuracyReport report = harness::runSchemes(
+        suite, "prediction accuracy (percent)",
+        {
+            "AT(AHRT(512,12SR),PT(2^12,A2),)",
+            "AT(AHRT(512,12SR),PT(2^12,A3),)",
+            "AT(AHRT(512,12SR),PT(2^12,A4),)",
+            "AT(AHRT(512,12SR),PT(2^12,LT),)",
+        },
+        {"A2", "A3", "A4", "LT"});
+    report.print(std::cout);
+    bench::maybeWriteCsv(report, "fig5");
+
+    bench::printExpectation(
+        "A2, A3 and A4 achieve similar accuracy around 97%; the "
+        "Last-Time automaton performs about 1% worse because a "
+        "single pattern-history bit has no noise tolerance.");
+    return 0;
+}

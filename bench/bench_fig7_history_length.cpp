@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 7: Two-Level Adaptive Training with history register lengths
+ * of 6, 8, 10 and 12 bits (AHRT(512), A2).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader("Figure 7",
+                       "Two-Level Adaptive Training schemes using "
+                       "history registers of different lengths.");
+
+    harness::BenchmarkSuite suite;
+    const harness::AccuracyReport report = harness::runSchemes(
+        suite, "prediction accuracy (percent)",
+        {
+            "AT(AHRT(512,6SR),PT(2^6,A2),)",
+            "AT(AHRT(512,8SR),PT(2^8,A2),)",
+            "AT(AHRT(512,10SR),PT(2^10,A2),)",
+            "AT(AHRT(512,12SR),PT(2^12,A2),)",
+        },
+        {"6SR", "8SR", "10SR", "12SR"});
+    report.print(std::cout);
+    bench::maybeWriteCsv(report, "fig7");
+
+    bench::printExpectation(
+        "accuracy increases by roughly 0.5% per two additional "
+        "history bits until the asymptote is reached.");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Derived result: pipeline cycles-per-instruction under each
+ * prediction scheme — the abstract's claim ("a large performance
+ * gain on a high-performance processor") made measurable with the
+ * first-order deep-pipeline timing model (8-cycle resolve latency,
+ * 512-entry BTB, 16-entry RAS).
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+#include "harness/experiment.hh"
+#include "util/string_utils.hh"
+#include "pipeline/pipeline_model.hh"
+#include "predictors/scheme_factory.hh"
+#include "util/table_printer.hh"
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader(
+        "Derived: pipeline CPI",
+        "Cycles per instruction with each direction predictor "
+        "(8-cycle resolve latency, 1-wide fetch).");
+
+    const char *schemes[] = {
+        "AT(AHRT(512,12SR),PT(2^12,A2),)",
+        "ST(AHRT(512,12SR),PT(2^12,PB),Same)",
+        "LS(AHRT(512,A2),,)",
+        "LS(AHRT(512,LT),,)",
+        "BTFN",
+        "AlwaysTaken",
+    };
+    const char *labels[] = {"AT",   "ST/Same",     "LS-A2",
+                            "LS-LT", "BTFN", "AlwaysTaken"};
+
+    harness::BenchmarkSuite suite;
+    pipeline::PipelineConfig config;
+    config.resolveLatency = 8;
+
+    TablePrinter table("CPI (lower is better)");
+    {
+        std::vector<std::string> header = {"benchmark"};
+        for (const char *label : labels)
+            header.emplace_back(label);
+        table.setHeader(header);
+    }
+
+    std::vector<double> log_sums(std::size(schemes), 0.0);
+    for (const std::string &name : suite.benchmarks()) {
+        const trace::TraceBuffer &trace = suite.testTrace(name);
+        std::vector<std::string> row = {name};
+        for (std::size_t s = 0; s < std::size(schemes); ++s) {
+            auto predictor = predictors::makePredictor(schemes[s]);
+            if (predictor->needsTraining())
+                predictor->train(trace);
+            const double cpi = pipeline::PipelineModel(config)
+                                   .run(trace, *predictor)
+                                   .cpi();
+            log_sums[s] += std::log(cpi);
+            row.push_back(format("%.3f", cpi));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    std::vector<std::string> mean_row = {"G Mean"};
+    std::vector<double> means;
+    for (double log_sum : log_sums) {
+        means.push_back(std::exp(
+            log_sum /
+            static_cast<double>(suite.benchmarks().size())));
+        mean_row.push_back(format("%.3f", means.back()));
+    }
+    table.addRow(mean_row);
+    table.print(std::cout);
+
+    std::cout << "speedup of AT over each scheme: ";
+    for (std::size_t s = 1; s < means.size(); ++s) {
+        std::cout << labels[s] << " "
+                  << format("%.1f%%",
+                            (means[s] / means[0] - 1.0) * 100.0)
+                  << "  ";
+    }
+    std::cout << "\n\n";
+
+    bench::printExpectation(
+        "the halved miss rate turns into a single-digit-percent CPI "
+        "advantage at this depth on the FP codes and considerably "
+        "more on the branchy integer codes — the \"considerable\" "
+        "performance gain the paper's conclusion points at.");
+    return 0;
+}

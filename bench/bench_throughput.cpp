@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: predict+update throughput of
+ * every predictor family on a pre-generated gcc trace, plus the
+ * simulator's raw trace-generation rate. Not a paper artifact — a
+ * software performance check for the library itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/two_level_predictor.hh"
+#include "predictors/scheme_factory.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tlat;
+
+const trace::TraceBuffer &
+gccTrace()
+{
+    static const trace::TraceBuffer trace = [] {
+        const auto workload = workloads::makeWorkload("gcc");
+        return sim::collectTrace(workload->buildTest(), 100000);
+    }();
+    return trace;
+}
+
+void
+runPredictorLoop(benchmark::State &state, const std::string &scheme)
+{
+    const trace::TraceBuffer &trace = gccTrace();
+    const auto predictor = predictors::makePredictor(scheme);
+    if (predictor->needsTraining())
+        predictor->train(trace);
+
+    std::uint64_t branches = 0;
+    for (auto _ : state) {
+        for (const trace::BranchRecord &record : trace.records()) {
+            if (record.cls != trace::BranchClass::Conditional)
+                continue;
+            benchmark::DoNotOptimize(predictor->predict(record));
+            predictor->update(record);
+            ++branches;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(branches));
+}
+
+void
+BM_TwoLevelAhrt(benchmark::State &state)
+{
+    runPredictorLoop(state, "AT(AHRT(512,12SR),PT(2^12,A2),)");
+}
+BENCHMARK(BM_TwoLevelAhrt);
+
+void
+BM_TwoLevelIhrt(benchmark::State &state)
+{
+    runPredictorLoop(state, "AT(IHRT(,12SR),PT(2^12,A2),)");
+}
+BENCHMARK(BM_TwoLevelIhrt);
+
+void
+BM_TwoLevelHhrt(benchmark::State &state)
+{
+    runPredictorLoop(state, "AT(HHRT(512,12SR),PT(2^12,A2),)");
+}
+BENCHMARK(BM_TwoLevelHhrt);
+
+void
+BM_LeeSmith(benchmark::State &state)
+{
+    runPredictorLoop(state, "LS(AHRT(512,A2),,)");
+}
+BENCHMARK(BM_LeeSmith);
+
+void
+BM_StaticTraining(benchmark::State &state)
+{
+    runPredictorLoop(state, "ST(AHRT(512,12SR),PT(2^12,PB),Same)");
+}
+BENCHMARK(BM_StaticTraining);
+
+void
+BM_Btfn(benchmark::State &state)
+{
+    runPredictorLoop(state, "BTFN");
+}
+BENCHMARK(BM_Btfn);
+
+void
+BM_SimulatorTraceGeneration(benchmark::State &state)
+{
+    const auto workload = workloads::makeWorkload("matrix300");
+    const isa::Program program = workload->buildTest();
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::Simulator simulator(program);
+        sim::SimOptions options;
+        options.maxInstructions = 2000000;
+        const sim::SimResult result =
+            simulator.run(nullptr, options);
+        instructions += result.instructions;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_SimulatorTraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Extension bench: the two-level design space beyond the paper.
+ *
+ * The MICRO-24 scheme is "PAg" — per-address history registers, one
+ * global pattern table. The authors' follow-up work explores the full
+ * scope matrix; this bench measures the interesting corners on the
+ * benchmark suite at equal history length, plus the gshare
+ * refinement of the global-history point.
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+#include "core/generalized_two_level.hh"
+#include "harness/experiment.hh"
+#include "util/table_printer.hh"
+
+namespace
+{
+
+using namespace tlat;
+
+core::GeneralizedConfig
+makeConfig(core::HistoryScope history, core::PatternScope pattern,
+           bool xor_address = false)
+{
+    core::GeneralizedConfig config;
+    config.historyScope = history;
+    config.patternScope = pattern;
+    config.historyBits = 12;
+    config.setBits = 4;
+    config.xorAddress = xor_address;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tlat;
+    bench::printHeader(
+        "Extension: two-level variants",
+        "GAg / GAg+xor / SAg / PAg (the paper) / PAs / PAp at 12 "
+        "history bits.");
+
+    const core::GeneralizedConfig configs[] = {
+        makeConfig(core::HistoryScope::Global,
+                   core::PatternScope::Global),
+        makeConfig(core::HistoryScope::Global,
+                   core::PatternScope::Global, true),
+        makeConfig(core::HistoryScope::PerSet,
+                   core::PatternScope::Global),
+        makeConfig(core::HistoryScope::PerAddress,
+                   core::PatternScope::Global),
+        makeConfig(core::HistoryScope::PerAddress,
+                   core::PatternScope::PerSet),
+        makeConfig(core::HistoryScope::PerAddress,
+                   core::PatternScope::PerAddress),
+    };
+
+    harness::BenchmarkSuite suite;
+    TablePrinter table("prediction accuracy (percent)");
+    {
+        std::vector<std::string> header = {"benchmark"};
+        for (const auto &config : configs)
+            header.push_back(
+                core::GeneralizedTwoLevelPredictor(config).name());
+        table.setHeader(header);
+    }
+
+    std::vector<double> log_sums(std::size(configs), 0.0);
+    for (const std::string &name : suite.benchmarks()) {
+        const trace::TraceBuffer &trace = suite.testTrace(name);
+        std::vector<std::string> row = {name};
+        for (std::size_t c = 0; c < std::size(configs); ++c) {
+            core::GeneralizedTwoLevelPredictor predictor(configs[c]);
+            const double accuracy =
+                harness::measure(predictor, trace).accuracyPercent();
+            log_sums[c] += std::log(accuracy);
+            row.push_back(TablePrinter::percentCell(accuracy));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    std::vector<std::string> mean_row = {"Tot G Mean"};
+    for (double log_sum : log_sums) {
+        mean_row.push_back(TablePrinter::percentCell(std::exp(
+            log_sum /
+            static_cast<double>(suite.benchmarks().size()))));
+    }
+    table.addRow(mean_row);
+    table.print(std::cout);
+
+    bench::printExpectation(
+        "per-address history (the paper's choice) beats global "
+        "history at equal length; finer pattern-table scope adds "
+        "little once histories are per-address (PAg ~ PAs ~ PAp); "
+        "xor recovers part of GAg's alias loss. This matches the "
+        "follow-up literature on two-level variants.");
+    return 0;
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Workload authoring walkthrough: build a new micro88 benchmark with
+ * the ProgramBuilder API, characterize it, and see how each predictor
+ * family handles it.
+ *
+ * The program is a small hash-join: build a hash table from one
+ * relation, probe it with another. It is built in two variants that
+ * teach the fundamental lesson of branch prediction:
+ *
+ *  - "uniform": every probe key is an independent random draw. The
+ *    hit/miss branch outcome is i.i.d. coin-flipping — NO history
+ *    scheme can beat the bias, and the profile bit wins.
+ *  - "clustered": each probe key repeats four times (hot keys, as in
+ *    real joins). Outcomes now come in runs; pattern history learns
+ *    the run structure and two-level prediction pulls ahead of the
+ *    per-branch counters.
+ *
+ * Prediction is the exploitation of repetition; this example lets
+ * you watch it appear and disappear.
+ *
+ * Usage: custom_workload [budget]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "isa/program.hh"
+#include "predictors/scheme_factory.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_stats.hh"
+#include "util/table_printer.hh"
+#include "workloads/emit_helpers.hh" // LcgEmitter, emitFillLoop
+
+namespace
+{
+
+using namespace tlat;
+using workloads::Label;
+using workloads::LcgEmitter;
+
+/** Builds the hash-join benchmark. */
+isa::Program
+buildHashJoin(bool clustered)
+{
+    isa::ProgramBuilder b(clustered ? "hashjoin-clustered"
+                                    : "hashjoin-uniform");
+    LcgEmitter lcg(b, 0x704a57);
+
+    constexpr std::int64_t kBuckets = 64;     // power of two
+    constexpr std::int64_t kBuildRows = 40;   // load factor < 1!
+    constexpr std::int64_t kProbeRows = 512;
+
+    // Open-addressed table: key slots (0 = empty).
+    const std::uint64_t table = b.bss(kBuckets);
+    const std::uint64_t matches = b.data({0});
+
+    // r19 = table base, r21 = bucket mask, r25 = &matches.
+    b.loadImm(19, static_cast<std::int64_t>(table));
+    b.loadImm(21, kBuckets - 1);
+    b.loadImm(25, static_cast<std::int64_t>(matches));
+
+    // Clear the table: data memory persists across restart-on-halt
+    // passes, and a table that keeps last pass's keys would overflow.
+    workloads::emitFillLoop(b, table, kBuckets, 0);
+
+    // ---- build phase: insert kBuildRows keys with linear probing.
+    b.li(4, 0);
+    Label build = b.newLabel();
+    b.bind(build);
+    lcg.emitNextBelowPow2(b, 7, 8, 1 << 12); // key, 12 bits
+    b.ori(7, 7, 1);                          // keys are non-zero
+    b.and_(5, 7, 21);                        // slot = key & mask
+    Label probe_slot = b.newLabel();
+    Label insert = b.newLabel();
+    b.bind(probe_slot);
+    b.slli(1, 5, 3);
+    b.add(1, 1, 19);
+    b.ld(2, 1, 0);
+    b.beq(2, 0, insert);  // empty slot found
+    b.addi(5, 5, 1);      // collision: linear probe (short loop)
+    b.and_(5, 5, 21);
+    b.jmp(probe_slot);
+    b.bind(insert);
+    b.st(1, 7, 0);
+    b.addi(4, 4, 1);
+    b.li(1, kBuildRows);
+    b.blt(4, 1, build);
+
+    // ---- probe phase: look up kProbeRows keys; ~50% hit.
+    b.li(4, 0);
+    b.li(9, 1); // previous probe key (clustered variant)
+    Label probe = b.newLabel();
+    b.bind(probe);
+    if (clustered) {
+        // Repeat each key four times: draw fresh only when
+        // (i & 3) == 0, the hot-key locality of real joins.
+        Label fresh = b.newLabel();
+        Label have_key = b.newLabel();
+        b.andi(1, 4, 3);
+        b.beq(1, 0, fresh);
+        b.mov(7, 9);
+        b.jmp(have_key);
+        b.bind(fresh);
+        lcg.emitNextBelowPow2(b, 7, 8, 1 << 12);
+        b.ori(7, 7, 1);
+        b.mov(9, 7);
+        b.bind(have_key);
+    } else {
+        lcg.emitNextBelowPow2(b, 7, 8, 1 << 12);
+        b.ori(7, 7, 1);
+    }
+    b.and_(5, 7, 21);
+    b.li(6, 0); // probe length bound
+    Label chase = b.newLabel();
+    Label hit = b.newLabel();
+    Label miss = b.newLabel();
+    Label next = b.newLabel();
+    b.bind(chase);
+    b.slli(1, 5, 3);
+    b.add(1, 1, 19);
+    b.ld(2, 1, 0);
+    b.beq(2, 0, miss);  // empty slot: key absent
+    b.beq(2, 7, hit);   // found
+    b.addi(5, 5, 1);
+    b.and_(5, 5, 21);
+    b.addi(6, 6, 1);
+    b.li(1, static_cast<std::int32_t>(kBuckets));
+    b.blt(6, 1, chase);
+    b.jmp(miss);
+    b.bind(hit);
+    b.ld(2, 25, 0); // matches++
+    b.addi(2, 2, 1);
+    b.st(25, 2, 0);
+    b.bind(miss);
+    b.bind(next);
+    b.addi(4, 4, 1);
+    b.li(1, kProbeRows);
+    b.blt(4, 1, probe);
+
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t budget =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+
+    const trace::TraceBuffer uniform =
+        sim::collectTrace(buildHashJoin(false), budget);
+    const trace::TraceBuffer clustered =
+        sim::collectTrace(buildHashJoin(true), budget);
+
+    for (const auto *trace : {&uniform, &clustered}) {
+        const trace::TraceStats stats = trace::computeStats(*trace);
+        std::cout << trace->name() << ": "
+                  << stats.staticConditionalBranches
+                  << " static conditional branches, "
+                  << 100.0 * stats.takenFraction() << " % taken\n";
+    }
+    std::cout << "\n";
+
+    TablePrinter table("prediction accuracy (percent)");
+    table.setHeader({"scheme", "uniform keys", "clustered keys"});
+    for (const char *scheme : {
+             "AT(AHRT(512,12SR),PT(2^12,A2),)",
+             "ST(AHRT(512,12SR),PT(2^12,PB),Same)",
+             "LS(AHRT(512,A2),,)",
+             "Profile",
+             "BTFN",
+             "AlwaysTaken",
+         }) {
+        auto predictor = predictors::makePredictor(scheme);
+        const auto on_uniform =
+            harness::runExperiment(*predictor, uniform);
+        const auto on_clustered =
+            harness::runExperiment(*predictor, clustered);
+        table.addRow(
+            {scheme,
+             TablePrinter::percentCell(
+                 on_uniform.accuracy.accuracyPercent()),
+             TablePrinter::percentCell(
+                 on_clustered.accuracy.accuracyPercent())});
+    }
+    table.print(std::cout);
+    std::cout
+        << "Uniform random probes are unpredictable for every "
+           "history scheme;\nclustered probes restore repetition — "
+           "and pattern history exploits it best.\n";
+    return 0;
+}

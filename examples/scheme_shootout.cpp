@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Scheme shootout: compare arbitrary Table 2 scheme names on chosen
+ * benchmarks from the command line.
+ *
+ * Usage:
+ *   scheme_shootout [--budget N] [--bench name]... scheme...
+ *
+ * Example:
+ *   scheme_shootout --bench gcc --bench li \
+ *       "AT(AHRT(512,12SR),PT(2^12,A2),)" "LS(AHRT(512,A2),,)" BTFN
+ *
+ * With no schemes given, a representative set from the paper's
+ * Figure 10 is used; with no benchmarks given, all nine run.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/figure_runner.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tlat;
+
+    std::uint64_t budget = 100000;
+    std::vector<std::string> benchmarks;
+    std::vector<std::string> schemes;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--budget" && i + 1 < argc) {
+            budget = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--bench" && i + 1 < argc) {
+            benchmarks.emplace_back(argv[++i]);
+        } else if (arg == "--help") {
+            std::cout << "usage: scheme_shootout [--budget N] "
+                         "[--bench name]... scheme...\n";
+            return 0;
+        } else {
+            schemes.push_back(arg);
+        }
+    }
+
+    if (schemes.empty()) {
+        schemes = {
+            "AT(AHRT(512,12SR),PT(2^12,A2),)",
+            "ST(AHRT(512,12SR),PT(2^12,PB),Same)",
+            "LS(AHRT(512,A2),,)",
+            "LS(AHRT(512,LT),,)",
+            "Profile",
+            "BTFN",
+            "AlwaysTaken",
+        };
+    }
+
+    harness::BenchmarkSuite suite(budget);
+    harness::AccuracyReport report =
+        harness::runSchemes(suite, "scheme shootout", schemes);
+
+    if (benchmarks.empty()) {
+        report.print(std::cout);
+    } else {
+        // Narrow printout for the selected benchmarks.
+        for (const std::string &benchmark : benchmarks) {
+            std::cout << benchmark << ":\n";
+            for (const std::string &scheme : report.schemes()) {
+                const double value = report.cell(benchmark, scheme);
+                std::cout << "  " << scheme << "  ";
+                if (value < 0)
+                    std::cout << "-";
+                else
+                    std::cout << value << " %";
+                std::cout << '\n';
+            }
+        }
+    }
+    return 0;
+}

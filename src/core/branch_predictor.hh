@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The predictor interface shared by the Two-Level Adaptive Training
+ * predictor and every comparison scheme in the study.
+ *
+ * Contract: for each conditional branch in trace order the harness
+ * calls predict() and then update() with the same record. predict()
+ * must not read record.taken — it is present because the record type
+ * is shared with the trace layer. Schemes that require a profiling
+ * pass (Static Training, the profiling scheme) return true from
+ * needsTraining() and receive the training trace via train() before
+ * the measured run.
+ */
+
+#ifndef TLAT_CORE_BRANCH_PREDICTOR_HH
+#define TLAT_CORE_BRANCH_PREDICTOR_HH
+
+#include <string>
+
+#include "trace/trace_buffer.hh"
+
+namespace tlat::core
+{
+
+/** Abstract direction predictor for conditional branches. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Scheme name in the paper's Table 2 notation where possible. */
+    virtual std::string name() const = 0;
+
+    /** Predicts the direction of the branch about to execute. */
+    virtual bool predict(const trace::BranchRecord &record) = 0;
+
+    /** Informs the predictor of the resolved outcome. */
+    virtual void update(const trace::BranchRecord &record) = 0;
+
+    /** Restores the initial state (fresh tables). */
+    virtual void reset() = 0;
+
+    /** True if the scheme needs a profiling pass before measuring. */
+    virtual bool needsTraining() const { return false; }
+
+    /**
+     * Profiling pass over a training trace. Only called when
+     * needsTraining() is true, and always before the measured run.
+     */
+    virtual void train(const trace::TraceBuffer &trace)
+    {
+        (void)trace;
+    }
+};
+
+} // namespace tlat::core
+
+#endif // TLAT_CORE_BRANCH_PREDICTOR_HH

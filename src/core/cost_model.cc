@@ -1,0 +1,100 @@
+#include "cost_model.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tlat::core
+{
+
+unsigned
+automatonStateBits(AutomatonKind kind)
+{
+    return automatonSpec(kind).numStates <= 2 ? 1 : 2;
+}
+
+namespace
+{
+
+/** ceil(log2) of an LRU encoding for @p ways entries per set. */
+std::uint64_t
+lruBitsPerSet(unsigned ways)
+{
+    // True-LRU state for n ways: log2(n!) bits, rounded up; 4-way
+    // needs 5 bits (4! = 24 orderings).
+    std::uint64_t log_factorial = 0;
+    for (unsigned w = 2; w <= ways; ++w)
+        log_factorial += floorLog2(w) + 1; // coarse upper bound
+    // Use exact small-n values; the coarse bound above is only a
+    // fallback for unusual associativities.
+    switch (ways) {
+      case 1:
+        return 0;
+      case 2:
+        return 1;
+      case 4:
+        return 5;
+      case 8:
+        return 16;
+      default:
+        return log_factorial;
+    }
+}
+
+} // namespace
+
+StorageCost
+storageCost(const SchemeConfig &config, std::uint64_t staticBranches,
+            unsigned addressBits, bool cachedPredictionBit)
+{
+    StorageCost cost;
+
+    // Entry payload: a k-bit shift register for AT/ST, an automaton
+    // for LS.
+    std::uint64_t payload_bits;
+    if (config.scheme == Scheme::LeeSmithBtb)
+        payload_bits = automatonStateBits(config.automaton);
+    else
+        payload_bits = config.historyBits;
+    if (cachedPredictionBit &&
+        config.scheme == Scheme::TwoLevelAdaptive)
+        payload_bits += 1;
+
+    // History-table storage.
+    switch (config.scheme) {
+      case Scheme::TwoLevelAdaptive:
+      case Scheme::StaticTraining:
+      case Scheme::LeeSmithBtb: {
+        const std::uint64_t entries =
+            config.hrtKind == TableKind::Ideal ? staticBranches
+                                               : config.hrtEntries;
+        cost.historyBits = entries * payload_bits;
+        if (config.hrtKind == TableKind::Associative) {
+            tlat_assert(config.associativity > 0, "bad associativity");
+            const std::uint64_t sets =
+                entries / config.associativity;
+            const unsigned index_bits =
+                sets > 1 ? ceilLog2(sets) : 0;
+            const unsigned tag_bits =
+                addressBits > index_bits ? addressBits - index_bits
+                                         : 0;
+            cost.tagBits = entries * (tag_bits + 1); // +valid
+            cost.lruBits = sets * lruBitsPerSet(config.associativity);
+        }
+        break;
+      }
+      default:
+        break; // static schemes keep no per-branch storage
+    }
+
+    // Pattern-table storage.
+    if (config.scheme == Scheme::TwoLevelAdaptive) {
+        cost.patternBits = (std::uint64_t{1} << config.historyBits) *
+                           automatonStateBits(config.automaton);
+    } else if (config.scheme == Scheme::StaticTraining) {
+        cost.patternBits = std::uint64_t{1} << config.historyBits;
+    }
+
+    return cost;
+}
+
+} // namespace tlat::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hardware storage cost model for the predictor configurations.
+ *
+ * The paper compares schemes "on the basis of similar costs"
+ * (Section 5.4) and notes the AHRT's extra tag store and Static
+ * Training's simpler pattern entries; this model makes those costs
+ * explicit, in bits, so accuracy-per-bit comparisons (and
+ * bench_cost_accuracy) are possible.
+ *
+ * Accounting, per structure:
+ *  - history register table entry: k history bits, plus a tag and
+ *    LRU state in the associative flavour, plus the Section 3.2
+ *    cached prediction bit if enabled;
+ *  - pattern table entry: 2 bits for the four-state automata, 1 bit
+ *    for Last-Time, 1 bit for Static Training's preset bit;
+ *  - Lee-Smith entry: the automaton bits in place of a register.
+ *
+ * The ideal table is costed as unbounded (bits() reports the demand
+ * size for a given static branch count).
+ */
+
+#ifndef TLAT_CORE_COST_MODEL_HH
+#define TLAT_CORE_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "scheme_config.hh"
+
+namespace tlat::core
+{
+
+/** Bit-level cost breakdown of one predictor configuration. */
+struct StorageCost
+{
+    std::uint64_t historyBits = 0; ///< history/automaton payloads
+    std::uint64_t tagBits = 0;     ///< AHRT tag store
+    std::uint64_t lruBits = 0;     ///< AHRT replacement state
+    std::uint64_t patternBits = 0; ///< pattern table
+
+    std::uint64_t
+    total() const
+    {
+        return historyBits + tagBits + lruBits + patternBits;
+    }
+};
+
+/**
+ * Cost of a parsed scheme configuration.
+ *
+ * @param config The scheme.
+ * @param staticBranches Demand size for ideal tables (one entry per
+ *        static branch); ignored for bounded tables.
+ * @param addressBits Branch-address width used for tag sizing.
+ * @param cachedPredictionBit Include the Section 3.2 bit per HRT
+ *        entry.
+ */
+StorageCost storageCost(const SchemeConfig &config,
+                        std::uint64_t staticBranches = 1024,
+                        unsigned addressBits = 30,
+                        bool cachedPredictionBit = false);
+
+/** Bits in one pattern-table entry for an automaton kind. */
+unsigned automatonStateBits(AutomatonKind kind);
+
+} // namespace tlat::core
+
+#endif // TLAT_CORE_COST_MODEL_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deep-pipeline update-delay model (paper Section 3.2).
+ *
+ * In a real pipeline a branch's outcome is not known until resolution,
+ * several cycles after the next prediction for the same branch may be
+ * needed. This wrapper delays every update() by a configurable number
+ * of subsequent conditional branches, and implements the paper's
+ * policy for the tight-loop case: "Since this kind of branch has a
+ * high tendency to be taken, the branch is predicted taken" when the
+ * same branch is predicted again while its previous outcome is still
+ * unresolved.
+ *
+ * A delay of zero behaves identically to the wrapped predictor.
+ */
+
+#ifndef TLAT_CORE_DELAYED_UPDATE_HH
+#define TLAT_CORE_DELAYED_UPDATE_HH
+
+#include <deque>
+#include <memory>
+
+#include "branch_predictor.hh"
+
+namespace tlat::core
+{
+
+/** Wraps any predictor with an update pipeline of fixed depth. */
+class DelayedUpdatePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param inner The predictor whose updates are delayed.
+     * @param delay Number of subsequent branches before an outcome is
+     *        applied (0 = immediate, the paper's base methodology).
+     * @param predict_taken_when_unresolved Apply the Section 3.2
+     *        tight-loop policy.
+     */
+    DelayedUpdatePredictor(std::unique_ptr<BranchPredictor> inner,
+                           unsigned delay,
+                           bool predict_taken_when_unresolved = true)
+        : inner_(std::move(inner)), delay_(delay),
+          predict_taken_when_unresolved_(
+              predict_taken_when_unresolved)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return inner_->name() + "+delay" + std::to_string(delay_);
+    }
+
+    bool
+    predict(const trace::BranchRecord &record) override
+    {
+        if (predict_taken_when_unresolved_) {
+            for (const trace::BranchRecord &pending : pending_) {
+                if (pending.pc == record.pc)
+                    return true;
+            }
+        }
+        return inner_->predict(record);
+    }
+
+    void
+    update(const trace::BranchRecord &record) override
+    {
+        if (delay_ == 0) {
+            inner_->update(record);
+            return;
+        }
+        pending_.push_back(record);
+        while (pending_.size() > delay_) {
+            inner_->update(pending_.front());
+            pending_.pop_front();
+        }
+    }
+
+    /** Applies all still-pending updates (end of trace). */
+    void
+    drain()
+    {
+        while (!pending_.empty()) {
+            inner_->update(pending_.front());
+            pending_.pop_front();
+        }
+    }
+
+    void
+    reset() override
+    {
+        pending_.clear();
+        inner_->reset();
+    }
+
+    BranchPredictor &inner() { return *inner_; }
+
+  private:
+    std::unique_ptr<BranchPredictor> inner_;
+    unsigned delay_;
+    bool predict_taken_when_unresolved_;
+    std::deque<trace::BranchRecord> pending_;
+};
+
+} // namespace tlat::core
+
+#endif // TLAT_CORE_DELAYED_UPDATE_HH

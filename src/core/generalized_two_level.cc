@@ -1,0 +1,174 @@
+#include "generalized_two_level.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace tlat::core
+{
+
+GeneralizedTwoLevelPredictor::GeneralizedTwoLevelPredictor(
+    const GeneralizedConfig &config)
+    : config_(config),
+      history_mask_(static_cast<std::uint32_t>(
+          lowMask(config.historyBits))),
+      set_mask_(static_cast<std::uint32_t>(lowMask(config.setBits))),
+      global_history_(history_mask_)
+{
+    tlat_assert(config_.historyBits >= 1 && config_.historyBits <= 24,
+                "history length out of range");
+    tlat_assert(config_.setBits <= 12, "set bits out of range");
+    tlat_assert(!config_.xorAddress ||
+                    config_.historyScope == HistoryScope::Global,
+                "xorAddress is a global-history (gshare) refinement");
+
+    if (config_.historyScope == HistoryScope::PerSet) {
+        set_histories_.assign(std::size_t{1} << config_.setBits,
+                              history_mask_);
+    }
+
+    switch (config_.patternScope) {
+      case PatternScope::Global:
+        fixed_tables_.emplace_back(config_.historyBits,
+                                   config_.automaton);
+        break;
+      case PatternScope::PerSet:
+        for (std::size_t s = 0;
+             s < (std::size_t{1} << config_.setBits); ++s) {
+            fixed_tables_.emplace_back(config_.historyBits,
+                                       config_.automaton);
+        }
+        break;
+      case PatternScope::PerAddress:
+        break; // allocated on demand
+    }
+}
+
+std::string
+GeneralizedTwoLevelPredictor::name() const
+{
+    const char history_letter =
+        config_.historyScope == HistoryScope::Global
+            ? 'G'
+            : config_.historyScope == HistoryScope::PerAddress ? 'P'
+                                                               : 'S';
+    const char pattern_letter =
+        config_.patternScope == PatternScope::Global
+            ? 'g'
+            : config_.patternScope == PatternScope::PerSet ? 's'
+                                                           : 'p';
+    std::string text =
+        format("%cA%c(%u,%s)", history_letter, pattern_letter,
+               config_.historyBits, automatonName(config_.automaton));
+    if (config_.xorAddress)
+        text += "+xor";
+    return text;
+}
+
+std::uint32_t &
+GeneralizedTwoLevelPredictor::historyFor(std::uint64_t pc)
+{
+    switch (config_.historyScope) {
+      case HistoryScope::Global:
+        return global_history_;
+      case HistoryScope::PerSet:
+        return set_histories_[(pc >> config_.addrShift) & set_mask_];
+      case HistoryScope::PerAddress:
+      default: {
+        auto [it, inserted] =
+            address_histories_.try_emplace(pc, history_mask_);
+        return it->second;
+      }
+    }
+}
+
+PatternTable &
+GeneralizedTwoLevelPredictor::tableFor(std::uint64_t pc)
+{
+    switch (config_.patternScope) {
+      case PatternScope::Global:
+        return fixed_tables_[0];
+      case PatternScope::PerSet:
+        return fixed_tables_[(pc >> config_.addrShift) & set_mask_];
+      case PatternScope::PerAddress:
+      default: {
+        auto it = address_tables_.find(pc);
+        if (it == address_tables_.end()) {
+            it = address_tables_
+                     .emplace(pc,
+                              PatternTable(config_.historyBits,
+                                           config_.automaton))
+                     .first;
+        }
+        return it->second;
+      }
+    }
+}
+
+std::uint32_t
+GeneralizedTwoLevelPredictor::patternFor(std::uint32_t history,
+                                         std::uint64_t pc) const
+{
+    std::uint32_t pattern = history;
+    if (config_.xorAddress) {
+        pattern ^= static_cast<std::uint32_t>(pc >> config_.addrShift) &
+                   history_mask_;
+    }
+    return pattern;
+}
+
+bool
+GeneralizedTwoLevelPredictor::predict(
+    const trace::BranchRecord &record)
+{
+    const std::uint32_t history = historyFor(record.pc);
+    return tableFor(record.pc)
+        .predict(patternFor(history, record.pc));
+}
+
+void
+GeneralizedTwoLevelPredictor::update(const trace::BranchRecord &record)
+{
+    std::uint32_t &history = historyFor(record.pc);
+    tableFor(record.pc)
+        .update(patternFor(history, record.pc), record.taken);
+    history = ((history << 1) | (record.taken ? 1u : 0u)) &
+              history_mask_;
+}
+
+void
+GeneralizedTwoLevelPredictor::reset()
+{
+    global_history_ = history_mask_;
+    if (config_.historyScope == HistoryScope::PerSet) {
+        set_histories_.assign(set_histories_.size(), history_mask_);
+    }
+    address_histories_.clear();
+    for (PatternTable &table : fixed_tables_)
+        table.reset();
+    address_tables_.clear();
+}
+
+std::size_t
+GeneralizedTwoLevelPredictor::patternTableCount() const
+{
+    return config_.patternScope == PatternScope::PerAddress
+        ? address_tables_.size()
+        : fixed_tables_.size();
+}
+
+std::size_t
+GeneralizedTwoLevelPredictor::historyRegisterCount() const
+{
+    switch (config_.historyScope) {
+      case HistoryScope::Global:
+        return 1;
+      case HistoryScope::PerSet:
+        return set_histories_.size();
+      case HistoryScope::PerAddress:
+      default:
+        return address_histories_.size();
+    }
+}
+
+} // namespace tlat::core

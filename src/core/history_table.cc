@@ -1,0 +1,21 @@
+#include "history_table.hh"
+
+namespace tlat::core
+{
+
+const char *
+tableKindName(TableKind kind)
+{
+    switch (kind) {
+      case TableKind::Ideal:
+        return "IHRT";
+      case TableKind::Associative:
+        return "AHRT";
+      case TableKind::Hashed:
+        return "HHRT";
+      default:
+        return "?HRT";
+    }
+}
+
+} // namespace tlat::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The scheme naming convention of paper Table 2:
+ *
+ *   Scheme(History(Size,Entry_Content), Pattern(Size,Entry_Content), Data)
+ *
+ * Examples (all from Table 2):
+ *   AT(AHRT(512,12SR),PT(2^12,A2),)
+ *   AT(IHRT(,12SR),PT(2^12,A2),)
+ *   ST(HHRT(512,12SR),PT(2^12,PB),Diff)
+ *   LS(AHRT(512,A2),,)
+ *
+ * plus the static schemes, which the paper names in prose:
+ *   AlwaysTaken, AlwaysNotTaken, BTFN, Profile
+ *
+ * SchemeConfig is the parsed form; makePredictor() (in
+ * predictors/scheme_factory.hh) turns one into a live predictor.
+ */
+
+#ifndef TLAT_CORE_SCHEME_CONFIG_HH
+#define TLAT_CORE_SCHEME_CONFIG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "automaton.hh"
+#include "history_table.hh"
+
+namespace tlat::core
+{
+
+/** Prediction scheme families. */
+enum class Scheme : std::uint8_t
+{
+    TwoLevelAdaptive, ///< AT — the paper's contribution
+    StaticTraining,   ///< ST — Lee & Smith, preset pattern bits
+    LeeSmithBtb,      ///< LS — per-address automaton, no pattern level
+    AlwaysTaken,
+    AlwaysNotTaken,
+    Btfn,             ///< backward taken / forward not taken
+    Profile           ///< per-branch majority from a profiling run
+};
+
+/** How training data relates to testing data (ST only). */
+enum class DataMode : std::uint8_t
+{
+    None, ///< scheme needs no training data
+    Same, ///< trained and tested on the same data set
+    Diff  ///< trained on the training set, tested on the testing set
+};
+
+/** A parsed Table 2 scheme name. */
+struct SchemeConfig
+{
+    Scheme scheme = Scheme::TwoLevelAdaptive;
+
+    // History table part (AT, ST, LS).
+    TableKind hrtKind = TableKind::Associative;
+    std::size_t hrtEntries = 512; ///< ignored for IHRT
+    unsigned associativity = 4;
+
+    /** History register length (AT, ST). */
+    unsigned historyBits = 12;
+
+    /** PT automaton (AT) or HRT entry automaton (LS). */
+    AutomatonKind automaton = AutomatonKind::A2;
+
+    /** Training/testing data relationship (ST; Profile implies Same). */
+    DataMode data = DataMode::None;
+
+    /** Canonical Table 2 rendering. */
+    std::string text() const;
+
+    /** Parses a scheme name; nullopt on malformed input. */
+    static std::optional<SchemeConfig> parse(const std::string &name);
+
+    bool operator==(const SchemeConfig &other) const = default;
+};
+
+} // namespace tlat::core
+
+#endif // TLAT_CORE_SCHEME_CONFIG_HH

@@ -1,0 +1,262 @@
+#include "two_level_predictor.hh"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/string_utils.hh"
+
+namespace tlat::core
+{
+
+namespace
+{
+
+PatternTable
+makePatternTable(const TwoLevelConfig &config)
+{
+    if (config.counterBits > 0) {
+        return PatternTable(
+            config.historyBits,
+            PatternTable::CounterEntries{config.counterBits});
+    }
+    return PatternTable(config.historyBits, config.automaton,
+                        config.automatonInitState);
+}
+
+} // namespace
+
+TwoLevelPredictor::TwoLevelPredictor(const TwoLevelConfig &config)
+    : config_(config),
+      history_mask_(static_cast<std::uint32_t>(
+          lowMask(config.historyBits))),
+      pattern_table_(makePatternTable(config))
+{
+    HrtEntry initial;
+    initial.history = config_.initHistoryOnes ? history_mask_ : 0;
+    initial.cachedPrediction =
+        pattern_table_.predict(initial.history);
+
+    switch (config_.hrtKind) {
+      case TableKind::Ideal:
+        hrt_ = std::make_unique<IdealTable<HrtEntry>>(initial);
+        break;
+      case TableKind::Associative:
+        hrt_ = std::make_unique<AssociativeTable<HrtEntry>>(
+            config_.hrtEntries, config_.associativity, initial,
+            config_.addrShift);
+        break;
+      case TableKind::Hashed:
+        hrt_ = std::make_unique<HashedTable<HrtEntry>>(
+            config_.hrtEntries, initial, config_.addrShift,
+            config_.hhrtHash);
+        break;
+    }
+}
+
+std::string
+TwoLevelPredictor::name() const
+{
+    // Table 2 notation: AT(AHRT(512,12SR),PT(2^12,A2),)
+    const std::string hrt_part =
+        config_.hrtKind == TableKind::Ideal
+            ? format("IHRT(,%uSR)", config_.historyBits)
+            : format("%s(%zu,%uSR)", tableKindName(config_.hrtKind),
+                     config_.hrtEntries, config_.historyBits);
+    const std::string entry =
+        config_.counterBits > 0
+            ? format("C%u", config_.counterBits)
+            : std::string(automatonName(config_.automaton));
+    return format("AT(%s,PT(2^%u,%s),)", hrt_part.c_str(),
+                  config_.historyBits, entry.c_str());
+}
+
+TwoLevelPredictor::HrtEntry &
+TwoLevelPredictor::lookup(std::uint64_t pc)
+{
+    if (last_entry_ && last_pc_ == pc)
+        return *last_entry_;
+    last_pc_ = pc;
+    last_entry_ = &hrt_->lookup(pc);
+    return *last_entry_;
+}
+
+bool
+TwoLevelPredictor::predict(const trace::BranchRecord &record)
+{
+    HrtEntry &entry = lookup(record.pc);
+    const bool prediction = config_.cachedPredictionBit
+        ? entry.cachedPrediction
+        : pattern_table_.predict(entry.history);
+    if (config_.speculativeHistoryUpdate) {
+        // Record the pre-speculation pattern, then shift the
+        // predicted outcome in so younger fetches see fresh history.
+        in_flight_[record.pc].push_back(
+            Speculation{entry.history, prediction});
+        entry.history = ((entry.history << 1) |
+                         (prediction ? 1u : 0u)) &
+                        history_mask_;
+        if (config_.cachedPredictionBit) {
+            entry.cachedPrediction =
+                pattern_table_.predict(entry.history);
+        }
+    }
+    return prediction;
+}
+
+void
+TwoLevelPredictor::update(const trace::BranchRecord &record)
+{
+    HrtEntry &entry = lookup(record.pc);
+
+    if (config_.speculativeHistoryUpdate) {
+        const auto it = in_flight_.find(record.pc);
+        if (it != in_flight_.end() && !it->second.empty()) {
+            const Speculation speculation = it->second.front();
+            it->second.pop_front();
+            // delta on the pattern the prediction actually used.
+            pattern_table_.update(speculation.pattern, record.taken);
+            if (speculation.predicted != record.taken) {
+                // Misprediction: the pipeline flushes. Repair the
+                // register from the resolved outcome and squash the
+                // younger speculations of this branch.
+                entry.history = ((speculation.pattern << 1) |
+                                 (record.taken ? 1u : 0u)) &
+                                history_mask_;
+                it->second.clear();
+            }
+            if (config_.cachedPredictionBit) {
+                entry.cachedPrediction =
+                    pattern_table_.predict(entry.history);
+            }
+            last_pc_ = ~std::uint64_t{0};
+            last_entry_ = nullptr;
+            return;
+        }
+        // No matching predict() (unpaired use): fall through to the
+        // non-speculative path below.
+    }
+
+    // delta on the entry the *old* pattern indexes, then the history
+    // register shifts in the outcome (paper Section 2.1).
+    pattern_table_.update(entry.history, record.taken);
+    entry.history = ((entry.history << 1) |
+                     (record.taken ? 1u : 0u)) &
+                    history_mask_;
+    if (config_.cachedPredictionBit)
+        entry.cachedPrediction = pattern_table_.predict(entry.history);
+    // The memo only spans one predict/update pair — the next
+    // execution of this branch is a fresh HRT access (LRU recency and
+    // hit statistics must see it).
+    last_pc_ = ~std::uint64_t{0};
+    last_entry_ = nullptr;
+}
+
+void
+TwoLevelPredictor::reset()
+{
+    pattern_table_.reset();
+    hrt_->reset();
+    in_flight_.clear();
+    last_pc_ = ~std::uint64_t{0};
+    last_entry_ = nullptr;
+}
+
+namespace
+{
+
+constexpr char kCheckpointMagic[4] = {'T', 'L', 'C', 'P'};
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void
+putScalar(std::ostream &os, T value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+getScalar(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return static_cast<bool>(is);
+}
+
+/** Geometry/behaviour fingerprint; checkpoints only restore onto an
+ *  identically configured predictor. */
+std::uint64_t
+configFingerprint(const TwoLevelConfig &config)
+{
+    std::uint64_t fp = 0xf17e;
+    const auto mixIn = [&fp](std::uint64_t value) {
+        fp = mix64(fp ^ value);
+    };
+    mixIn(static_cast<std::uint64_t>(config.hrtKind));
+    mixIn(config.hrtEntries);
+    mixIn(config.associativity);
+    mixIn(config.historyBits);
+    mixIn(static_cast<std::uint64_t>(config.automaton));
+    mixIn(config.counterBits);
+    mixIn(config.cachedPredictionBit ? 1 : 0);
+    mixIn(config.speculativeHistoryUpdate ? 1 : 0);
+    mixIn(static_cast<std::uint64_t>(config.hhrtHash));
+    mixIn(config.addrShift);
+    return fp;
+}
+
+} // namespace
+
+bool
+TwoLevelPredictor::saveCheckpoint(std::ostream &os) const
+{
+    for (const auto &[pc, pending] : in_flight_) {
+        (void)pc;
+        if (!pending.empty())
+            return false; // checkpoint requires no speculation
+    }
+
+    os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    putScalar(os, kCheckpointVersion);
+    putScalar(os, configFingerprint(config_));
+    pattern_table_.saveState(os);
+    hrt_->saveState(os, [](std::ostream &out, const HrtEntry &entry) {
+        putScalar(out, entry.history);
+        putScalar(out, static_cast<std::uint8_t>(
+                           entry.cachedPrediction ? 1 : 0));
+    });
+    return static_cast<bool>(os);
+}
+
+bool
+TwoLevelPredictor::loadCheckpoint(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is ||
+        std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0)
+        return false;
+    std::uint32_t version;
+    std::uint64_t fingerprint;
+    if (!getScalar(is, version) || version != kCheckpointVersion ||
+        !getScalar(is, fingerprint) ||
+        fingerprint != configFingerprint(config_))
+        return false;
+    if (!pattern_table_.loadState(is))
+        return false;
+    const bool loaded = hrt_->loadState(
+        is, [](std::istream &in, HrtEntry &entry) {
+            std::uint8_t cached;
+            if (!getScalar(in, entry.history) ||
+                !getScalar(in, cached) || cached > 1)
+                return false;
+            entry.cachedPrediction = cached != 0;
+            return true;
+        });
+    in_flight_.clear();
+    last_pc_ = ~std::uint64_t{0};
+    last_entry_ = nullptr;
+    return loaded;
+}
+
+} // namespace tlat::core

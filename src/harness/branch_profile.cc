@@ -1,0 +1,76 @@
+#include "branch_profile.hh"
+
+#include <algorithm>
+
+namespace tlat::harness
+{
+
+void
+BranchProfile::record(std::uint64_t pc, bool correct, bool taken)
+{
+    BranchSite &site = sites_[pc];
+    site.pc = pc;
+    ++site.executions;
+    ++executions_;
+    if (!correct) {
+        ++site.mispredictions;
+        ++mispredictions_;
+    }
+    if (taken)
+        ++site.takenCount;
+}
+
+std::vector<BranchSite>
+BranchProfile::worstSites(std::size_t limit) const
+{
+    std::vector<BranchSite> sites;
+    sites.reserve(sites_.size());
+    for (const auto &[pc, site] : sites_)
+        sites.push_back(site);
+    std::sort(sites.begin(), sites.end(),
+              [](const BranchSite &a, const BranchSite &b) {
+                  if (a.mispredictions != b.mispredictions)
+                      return a.mispredictions > b.mispredictions;
+                  return a.pc < b.pc;
+              });
+    if (sites.size() > limit)
+        sites.resize(limit);
+    return sites;
+}
+
+BranchSite
+BranchProfile::site(std::uint64_t pc) const
+{
+    const auto it = sites_.find(pc);
+    return it == sites_.end() ? BranchSite{} : it->second;
+}
+
+double
+BranchProfile::missConcentration(std::size_t site_count) const
+{
+    if (mispredictions_ == 0)
+        return 0.0;
+    std::uint64_t concentrated = 0;
+    for (const BranchSite &site : worstSites(site_count))
+        concentrated += site.mispredictions;
+    return static_cast<double>(concentrated) /
+           static_cast<double>(mispredictions_);
+}
+
+BranchProfile
+profileBranches(core::BranchPredictor &predictor,
+                const trace::TraceBuffer &trace)
+{
+    BranchProfile profile;
+    for (const trace::BranchRecord &record : trace.records()) {
+        if (record.cls != trace::BranchClass::Conditional)
+            continue;
+        const bool predicted = predictor.predict(record);
+        profile.record(record.pc, predicted == record.taken,
+                       record.taken);
+        predictor.update(record);
+    }
+    return profile;
+}
+
+} // namespace tlat::harness

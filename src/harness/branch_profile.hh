@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-static-branch accuracy profiling: which branches a predictor
+ * misses, how often they execute and which way they lean. The
+ * analysis tool behind the "where do the 3% of misses live?"
+ * question, and the basis of the branch_autopsy example.
+ */
+
+#ifndef TLAT_HARNESS_BRANCH_PROFILE_HH
+#define TLAT_HARNESS_BRANCH_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/branch_predictor.hh"
+#include "trace/trace_buffer.hh"
+
+namespace tlat::harness
+{
+
+/** Accuracy tallies for one static conditional branch. */
+struct BranchSite
+{
+    std::uint64_t pc = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t mispredictions = 0;
+    std::uint64_t takenCount = 0;
+
+    double
+    accuracy() const
+    {
+        return executions == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(mispredictions) /
+                        static_cast<double>(executions);
+    }
+
+    double
+    takenRate() const
+    {
+        return executions == 0
+            ? 0.0
+            : static_cast<double>(takenCount) /
+                  static_cast<double>(executions);
+    }
+};
+
+/** Per-branch accuracy breakdown of one measured run. */
+class BranchProfile
+{
+  public:
+    /** Records one executed conditional branch. */
+    void record(std::uint64_t pc, bool correct, bool taken);
+
+    /** Sites ordered by misprediction count, heaviest first. */
+    std::vector<BranchSite> worstSites(std::size_t limit = 10) const;
+
+    /** Site lookup; a zeroed site if the pc was never seen. */
+    BranchSite site(std::uint64_t pc) const;
+
+    std::uint64_t totalExecutions() const { return executions_; }
+    std::uint64_t totalMispredictions() const
+    {
+        return mispredictions_;
+    }
+    std::size_t staticBranches() const { return sites_.size(); }
+
+    /**
+     * Fraction of all mispredictions concentrated in the heaviest
+     * @p site_count sites — the locality of the miss mass.
+     */
+    double missConcentration(std::size_t site_count) const;
+
+  private:
+    std::unordered_map<std::uint64_t, BranchSite> sites_;
+    std::uint64_t executions_ = 0;
+    std::uint64_t mispredictions_ = 0;
+};
+
+/**
+ * Measures @p predictor over the conditional branches of @p trace,
+ * collecting the per-branch breakdown. The predictor is not reset.
+ */
+BranchProfile profileBranches(core::BranchPredictor &predictor,
+                              const trace::TraceBuffer &trace);
+
+} // namespace tlat::harness
+
+#endif // TLAT_HARNESS_BRANCH_PROFILE_HH

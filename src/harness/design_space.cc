@@ -1,0 +1,143 @@
+#include "design_space.hh"
+
+#include <algorithm>
+
+#include "figure_runner.hh"
+#include "util/string_utils.hh"
+
+namespace tlat::harness
+{
+
+std::string
+DesignPoint::schemeName() const
+{
+    if (hrtKind == core::TableKind::Ideal) {
+        return format("AT(IHRT(,%uSR),PT(2^%u,A2),)", historyBits,
+                      historyBits);
+    }
+    return format("AT(%s(%zu,%uSR),PT(2^%u,A2),)",
+                  core::tableKindName(hrtKind), hrtEntries,
+                  historyBits, historyBits);
+}
+
+std::string
+DesignPoint::label() const
+{
+    switch (hrtKind) {
+      case core::TableKind::Ideal:
+        return format("k%u/I", historyBits);
+      case core::TableKind::Associative:
+        return format("k%u/A%zu", historyBits, hrtEntries);
+      case core::TableKind::Hashed:
+      default:
+        return format("k%u/H%zu", historyBits, hrtEntries);
+    }
+}
+
+core::SchemeConfig
+DesignPoint::toSchemeConfig() const
+{
+    core::SchemeConfig config;
+    config.scheme = core::Scheme::TwoLevelAdaptive;
+    config.hrtKind = hrtKind;
+    config.hrtEntries =
+        hrtKind == core::TableKind::Ideal ? 0 : hrtEntries;
+    config.historyBits = historyBits;
+    config.automaton = core::AutomatonKind::A2;
+    return config;
+}
+
+std::uint64_t
+DesignPoint::storageBits(std::uint64_t staticBranches) const
+{
+    return core::storageCost(toSchemeConfig(), staticBranches)
+        .total();
+}
+
+std::vector<DesignPoint>
+gridPoints(const std::vector<unsigned> &history_bits,
+           const std::vector<core::TableKind> &kinds,
+           const std::vector<std::size_t> &entry_counts)
+{
+    std::vector<DesignPoint> points;
+    for (unsigned bits : history_bits) {
+        for (core::TableKind kind : kinds) {
+            if (kind == core::TableKind::Ideal) {
+                points.push_back(DesignPoint{bits, kind, 0});
+                continue;
+            }
+            for (std::size_t entries : entry_counts)
+                points.push_back(DesignPoint{bits, kind, entries});
+        }
+    }
+    return points;
+}
+
+AccuracyReport
+sweepDesignSpace(BenchmarkSuite &suite,
+                 const std::vector<DesignPoint> &points)
+{
+    std::vector<std::string> schemes;
+    std::vector<std::string> labels;
+    for (const DesignPoint &point : points) {
+        schemes.push_back(point.schemeName());
+        labels.push_back(point.label());
+    }
+    return runSchemes(suite, "design-space sweep", schemes, labels);
+}
+
+std::vector<FrontierEntry>
+measureFrontier(const std::vector<DesignPoint> &points,
+                const AccuracyReport &report,
+                std::uint64_t staticBranches)
+{
+    std::vector<FrontierEntry> entries;
+    for (const DesignPoint &point : points) {
+        const double mean = report.totalMean(point.label());
+        if (mean < 0)
+            continue;
+        entries.push_back(FrontierEntry{
+            point, point.storageBits(staticBranches), mean});
+    }
+    return entries;
+}
+
+std::optional<FrontierEntry>
+bestUnderBudget(const std::vector<FrontierEntry> &entries,
+                std::uint64_t budget_bits)
+{
+    std::optional<FrontierEntry> best;
+    for (const FrontierEntry &entry : entries) {
+        if (entry.storageBits > budget_bits)
+            continue;
+        if (!best ||
+            entry.totalMeanAccuracy > best->totalMeanAccuracy ||
+            (entry.totalMeanAccuracy == best->totalMeanAccuracy &&
+             entry.storageBits < best->storageBits)) {
+            best = entry;
+        }
+    }
+    return best;
+}
+
+std::vector<FrontierEntry>
+paretoFrontier(std::vector<FrontierEntry> entries)
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const FrontierEntry &a, const FrontierEntry &b) {
+                  if (a.storageBits != b.storageBits)
+                      return a.storageBits < b.storageBits;
+                  return a.totalMeanAccuracy > b.totalMeanAccuracy;
+              });
+    std::vector<FrontierEntry> frontier;
+    double best_accuracy = -1.0;
+    for (const FrontierEntry &entry : entries) {
+        if (entry.totalMeanAccuracy > best_accuracy) {
+            frontier.push_back(entry);
+            best_accuracy = entry.totalMeanAccuracy;
+        }
+    }
+    return frontier;
+}
+
+} // namespace tlat::harness

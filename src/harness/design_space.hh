@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Design-space exploration: sweep Two-Level Adaptive Training
+ * configurations over a (history length x table geometry) grid and
+ * answer the question hardware designers actually ask of the paper —
+ * "what is the best configuration I can afford?"
+ *
+ * Combines the accuracy harness with the storage cost model, turning
+ * Figures 6 and 7 into a single frontier: for each storage budget,
+ * the accuracy-maximal configuration among the grid points that fit.
+ */
+
+#ifndef TLAT_HARNESS_DESIGN_SPACE_HH
+#define TLAT_HARNESS_DESIGN_SPACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "core/scheme_config.hh"
+#include "report.hh"
+#include "suite.hh"
+
+namespace tlat::harness
+{
+
+/** One AT configuration in the sweep grid. */
+struct DesignPoint
+{
+    unsigned historyBits = 12;
+    core::TableKind hrtKind = core::TableKind::Associative;
+    std::size_t hrtEntries = 512;
+
+    /** Table 2 scheme name of this point. */
+    std::string schemeName() const;
+
+    /** Short column label, e.g. "k12/A512". */
+    std::string label() const;
+
+    /** The equivalent parsed scheme configuration. */
+    core::SchemeConfig toSchemeConfig() const;
+
+    /** Storage bits of this point (IHRT costed at
+     *  @p staticBranches demand entries). */
+    std::uint64_t storageBits(
+        std::uint64_t staticBranches = 1024) const;
+
+    bool operator==(const DesignPoint &other) const = default;
+};
+
+/**
+ * Builds the cartesian grid of history lengths and (kind, entries)
+ * geometries. Ideal-table points ignore the entry counts and appear
+ * once per history length.
+ */
+std::vector<DesignPoint>
+gridPoints(const std::vector<unsigned> &history_bits,
+           const std::vector<core::TableKind> &kinds,
+           const std::vector<std::size_t> &entry_counts);
+
+/** Measures every point over the suite; columns use label(). */
+AccuracyReport sweepDesignSpace(BenchmarkSuite &suite,
+                                const std::vector<DesignPoint> &points);
+
+/** A measured point: geometry, cost and total-mean accuracy. */
+struct FrontierEntry
+{
+    DesignPoint point;
+    std::uint64_t storageBits = 0;
+    double totalMeanAccuracy = 0.0;
+};
+
+/**
+ * Collects (cost, accuracy) for every point from a sweep report.
+ * Points missing from the report are skipped.
+ */
+std::vector<FrontierEntry>
+measureFrontier(const std::vector<DesignPoint> &points,
+                const AccuracyReport &report,
+                std::uint64_t staticBranches = 1024);
+
+/**
+ * The accuracy-maximal point whose storage fits @p budget_bits;
+ * nullopt when nothing fits. Ties break toward fewer bits.
+ */
+std::optional<FrontierEntry>
+bestUnderBudget(const std::vector<FrontierEntry> &entries,
+                std::uint64_t budget_bits);
+
+/**
+ * The Pareto frontier: entries not dominated by any cheaper-or-equal
+ * entry with higher-or-equal accuracy, sorted by cost.
+ */
+std::vector<FrontierEntry>
+paretoFrontier(std::vector<FrontierEntry> entries);
+
+} // namespace tlat::harness
+
+#endif // TLAT_HARNESS_DESIGN_SPACE_HH

@@ -1,0 +1,37 @@
+#include "experiment.hh"
+
+namespace tlat::harness
+{
+
+AccuracyCounter
+measure(core::BranchPredictor &predictor,
+        const trace::TraceBuffer &test)
+{
+    AccuracyCounter accuracy;
+    for (const trace::BranchRecord &record : test.records()) {
+        if (record.cls != trace::BranchClass::Conditional)
+            continue;
+        const bool predicted = predictor.predict(record);
+        accuracy.record(predicted == record.taken);
+        predictor.update(record);
+    }
+    return accuracy;
+}
+
+ExperimentResult
+runExperiment(core::BranchPredictor &predictor,
+              const trace::TraceBuffer &test,
+              const trace::TraceBuffer *train)
+{
+    predictor.reset();
+    if (predictor.needsTraining())
+        predictor.train(train ? *train : test);
+
+    ExperimentResult result;
+    result.scheme = predictor.name();
+    result.benchmark = test.name();
+    result.accuracy = measure(predictor, test);
+    return result;
+}
+
+} // namespace tlat::harness

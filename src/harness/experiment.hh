@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Experiment driver: runs a predictor over a branch trace the way the
+ * paper's branch prediction simulator does — for every conditional
+ * branch, predict, verify against the recorded outcome, update.
+ *
+ * Schemes that need a profiling pass (Static Training, Profile) are
+ * trained first on the supplied training trace: the test trace itself
+ * for Same-data configurations, a different data set's trace for Diff.
+ */
+
+#ifndef TLAT_HARNESS_EXPERIMENT_HH
+#define TLAT_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+
+#include "core/branch_predictor.hh"
+#include "core/scheme_config.hh"
+#include "trace/trace_buffer.hh"
+#include "util/stats.hh"
+
+namespace tlat::harness
+{
+
+/** Outcome of measuring one scheme on one benchmark trace. */
+struct ExperimentResult
+{
+    std::string scheme;
+    std::string benchmark;
+    AccuracyCounter accuracy;
+};
+
+/**
+ * Measures @p predictor on the conditional branches of @p test.
+ * The predictor is *not* reset first (callers may pre-train).
+ */
+AccuracyCounter measure(core::BranchPredictor &predictor,
+                        const trace::TraceBuffer &test);
+
+/**
+ * Full protocol: reset, train if the scheme requires it, measure.
+ *
+ * @param test The measured trace.
+ * @param train Training trace for schemes that need one; when null,
+ *        the test trace is used (the paper's Same-data protocol).
+ */
+ExperimentResult runExperiment(core::BranchPredictor &predictor,
+                               const trace::TraceBuffer &test,
+                               const trace::TraceBuffer *train =
+                                   nullptr);
+
+} // namespace tlat::harness
+
+#endif // TLAT_HARNESS_EXPERIMENT_HH

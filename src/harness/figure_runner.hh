@@ -1,0 +1,40 @@
+/**
+ * @file
+ * One-call figure reproduction: measure a list of Table 2 scheme names
+ * over the whole benchmark suite and return the paper-style accuracy
+ * report.
+ */
+
+#ifndef TLAT_HARNESS_FIGURE_RUNNER_HH
+#define TLAT_HARNESS_FIGURE_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "report.hh"
+#include "suite.hh"
+
+namespace tlat::harness
+{
+
+/**
+ * Runs every scheme on every benchmark.
+ *
+ * Diff-data Static Training configurations are only measured on the
+ * benchmarks that have a training data set (paper Table 3 lists "NA"
+ * for four of the nine); the report prints "-" for the others, as the
+ * paper leaves these curves un-averaged ("the data ... is not
+ * complete, the average accuracy for the schemes is not graphed").
+ *
+ * @param column_labels Optional short column labels, parallel to
+ *        @p scheme_names (the full Table 2 names are long); empty
+ *        means use the scheme names themselves.
+ */
+AccuracyReport
+runSchemes(BenchmarkSuite &suite, const std::string &title,
+           const std::vector<std::string> &scheme_names,
+           const std::vector<std::string> &column_labels = {});
+
+} // namespace tlat::harness
+
+#endif // TLAT_HARNESS_FIGURE_RUNNER_HH

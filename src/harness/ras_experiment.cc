@@ -1,0 +1,29 @@
+#include "ras_experiment.hh"
+
+#include "isa/instruction.hh"
+#include "sim/return_address_stack.hh"
+
+namespace tlat::harness
+{
+
+RasResult
+runRasExperiment(const trace::TraceBuffer &trace, std::size_t depth)
+{
+    sim::ReturnAddressStack ras(depth);
+    RasResult result;
+    for (const trace::BranchRecord &record : trace.records()) {
+        if (record.isCall) {
+            ++result.calls;
+            ras.push(record.pc + isa::kInstructionBytes);
+        } else if (record.cls == trace::BranchClass::Return) {
+            ++result.returns;
+            if (ras.pop() == record.target)
+                ++result.correctReturns;
+        }
+    }
+    result.overflows = ras.overflows();
+    result.underflows = ras.underflows();
+    return result;
+}
+
+} // namespace tlat::harness

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Return-address-stack experiment (paper Section 4): "A return
+ * address is pushed onto the stack when a subroutine is called and is
+ * popped as the prediction for the branch target address when a
+ * return instruction is detected. The return address prediction may
+ * miss when the return address stack overflows."
+ *
+ * The experiment replays a trace through a ReturnAddressStack of a
+ * given depth: each call pushes its fall-through address, each return
+ * pops a predicted target and compares it with the actual one.
+ */
+
+#ifndef TLAT_HARNESS_RAS_EXPERIMENT_HH
+#define TLAT_HARNESS_RAS_EXPERIMENT_HH
+
+#include <cstdint>
+
+#include "trace/trace_buffer.hh"
+
+namespace tlat::harness
+{
+
+/** Outcome of one RAS replay. */
+struct RasResult
+{
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t correctReturns = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t underflows = 0;
+
+    /** Fraction of returns whose target was predicted exactly. */
+    double
+    hitRate() const
+    {
+        return returns == 0
+            ? 0.0
+            : static_cast<double>(correctReturns) /
+                  static_cast<double>(returns);
+    }
+};
+
+/**
+ * Replays @p trace through a stack of @p depth entries.
+ *
+ * Call fall-through addresses are pc + 4 (micro88's instruction
+ * size), which is what the link register holds.
+ */
+RasResult runRasExperiment(const trace::TraceBuffer &trace,
+                           std::size_t depth);
+
+} // namespace tlat::harness
+
+#endif // TLAT_HARNESS_RAS_EXPERIMENT_HH

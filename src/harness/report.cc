@@ -1,0 +1,145 @@
+#include "report.hh"
+
+#include <algorithm>
+
+#include "util/csv_writer.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/string_utils.hh"
+#include "util/table_printer.hh"
+
+namespace tlat::harness
+{
+
+AccuracyReport::AccuracyReport(std::string title,
+                               std::vector<std::string> benchmarks,
+                               std::vector<std::string> fpBenchmarks)
+    : title_(std::move(title)), benchmarks_(std::move(benchmarks)),
+      fp_benchmarks_(std::move(fpBenchmarks))
+{
+}
+
+void
+AccuracyReport::add(const std::string &benchmark,
+                    const std::string &scheme, double accuracyPercent)
+{
+    if (std::find(scheme_order_.begin(), scheme_order_.end(),
+                  scheme) == scheme_order_.end())
+        scheme_order_.push_back(scheme);
+    cells_[{benchmark, scheme}] = accuracyPercent;
+}
+
+double
+AccuracyReport::cell(const std::string &benchmark,
+                     const std::string &scheme) const
+{
+    const auto it = cells_.find({benchmark, scheme});
+    return it == cells_.end() ? -1.0 : it->second;
+}
+
+double
+AccuracyReport::meanOver(const std::string &scheme,
+                         const std::vector<std::string> &rows) const
+{
+    std::vector<double> values;
+    for (const std::string &benchmark : rows) {
+        const double value = cell(benchmark, scheme);
+        if (value < 0)
+            return -1.0;
+        values.push_back(value);
+    }
+    return geometricMean(values);
+}
+
+double
+AccuracyReport::totalMean(const std::string &scheme) const
+{
+    return meanOver(scheme, benchmarks_);
+}
+
+double
+AccuracyReport::fpMean(const std::string &scheme) const
+{
+    return meanOver(scheme, fp_benchmarks_);
+}
+
+double
+AccuracyReport::intMean(const std::string &scheme) const
+{
+    std::vector<std::string> int_rows;
+    for (const std::string &benchmark : benchmarks_) {
+        if (std::find(fp_benchmarks_.begin(), fp_benchmarks_.end(),
+                      benchmark) == fp_benchmarks_.end())
+            int_rows.push_back(benchmark);
+    }
+    return meanOver(scheme, int_rows);
+}
+
+namespace
+{
+
+std::string
+cellText(double value)
+{
+    return value < 0 ? std::string("-")
+                     : TablePrinter::percentCell(value);
+}
+
+} // namespace
+
+void
+AccuracyReport::print(std::ostream &os) const
+{
+    TablePrinter printer(title_);
+    std::vector<std::string> header = {"benchmark"};
+    for (const std::string &scheme : scheme_order_)
+        header.push_back(scheme);
+    printer.setHeader(header);
+
+    for (const std::string &benchmark : benchmarks_) {
+        std::vector<std::string> row = {benchmark};
+        for (const std::string &scheme : scheme_order_)
+            row.push_back(cellText(cell(benchmark, scheme)));
+        printer.addRow(row);
+    }
+
+    printer.addSeparator();
+    const struct
+    {
+        const char *label;
+        double (AccuracyReport::*mean)(const std::string &) const;
+    } mean_rows[] = {
+        {"Int G Mean", &AccuracyReport::intMean},
+        {"FP G Mean", &AccuracyReport::fpMean},
+        {"Tot G Mean", &AccuracyReport::totalMean},
+    };
+    for (const auto &mean_row : mean_rows) {
+        std::vector<std::string> row = {mean_row.label};
+        for (const std::string &scheme : scheme_order_)
+            row.push_back(cellText((this->*mean_row.mean)(scheme)));
+        printer.addRow(row);
+    }
+
+    printer.print(os);
+}
+
+void
+AccuracyReport::printCsv(std::ostream &os) const
+{
+    CsvWriter csv(os);
+    std::vector<std::string> header = {"benchmark"};
+    for (const std::string &scheme : scheme_order_)
+        header.push_back(scheme);
+    csv.writeRow(header);
+    for (const std::string &benchmark : benchmarks_) {
+        std::vector<std::string> row = {benchmark};
+        for (const std::string &scheme : scheme_order_) {
+            const double value = cell(benchmark, scheme);
+            row.push_back(value < 0 ? ""
+                                    : format("%.4f", value));
+        }
+        csv.writeRow(row);
+    }
+}
+
+} // namespace tlat::harness

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Accuracy reporting in the layout of the paper's Figures 5-10: one
+ * row per benchmark plus "Int G Mean", "FP G Mean" and "Tot G Mean"
+ * geometric-mean rows, one column per scheme.
+ */
+
+#ifndef TLAT_HARNESS_REPORT_HH
+#define TLAT_HARNESS_REPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlat::harness
+{
+
+/** Benchmark x scheme accuracy matrix with paper-style means. */
+class AccuracyReport
+{
+  public:
+    /**
+     * @param title Figure/table caption.
+     * @param benchmarks Row order (paper order).
+     * @param fpBenchmarks Which rows belong to the FP mean.
+     */
+    AccuracyReport(std::string title,
+                   std::vector<std::string> benchmarks,
+                   std::vector<std::string> fpBenchmarks);
+
+    /** Adds one column. Column order is first-add order. */
+    void add(const std::string &benchmark, const std::string &scheme,
+             double accuracyPercent);
+
+    /** Renders the table; missing cells print as "-". */
+    void print(std::ostream &os) const;
+
+    /** Writes the same matrix as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Geometric mean of a scheme over all/int/fp benchmarks;
+     *  negative when any cell is missing. */
+    double totalMean(const std::string &scheme) const;
+    double intMean(const std::string &scheme) const;
+    double fpMean(const std::string &scheme) const;
+
+    /** Accuracy of one cell; negative if missing. */
+    double cell(const std::string &benchmark,
+                const std::string &scheme) const;
+
+    const std::vector<std::string> &schemes() const
+    {
+        return scheme_order_;
+    }
+
+  private:
+    double meanOver(const std::string &scheme,
+                    const std::vector<std::string> &rows) const;
+
+    std::string title_;
+    std::vector<std::string> benchmarks_;
+    std::vector<std::string> fp_benchmarks_;
+    std::vector<std::string> scheme_order_;
+    std::map<std::pair<std::string, std::string>, double> cells_;
+};
+
+} // namespace tlat::harness
+
+#endif // TLAT_HARNESS_REPORT_HH

@@ -1,0 +1,77 @@
+#include "suite.hh"
+
+#include <cstdlib>
+
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace tlat::harness
+{
+
+std::uint64_t
+branchBudgetFromEnv()
+{
+    const char *text = std::getenv("TLAT_BRANCH_BUDGET");
+    if (!text)
+        return kDefaultBranchBudget;
+    const auto value = parseSize(text);
+    if (!value || *value == 0) {
+        tlat_fatal("bad TLAT_BRANCH_BUDGET value '", text, "'");
+    }
+    return *value;
+}
+
+BenchmarkSuite::BenchmarkSuite(std::uint64_t budget) : budget_(budget)
+{
+}
+
+std::vector<std::string>
+BenchmarkSuite::benchmarks() const
+{
+    return workloads::workloadNames();
+}
+
+const trace::TraceBuffer &
+BenchmarkSuite::traceFor(const std::string &benchmark,
+                         const std::string &dataSet)
+{
+    const std::string key = benchmark + "/" + dataSet;
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    const auto workload = workloads::makeWorkload(benchmark);
+    const isa::Program program = workload->build(dataSet);
+    trace::TraceBuffer buffer =
+        sim::collectTrace(program, budget_);
+    buffer.setName(benchmark);
+    auto [inserted, ok] = cache_.emplace(key, std::move(buffer));
+    tlat_assert(ok, "duplicate trace cache entry");
+    return inserted->second;
+}
+
+const trace::TraceBuffer &
+BenchmarkSuite::testTrace(const std::string &benchmark)
+{
+    const auto workload = workloads::makeWorkload(benchmark);
+    return traceFor(benchmark, workload->testSet());
+}
+
+const trace::TraceBuffer *
+BenchmarkSuite::trainTrace(const std::string &benchmark)
+{
+    const auto workload = workloads::makeWorkload(benchmark);
+    const auto train = workload->trainSet();
+    if (!train)
+        return nullptr;
+    return &traceFor(benchmark, *train);
+}
+
+bool
+BenchmarkSuite::isFloatingPoint(const std::string &benchmark) const
+{
+    return workloads::makeWorkload(benchmark)->isFloatingPoint();
+}
+
+} // namespace tlat::harness

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Benchmark suite: generates and caches the branch traces of the nine
+ * SPEC-mirror workloads.
+ *
+ * Traces are produced by running the micro88 simulator to a
+ * conditional-branch budget (the paper simulated twenty million
+ * conditional branches per benchmark; the default here is smaller so
+ * the whole figure set regenerates in seconds — override with the
+ * TLAT_BRANCH_BUDGET environment variable, accuracy converges long
+ * before the paper's budget on these workloads).
+ */
+
+#ifndef TLAT_HARNESS_SUITE_HH
+#define TLAT_HARNESS_SUITE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace_buffer.hh"
+#include "workloads/workload.hh"
+
+namespace tlat::harness
+{
+
+/** Default conditional-branch budget per benchmark trace. */
+constexpr std::uint64_t kDefaultBranchBudget = 300000;
+
+/** Reads TLAT_BRANCH_BUDGET, falling back to the default. */
+std::uint64_t branchBudgetFromEnv();
+
+/** Lazily generated, cached traces for the nine benchmarks. */
+class BenchmarkSuite
+{
+  public:
+    /** @param budget Conditional branches per generated trace. */
+    explicit BenchmarkSuite(std::uint64_t budget =
+                                branchBudgetFromEnv());
+
+    /** Benchmark names in paper order. */
+    std::vector<std::string> benchmarks() const;
+
+    /** The testing-data-set trace of a benchmark (cached). */
+    const trace::TraceBuffer &testTrace(const std::string &benchmark);
+
+    /**
+     * The training-data-set trace, or nullptr when the benchmark has
+     * no usable distinct training set (paper Table 3: eqntott,
+     * matrix300, fpppp, tomcatv).
+     */
+    const trace::TraceBuffer *
+    trainTrace(const std::string &benchmark);
+
+    /** True for the floating point benchmarks. */
+    bool isFloatingPoint(const std::string &benchmark) const;
+
+    std::uint64_t budget() const { return budget_; }
+
+  private:
+    const trace::TraceBuffer &
+    traceFor(const std::string &benchmark,
+             const std::string &dataSet);
+
+    std::uint64_t budget_;
+    std::map<std::string, trace::TraceBuffer> cache_;
+};
+
+} // namespace tlat::harness
+
+#endif // TLAT_HARNESS_SUITE_HH

@@ -1,0 +1,467 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "encoding.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace tlat::isa
+{
+
+namespace
+{
+
+/** One source line reduced to its meaningful parts. */
+struct SourceLine
+{
+    int number = 0;
+    std::vector<std::string> labels;
+    std::string statement; // instruction or directive, possibly empty
+};
+
+std::string
+stripComment(const std::string &line)
+{
+    const std::size_t pos = line.find_first_of("#;");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+bool
+isIdentifier(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(text[0])) &&
+        text[0] != '_' && text[0] != '.')
+        return false;
+    for (char c : text) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '.')
+            return false;
+    }
+    return true;
+}
+
+std::optional<std::int64_t>
+parseInteger(const std::string &text)
+{
+    std::string t = trim(text);
+    if (t.empty())
+        return std::nullopt;
+    bool negative = false;
+    std::size_t i = 0;
+    if (t[0] == '-' || t[0] == '+') {
+        negative = t[0] == '-';
+        i = 1;
+    }
+    if (i >= t.size())
+        return std::nullopt;
+
+    std::int64_t value = 0;
+    if (t.size() > i + 2 && t[i] == '0' &&
+        (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+        for (i += 2; i < t.size(); ++i) {
+            const char c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(t[i])));
+            int digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = c - 'a' + 10;
+            else
+                return std::nullopt;
+            value = value * 16 + digit;
+        }
+    } else {
+        for (; i < t.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                return std::nullopt;
+            value = value * 10 + (t[i] - '0');
+        }
+    }
+    return negative ? -value : value;
+}
+
+std::optional<unsigned>
+parseRegister(const std::string &text)
+{
+    const std::string t = trim(text);
+    if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R'))
+        return std::nullopt;
+    const auto number = parseInteger(t.substr(1));
+    if (!number || *number < 0 ||
+        *number >= static_cast<std::int64_t>(kNumRegisters))
+        return std::nullopt;
+    return static_cast<unsigned>(*number);
+}
+
+/** Splits "imm(rN)" memory-operand syntax. */
+std::optional<std::pair<std::int64_t, unsigned>>
+parseMemOperand(const std::string &text)
+{
+    const std::string t = trim(text);
+    const std::size_t open = t.find('(');
+    if (open == std::string::npos || t.back() != ')')
+        return std::nullopt;
+    const std::string imm_text = t.substr(0, open);
+    const std::string reg_text =
+        t.substr(open + 1, t.size() - open - 2);
+    const auto imm = imm_text.empty()
+                         ? std::optional<std::int64_t>{0}
+                         : parseInteger(imm_text);
+    const auto base = parseRegister(reg_text);
+    if (!imm || !base)
+        return std::nullopt;
+    return std::make_pair(*imm, *base);
+}
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, const std::string &name)
+        : source_(source), name_(name)
+    {
+    }
+
+    AssemblyResult
+    run()
+    {
+        if (!scan())
+            return *error_;
+        if (!resolve())
+            return *error_;
+
+        Program program;
+        program.name = name_;
+        program.code = std::move(code_);
+        program.initialData = std::move(data_);
+        program.dataWords = program.initialData.size() + bss_words_;
+        program.symbols = std::move(labels_);
+        return program;
+    }
+
+  private:
+    bool
+    fail(int line, const std::string &message)
+    {
+        error_ = AssemblyError{line, message};
+        return false;
+    }
+
+    /** Pass 1: parse statements, record label pcs, leave branch fixups. */
+    bool
+    scan()
+    {
+        int line_number = 0;
+        for (const std::string &raw : split(source_, '\n')) {
+            ++line_number;
+            std::string text = trim(stripComment(raw));
+
+            // Peel off any number of leading "label:" prefixes.
+            for (;;) {
+                const std::size_t colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                const std::string candidate =
+                    trim(text.substr(0, colon));
+                if (!isIdentifier(candidate))
+                    break;
+                if (labels_.count(candidate)) {
+                    return fail(line_number,
+                                "duplicate label '" + candidate + "'");
+                }
+                labels_[candidate] = code_.size();
+                text = trim(text.substr(colon + 1));
+            }
+
+            if (text.empty())
+                continue;
+            if (!parseStatement(line_number, text))
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    parseStatement(int line, const std::string &text)
+    {
+        std::size_t space = text.find_first_of(" \t");
+        const std::string head =
+            space == std::string::npos ? text : text.substr(0, space);
+        const std::string rest =
+            space == std::string::npos ? "" : trim(text.substr(space));
+
+        if (head == ".word")
+            return parseWordDirective(line, rest);
+        if (head == ".double")
+            return parseDoubleDirective(line, rest);
+        if (head == ".space")
+            return parseSpaceDirective(line, rest);
+
+        const Opcode opcode = opcodeFromName(toLower(head));
+        if (opcode == Opcode::NumOpcodes)
+            return fail(line, "unknown mnemonic '" + head + "'");
+
+        std::vector<std::string> operands;
+        if (!rest.empty()) {
+            for (const std::string &field : split(rest, ','))
+                operands.push_back(trim(field));
+        }
+        return parseInstruction(line, opcode, operands);
+    }
+
+    bool
+    parseWordDirective(int line, const std::string &rest)
+    {
+        for (const std::string &field : split(rest, ',')) {
+            const auto value = parseInteger(trim(field));
+            if (!value)
+                return fail(line, "bad .word operand '" + field + "'");
+            data_.push_back(static_cast<std::uint64_t>(*value));
+        }
+        return true;
+    }
+
+    bool
+    parseDoubleDirective(int line, const std::string &rest)
+    {
+        for (const std::string &field : split(rest, ',')) {
+            char *end = nullptr;
+            const std::string t = trim(field);
+            const double value = std::strtod(t.c_str(), &end);
+            if (end == t.c_str() || *end != '\0')
+                return fail(line,
+                            "bad .double operand '" + field + "'");
+            std::uint64_t pattern;
+            static_assert(sizeof(pattern) == sizeof(value));
+            __builtin_memcpy(&pattern, &value, sizeof(pattern));
+            data_.push_back(pattern);
+        }
+        return true;
+    }
+
+    bool
+    parseSpaceDirective(int line, const std::string &rest)
+    {
+        const auto words = parseInteger(rest);
+        if (!words || *words < 0)
+            return fail(line, "bad .space operand");
+        bss_words_ += static_cast<std::uint64_t>(*words);
+        return true;
+    }
+
+    bool
+    expectOperands(int line, const std::vector<std::string> &operands,
+                   std::size_t expected)
+    {
+        if (operands.size() == expected)
+            return true;
+        return fail(line, "expected " + std::to_string(expected) +
+                              " operands, got " +
+                              std::to_string(operands.size()));
+    }
+
+    bool
+    needRegister(int line, const std::string &text, unsigned &out)
+    {
+        const auto reg = parseRegister(text);
+        if (!reg)
+            return fail(line, "bad register '" + text + "'");
+        out = *reg;
+        return true;
+    }
+
+    bool
+    needImmediate(int line, const std::string &text, std::int64_t &out)
+    {
+        const auto value = parseInteger(text);
+        if (!value)
+            return fail(line, "bad immediate '" + text + "'");
+        out = *value;
+        return true;
+    }
+
+    bool
+    parseInstruction(int line, Opcode opcode,
+                     const std::vector<std::string> &operands)
+    {
+        Instruction instruction;
+        instruction.opcode = opcode;
+        unsigned reg_a = 0;
+        unsigned reg_b = 0;
+        unsigned reg_c = 0;
+        std::int64_t imm = 0;
+
+        switch (opcodeFormat(opcode)) {
+          case Format::R:
+            if (!expectOperands(line, operands, 3) ||
+                !needRegister(line, operands[0], reg_a) ||
+                !needRegister(line, operands[1], reg_b) ||
+                !needRegister(line, operands[2], reg_c))
+                return false;
+            instruction.rd = static_cast<std::uint8_t>(reg_a);
+            instruction.rs1 = static_cast<std::uint8_t>(reg_b);
+            instruction.rs2 = static_cast<std::uint8_t>(reg_c);
+            break;
+
+          case Format::R2:
+            if (!expectOperands(line, operands, 2) ||
+                !needRegister(line, operands[0], reg_a) ||
+                !needRegister(line, operands[1], reg_b))
+                return false;
+            instruction.rd = static_cast<std::uint8_t>(reg_a);
+            instruction.rs1 = static_cast<std::uint8_t>(reg_b);
+            break;
+
+          case Format::RI:
+            if (opcode == Opcode::Ld) {
+                if (!expectOperands(line, operands, 2) ||
+                    !needRegister(line, operands[0], reg_a))
+                    return false;
+                const auto mem = parseMemOperand(operands[1]);
+                if (!mem)
+                    return fail(line, "bad memory operand '" +
+                                          operands[1] + "'");
+                instruction.rd = static_cast<std::uint8_t>(reg_a);
+                instruction.rs1 =
+                    static_cast<std::uint8_t>(mem->second);
+                instruction.imm =
+                    static_cast<std::int32_t>(mem->first);
+            } else {
+                if (!expectOperands(line, operands, 3) ||
+                    !needRegister(line, operands[0], reg_a) ||
+                    !needRegister(line, operands[1], reg_b) ||
+                    !needImmediate(line, operands[2], imm))
+                    return false;
+                instruction.rd = static_cast<std::uint8_t>(reg_a);
+                instruction.rs1 = static_cast<std::uint8_t>(reg_b);
+                instruction.imm = static_cast<std::int32_t>(imm);
+            }
+            break;
+
+          case Format::RdImm:
+            if (!expectOperands(line, operands, 2) ||
+                !needRegister(line, operands[0], reg_a) ||
+                !needImmediate(line, operands[1], imm))
+                return false;
+            instruction.rd = static_cast<std::uint8_t>(reg_a);
+            instruction.imm = static_cast<std::int32_t>(imm);
+            break;
+
+          case Format::Store: {
+            if (!expectOperands(line, operands, 2) ||
+                !needRegister(line, operands[0], reg_a))
+                return false;
+            const auto mem = parseMemOperand(operands[1]);
+            if (!mem)
+                return fail(line,
+                            "bad memory operand '" + operands[1] + "'");
+            instruction.rs2 = static_cast<std::uint8_t>(reg_a);
+            instruction.rs1 = static_cast<std::uint8_t>(mem->second);
+            instruction.imm = static_cast<std::int32_t>(mem->first);
+            break;
+          }
+
+          case Format::Branch:
+            if (!expectOperands(line, operands, 3) ||
+                !needRegister(line, operands[0], reg_a) ||
+                !needRegister(line, operands[1], reg_b))
+                return false;
+            instruction.rs1 = static_cast<std::uint8_t>(reg_a);
+            instruction.rs2 = static_cast<std::uint8_t>(reg_b);
+            pending_targets_.push_back(
+                PendingTarget{code_.size(), line, operands[2]});
+            break;
+
+          case Format::Jump:
+            if (!expectOperands(line, operands, 1))
+                return false;
+            pending_targets_.push_back(
+                PendingTarget{code_.size(), line, operands[0]});
+            break;
+
+          case Format::JumpReg:
+            if (!expectOperands(line, operands, 1) ||
+                !needRegister(line, operands[0], reg_a))
+                return false;
+            instruction.rs1 = static_cast<std::uint8_t>(reg_a);
+            break;
+
+          case Format::None:
+            if (!expectOperands(line, operands, 0))
+                return false;
+            break;
+        }
+
+        code_.push_back(instruction);
+        return true;
+    }
+
+    /** Pass 2: resolve branch/jump targets (labels or absolute pcs). */
+    bool
+    resolve()
+    {
+        for (const PendingTarget &pending : pending_targets_) {
+            std::int64_t target_pc;
+            const auto label = labels_.find(pending.text);
+            if (label != labels_.end()) {
+                target_pc = static_cast<std::int64_t>(label->second);
+            } else {
+                const auto absolute = parseInteger(pending.text);
+                if (!absolute)
+                    return fail(pending.line, "unknown label '" +
+                                                  pending.text + "'");
+                target_pc = *absolute;
+            }
+            Instruction &instruction = code_[pending.pc];
+            instruction.imm = static_cast<std::int32_t>(
+                target_pc - static_cast<std::int64_t>(pending.pc));
+            if (!isEncodable(instruction)) {
+                return fail(pending.line,
+                            "branch target out of encodable range");
+            }
+        }
+        return true;
+    }
+
+    struct PendingTarget
+    {
+        std::uint64_t pc;
+        int line;
+        std::string text;
+    };
+
+    const std::string &source_;
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<std::uint64_t> data_;
+    std::uint64_t bss_words_ = 0;
+    std::map<std::string, std::uint64_t> labels_;
+    std::vector<PendingTarget> pending_targets_;
+    std::optional<AssemblyError> error_;
+};
+
+} // namespace
+
+AssemblyResult
+assemble(const std::string &source, const std::string &name)
+{
+    return Assembler(source, name).run();
+}
+
+Program
+assembleOrDie(const std::string &source, const std::string &name)
+{
+    AssemblyResult result = assemble(source, name);
+    if (auto *error = std::get_if<AssemblyError>(&result)) {
+        tlat_fatal("assembly of '", name, "' failed at line ",
+                   error->line, ": ", error->message);
+    }
+    return std::get<Program>(std::move(result));
+}
+
+} // namespace tlat::isa

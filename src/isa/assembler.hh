@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A two-pass text assembler for micro88.
+ *
+ * The workloads are authored with the ProgramBuilder API, but the
+ * assembler makes tests, examples and ad-hoc experiments much easier to
+ * write. Syntax:
+ *
+ * @code
+ *   # comment (also ';')
+ *   loop:                 # label
+ *       addi r1, r1, -1
+ *       bne  r1, r0, loop # branch to label or absolute pc
+ *       ld   r2, 8(r3)    # memory operand syntax
+ *       halt
+ *   .word 1, 2, 3         # appends to the data image
+ *   .space 16             # reserves 16 zero words
+ * @endcode
+ */
+
+#ifndef TLAT_ISA_ASSEMBLER_HH
+#define TLAT_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <variant>
+
+#include "program.hh"
+
+namespace tlat::isa
+{
+
+/** A parse failure with its 1-based source line. */
+struct AssemblyError
+{
+    int line = 0;
+    std::string message;
+};
+
+/** Either a program or the first error encountered. */
+using AssemblyResult = std::variant<Program, AssemblyError>;
+
+/**
+ * Assembles micro88 source text.
+ *
+ * @param source Full program text.
+ * @param name Name recorded in the resulting Program.
+ */
+AssemblyResult assemble(const std::string &source,
+                        const std::string &name = "asm");
+
+/** Convenience wrapper that calls tlat_fatal on assembly errors. */
+Program assembleOrDie(const std::string &source,
+                      const std::string &name = "asm");
+
+} // namespace tlat::isa
+
+#endif // TLAT_ISA_ASSEMBLER_HH

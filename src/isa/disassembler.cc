@@ -1,0 +1,99 @@
+#include "disassembler.hh"
+
+#include <sstream>
+
+#include "util/string_utils.hh"
+
+namespace tlat::isa
+{
+
+namespace
+{
+
+std::string
+reg(unsigned index)
+{
+    return "r" + std::to_string(index);
+}
+
+std::string
+targetText(std::int32_t offset, std::int64_t pc)
+{
+    if (pc < 0) {
+        return (offset >= 0 ? "+" : "") + std::to_string(offset);
+    }
+    return std::to_string(pc + offset);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &instruction, std::int64_t pc)
+{
+    const Opcode op = instruction.opcode;
+    std::ostringstream oss;
+    oss << opcodeName(op);
+
+    switch (opcodeFormat(op)) {
+      case Format::R:
+        oss << ' ' << reg(instruction.rd) << ", "
+            << reg(instruction.rs1) << ", " << reg(instruction.rs2);
+        break;
+      case Format::R2:
+        oss << ' ' << reg(instruction.rd) << ", "
+            << reg(instruction.rs1);
+        break;
+      case Format::RI:
+        if (op == Opcode::Ld) {
+            oss << ' ' << reg(instruction.rd) << ", "
+                << instruction.imm << '(' << reg(instruction.rs1)
+                << ')';
+        } else {
+            oss << ' ' << reg(instruction.rd) << ", "
+                << reg(instruction.rs1) << ", " << instruction.imm;
+        }
+        break;
+      case Format::RdImm:
+        oss << ' ' << reg(instruction.rd) << ", " << instruction.imm;
+        break;
+      case Format::Store:
+        oss << ' ' << reg(instruction.rs2) << ", " << instruction.imm
+            << '(' << reg(instruction.rs1) << ')';
+        break;
+      case Format::Branch:
+        oss << ' ' << reg(instruction.rs1) << ", "
+            << reg(instruction.rs2) << ", "
+            << targetText(instruction.imm, pc);
+        break;
+      case Format::Jump:
+        oss << ' ' << targetText(instruction.imm, pc);
+        break;
+      case Format::JumpReg:
+        oss << ' ' << reg(instruction.rs1);
+        break;
+      case Format::None:
+        break;
+    }
+    return oss.str();
+}
+
+std::string
+disassemble(const Program &program)
+{
+    // Invert the symbol table so labels print above their pc.
+    std::ostringstream oss;
+    for (std::uint64_t pc = 0; pc < program.code.size(); ++pc) {
+        for (const auto &[symbol, symbol_pc] : program.symbols) {
+            if (symbol_pc == pc)
+                oss << symbol << ":\n";
+        }
+        oss << format("%6llu:  ",
+                      static_cast<unsigned long long>(pc))
+            << disassemble(program.code[pc],
+                           static_cast<std::int64_t>(pc))
+            << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace tlat::isa

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Textual rendering of micro88 instructions and programs.
+ */
+
+#ifndef TLAT_ISA_DISASSEMBLER_HH
+#define TLAT_ISA_DISASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "instruction.hh"
+#include "program.hh"
+
+namespace tlat::isa
+{
+
+/**
+ * Disassembles one instruction. If @p pc is provided, branch/jump
+ * targets are rendered as absolute pcs; otherwise as relative offsets.
+ */
+std::string disassemble(const Instruction &instruction,
+                        std::int64_t pc = -1);
+
+/** Disassembles an entire program, one "pc: text" line per instruction. */
+std::string disassemble(const Program &program);
+
+} // namespace tlat::isa
+
+#endif // TLAT_ISA_DISASSEMBLER_HH

@@ -1,0 +1,191 @@
+#include "encoding.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tlat::isa
+{
+
+namespace
+{
+
+constexpr unsigned kOpcodeShift = 26;
+constexpr unsigned kRdShift = 21;
+constexpr unsigned kRs1Shift = 16;
+constexpr unsigned kRs2Shift = 11;
+
+void
+checkRegister(unsigned reg)
+{
+    tlat_assert(reg < kNumRegisters, "register out of range: ", reg);
+}
+
+void
+checkImm16(std::int32_t imm)
+{
+    tlat_assert(imm >= kImm16Min && imm <= kImm16Max,
+                "imm16 out of range: ", imm);
+}
+
+void
+checkImm26(std::int32_t imm)
+{
+    tlat_assert(imm >= kImm26Min && imm <= kImm26Max,
+                "imm26 out of range: ", imm);
+}
+
+} // namespace
+
+std::uint32_t
+encode(const Instruction &instruction)
+{
+    const Opcode op = instruction.opcode;
+    std::uint32_t word = static_cast<std::uint32_t>(op) << kOpcodeShift;
+
+    switch (opcodeFormat(op)) {
+      case Format::R:
+        checkRegister(instruction.rd);
+        checkRegister(instruction.rs1);
+        checkRegister(instruction.rs2);
+        word |= static_cast<std::uint32_t>(instruction.rd) << kRdShift;
+        word |= static_cast<std::uint32_t>(instruction.rs1) << kRs1Shift;
+        word |= static_cast<std::uint32_t>(instruction.rs2) << kRs2Shift;
+        break;
+      case Format::R2:
+        checkRegister(instruction.rd);
+        checkRegister(instruction.rs1);
+        word |= static_cast<std::uint32_t>(instruction.rd) << kRdShift;
+        word |= static_cast<std::uint32_t>(instruction.rs1) << kRs1Shift;
+        break;
+      case Format::RI:
+        checkRegister(instruction.rd);
+        checkRegister(instruction.rs1);
+        checkImm16(instruction.imm);
+        word |= static_cast<std::uint32_t>(instruction.rd) << kRdShift;
+        word |= static_cast<std::uint32_t>(instruction.rs1) << kRs1Shift;
+        word |= static_cast<std::uint32_t>(instruction.imm) & 0xffffu;
+        break;
+      case Format::RdImm:
+        checkRegister(instruction.rd);
+        checkImm16(instruction.imm);
+        word |= static_cast<std::uint32_t>(instruction.rd) << kRdShift;
+        word |= static_cast<std::uint32_t>(instruction.imm) & 0xffffu;
+        break;
+      case Format::Store:
+      case Format::Branch:
+        checkRegister(instruction.rs1);
+        checkRegister(instruction.rs2);
+        checkImm16(instruction.imm);
+        word |= static_cast<std::uint32_t>(instruction.rs1) << kRdShift;
+        word |= static_cast<std::uint32_t>(instruction.rs2) << kRs1Shift;
+        word |= static_cast<std::uint32_t>(instruction.imm) & 0xffffu;
+        break;
+      case Format::Jump:
+        checkImm26(instruction.imm);
+        word |= static_cast<std::uint32_t>(instruction.imm) & 0x03ffffffu;
+        break;
+      case Format::JumpReg:
+        checkRegister(instruction.rs1);
+        word |= static_cast<std::uint32_t>(instruction.rs1) << kRs1Shift;
+        break;
+      case Format::None:
+        break;
+    }
+    return word;
+}
+
+std::optional<Instruction>
+decode(std::uint32_t word)
+{
+    const std::uint32_t op_field = word >> kOpcodeShift;
+    if (op_field >= static_cast<std::uint32_t>(Opcode::NumOpcodes))
+        return std::nullopt;
+
+    Instruction instruction;
+    instruction.opcode = static_cast<Opcode>(op_field);
+
+    const auto field = [word](unsigned shift) {
+        return static_cast<std::uint8_t>((word >> shift) & 0x1f);
+    };
+    const auto imm16 = [word]() {
+        return static_cast<std::int32_t>(
+            signExtend(word & 0xffffu, 16));
+    };
+
+    switch (opcodeFormat(instruction.opcode)) {
+      case Format::R:
+        instruction.rd = field(kRdShift);
+        instruction.rs1 = field(kRs1Shift);
+        instruction.rs2 = field(kRs2Shift);
+        break;
+      case Format::R2:
+        instruction.rd = field(kRdShift);
+        instruction.rs1 = field(kRs1Shift);
+        break;
+      case Format::RI:
+        instruction.rd = field(kRdShift);
+        instruction.rs1 = field(kRs1Shift);
+        instruction.imm = imm16();
+        break;
+      case Format::RdImm:
+        instruction.rd = field(kRdShift);
+        instruction.imm = imm16();
+        break;
+      case Format::Store:
+      case Format::Branch:
+        instruction.rs1 = field(kRdShift);
+        instruction.rs2 = field(kRs1Shift);
+        instruction.imm = imm16();
+        break;
+      case Format::Jump:
+        instruction.imm = static_cast<std::int32_t>(
+            signExtend(word & 0x03ffffffu, 26));
+        break;
+      case Format::JumpReg:
+        instruction.rs1 = field(kRs1Shift);
+        break;
+      case Format::None:
+        break;
+    }
+    return instruction;
+}
+
+bool
+isEncodable(const Instruction &instruction)
+{
+    const Opcode op = instruction.opcode;
+    if (op >= Opcode::NumOpcodes)
+        return false;
+
+    const auto reg_ok = [](unsigned reg) { return reg < kNumRegisters; };
+    const auto imm16_ok = [](std::int32_t imm) {
+        return imm >= kImm16Min && imm <= kImm16Max;
+    };
+
+    switch (opcodeFormat(op)) {
+      case Format::R:
+        return reg_ok(instruction.rd) && reg_ok(instruction.rs1) &&
+               reg_ok(instruction.rs2);
+      case Format::R2:
+        return reg_ok(instruction.rd) && reg_ok(instruction.rs1);
+      case Format::RI:
+        return reg_ok(instruction.rd) && reg_ok(instruction.rs1) &&
+               imm16_ok(instruction.imm);
+      case Format::RdImm:
+        return reg_ok(instruction.rd) && imm16_ok(instruction.imm);
+      case Format::Store:
+      case Format::Branch:
+        return reg_ok(instruction.rs1) && reg_ok(instruction.rs2) &&
+               imm16_ok(instruction.imm);
+      case Format::Jump:
+        return instruction.imm >= kImm26Min &&
+               instruction.imm <= kImm26Max;
+      case Format::JumpReg:
+        return reg_ok(instruction.rs1);
+      case Format::None:
+        return true;
+    }
+    return false;
+}
+
+} // namespace tlat::isa

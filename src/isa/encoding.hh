@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Binary encoding of micro88 instructions into 32-bit words.
+ *
+ * Layout (bit 31 is the MSB):
+ *
+ *   op[31:26] | fields
+ *
+ *   R       op rd[25:21] rs1[20:16] rs2[15:11]
+ *   R2      op rd[25:21] rs1[20:16]
+ *   RI      op rd[25:21] rs1[20:16] imm16[15:0]
+ *   RdImm   op rd[25:21]            imm16[15:0]
+ *   Store   op rs1[25:21] rs2[20:16] imm16[15:0]
+ *   Branch  op rs1[25:21] rs2[20:16] imm16[15:0]
+ *   Jump    op imm26[25:0]
+ *   JumpReg op            rs1[20:16]
+ *   None    op
+ *
+ * Immediates are signed (two's complement). Branch/Jump immediates are
+ * pc-relative distances measured in instructions.
+ */
+
+#ifndef TLAT_ISA_ENCODING_HH
+#define TLAT_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "instruction.hh"
+
+namespace tlat::isa
+{
+
+/** Range of a signed 16-bit immediate. */
+constexpr std::int32_t kImm16Min = -(1 << 15);
+constexpr std::int32_t kImm16Max = (1 << 15) - 1;
+
+/** Range of a signed 26-bit immediate. */
+constexpr std::int32_t kImm26Min = -(1 << 25);
+constexpr std::int32_t kImm26Max = (1 << 25) - 1;
+
+/**
+ * Encodes a decoded instruction into its 32-bit word.
+ * Panics if a field is out of range for the opcode's format.
+ */
+std::uint32_t encode(const Instruction &instruction);
+
+/**
+ * Decodes a 32-bit word. Returns nullopt if the opcode field does not
+ * name a valid opcode.
+ */
+std::optional<Instruction> decode(std::uint32_t word);
+
+/** True if @p instruction round-trips losslessly through encode(). */
+bool isEncodable(const Instruction &instruction);
+
+} // namespace tlat::isa
+
+#endif // TLAT_ISA_ENCODING_HH

@@ -1,0 +1,137 @@
+#include "instruction.hh"
+
+#include "util/logging.hh"
+
+namespace tlat::isa
+{
+
+namespace
+{
+
+struct OpcodeInfo
+{
+    const char *name;
+    Format format;
+    InstrGroup group;
+};
+
+// Indexed by Opcode value; order must match the enum.
+constexpr OpcodeInfo kOpcodeTable[] = {
+    {"add",   Format::R,       InstrGroup::IntAlu},
+    {"sub",   Format::R,       InstrGroup::IntAlu},
+    {"mul",   Format::R,       InstrGroup::IntAlu},
+    {"div",   Format::R,       InstrGroup::IntAlu},
+    {"rem",   Format::R,       InstrGroup::IntAlu},
+    {"and",   Format::R,       InstrGroup::IntAlu},
+    {"or",    Format::R,       InstrGroup::IntAlu},
+    {"xor",   Format::R,       InstrGroup::IntAlu},
+    {"sll",   Format::R,       InstrGroup::IntAlu},
+    {"srl",   Format::R,       InstrGroup::IntAlu},
+    {"sra",   Format::R,       InstrGroup::IntAlu},
+    {"slt",   Format::R,       InstrGroup::IntAlu},
+    {"sltu",  Format::R,       InstrGroup::IntAlu},
+    {"addi",  Format::RI,      InstrGroup::IntAlu},
+    {"andi",  Format::RI,      InstrGroup::IntAlu},
+    {"ori",   Format::RI,      InstrGroup::IntAlu},
+    {"xori",  Format::RI,      InstrGroup::IntAlu},
+    {"slli",  Format::RI,      InstrGroup::IntAlu},
+    {"srli",  Format::RI,      InstrGroup::IntAlu},
+    {"srai",  Format::RI,      InstrGroup::IntAlu},
+    {"slti",  Format::RI,      InstrGroup::IntAlu},
+    {"li",    Format::RdImm,   InstrGroup::IntAlu},
+    {"fadd",  Format::R,       InstrGroup::FpAlu},
+    {"fsub",  Format::R,       InstrGroup::FpAlu},
+    {"fmul",  Format::R,       InstrGroup::FpAlu},
+    {"fdiv",  Format::R,       InstrGroup::FpAlu},
+    {"fneg",  Format::R2,      InstrGroup::FpAlu},
+    {"fabs",  Format::R2,      InstrGroup::FpAlu},
+    {"fsqrt", Format::R2,      InstrGroup::FpAlu},
+    {"fcvt",  Format::R2,      InstrGroup::FpAlu},
+    {"ftoi",  Format::R2,      InstrGroup::FpAlu},
+    {"flt",   Format::R,       InstrGroup::FpAlu},
+    {"fle",   Format::R,       InstrGroup::FpAlu},
+    {"feq",   Format::R,       InstrGroup::FpAlu},
+    {"ld",    Format::RI,      InstrGroup::Memory},
+    {"st",    Format::Store,   InstrGroup::Memory},
+    {"beq",   Format::Branch,  InstrGroup::ControlFlow},
+    {"bne",   Format::Branch,  InstrGroup::ControlFlow},
+    {"blt",   Format::Branch,  InstrGroup::ControlFlow},
+    {"bge",   Format::Branch,  InstrGroup::ControlFlow},
+    {"bltu",  Format::Branch,  InstrGroup::ControlFlow},
+    {"bgeu",  Format::Branch,  InstrGroup::ControlFlow},
+    {"jmp",   Format::Jump,    InstrGroup::ControlFlow},
+    {"call",  Format::Jump,    InstrGroup::ControlFlow},
+    {"jr",    Format::JumpReg, InstrGroup::ControlFlow},
+    {"ret",   Format::None,    InstrGroup::ControlFlow},
+    {"nop",   Format::None,    InstrGroup::Other},
+    {"halt",  Format::None,    InstrGroup::Other},
+};
+
+constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+static_assert(sizeof(kOpcodeTable) / sizeof(kOpcodeTable[0]) ==
+                  kNumOpcodes,
+              "opcode table out of sync with Opcode enum");
+
+const OpcodeInfo &
+info(Opcode opcode)
+{
+    const auto index = static_cast<std::size_t>(opcode);
+    tlat_assert(index < kNumOpcodes, "bad opcode ", index);
+    return kOpcodeTable[index];
+}
+
+} // namespace
+
+const char *
+opcodeName(Opcode opcode)
+{
+    return info(opcode).name;
+}
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        if (name == kOpcodeTable[i].name)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NumOpcodes;
+}
+
+Format
+opcodeFormat(Opcode opcode)
+{
+    return info(opcode).format;
+}
+
+InstrGroup
+opcodeGroup(Opcode opcode)
+{
+    return info(opcode).group;
+}
+
+bool
+isConditionalBranch(Opcode opcode)
+{
+    switch (opcode) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControlFlow(Opcode opcode)
+{
+    return opcodeGroup(opcode) == InstrGroup::ControlFlow;
+}
+
+} // namespace tlat::isa

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The micro88 instruction set.
+ *
+ * micro88 is a small load/store RISC ISA standing in for the Motorola
+ * 88100 the paper traced (see DESIGN.md, substitution table). It was
+ * designed to exercise exactly the branch taxonomy of Section 4 of the
+ * paper:
+ *
+ *  - conditional branches      (Beq, Bne, Blt, Bge, Bltu, Bgeu)
+ *  - subroutine returns        (Ret)
+ *  - immediate unconditionals  (Jmp, Call)
+ *  - register unconditionals   (Jr)
+ *
+ * plus enough integer/FP/memory operations to write realistic programs.
+ * Registers are 64-bit; FP operations bit-cast register contents to
+ * IEEE double. r0 reads as zero and ignores writes; r31 is the link
+ * register written by Call and read by Ret.
+ */
+
+#ifndef TLAT_ISA_INSTRUCTION_HH
+#define TLAT_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tlat::isa
+{
+
+/** Number of general-purpose registers. */
+constexpr unsigned kNumRegisters = 32;
+
+/** Register index of the hardwired zero register. */
+constexpr unsigned kZeroReg = 0;
+
+/** Register index of the link register written by Call. */
+constexpr unsigned kLinkReg = 31;
+
+/** Each instruction occupies four bytes of the simulated address space. */
+constexpr std::uint64_t kInstructionBytes = 4;
+
+/** micro88 opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Integer register-register ALU.
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor,
+    Sll, Srl, Sra,
+    Slt, Sltu,
+
+    // Integer register-immediate ALU.
+    Addi, Andi, Ori, Xori,
+    Slli, Srli, Srai,
+    Slti,
+    Li,     ///< rd = sign-extended 16-bit immediate.
+
+    // Floating point (operands bit-cast to double).
+    Fadd, Fsub, Fmul, Fdiv,
+    Fneg, Fabs, Fsqrt,
+    Fcvt,   ///< rd = double(int64(rs1))
+    Ftoi,   ///< rd = int64(trunc(double(rs1)))
+    Flt, Fle, Feq,   ///< rd = compare(rs1, rs2) ? 1 : 0
+
+    // Memory (64-bit words; effective address = rs1 + imm).
+    Ld, St,
+
+    // Conditional branches (compare rs1, rs2; pc-relative target).
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+
+    // Unconditional control flow.
+    Jmp,    ///< pc-relative immediate jump.
+    Call,   ///< pc-relative immediate call; r31 = return address.
+    Jr,     ///< jump to the address in rs1.
+    Ret,    ///< return to the address in r31.
+
+    // Misc.
+    Nop,
+    Halt,
+
+    NumOpcodes
+};
+
+/** Broad operand-format classes used by the encoder and assembler. */
+enum class Format : std::uint8_t
+{
+    R,      ///< rd, rs1, rs2
+    RI,     ///< rd, rs1, imm16
+    RdImm,  ///< rd, imm16 (Li)
+    R2,     ///< rd, rs1 (unary: Fneg, Fabs, Fsqrt, Fcvt, Ftoi)
+    Store,  ///< rs1 (base), rs2 (value), imm16
+    Branch, ///< rs1, rs2, imm16 (pc-relative, in instructions)
+    Jump,   ///< imm26 (pc-relative, in instructions)
+    JumpReg,///< rs1
+    None    ///< no operands (Ret, Nop, Halt)
+};
+
+/** Coarse semantic groups, used for trace statistics (paper Fig. 3). */
+enum class InstrGroup : std::uint8_t
+{
+    IntAlu,
+    FpAlu,
+    Memory,
+    ControlFlow,
+    Other
+};
+
+/** A decoded micro88 instruction. */
+struct Instruction
+{
+    Opcode opcode = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+
+    bool
+    operator==(const Instruction &other) const
+    {
+        return opcode == other.opcode && rd == other.rd &&
+               rs1 == other.rs1 && rs2 == other.rs2 &&
+               imm == other.imm;
+    }
+};
+
+/** Mnemonic for an opcode (lowercase, e.g. "addi"). */
+const char *opcodeName(Opcode opcode);
+
+/** Looks up an opcode by mnemonic; NumOpcodes if unknown. */
+Opcode opcodeFromName(const std::string &name);
+
+/** Operand format of an opcode. */
+Format opcodeFormat(Opcode opcode);
+
+/** Semantic group of an opcode. */
+InstrGroup opcodeGroup(Opcode opcode);
+
+/** True for the six conditional branch opcodes. */
+bool isConditionalBranch(Opcode opcode);
+
+/** True for any opcode that can redirect the pc. */
+bool isControlFlow(Opcode opcode);
+
+} // namespace tlat::isa
+
+#endif // TLAT_ISA_INSTRUCTION_HH

@@ -1,0 +1,421 @@
+#include "program.hh"
+
+#include <cstring>
+#include <set>
+
+#include "encoding.hh"
+#include "util/logging.hh"
+
+namespace tlat::isa
+{
+
+std::uint64_t
+Program::staticConditionalBranches() const
+{
+    std::uint64_t count = 0;
+    for (const Instruction &instruction : code) {
+        if (isConditionalBranch(instruction.opcode))
+            ++count;
+    }
+    return count;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name))
+{
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    label_pcs_.push_back(kUnbound);
+    label_names_.emplace_back();
+    return Label{static_cast<int>(label_pcs_.size()) - 1};
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel(const std::string &symbol)
+{
+    Label label = newLabel();
+    label_names_[static_cast<std::size_t>(label.id)] = symbol;
+    return label;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    tlat_assert(label.id >= 0 &&
+                    label.id < static_cast<int>(label_pcs_.size()),
+                "bind of unknown label");
+    auto &pc = label_pcs_[static_cast<std::size_t>(label.id)];
+    tlat_assert(pc == kUnbound, "label bound twice");
+    pc = static_cast<std::int64_t>(code_.size());
+    const auto &symbol =
+        label_names_[static_cast<std::size_t>(label.id)];
+    if (!symbol.empty())
+        symbols_[symbol] = code_.size();
+}
+
+void
+ProgramBuilder::emit(const Instruction &instruction)
+{
+    tlat_assert(!built_, "builder reused after build()");
+    code_.push_back(instruction);
+}
+
+namespace
+{
+
+Instruction
+makeR(Opcode op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    Instruction instruction;
+    instruction.opcode = op;
+    instruction.rd = static_cast<std::uint8_t>(rd);
+    instruction.rs1 = static_cast<std::uint8_t>(rs1);
+    instruction.rs2 = static_cast<std::uint8_t>(rs2);
+    return instruction;
+}
+
+Instruction
+makeI(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    Instruction instruction;
+    instruction.opcode = op;
+    instruction.rd = static_cast<std::uint8_t>(rd);
+    instruction.rs1 = static_cast<std::uint8_t>(rs1);
+    instruction.imm = imm;
+    return instruction;
+}
+
+} // namespace
+
+#define TLAT_DEFINE_R(method, opcode)                                      \
+    void ProgramBuilder::method(unsigned rd, unsigned rs1, unsigned rs2)   \
+    {                                                                       \
+        emit(makeR(Opcode::opcode, rd, rs1, rs2));                          \
+    }
+
+TLAT_DEFINE_R(add, Add)
+TLAT_DEFINE_R(sub, Sub)
+TLAT_DEFINE_R(mul, Mul)
+TLAT_DEFINE_R(div, Div)
+TLAT_DEFINE_R(rem, Rem)
+TLAT_DEFINE_R(and_, And)
+TLAT_DEFINE_R(or_, Or)
+TLAT_DEFINE_R(xor_, Xor)
+TLAT_DEFINE_R(sll, Sll)
+TLAT_DEFINE_R(srl, Srl)
+TLAT_DEFINE_R(sra, Sra)
+TLAT_DEFINE_R(slt, Slt)
+TLAT_DEFINE_R(sltu, Sltu)
+TLAT_DEFINE_R(fadd, Fadd)
+TLAT_DEFINE_R(fsub, Fsub)
+TLAT_DEFINE_R(fmul, Fmul)
+TLAT_DEFINE_R(fdiv, Fdiv)
+TLAT_DEFINE_R(flt, Flt)
+TLAT_DEFINE_R(fle, Fle)
+TLAT_DEFINE_R(feq, Feq)
+
+#undef TLAT_DEFINE_R
+
+#define TLAT_DEFINE_RI(method, opcode)                                     \
+    void ProgramBuilder::method(unsigned rd, unsigned rs1,                  \
+                                std::int32_t imm)                           \
+    {                                                                       \
+        emit(makeI(Opcode::opcode, rd, rs1, imm));                          \
+    }
+
+TLAT_DEFINE_RI(addi, Addi)
+TLAT_DEFINE_RI(andi, Andi)
+TLAT_DEFINE_RI(ori, Ori)
+TLAT_DEFINE_RI(xori, Xori)
+TLAT_DEFINE_RI(slli, Slli)
+TLAT_DEFINE_RI(srli, Srli)
+TLAT_DEFINE_RI(srai, Srai)
+TLAT_DEFINE_RI(slti, Slti)
+TLAT_DEFINE_RI(ld, Ld)
+
+#undef TLAT_DEFINE_RI
+
+#define TLAT_DEFINE_R2(method, opcode)                                     \
+    void ProgramBuilder::method(unsigned rd, unsigned rs1)                  \
+    {                                                                       \
+        emit(makeR(Opcode::opcode, rd, rs1, 0));                            \
+    }
+
+TLAT_DEFINE_R2(fneg, Fneg)
+TLAT_DEFINE_R2(fabs_, Fabs)
+TLAT_DEFINE_R2(fsqrt, Fsqrt)
+TLAT_DEFINE_R2(fcvt, Fcvt)
+TLAT_DEFINE_R2(ftoi, Ftoi)
+
+#undef TLAT_DEFINE_R2
+
+void
+ProgramBuilder::li(unsigned rd, std::int32_t imm)
+{
+    emit(makeI(Opcode::Li, rd, 0, imm));
+}
+
+void
+ProgramBuilder::st(unsigned base, unsigned value, std::int32_t imm)
+{
+    Instruction instruction;
+    instruction.opcode = Opcode::St;
+    instruction.rs1 = static_cast<std::uint8_t>(base);
+    instruction.rs2 = static_cast<std::uint8_t>(value);
+    instruction.imm = imm;
+    emit(instruction);
+}
+
+void
+ProgramBuilder::emitBranch(Opcode opcode, unsigned rs1, unsigned rs2,
+                           Label target)
+{
+    Instruction instruction;
+    instruction.opcode = opcode;
+    instruction.rs1 = static_cast<std::uint8_t>(rs1);
+    instruction.rs2 = static_cast<std::uint8_t>(rs2);
+    instruction.imm = 0;
+    fixups_.push_back(Fixup{code_.size(), target.id});
+    emit(instruction);
+}
+
+void
+ProgramBuilder::emitJump(Opcode opcode, Label target)
+{
+    Instruction instruction;
+    instruction.opcode = opcode;
+    instruction.imm = 0;
+    fixups_.push_back(Fixup{code_.size(), target.id});
+    emit(instruction);
+}
+
+void
+ProgramBuilder::beq(unsigned rs1, unsigned rs2, Label target)
+{
+    emitBranch(Opcode::Beq, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bne(unsigned rs1, unsigned rs2, Label target)
+{
+    emitBranch(Opcode::Bne, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::blt(unsigned rs1, unsigned rs2, Label target)
+{
+    emitBranch(Opcode::Blt, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bge(unsigned rs1, unsigned rs2, Label target)
+{
+    emitBranch(Opcode::Bge, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bltu(unsigned rs1, unsigned rs2, Label target)
+{
+    emitBranch(Opcode::Bltu, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bgeu(unsigned rs1, unsigned rs2, Label target)
+{
+    emitBranch(Opcode::Bgeu, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::jmp(Label target)
+{
+    emitJump(Opcode::Jmp, target);
+}
+
+void
+ProgramBuilder::call(Label target)
+{
+    emitJump(Opcode::Call, target);
+}
+
+void
+ProgramBuilder::jr(unsigned rs1)
+{
+    Instruction instruction;
+    instruction.opcode = Opcode::Jr;
+    instruction.rs1 = static_cast<std::uint8_t>(rs1);
+    emit(instruction);
+}
+
+void
+ProgramBuilder::ret()
+{
+    Instruction instruction;
+    instruction.opcode = Opcode::Ret;
+    emit(instruction);
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit(Instruction{});
+}
+
+void
+ProgramBuilder::halt()
+{
+    Instruction instruction;
+    instruction.opcode = Opcode::Halt;
+    emit(instruction);
+}
+
+void
+ProgramBuilder::mov(unsigned rd, unsigned rs)
+{
+    addi(rd, rs, 0);
+}
+
+void
+ProgramBuilder::loadImm(unsigned rd, std::int64_t value)
+{
+    if (value >= kImm16Min && value <= kImm16Max) {
+        li(rd, static_cast<std::int32_t>(value));
+        return;
+    }
+
+    // Find the highest 16-bit chunk that is non-redundant under sign
+    // extension, emit it with li (sign-extending), then shift/or in the
+    // remaining chunks (ori zero-extends).
+    int top = 3;
+    while (top > 0) {
+        const std::int64_t shifted = value >> (16 * top);
+        if (shifted != 0 && shifted != -1)
+            break;
+        // The chunk below must have the right sign bit for li's sign
+        // extension to reproduce `shifted`.
+        const std::int64_t below = value >> (16 * (top - 1));
+        const bool sign_matches =
+            (shifted == 0 && (below & 0x8000) == 0) ||
+            (shifted == -1 && (below & 0x8000) != 0);
+        if (!sign_matches)
+            break;
+        --top;
+    }
+
+    li(rd, static_cast<std::int32_t>(
+               static_cast<std::int16_t>(value >> (16 * top))));
+    for (int chunk = top - 1; chunk >= 0; --chunk) {
+        slli(rd, rd, 16);
+        const auto bits16 = static_cast<std::int32_t>(
+            (value >> (16 * chunk)) & 0xffff);
+        if (bits16 != 0)
+            ori(rd, rd, bits16);
+    }
+}
+
+void
+ProgramBuilder::la(unsigned rd, Label target)
+{
+    Instruction instruction;
+    instruction.opcode = Opcode::Li;
+    instruction.rd = static_cast<std::uint8_t>(rd);
+    instruction.imm = 0;
+    fixups_.push_back(Fixup{code_.size(), target.id, true});
+    emit(instruction);
+    slli(rd, rd, 2);
+}
+
+void
+ProgramBuilder::loadDouble(unsigned rd, double value)
+{
+    std::int64_t pattern;
+    std::memcpy(&pattern, &value, sizeof(pattern));
+    loadImm(rd, pattern);
+}
+
+std::uint64_t
+ProgramBuilder::data(const std::vector<std::uint64_t> &words)
+{
+    // data() and bss() share one allocation cursor, so initialized
+    // and reserved chunks can be interleaved freely. Reserved holes
+    // before this chunk are zero-filled in the image.
+    const std::uint64_t address = data_cursor_ * 8;
+    data_.resize(data_cursor_, 0);
+    data_.insert(data_.end(), words.begin(), words.end());
+    data_cursor_ += words.size();
+    return address;
+}
+
+std::uint64_t
+ProgramBuilder::dataDoubles(const std::vector<double> &values)
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(values.size());
+    for (double v : values) {
+        std::uint64_t pattern;
+        std::memcpy(&pattern, &v, sizeof(pattern));
+        words.push_back(pattern);
+    }
+    return data(words);
+}
+
+std::uint64_t
+ProgramBuilder::bss(std::uint64_t words)
+{
+    const std::uint64_t address = data_cursor_ * 8;
+    data_cursor_ += words;
+    return address;
+}
+
+void
+ProgramBuilder::defineDataSymbol(const std::string &name,
+                                 std::uint64_t address)
+{
+    data_symbols_[name] = address;
+}
+
+Program
+ProgramBuilder::build()
+{
+    tlat_assert(!built_, "build() called twice");
+    built_ = true;
+
+    for (const Fixup &fixup : fixups_) {
+        tlat_assert(fixup.label_id >= 0 &&
+                        fixup.label_id <
+                            static_cast<int>(label_pcs_.size()),
+                    "fixup references unknown label");
+        const std::int64_t target =
+            label_pcs_[static_cast<std::size_t>(fixup.label_id)];
+        if (target == kUnbound) {
+            tlat_fatal("program '", name_, "': label ",
+                       fixup.label_id, " referenced at pc ", fixup.pc,
+                       " was never bound");
+        }
+        Instruction &instruction = code_[fixup.pc];
+        if (fixup.absolute) {
+            instruction.imm = static_cast<std::int32_t>(target);
+            tlat_assert(isEncodable(instruction),
+                        "la target pc out of imm16 range: ", target);
+        } else {
+            const std::int64_t offset =
+                target - static_cast<std::int64_t>(fixup.pc);
+            instruction.imm = static_cast<std::int32_t>(offset);
+            tlat_assert(isEncodable(instruction),
+                        "branch offset out of encodable range: ",
+                        offset);
+        }
+    }
+
+    Program program;
+    program.name = name_;
+    program.code = std::move(code_);
+    program.initialData = std::move(data_);
+    program.dataWords = data_cursor_;
+    program.symbols = std::move(symbols_);
+    program.dataSymbols = std::move(data_symbols_);
+    return program;
+}
+
+} // namespace tlat::isa

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * micro88 program container and the builder API used to write programs
+ * from C++ (the nine SPEC-mirror workloads are authored this way).
+ *
+ * A Program is a code image (decoded instructions; pc is an instruction
+ * index, the simulated byte address is pc * kInstructionBytes) plus an
+ * initial data image of 64-bit words (byte address = word index * 8).
+ *
+ * Immediate semantics: Addi/Slti/Li sign-extend their 16-bit immediate;
+ * Andi/Ori/Xori zero-extend it (as in MIPS), which makes the
+ * loadImm() pseudo-instruction expansion straightforward.
+ */
+
+#ifndef TLAT_ISA_PROGRAM_HH
+#define TLAT_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instruction.hh"
+
+namespace tlat::isa
+{
+
+/** A complete micro88 program: code, initial data, entry point. */
+struct Program
+{
+    std::string name;
+    std::vector<Instruction> code;
+    /** Initial data image; element i lives at byte address i * 8. */
+    std::vector<std::uint64_t> initialData;
+    /** Total data words the program may touch (>= initialData.size()). */
+    std::uint64_t dataWords = 0;
+    /** Entry pc (instruction index). */
+    std::uint64_t entry = 0;
+    /** Optional label -> pc map (kept for disassembly and tests). */
+    std::map<std::string, std::uint64_t> symbols;
+    /** Named data addresses (byte addresses), for tests and tools. */
+    std::map<std::string, std::uint64_t> dataSymbols;
+
+    std::uint64_t size() const { return code.size(); }
+
+    /** Number of distinct conditional-branch pcs in the code image. */
+    std::uint64_t staticConditionalBranches() const;
+};
+
+/**
+ * Incrementally builds a Program with forward-reference label fixups.
+ *
+ * Typical use:
+ * @code
+ *   ProgramBuilder b("demo");
+ *   auto loop = b.newLabel();
+ *   b.li(1, 10);
+ *   b.bind(loop);
+ *   b.addi(1, 1, -1);
+ *   b.bne(1, 0, loop);
+ *   b.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    /** Opaque label handle. */
+    struct Label
+    {
+        int id = -1;
+    };
+
+    explicit ProgramBuilder(std::string name);
+
+    // ---- labels -------------------------------------------------------
+
+    /** Creates an unbound label. */
+    Label newLabel();
+
+    /** Creates an unbound label and records it in the symbol table. */
+    Label newLabel(const std::string &symbol);
+
+    /** Binds @p label to the current pc. */
+    void bind(Label label);
+
+    /** Current pc (index of the next emitted instruction). */
+    std::uint64_t here() const { return code_.size(); }
+
+    // ---- integer ALU ---------------------------------------------------
+
+    void add(unsigned rd, unsigned rs1, unsigned rs2);
+    void sub(unsigned rd, unsigned rs1, unsigned rs2);
+    void mul(unsigned rd, unsigned rs1, unsigned rs2);
+    void div(unsigned rd, unsigned rs1, unsigned rs2);
+    void rem(unsigned rd, unsigned rs1, unsigned rs2);
+    void and_(unsigned rd, unsigned rs1, unsigned rs2);
+    void or_(unsigned rd, unsigned rs1, unsigned rs2);
+    void xor_(unsigned rd, unsigned rs1, unsigned rs2);
+    void sll(unsigned rd, unsigned rs1, unsigned rs2);
+    void srl(unsigned rd, unsigned rs1, unsigned rs2);
+    void sra(unsigned rd, unsigned rs1, unsigned rs2);
+    void slt(unsigned rd, unsigned rs1, unsigned rs2);
+    void sltu(unsigned rd, unsigned rs1, unsigned rs2);
+
+    void addi(unsigned rd, unsigned rs1, std::int32_t imm);
+    void andi(unsigned rd, unsigned rs1, std::int32_t imm);
+    void ori(unsigned rd, unsigned rs1, std::int32_t imm);
+    void xori(unsigned rd, unsigned rs1, std::int32_t imm);
+    void slli(unsigned rd, unsigned rs1, std::int32_t imm);
+    void srli(unsigned rd, unsigned rs1, std::int32_t imm);
+    void srai(unsigned rd, unsigned rs1, std::int32_t imm);
+    void slti(unsigned rd, unsigned rs1, std::int32_t imm);
+    void li(unsigned rd, std::int32_t imm);
+
+    // ---- floating point -------------------------------------------------
+
+    void fadd(unsigned rd, unsigned rs1, unsigned rs2);
+    void fsub(unsigned rd, unsigned rs1, unsigned rs2);
+    void fmul(unsigned rd, unsigned rs1, unsigned rs2);
+    void fdiv(unsigned rd, unsigned rs1, unsigned rs2);
+    void fneg(unsigned rd, unsigned rs1);
+    void fabs_(unsigned rd, unsigned rs1);
+    void fsqrt(unsigned rd, unsigned rs1);
+    void fcvt(unsigned rd, unsigned rs1);
+    void ftoi(unsigned rd, unsigned rs1);
+    void flt(unsigned rd, unsigned rs1, unsigned rs2);
+    void fle(unsigned rd, unsigned rs1, unsigned rs2);
+    void feq(unsigned rd, unsigned rs1, unsigned rs2);
+
+    // ---- memory ----------------------------------------------------------
+
+    /** rd = mem64[rs1 + imm] (byte address, must be 8-aligned). */
+    void ld(unsigned rd, unsigned base, std::int32_t imm);
+    /** mem64[base + imm] = value. */
+    void st(unsigned base, unsigned value, std::int32_t imm);
+
+    // ---- control flow ----------------------------------------------------
+
+    void beq(unsigned rs1, unsigned rs2, Label target);
+    void bne(unsigned rs1, unsigned rs2, Label target);
+    void blt(unsigned rs1, unsigned rs2, Label target);
+    void bge(unsigned rs1, unsigned rs2, Label target);
+    void bltu(unsigned rs1, unsigned rs2, Label target);
+    void bgeu(unsigned rs1, unsigned rs2, Label target);
+    void jmp(Label target);
+    void call(Label target);
+    void jr(unsigned rs1);
+    void ret();
+
+    // ---- misc ------------------------------------------------------------
+
+    void nop();
+    void halt();
+
+    // ---- pseudo-instructions ----------------------------------------------
+
+    /** rd = rs (addi rd, rs, 0). */
+    void mov(unsigned rd, unsigned rs);
+
+    /** Loads an arbitrary 64-bit constant (expands to li/slli/ori). */
+    void loadImm(unsigned rd, std::int64_t value);
+
+    /** Loads the bit pattern of an IEEE double. */
+    void loadDouble(unsigned rd, double value);
+
+    /**
+     * Loads the byte address of a label (li + slli; the label's
+     * instruction index must fit in a signed 16-bit immediate).
+     * Enables jump tables through jr.
+     */
+    void la(unsigned rd, Label target);
+
+    // ---- data segment -------------------------------------------------------
+
+    /**
+     * Appends @p words to the initial data image; returns the byte
+     * address of the first word.
+     */
+    std::uint64_t data(const std::vector<std::uint64_t> &words);
+
+    /** Appends doubles (bit-cast); returns the byte address. */
+    std::uint64_t dataDoubles(const std::vector<double> &values);
+
+    /** Reserves @p words of zero-initialized space; returns address. */
+    std::uint64_t bss(std::uint64_t words);
+
+    /** Names a data byte address (exposed as Program::dataSymbols). */
+    void defineDataSymbol(const std::string &name,
+                          std::uint64_t address);
+
+    // ---- finalization ---------------------------------------------------------
+
+    /**
+     * Resolves all label fixups and returns the program.
+     * Fatal if any referenced label was never bound.
+     */
+    Program build();
+
+  private:
+    void emit(const Instruction &instruction);
+    void emitBranch(Opcode opcode, unsigned rs1, unsigned rs2,
+                    Label target);
+    void emitJump(Opcode opcode, Label target);
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<std::uint64_t> data_;
+    /** Next free data word; data() and bss() allocate from it. */
+    std::uint64_t data_cursor_ = 0;
+    std::map<std::string, std::uint64_t> symbols_;
+    std::map<std::string, std::uint64_t> data_symbols_;
+
+    static constexpr std::int64_t kUnbound = -1;
+    std::vector<std::int64_t> label_pcs_;
+    std::vector<std::string> label_names_;
+
+    struct Fixup
+    {
+        std::uint64_t pc;
+        int label_id;
+        /** Absolute fixups patch the label's pc; relative ones patch
+         *  the pc-relative offset. */
+        bool absolute = false;
+    };
+
+    std::vector<Fixup> fixups_;
+    bool built_ = false;
+};
+
+} // namespace tlat::isa
+
+#endif // TLAT_ISA_PROGRAM_HH

@@ -1,0 +1,117 @@
+#include "pipeline_model.hh"
+
+namespace tlat::pipeline
+{
+
+namespace
+{
+
+/** BTB payload: the last observed target of the branch. */
+struct BtbEntry
+{
+    std::uint64_t target = 0;
+    bool valid = false;
+};
+
+} // namespace
+
+PipelineModel::PipelineModel(const PipelineConfig &config)
+    : config_(config)
+{
+}
+
+PipelineResult
+PipelineModel::run(const trace::TraceBuffer &trace,
+                   core::BranchPredictor &direction_predictor)
+{
+    core::AssociativeTable<BtbEntry> btb(config_.btbEntries,
+                                         config_.btbAssociativity,
+                                         BtbEntry{});
+    sim::ReturnAddressStack ras(config_.rasDepth);
+
+    PipelineResult result;
+    result.instructions = trace.mix().total();
+
+    // Base cycles: the front end streams instructions at fetchWidth
+    // per cycle when nothing redirects.
+    std::uint64_t penalty_cycles = 0;
+
+    for (const trace::BranchRecord &record : trace.records()) {
+        switch (record.cls) {
+          case trace::BranchClass::Conditional: {
+            const bool predicted =
+                direction_predictor.predict(record);
+            direction_predictor.update(record);
+            if (predicted != record.taken) {
+                ++result.directionFlushes;
+                penalty_cycles += config_.resolveLatency;
+                // The flush refetches from the resolved target; the
+                // BTB learns it below either way.
+            } else if (record.taken) {
+                // Right direction; the target must still come from
+                // somewhere this cycle.
+                BtbEntry &entry = btb.lookup(record.pc);
+                if (!entry.valid || entry.target != record.target) {
+                    ++result.btbBubbles;
+                    penalty_cycles += config_.decodeBubble;
+                }
+            }
+            if (record.taken) {
+                BtbEntry &entry = btb.lookup(record.pc);
+                entry.valid = true;
+                entry.target = record.target;
+            }
+            break;
+          }
+
+          case trace::BranchClass::ImmediateUnconditional: {
+            // Target computable at decode: a BTB hit removes even
+            // that bubble.
+            BtbEntry &entry = btb.lookup(record.pc);
+            if (!entry.valid || entry.target != record.target) {
+                ++result.btbBubbles;
+                penalty_cycles += config_.decodeBubble;
+            }
+            entry.valid = true;
+            entry.target = record.target;
+            if (record.isCall) {
+                ras.push(record.pc + 4);
+            }
+            break;
+          }
+
+          case trace::BranchClass::RegisterUnconditional: {
+            // The target is a register value; without a BTB hit the
+            // fetch waits for execute.
+            BtbEntry &entry = btb.lookup(record.pc);
+            if (!entry.valid || entry.target != record.target) {
+                ++result.indirectStalls;
+                penalty_cycles += config_.registerResolveLatency;
+            }
+            entry.valid = true;
+            entry.target = record.target;
+            break;
+          }
+
+          case trace::BranchClass::Return: {
+            const std::uint64_t predicted_target = ras.pop();
+            if (predicted_target != record.target) {
+                ++result.returnMispredicts;
+                penalty_cycles += config_.registerResolveLatency;
+            }
+            break;
+          }
+
+          default:
+            break;
+        }
+    }
+
+    const std::uint64_t base_cycles =
+        (result.instructions + config_.fetchWidth - 1) /
+        config_.fetchWidth;
+    result.cycles = base_cycles + penalty_cycles;
+    return result;
+}
+
+} // namespace tlat::pipeline

@@ -1,0 +1,76 @@
+#include "lee_smith_btb.hh"
+
+#include "util/string_utils.hh"
+
+namespace tlat::predictors
+{
+
+using core::Automaton;
+using core::TableKind;
+
+LeeSmithPredictor::LeeSmithPredictor(const LeeSmithConfig &config)
+    : config_(config)
+{
+    const Automaton initial(config_.automaton);
+    switch (config_.tableKind) {
+      case TableKind::Ideal:
+        table_ = std::make_unique<core::IdealTable<Automaton>>(initial);
+        break;
+      case TableKind::Associative:
+        table_ = std::make_unique<core::AssociativeTable<Automaton>>(
+            config_.entries, config_.associativity, initial,
+            config_.addrShift);
+        break;
+      case TableKind::Hashed:
+        table_ = std::make_unique<core::HashedTable<Automaton>>(
+            config_.entries, initial, config_.addrShift);
+        break;
+    }
+}
+
+std::string
+LeeSmithPredictor::name() const
+{
+    const std::string hrt_part =
+        config_.tableKind == TableKind::Ideal
+            ? format("IHRT(,%s)", core::automatonName(config_.automaton))
+            : format("%s(%zu,%s)", core::tableKindName(config_.tableKind),
+                     config_.entries,
+                     core::automatonName(config_.automaton));
+    return format("LS(%s,,)", hrt_part.c_str());
+}
+
+Automaton &
+LeeSmithPredictor::lookup(std::uint64_t pc)
+{
+    if (last_entry_ && last_pc_ == pc)
+        return *last_entry_;
+    last_pc_ = pc;
+    last_entry_ = &table_->lookup(pc);
+    return *last_entry_;
+}
+
+bool
+LeeSmithPredictor::predict(const trace::BranchRecord &record)
+{
+    return lookup(record.pc).predict();
+}
+
+void
+LeeSmithPredictor::update(const trace::BranchRecord &record)
+{
+    lookup(record.pc).update(record.taken);
+    // One predict/update pair is one logical table access.
+    last_pc_ = ~std::uint64_t{0};
+    last_entry_ = nullptr;
+}
+
+void
+LeeSmithPredictor::reset()
+{
+    table_->reset();
+    last_pc_ = ~std::uint64_t{0};
+    last_entry_ = nullptr;
+}
+
+} // namespace tlat::predictors

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lee & Smith's Branch Target Buffer designs [Lee & Smith 1984],
+ * written "LS(HRT(size,Atm),,)" in the paper's Table 2.
+ *
+ * Each table entry holds one automaton (typically the A2 saturating
+ * counter, or Last-Time) driven directly by the branch's own outcomes
+ * — there is no pattern level, which is exactly what Two-Level
+ * Adaptive Training adds. The same three storage flavours as the AT
+ * history register table are evaluated: ideal, set-associative and
+ * hashed.
+ */
+
+#ifndef TLAT_PREDICTORS_LEE_SMITH_BTB_HH
+#define TLAT_PREDICTORS_LEE_SMITH_BTB_HH
+
+#include <memory>
+
+#include "core/automaton.hh"
+#include "core/branch_predictor.hh"
+#include "core/history_table.hh"
+
+namespace tlat::predictors
+{
+
+/** Configuration of a Lee-Smith BTB design. */
+struct LeeSmithConfig
+{
+    core::TableKind tableKind = core::TableKind::Associative;
+    std::size_t entries = 512;
+    unsigned associativity = 4;
+    core::AutomatonKind automaton = core::AutomatonKind::A2;
+    unsigned addrShift = 2;
+};
+
+/** Per-address automaton predictor (no pattern history level). */
+class LeeSmithPredictor : public core::BranchPredictor
+{
+  public:
+    explicit LeeSmithPredictor(const LeeSmithConfig &config);
+
+    std::string name() const override;
+    bool predict(const trace::BranchRecord &record) override;
+    void update(const trace::BranchRecord &record) override;
+    void reset() override;
+
+    const core::TableStats &tableStats() const
+    {
+        return table_->stats();
+    }
+
+    const LeeSmithConfig &config() const { return config_; }
+
+  private:
+    core::Automaton &lookup(std::uint64_t pc);
+
+    LeeSmithConfig config_;
+    std::unique_ptr<core::HistoryTable<core::Automaton>> table_;
+
+    std::uint64_t last_pc_ = ~std::uint64_t{0};
+    core::Automaton *last_entry_ = nullptr;
+};
+
+} // namespace tlat::predictors
+
+#endif // TLAT_PREDICTORS_LEE_SMITH_BTB_HH

@@ -1,0 +1,67 @@
+#include "scheme_factory.hh"
+
+#include "core/two_level_predictor.hh"
+#include "lee_smith_btb.hh"
+#include "profile_predictor.hh"
+#include "static_predictors.hh"
+#include "static_training.hh"
+#include "util/logging.hh"
+
+namespace tlat::predictors
+{
+
+using core::Scheme;
+using core::SchemeConfig;
+
+std::unique_ptr<core::BranchPredictor>
+makePredictor(const SchemeConfig &config)
+{
+    switch (config.scheme) {
+      case Scheme::TwoLevelAdaptive: {
+        core::TwoLevelConfig at;
+        at.hrtKind = config.hrtKind;
+        at.hrtEntries = config.hrtEntries;
+        at.associativity = config.associativity;
+        at.historyBits = config.historyBits;
+        at.automaton = config.automaton;
+        return std::make_unique<core::TwoLevelPredictor>(at);
+      }
+      case Scheme::StaticTraining: {
+        StaticTrainingConfig st;
+        st.hrtKind = config.hrtKind;
+        st.hrtEntries = config.hrtEntries;
+        st.associativity = config.associativity;
+        st.historyBits = config.historyBits;
+        st.data = config.data;
+        return std::make_unique<StaticTrainingPredictor>(st);
+      }
+      case Scheme::LeeSmithBtb: {
+        LeeSmithConfig ls;
+        ls.tableKind = config.hrtKind;
+        ls.entries = config.hrtEntries;
+        ls.associativity = config.associativity;
+        ls.automaton = config.automaton;
+        return std::make_unique<LeeSmithPredictor>(ls);
+      }
+      case Scheme::AlwaysTaken:
+        return std::make_unique<AlwaysTakenPredictor>();
+      case Scheme::AlwaysNotTaken:
+        return std::make_unique<AlwaysNotTakenPredictor>();
+      case Scheme::Btfn:
+        return std::make_unique<BtfnPredictor>();
+      case Scheme::Profile:
+        return std::make_unique<ProfilePredictor>();
+    }
+    tlat_panic("unhandled scheme kind");
+}
+
+std::unique_ptr<core::BranchPredictor>
+makePredictor(const std::string &schemeName)
+{
+    const auto config = SchemeConfig::parse(schemeName);
+    if (!config)
+        tlat_fatal("unparsable scheme name '", schemeName, "'");
+    return makePredictor(*config);
+}
+
+} // namespace tlat::predictors

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Builds a live predictor from a parsed Table 2 scheme name.
+ */
+
+#ifndef TLAT_PREDICTORS_SCHEME_FACTORY_HH
+#define TLAT_PREDICTORS_SCHEME_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/branch_predictor.hh"
+#include "core/scheme_config.hh"
+
+namespace tlat::predictors
+{
+
+/** Instantiates the predictor described by @p config. */
+std::unique_ptr<core::BranchPredictor>
+makePredictor(const core::SchemeConfig &config);
+
+/** Parses a Table 2 name and instantiates it; fatal on bad names. */
+std::unique_ptr<core::BranchPredictor>
+makePredictor(const std::string &schemeName);
+
+} // namespace tlat::predictors
+
+#endif // TLAT_PREDICTORS_SCHEME_FACTORY_HH

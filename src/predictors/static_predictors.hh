@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The static comparison schemes of the paper's Section 5.3:
+ * Always Taken, Always Not Taken, and Backward Taken / Forward Not
+ * Taken (BTFN). None of them keep run-time state.
+ */
+
+#ifndef TLAT_PREDICTORS_STATIC_PREDICTORS_HH
+#define TLAT_PREDICTORS_STATIC_PREDICTORS_HH
+
+#include "core/branch_predictor.hh"
+
+namespace tlat::predictors
+{
+
+/** Predicts every conditional branch taken (~60% accuracy, Fig. 9). */
+class AlwaysTakenPredictor : public core::BranchPredictor
+{
+  public:
+    std::string name() const override { return "AlwaysTaken"; }
+
+    bool
+    predict(const trace::BranchRecord &) override
+    {
+        return true;
+    }
+
+    void update(const trace::BranchRecord &) override {}
+    void reset() override {}
+};
+
+/** Predicts every conditional branch not taken. */
+class AlwaysNotTakenPredictor : public core::BranchPredictor
+{
+  public:
+    std::string name() const override { return "AlwaysNotTaken"; }
+
+    bool
+    predict(const trace::BranchRecord &) override
+    {
+        return false;
+    }
+
+    void update(const trace::BranchRecord &) override {}
+    void reset() override {}
+};
+
+/**
+ * Backward Taken, Forward Not taken [Smith 1981]: effective on
+ * loop-bound programs — a loop-closing backward branch misses only
+ * once per loop — poor on irregular code (paper Figure 9: ~98% on
+ * matrix300/tomcatv, often below 70% elsewhere).
+ */
+class BtfnPredictor : public core::BranchPredictor
+{
+  public:
+    std::string name() const override { return "BTFN"; }
+
+    bool
+    predict(const trace::BranchRecord &record) override
+    {
+        return record.target < record.pc;
+    }
+
+    void update(const trace::BranchRecord &) override {}
+    void reset() override {}
+};
+
+} // namespace tlat::predictors
+
+#endif // TLAT_PREDICTORS_STATIC_PREDICTORS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Flat 64-bit-word data memory for the micro88 simulator.
+ *
+ * The simulated machine is a Harvard design: code lives in the Program
+ * and is immutable; this class models only the data space. Addresses
+ * are byte addresses and must be 8-aligned — the workloads index data
+ * as 64-bit words exclusively.
+ */
+
+#ifndef TLAT_SIM_MEMORY_HH
+#define TLAT_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tlat::sim
+{
+
+/** Word-granular flat data memory. */
+class Memory
+{
+  public:
+    /** @param words Size of the data space in 64-bit words. */
+    explicit Memory(std::uint64_t words) : words_(words, 0) {}
+
+    /** Initializes the first words from an image. */
+    void
+    initialize(const std::vector<std::uint64_t> &image)
+    {
+        tlat_assert(image.size() <= words_.size(),
+                    "data image larger than memory");
+        std::copy(image.begin(), image.end(), words_.begin());
+    }
+
+    std::uint64_t
+    load(std::uint64_t byte_address) const
+    {
+        return words_[wordIndex(byte_address)];
+    }
+
+    void
+    store(std::uint64_t byte_address, std::uint64_t value)
+    {
+        words_[wordIndex(byte_address)] = value;
+    }
+
+    double
+    loadDouble(std::uint64_t byte_address) const
+    {
+        double value;
+        const std::uint64_t word = load(byte_address);
+        std::memcpy(&value, &word, sizeof(value));
+        return value;
+    }
+
+    void
+    storeDouble(std::uint64_t byte_address, double value)
+    {
+        std::uint64_t word;
+        std::memcpy(&word, &value, sizeof(word));
+        store(byte_address, word);
+    }
+
+    std::uint64_t sizeWords() const { return words_.size(); }
+    std::uint64_t sizeBytes() const { return words_.size() * 8; }
+
+  private:
+    std::uint64_t
+    wordIndex(std::uint64_t byte_address) const
+    {
+        if (byte_address % 8 != 0) {
+            tlat_fatal("unaligned data access at address ",
+                       byte_address);
+        }
+        const std::uint64_t index = byte_address / 8;
+        if (index >= words_.size()) {
+            tlat_fatal("data access out of bounds: address ",
+                       byte_address, ", memory is ", sizeBytes(),
+                       " bytes");
+        }
+        return index;
+    }
+
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace tlat::sim
+
+#endif // TLAT_SIM_MEMORY_HH

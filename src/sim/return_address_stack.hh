@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Return address stack, as described in the paper's Section 4: "A
+ * return address is pushed onto the stack when a subroutine is called
+ * and is popped as the prediction for the branch target address when a
+ * return instruction is detected. The return address prediction may
+ * miss when the return address stack overflows."
+ *
+ * On overflow the oldest entry is dropped (circular buffer), matching
+ * hardware RAS behaviour; the corresponding deep return will then
+ * mispredict.
+ */
+
+#ifndef TLAT_SIM_RETURN_ADDRESS_STACK_HH
+#define TLAT_SIM_RETURN_ADDRESS_STACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tlat::sim
+{
+
+/** Fixed-depth circular return address stack. */
+class ReturnAddressStack
+{
+  public:
+    /** @param depth Number of entries (must be non-zero). */
+    explicit ReturnAddressStack(std::size_t depth = 16)
+        : entries_(depth, 0)
+    {
+        tlat_assert(depth > 0, "RAS depth must be non-zero");
+    }
+
+    /** Pushes a return address; silently overwrites on overflow. */
+    void
+    push(std::uint64_t return_address)
+    {
+        top_ = (top_ + 1) % entries_.size();
+        entries_[top_] = return_address;
+        if (live_ < entries_.size())
+            ++live_;
+        else
+            ++overflows_;
+    }
+
+    /**
+     * Pops the predicted return address. Returns 0 when the stack is
+     * empty (an empty-stack prediction always misses).
+     */
+    std::uint64_t
+    pop()
+    {
+        if (live_ == 0) {
+            ++underflows_;
+            return 0;
+        }
+        const std::uint64_t address = entries_[top_];
+        top_ = (top_ + entries_.size() - 1) % entries_.size();
+        --live_;
+        return address;
+    }
+
+    std::size_t depth() const { return entries_.size(); }
+    std::size_t liveEntries() const { return live_; }
+    std::uint64_t overflows() const { return overflows_; }
+    std::uint64_t underflows() const { return underflows_; }
+
+    void
+    clear()
+    {
+        live_ = 0;
+        top_ = 0;
+        overflows_ = 0;
+        underflows_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> entries_;
+    std::size_t top_ = 0;
+    std::size_t live_ = 0;
+    std::uint64_t overflows_ = 0;
+    std::uint64_t underflows_ = 0;
+};
+
+} // namespace tlat::sim
+
+#endif // TLAT_SIM_RETURN_ADDRESS_STACK_HH

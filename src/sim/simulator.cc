@@ -1,0 +1,315 @@
+#include "simulator.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tlat::sim
+{
+
+namespace
+{
+
+double
+asDouble(std::uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+std::uint64_t
+asBits(double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+Simulator::Simulator(const isa::Program &program)
+    : program_(program),
+      memory_(program.dataWords ? program.dataWords : 1)
+{
+    memory_.initialize(program.initialData);
+    resetCpu();
+}
+
+void
+Simulator::resetCpu()
+{
+    std::memset(regs_, 0, sizeof(regs_));
+    pc_ = program_.entry;
+}
+
+SimResult
+Simulator::run(const BranchSink &sink, const SimOptions &options)
+{
+    tlat_assert(!ran_, "Simulator::run() called twice");
+    ran_ = true;
+    tlat_assert(!program_.code.empty(), "empty program");
+
+    using isa::Opcode;
+    SimResult result;
+    trace::InstructionMix &mix = result.mix;
+
+    const std::uint64_t code_size = program_.code.size();
+    bool stop = false;
+
+    while (!stop) {
+        if (result.instructions >= options.maxInstructions) {
+            result.stopReason = StopReason::InstructionCap;
+            break;
+        }
+        if (pc_ >= code_size) {
+            tlat_fatal("pc ", pc_, " ran off the end of program '",
+                       program_.name, "' (", code_size,
+                       " instructions)");
+        }
+
+        const isa::Instruction &in = program_.code[pc_];
+        ++result.instructions;
+
+        const auto rd = in.rd;
+        const std::uint64_t a = regs_[in.rs1];
+        const std::uint64_t b = regs_[in.rs2];
+        const auto sa = static_cast<std::int64_t>(a);
+        const auto sb = static_cast<std::int64_t>(b);
+        const std::int32_t imm = in.imm;
+        std::uint64_t next_pc = pc_ + 1;
+
+        // Writes go through this lambda so r0 stays hardwired to zero.
+        const auto write = [this](unsigned reg, std::uint64_t value) {
+            if (reg != isa::kZeroReg)
+                regs_[reg] = value;
+        };
+
+        // Reports a branch to the sink; sets `stop` on sink request.
+        const auto report = [&](trace::BranchClass cls,
+                                std::uint64_t target_pc, bool taken,
+                                bool is_call = false) {
+            ++result.branches;
+            if (cls == trace::BranchClass::Conditional)
+                ++result.conditionalBranches;
+            trace::BranchRecord record;
+            record.pc = pc_ * isa::kInstructionBytes;
+            record.target = target_pc * isa::kInstructionBytes;
+            record.cls = cls;
+            record.taken = taken;
+            record.isCall = is_call;
+            if (sink && !sink(record)) {
+                result.stopReason = StopReason::SinkRequest;
+                stop = true;
+            }
+        };
+
+        const auto condBranch = [&](bool taken) {
+            const std::uint64_t target =
+                pc_ + static_cast<std::int64_t>(imm);
+            report(trace::BranchClass::Conditional, target, taken);
+            if (taken)
+                next_pc = target;
+        };
+
+        switch (in.opcode) {
+          case Opcode::Add: write(rd, a + b); break;
+          case Opcode::Sub: write(rd, a - b); break;
+          case Opcode::Mul: write(rd, a * b); break;
+          case Opcode::Div:
+            // Division by zero is defined (not trapped) so workload
+            // bugs surface as wrong data, not simulator crashes.
+            write(rd, sb == 0
+                          ? 0
+                          : static_cast<std::uint64_t>(sa / sb));
+            break;
+          case Opcode::Rem:
+            write(rd, sb == 0
+                          ? a
+                          : static_cast<std::uint64_t>(sa % sb));
+            break;
+          case Opcode::And: write(rd, a & b); break;
+          case Opcode::Or: write(rd, a | b); break;
+          case Opcode::Xor: write(rd, a ^ b); break;
+          case Opcode::Sll: write(rd, a << (b & 63)); break;
+          case Opcode::Srl: write(rd, a >> (b & 63)); break;
+          case Opcode::Sra:
+            write(rd, static_cast<std::uint64_t>(sa >> (b & 63)));
+            break;
+          case Opcode::Slt: write(rd, sa < sb ? 1 : 0); break;
+          case Opcode::Sltu: write(rd, a < b ? 1 : 0); break;
+
+          case Opcode::Addi:
+            write(rd, a + static_cast<std::int64_t>(imm));
+            break;
+          case Opcode::Andi:
+            write(rd, a & static_cast<std::uint32_t>(imm & 0xffff));
+            break;
+          case Opcode::Ori:
+            write(rd, a | static_cast<std::uint32_t>(imm & 0xffff));
+            break;
+          case Opcode::Xori:
+            write(rd, a ^ static_cast<std::uint32_t>(imm & 0xffff));
+            break;
+          case Opcode::Slli: write(rd, a << (imm & 63)); break;
+          case Opcode::Srli: write(rd, a >> (imm & 63)); break;
+          case Opcode::Srai:
+            write(rd, static_cast<std::uint64_t>(sa >> (imm & 63)));
+            break;
+          case Opcode::Slti:
+            write(rd, sa < static_cast<std::int64_t>(imm) ? 1 : 0);
+            break;
+          case Opcode::Li:
+            write(rd, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(imm)));
+            break;
+
+          case Opcode::Fadd:
+            write(rd, asBits(asDouble(a) + asDouble(b)));
+            break;
+          case Opcode::Fsub:
+            write(rd, asBits(asDouble(a) - asDouble(b)));
+            break;
+          case Opcode::Fmul:
+            write(rd, asBits(asDouble(a) * asDouble(b)));
+            break;
+          case Opcode::Fdiv:
+            write(rd, asBits(asDouble(a) / asDouble(b)));
+            break;
+          case Opcode::Fneg: write(rd, asBits(-asDouble(a))); break;
+          case Opcode::Fabs:
+            write(rd, asBits(std::fabs(asDouble(a))));
+            break;
+          case Opcode::Fsqrt:
+            write(rd, asBits(std::sqrt(asDouble(a))));
+            break;
+          case Opcode::Fcvt:
+            write(rd, asBits(static_cast<double>(sa)));
+            break;
+          case Opcode::Ftoi:
+            write(rd, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(asDouble(a))));
+            break;
+          case Opcode::Flt:
+            write(rd, asDouble(a) < asDouble(b) ? 1 : 0);
+            break;
+          case Opcode::Fle:
+            write(rd, asDouble(a) <= asDouble(b) ? 1 : 0);
+            break;
+          case Opcode::Feq:
+            write(rd, asDouble(a) == asDouble(b) ? 1 : 0);
+            break;
+
+          case Opcode::Ld:
+            write(rd,
+                  memory_.load(a + static_cast<std::int64_t>(imm)));
+            break;
+          case Opcode::St:
+            memory_.store(a + static_cast<std::int64_t>(imm), b);
+            break;
+
+          case Opcode::Beq: condBranch(a == b); break;
+          case Opcode::Bne: condBranch(a != b); break;
+          case Opcode::Blt: condBranch(sa < sb); break;
+          case Opcode::Bge: condBranch(sa >= sb); break;
+          case Opcode::Bltu: condBranch(a < b); break;
+          case Opcode::Bgeu: condBranch(a >= b); break;
+
+          case Opcode::Jmp: {
+            const std::uint64_t target =
+                pc_ + static_cast<std::int64_t>(imm);
+            report(trace::BranchClass::ImmediateUnconditional, target,
+                   true);
+            next_pc = target;
+            break;
+          }
+          case Opcode::Call: {
+            const std::uint64_t target =
+                pc_ + static_cast<std::int64_t>(imm);
+            write(isa::kLinkReg,
+                  (pc_ + 1) * isa::kInstructionBytes);
+            report(trace::BranchClass::ImmediateUnconditional, target,
+                   true, /*is_call=*/true);
+            next_pc = target;
+            break;
+          }
+          case Opcode::Jr: {
+            const std::uint64_t target = a / isa::kInstructionBytes;
+            report(trace::BranchClass::RegisterUnconditional, target,
+                   true);
+            next_pc = target;
+            break;
+          }
+          case Opcode::Ret: {
+            const std::uint64_t target =
+                regs_[isa::kLinkReg] / isa::kInstructionBytes;
+            report(trace::BranchClass::Return, target, true);
+            next_pc = target;
+            break;
+          }
+
+          case Opcode::Nop:
+            break;
+          case Opcode::Halt:
+            if (options.restartOnHalt && !stop) {
+                resetCpu();
+                next_pc = pc_; // resetCpu set pc_; keep it
+                // Fall through to the mix accounting below, then the
+                // loop continues from the entry point.
+                mix.other += 1;
+                continue;
+            }
+            result.stopReason = StopReason::Halted;
+            stop = true;
+            break;
+
+          default:
+            tlat_panic("unhandled opcode in simulator");
+        }
+
+        switch (isa::opcodeGroup(in.opcode)) {
+          case isa::InstrGroup::IntAlu: ++mix.intAlu; break;
+          case isa::InstrGroup::FpAlu: ++mix.fpAlu; break;
+          case isa::InstrGroup::Memory: ++mix.memory; break;
+          case isa::InstrGroup::ControlFlow: ++mix.controlFlow; break;
+          case isa::InstrGroup::Other: ++mix.other; break;
+        }
+
+        if (!stop)
+            pc_ = next_pc;
+    }
+
+    return result;
+}
+
+trace::TraceBuffer
+collectTrace(const isa::Program &program,
+             std::uint64_t conditionalBudget,
+             std::uint64_t maxInstructions)
+{
+    Simulator simulator(program);
+    trace::TraceBuffer buffer(program.name);
+
+    std::uint64_t conditional_seen = 0;
+    const BranchSink sink = [&](const trace::BranchRecord &record) {
+        buffer.append(record);
+        if (record.cls == trace::BranchClass::Conditional) {
+            ++conditional_seen;
+            if (conditionalBudget != 0 &&
+                conditional_seen >= conditionalBudget)
+                return false;
+        }
+        return true;
+    };
+
+    SimOptions options;
+    options.maxInstructions = maxInstructions;
+    options.restartOnHalt = conditionalBudget != 0;
+
+    const SimResult result = simulator.run(sink, options);
+    buffer.mix() = result.mix;
+    return buffer;
+}
+
+} // namespace tlat::sim

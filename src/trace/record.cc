@@ -1,0 +1,23 @@
+#include "record.hh"
+
+namespace tlat::trace
+{
+
+const char *
+branchClassName(BranchClass cls)
+{
+    switch (cls) {
+      case BranchClass::Conditional:
+        return "conditional";
+      case BranchClass::Return:
+        return "return";
+      case BranchClass::ImmediateUnconditional:
+        return "immediate-unconditional";
+      case BranchClass::RegisterUnconditional:
+        return "register-unconditional";
+      default:
+        return "invalid";
+    }
+}
+
+} // namespace tlat::trace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Branch trace records — the interface between the instruction-level
+ * simulator and every branch predictor in the repository.
+ *
+ * Following the paper's methodology (Section 4), branches are divided
+ * into four classes: conditional branches, subroutine returns,
+ * immediate unconditional branches and register-indirect unconditional
+ * branches. Predictor accuracy experiments consume only the
+ * conditional records; the other classes feed the branch-mix statistics
+ * (Figure 4) and the return-address-stack model.
+ */
+
+#ifndef TLAT_TRACE_RECORD_HH
+#define TLAT_TRACE_RECORD_HH
+
+#include <cstdint>
+
+namespace tlat::trace
+{
+
+/** Branch classes of the paper's Section 4. */
+enum class BranchClass : std::uint8_t
+{
+    Conditional,
+    Return,
+    ImmediateUnconditional,
+    RegisterUnconditional,
+    NumClasses
+};
+
+/** Human-readable class name. */
+const char *branchClassName(BranchClass cls);
+
+/** One executed branch instruction. */
+struct BranchRecord
+{
+    /** Byte address of the branch instruction. */
+    std::uint64_t pc = 0;
+    /** Byte address control transfers to when the branch is taken. */
+    std::uint64_t target = 0;
+    BranchClass cls = BranchClass::Conditional;
+    /** Outcome; always true for unconditional classes. */
+    bool taken = false;
+    /**
+     * True for subroutine calls (a subset of the immediate
+     * unconditional class); drives the return-address-stack model of
+     * the paper's Section 4.
+     */
+    bool isCall = false;
+
+    bool
+    operator==(const BranchRecord &other) const
+    {
+        return pc == other.pc && target == other.target &&
+               cls == other.cls && taken == other.taken &&
+               isCall == other.isCall;
+    }
+};
+
+/**
+ * Dynamic instruction counts by semantic group, kept as summary
+ * counters rather than per-instruction records (Figure 3 needs only
+ * the distribution).
+ */
+struct InstructionMix
+{
+    std::uint64_t intAlu = 0;
+    std::uint64_t fpAlu = 0;
+    std::uint64_t memory = 0;
+    std::uint64_t controlFlow = 0;
+    std::uint64_t other = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return intAlu + fpAlu + memory + controlFlow + other;
+    }
+
+    /** Fraction of dynamic instructions that are branches. */
+    double
+    branchFraction() const
+    {
+        const std::uint64_t t = total();
+        return t == 0 ? 0.0
+                      : static_cast<double>(controlFlow) /
+                            static_cast<double>(t);
+    }
+
+    void
+    merge(const InstructionMix &other_mix)
+    {
+        intAlu += other_mix.intAlu;
+        fpAlu += other_mix.fpAlu;
+        memory += other_mix.memory;
+        controlFlow += other_mix.controlFlow;
+        other += other_mix.other;
+    }
+};
+
+} // namespace tlat::trace
+
+#endif // TLAT_TRACE_RECORD_HH

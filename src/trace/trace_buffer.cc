@@ -1,0 +1,17 @@
+#include "trace_buffer.hh"
+
+namespace tlat::trace
+{
+
+std::uint64_t
+TraceBuffer::conditionalCount() const
+{
+    std::uint64_t count = 0;
+    for (const BranchRecord &record : records_) {
+        if (record.cls == BranchClass::Conditional)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace tlat::trace

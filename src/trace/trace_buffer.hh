@@ -1,0 +1,67 @@
+/**
+ * @file
+ * In-memory branch trace: the branch records of one program run plus
+ * its dynamic instruction mix.
+ */
+
+#ifndef TLAT_TRACE_TRACE_BUFFER_HH
+#define TLAT_TRACE_TRACE_BUFFER_HH
+
+#include <string>
+#include <vector>
+
+#include "record.hh"
+
+namespace tlat::trace
+{
+
+/** A complete branch trace held in memory. */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+    explicit TraceBuffer(std::string name) : name_(std::move(name)) {}
+
+    void append(const BranchRecord &record)
+    {
+        records_.push_back(record);
+    }
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    const std::vector<BranchRecord> &records() const
+    {
+        return records_;
+    }
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    const BranchRecord &operator[](std::size_t index) const
+    {
+        return records_[index];
+    }
+
+    InstructionMix &mix() { return mix_; }
+    const InstructionMix &mix() const { return mix_; }
+
+    /** Number of conditional-branch records. */
+    std::uint64_t conditionalCount() const;
+
+    void
+    clear()
+    {
+        records_.clear();
+        mix_ = InstructionMix{};
+    }
+
+  private:
+    std::string name_;
+    std::vector<BranchRecord> records_;
+    InstructionMix mix_;
+};
+
+} // namespace tlat::trace
+
+#endif // TLAT_TRACE_TRACE_BUFFER_HH

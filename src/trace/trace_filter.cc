@@ -1,0 +1,81 @@
+#include "trace_filter.hh"
+
+#include <algorithm>
+
+namespace tlat::trace
+{
+
+TraceBuffer
+filterRecords(const TraceBuffer &trace,
+              const std::function<bool(const BranchRecord &)> &keep)
+{
+    TraceBuffer result(trace.name());
+    result.mix() = trace.mix();
+    for (const BranchRecord &record : trace.records()) {
+        if (keep(record))
+            result.append(record);
+    }
+    return result;
+}
+
+TraceBuffer
+filterByClass(const TraceBuffer &trace, BranchClass cls)
+{
+    return filterRecords(trace, [cls](const BranchRecord &record) {
+        return record.cls == cls;
+    });
+}
+
+TraceBuffer
+filterByPcRange(const TraceBuffer &trace, std::uint64_t lo,
+                std::uint64_t hi)
+{
+    return filterRecords(trace, [lo, hi](const BranchRecord &record) {
+        return record.pc >= lo && record.pc < hi;
+    });
+}
+
+TraceBuffer
+prefix(const TraceBuffer &trace, std::size_t count)
+{
+    TraceBuffer result(trace.name());
+    result.mix() = trace.mix();
+    const std::size_t limit = std::min(count, trace.size());
+    for (std::size_t i = 0; i < limit; ++i)
+        result.append(trace[i]);
+    return result;
+}
+
+TraceBuffer
+suffix(const TraceBuffer &trace, std::size_t start)
+{
+    TraceBuffer result(trace.name());
+    result.mix() = trace.mix();
+    for (std::size_t i = start; i < trace.size(); ++i)
+        result.append(trace[i]);
+    return result;
+}
+
+TraceBuffer
+subsample(const TraceBuffer &trace, std::size_t stride,
+          std::size_t phase)
+{
+    TraceBuffer result(trace.name());
+    result.mix() = trace.mix();
+    if (stride == 0)
+        return result;
+    for (std::size_t i = phase; i < trace.size(); i += stride)
+        result.append(trace[i]);
+    return result;
+}
+
+std::pair<TraceBuffer, TraceBuffer>
+splitTrainTest(const TraceBuffer &trace, double fraction)
+{
+    const double clamped = std::clamp(fraction, 0.0, 1.0);
+    const auto cut = static_cast<std::size_t>(
+        clamped * static_cast<double>(trace.size()));
+    return {prefix(trace, cut), suffix(trace, cut)};
+}
+
+} // namespace tlat::trace

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trace transformation utilities: class filtering, pc-range slicing,
+ * prefix/suffix splitting and systematic subsampling. Used to build
+ * custom experiments from captured traces (e.g. isolating one
+ * function's branches, or making train/test splits from a single
+ * run).
+ */
+
+#ifndef TLAT_TRACE_TRACE_FILTER_HH
+#define TLAT_TRACE_TRACE_FILTER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "trace_buffer.hh"
+
+namespace tlat::trace
+{
+
+/** Records for which the callback returns true, in order. */
+TraceBuffer filterRecords(
+    const TraceBuffer &trace,
+    const std::function<bool(const BranchRecord &)> &keep);
+
+/** Only the records of one branch class. */
+TraceBuffer filterByClass(const TraceBuffer &trace, BranchClass cls);
+
+/** Only records with pc in [lo, hi). */
+TraceBuffer filterByPcRange(const TraceBuffer &trace,
+                            std::uint64_t lo, std::uint64_t hi);
+
+/** The first @p count records. */
+TraceBuffer prefix(const TraceBuffer &trace, std::size_t count);
+
+/** Everything from record @p start on. */
+TraceBuffer suffix(const TraceBuffer &trace, std::size_t start);
+
+/**
+ * Every @p stride-th record starting at @p phase. Systematic
+ * sampling preserves per-branch outcome ratios but NOT history
+ * patterns; use it for profile-style statistics only.
+ */
+TraceBuffer subsample(const TraceBuffer &trace, std::size_t stride,
+                      std::size_t phase = 0);
+
+/**
+ * Splits a trace at @p fraction (0..1) of its records into a
+ * (training, testing) pair — a quick Same-program/Diff-phase split.
+ */
+std::pair<TraceBuffer, TraceBuffer>
+splitTrainTest(const TraceBuffer &trace, double fraction);
+
+} // namespace tlat::trace
+
+#endif // TLAT_TRACE_TRACE_FILTER_HH

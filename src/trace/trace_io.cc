@@ -1,0 +1,243 @@
+#include "trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_utils.hh"
+
+namespace tlat::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'T', 'L', 'T', 'R'};
+constexpr std::uint32_t kVersion = 2;
+
+template <typename T>
+void
+writeScalar(std::ostream &os, T value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+readScalar(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return static_cast<bool>(is);
+}
+
+char
+classLetter(BranchClass cls)
+{
+    switch (cls) {
+      case BranchClass::Conditional:
+        return 'C';
+      case BranchClass::Return:
+        return 'R';
+      case BranchClass::ImmediateUnconditional:
+        return 'U';
+      case BranchClass::RegisterUnconditional:
+        return 'G';
+      default:
+        return '?';
+    }
+}
+
+std::optional<BranchClass>
+classFromLetter(char letter)
+{
+    switch (letter) {
+      case 'C':
+        return BranchClass::Conditional;
+      case 'R':
+        return BranchClass::Return;
+      case 'U':
+        return BranchClass::ImmediateUnconditional;
+      case 'G':
+        return BranchClass::RegisterUnconditional;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+bool
+writeBinary(const TraceBuffer &trace, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writeScalar(os, kVersion);
+
+    const auto name_length =
+        static_cast<std::uint32_t>(trace.name().size());
+    writeScalar(os, name_length);
+    os.write(trace.name().data(), name_length);
+
+    const InstructionMix &mix = trace.mix();
+    writeScalar(os, mix.intAlu);
+    writeScalar(os, mix.fpAlu);
+    writeScalar(os, mix.memory);
+    writeScalar(os, mix.controlFlow);
+    writeScalar(os, mix.other);
+
+    writeScalar(os, static_cast<std::uint64_t>(trace.size()));
+    for (const BranchRecord &record : trace.records()) {
+        writeScalar(os, record.pc);
+        writeScalar(os, record.target);
+        writeScalar(os, static_cast<std::uint8_t>(record.cls));
+        const std::uint8_t flags =
+            static_cast<std::uint8_t>(record.taken ? 1 : 0) |
+            static_cast<std::uint8_t>(record.isCall ? 2 : 0);
+        writeScalar(os, flags);
+    }
+    return static_cast<bool>(os);
+}
+
+std::optional<TraceBuffer>
+readBinary(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return std::nullopt;
+
+    std::uint32_t version;
+    if (!readScalar(is, version) || version != kVersion)
+        return std::nullopt;
+
+    std::uint32_t name_length;
+    if (!readScalar(is, name_length) || name_length > (1u << 20))
+        return std::nullopt;
+    std::string name(name_length, '\0');
+    is.read(name.data(), name_length);
+    if (!is)
+        return std::nullopt;
+
+    TraceBuffer trace(name);
+    InstructionMix &mix = trace.mix();
+    if (!readScalar(is, mix.intAlu) || !readScalar(is, mix.fpAlu) ||
+        !readScalar(is, mix.memory) ||
+        !readScalar(is, mix.controlFlow) || !readScalar(is, mix.other))
+        return std::nullopt;
+
+    std::uint64_t count;
+    if (!readScalar(is, count))
+        return std::nullopt;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        BranchRecord record;
+        std::uint8_t cls;
+        std::uint8_t flags;
+        if (!readScalar(is, record.pc) ||
+            !readScalar(is, record.target) || !readScalar(is, cls) ||
+            !readScalar(is, flags))
+            return std::nullopt;
+        if (cls >= static_cast<std::uint8_t>(BranchClass::NumClasses) ||
+            flags > 3)
+            return std::nullopt;
+        record.cls = static_cast<BranchClass>(cls);
+        record.taken = (flags & 1) != 0;
+        record.isCall = (flags & 2) != 0;
+        trace.append(record);
+    }
+    return trace;
+}
+
+bool
+writeText(const TraceBuffer &trace, std::ostream &os)
+{
+    os << "# name: " << trace.name() << '\n';
+    const InstructionMix &mix = trace.mix();
+    os << "# mix: " << mix.intAlu << ' ' << mix.fpAlu << ' '
+       << mix.memory << ' ' << mix.controlFlow << ' ' << mix.other
+       << '\n';
+    for (const BranchRecord &record : trace.records()) {
+        // Calls print as 'J' (jsr), other immediate unconditionals
+        // as 'U'.
+        const char cls_letter =
+            record.isCall ? 'J' : classLetter(record.cls);
+        os << std::hex << record.pc << ' ' << record.target << std::dec
+           << ' ' << cls_letter << ' ' << (record.taken ? 'T' : 'N')
+           << '\n';
+    }
+    return static_cast<bool>(os);
+}
+
+std::optional<TraceBuffer>
+readText(std::istream &is)
+{
+    TraceBuffer trace;
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::string text = trim(line);
+        if (text.empty())
+            continue;
+        if (text[0] == '#') {
+            if (startsWith(text, "# name:")) {
+                trace.setName(trim(text.substr(7)));
+            } else if (startsWith(text, "# mix:")) {
+                std::istringstream mix_in(text.substr(6));
+                InstructionMix &mix = trace.mix();
+                mix_in >> mix.intAlu >> mix.fpAlu >> mix.memory >>
+                    mix.controlFlow >> mix.other;
+                if (!mix_in)
+                    return std::nullopt;
+            }
+            continue;
+        }
+
+        std::istringstream record_in(text);
+        BranchRecord record;
+        std::string cls_text;
+        std::string taken_text;
+        record_in >> std::hex >> record.pc >> record.target >>
+            cls_text >> taken_text;
+        if (!record_in || cls_text.size() != 1 ||
+            taken_text.size() != 1)
+            return std::nullopt;
+        auto cls = classFromLetter(cls_text[0]);
+        if (cls_text[0] == 'J') {
+            cls = BranchClass::ImmediateUnconditional;
+            record.isCall = true;
+        }
+        if (!cls || (taken_text[0] != 'T' && taken_text[0] != 'N'))
+            return std::nullopt;
+        record.cls = *cls;
+        record.taken = taken_text[0] == 'T';
+        trace.append(record);
+    }
+    return trace;
+}
+
+bool
+saveToFile(const TraceBuffer &trace, const std::string &path)
+{
+    if (endsWith(path, ".txt")) {
+        std::ofstream os(path);
+        return os && writeText(trace, os);
+    }
+    std::ofstream os(path, std::ios::binary);
+    return os && writeBinary(trace, os);
+}
+
+std::optional<TraceBuffer>
+loadFromFile(const std::string &path)
+{
+    if (endsWith(path, ".txt")) {
+        std::ifstream is(path);
+        if (!is)
+            return std::nullopt;
+        return readText(is);
+    }
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    return readBinary(is);
+}
+
+} // namespace tlat::trace

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Serialization of branch traces.
+ *
+ * Two formats are supported:
+ *  - a binary format ("TLTR"), compact and fast, used to cache
+ *    generated workload traces between bench runs;
+ *  - a text format, one record per line, for debugging and for feeding
+ *    externally generated traces into the harness.
+ *
+ * Binary layout (all integers little-endian):
+ *   magic            4 bytes  "TLTR"
+ *   version          u32      currently 1
+ *   name length      u32
+ *   name bytes       ...
+ *   instruction mix  5 x u64  (intAlu, fpAlu, memory, controlFlow, other)
+ *   record count     u64
+ *   records          count x { pc u64, target u64, cls u8, taken u8 }
+ *
+ * Text format, after an optional "# name: ..." header line:
+ *   <pc-hex> <target-hex> <C|R|U|G> <T|N>
+ * where C=conditional, R=return, U=immediate unconditional,
+ * G=register unconditional.
+ */
+
+#ifndef TLAT_TRACE_TRACE_IO_HH
+#define TLAT_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace_buffer.hh"
+
+namespace tlat::trace
+{
+
+/** Writes the binary format. Returns false on stream failure. */
+bool writeBinary(const TraceBuffer &trace, std::ostream &os);
+
+/** Reads the binary format; nullopt on malformed input. */
+std::optional<TraceBuffer> readBinary(std::istream &is);
+
+/** Writes the text format. Returns false on stream failure. */
+bool writeText(const TraceBuffer &trace, std::ostream &os);
+
+/** Reads the text format; nullopt on malformed input. */
+std::optional<TraceBuffer> readText(std::istream &is);
+
+/** Saves to a file, picking the format from the extension (.tltr/.txt). */
+bool saveToFile(const TraceBuffer &trace, const std::string &path);
+
+/** Loads from a file, picking the format from the extension. */
+std::optional<TraceBuffer> loadFromFile(const std::string &path);
+
+} // namespace tlat::trace
+
+#endif // TLAT_TRACE_TRACE_IO_HH

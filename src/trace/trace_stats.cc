@@ -1,0 +1,51 @@
+#include "trace_stats.hh"
+
+#include <unordered_set>
+
+namespace tlat::trace
+{
+
+double
+TraceStats::classFraction(BranchClass cls) const
+{
+    const std::uint64_t total = dynamicBranches();
+    return total == 0
+        ? 0.0
+        : static_cast<double>(
+              classCounts[static_cast<std::size_t>(cls)]) /
+              static_cast<double>(total);
+}
+
+double
+TraceStats::takenFraction() const
+{
+    return dynamicConditionalBranches == 0
+        ? 0.0
+        : static_cast<double>(takenConditionalBranches) /
+              static_cast<double>(dynamicConditionalBranches);
+}
+
+TraceStats
+computeStats(const TraceBuffer &trace)
+{
+    TraceStats stats;
+    stats.mix = trace.mix();
+
+    std::unordered_set<std::uint64_t> conditional_pcs;
+    std::unordered_set<std::uint64_t> branch_pcs;
+    for (const BranchRecord &record : trace.records()) {
+        ++stats.classCounts[static_cast<std::size_t>(record.cls)];
+        branch_pcs.insert(record.pc);
+        if (record.cls == BranchClass::Conditional) {
+            conditional_pcs.insert(record.pc);
+            ++stats.dynamicConditionalBranches;
+            if (record.taken)
+                ++stats.takenConditionalBranches;
+        }
+    }
+    stats.staticConditionalBranches = conditional_pcs.size();
+    stats.staticBranches = branch_pcs.size();
+    return stats;
+}
+
+} // namespace tlat::trace

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace-level statistics backing the paper's workload-characterization
+ * results: Figure 3 (dynamic instruction mix), Figure 4 (dynamic
+ * branch-class mix) and Table 1 (static conditional branch census).
+ */
+
+#ifndef TLAT_TRACE_TRACE_STATS_HH
+#define TLAT_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+
+#include "trace_buffer.hh"
+
+namespace tlat::trace
+{
+
+/** Aggregated statistics for one trace. */
+struct TraceStats
+{
+    /** Dynamic instruction mix (copied from the trace header). */
+    InstructionMix mix;
+
+    /** Dynamic branch counts by class (Figure 4). */
+    std::uint64_t classCounts[static_cast<std::size_t>(
+        BranchClass::NumClasses)] = {};
+
+    /** Distinct conditional-branch pcs (Table 1). */
+    std::uint64_t staticConditionalBranches = 0;
+
+    /** Distinct branch pcs of any class. */
+    std::uint64_t staticBranches = 0;
+
+    /** Dynamic conditional branches. */
+    std::uint64_t dynamicConditionalBranches = 0;
+
+    /** Dynamic conditional branches that were taken. */
+    std::uint64_t takenConditionalBranches = 0;
+
+    std::uint64_t
+    dynamicBranches() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t c : classCounts)
+            total += c;
+        return total;
+    }
+
+    /** Fraction of dynamic branches in @p cls. */
+    double classFraction(BranchClass cls) const;
+
+    /** Fraction of dynamic conditional branches that were taken
+     *  (the paper reports ~60%). */
+    double takenFraction() const;
+};
+
+/** Computes the statistics of a trace in one pass. */
+TraceStats computeStats(const TraceBuffer &trace);
+
+} // namespace tlat::trace
+
+#endif // TLAT_TRACE_TRACE_STATS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the predictor and ISA
+ * code. All are constexpr and operate on unsigned 64-bit values.
+ */
+
+#ifndef TLAT_UTIL_BITOPS_HH
+#define TLAT_UTIL_BITOPS_HH
+
+#include <cstdint>
+
+namespace tlat
+{
+
+/** Returns a value with the low @p n bits set (n in [0, 64]). */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extracts bits [lo, lo+len) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned len)
+{
+    return (value >> lo) & lowMask(len);
+}
+
+/** Inserts the low @p len bits of @p field at position @p lo of @p value. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned lo, unsigned len,
+           std::uint64_t field)
+{
+    const std::uint64_t mask = lowMask(len) << lo;
+    return (value & ~mask) | ((field << lo) & mask);
+}
+
+/** True if @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** ceil(log2(value)); value must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return isPowerOfTwo(value) ? floorLog2(value) : floorLog2(value) + 1;
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(std::uint64_t value)
+{
+    unsigned count = 0;
+    while (value) {
+        value &= value - 1;
+        ++count;
+    }
+    return count;
+}
+
+/**
+ * Mixes the bits of a 64-bit value (SplitMix64 finalizer). Used as the
+ * "good" hash in the HHRT hash ablation and by the deterministic RNG.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Sign-extends the low @p width bits of @p value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned width)
+{
+    const std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+    const std::uint64_t masked = value & lowMask(width);
+    return static_cast<std::int64_t>((masked ^ sign_bit) - sign_bit);
+}
+
+} // namespace tlat
+
+#endif // TLAT_UTIL_BITOPS_HH

@@ -1,0 +1,34 @@
+#include "csv_writer.hh"
+
+namespace tlat
+{
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(fields[i]);
+    }
+    os_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace tlat

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal CSV emission for bench results, so figures can be re-plotted
+ * outside the harness.
+ */
+
+#ifndef TLAT_UTIL_CSV_WRITER_HH
+#define TLAT_UTIL_CSV_WRITER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlat
+{
+
+/** Writes RFC-4180-ish CSV rows (quotes fields containing , " or \n). */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Writes one row. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Escapes a single field. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace tlat
+
+#endif // TLAT_UTIL_CSV_WRITER_HH

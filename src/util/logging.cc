@@ -1,0 +1,33 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace tlat
+{
+
+namespace detail
+{
+
+void
+emitMessage(const char *prefix, const std::string &message,
+            const char *file, int line)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, message.c_str(),
+                 file, line);
+}
+
+void
+panicExit()
+{
+    std::abort();
+}
+
+void
+fatalExit()
+{
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace tlat

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error and status reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a tlat bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config,
+ *            malformed trace, ...); exits with status 1.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef TLAT_UTIL_LOGGING_HH
+#define TLAT_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tlat
+{
+
+namespace detail
+{
+
+/** Formats "<prefix>: <message> (<file>:<line>)" and writes to stderr. */
+void emitMessage(const char *prefix, const std::string &message,
+                 const char *file, int line);
+
+/** Stream-collects the variadic arguments of the logging macros. */
+template <typename... Args>
+std::string
+formatParts(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicExit();
+[[noreturn]] void fatalExit();
+
+} // namespace detail
+
+} // namespace tlat
+
+/** Abort with a message; use for violated internal invariants. */
+#define tlat_panic(...)                                                     \
+    do {                                                                    \
+        ::tlat::detail::emitMessage(                                        \
+            "panic", ::tlat::detail::formatParts(__VA_ARGS__),              \
+            __FILE__, __LINE__);                                            \
+        ::tlat::detail::panicExit();                                        \
+    } while (0)
+
+/** Exit with a message; use for unusable user input or configuration. */
+#define tlat_fatal(...)                                                     \
+    do {                                                                    \
+        ::tlat::detail::emitMessage(                                        \
+            "fatal", ::tlat::detail::formatParts(__VA_ARGS__),              \
+            __FILE__, __LINE__);                                            \
+        ::tlat::detail::fatalExit();                                        \
+    } while (0)
+
+/** Non-fatal warning. */
+#define tlat_warn(...)                                                      \
+    ::tlat::detail::emitMessage(                                            \
+        "warn", ::tlat::detail::formatParts(__VA_ARGS__), __FILE__,         \
+        __LINE__)
+
+/** Status message. */
+#define tlat_inform(...)                                                    \
+    ::tlat::detail::emitMessage(                                            \
+        "info", ::tlat::detail::formatParts(__VA_ARGS__), __FILE__,         \
+        __LINE__)
+
+/** panic() unless the condition holds. */
+#define tlat_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            tlat_panic("assertion '" #cond "' failed. ", ##__VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+#endif // TLAT_UTIL_LOGGING_HH

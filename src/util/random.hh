@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload data-set generation must be bit-reproducible across runs and
+ * platforms, so we avoid std::mt19937 seeding subtleties and use a
+ * self-contained xoshiro256** generator seeded through SplitMix64.
+ */
+
+#ifndef TLAT_UTIL_RANDOM_HH
+#define TLAT_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+#include "bitops.hh"
+
+namespace tlat
+{
+
+/** Deterministic xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    /** Seeds the four state words via SplitMix64 from @p seed. */
+    explicit Rng(std::uint64_t seed = 0x7461742d74776f6cULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_) {
+            sm += 0x9e3779b97f4a7c15ULL;
+            word = mix64(sm);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Multiply-shift rejection-free mapping is fine here: workload
+        // bounds are tiny compared to 2^64, the bias is immeasurable.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    nextInRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool
+    nextBool(double p = 0.5)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return next() < static_cast<std::uint64_t>(
+            p * 18446744073709551615.0);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tlat
+
+#endif // TLAT_UTIL_RANDOM_HH

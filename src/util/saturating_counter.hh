@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Generic n-bit saturating up/down counter.
+ *
+ * The pattern-table automaton A2 is exactly a 2-bit instance of this
+ * class; wider instances are used by extension experiments.
+ */
+
+#ifndef TLAT_UTIL_SATURATING_COUNTER_HH
+#define TLAT_UTIL_SATURATING_COUNTER_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace tlat
+{
+
+/** Saturating up/down counter over [0, 2^bits - 1]. */
+class SaturatingCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..16).
+     * @param initial Initial (and reset) value; clamped to the range.
+     */
+    explicit SaturatingCounter(unsigned bits = 2, unsigned initial = 0)
+        : max_((1u << bits) - 1)
+    {
+        tlat_assert(bits >= 1 && bits <= 16,
+                    "counter width out of range: ", bits);
+        initial_ = initial > max_ ? max_ : initial;
+        value_ = initial_;
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Restores the initial value. */
+    void reset() { value_ = initial_; }
+
+    unsigned value() const { return value_; }
+    unsigned max() const { return max_; }
+
+    /** True when the value is in the upper half of the range. */
+    bool upperHalf() const { return value_ > max_ / 2; }
+
+    /** Forces a specific value (clamped). */
+    void
+    set(unsigned value)
+    {
+        value_ = value > max_ ? max_ : value;
+    }
+
+  private:
+    unsigned max_;
+    unsigned initial_;
+    unsigned value_;
+};
+
+} // namespace tlat
+
+#endif // TLAT_UTIL_SATURATING_COUNTER_HH

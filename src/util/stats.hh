@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Accumulators used by the harness to aggregate prediction accuracy the
+ * way the paper reports it: per-benchmark accuracy plus integer / FP /
+ * total geometric means.
+ */
+
+#ifndef TLAT_UTIL_STATS_HH
+#define TLAT_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlat
+{
+
+/** Running hit/miss tally with accuracy helpers. */
+class AccuracyCounter
+{
+  public:
+    void
+    record(bool correct)
+    {
+        ++total_;
+        if (correct)
+            ++hits_;
+    }
+
+    void
+    merge(const AccuracyCounter &other)
+    {
+        hits_ += other.hits_;
+        total_ += other.total_;
+    }
+
+    void
+    reset()
+    {
+        hits_ = 0;
+        total_ = 0;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return total_ - hits_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction correct in [0, 1]; 0 when empty. */
+    double
+    accuracy() const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(hits_) / total_;
+    }
+
+    /** Accuracy in percent. */
+    double accuracyPercent() const { return accuracy() * 100.0; }
+
+    /** Miss rate in percent. */
+    double
+    missPercent() const
+    {
+        return total_ == 0 ? 0.0 : 100.0 - accuracyPercent();
+    }
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Geometric mean of a set of values; 0 if the set is empty. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 if empty. */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Streaming min/max/mean/variance accumulator (Welford). */
+class RunningStats
+{
+  public:
+    void record(double value);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Sample variance; 0 with fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Counts occurrences of string-labelled categories, preserving order. */
+class CategoryCounter
+{
+  public:
+    void record(const std::string &category, std::uint64_t weight = 1);
+
+    std::uint64_t count(const std::string &category) const;
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of the total for a category, in [0, 1]. */
+    double fraction(const std::string &category) const;
+
+    /** Categories in first-seen order. */
+    const std::vector<std::string> &categories() const
+    {
+        return order_;
+    }
+
+  private:
+    std::vector<std::string> order_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+
+    int indexOf(const std::string &category) const;
+};
+
+} // namespace tlat
+
+#endif // TLAT_UTIL_STATS_HH

@@ -1,0 +1,91 @@
+#include "table_printer.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+#include "string_utils.hh"
+
+namespace tlat
+{
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::setHeader(const std::vector<std::string> &header)
+{
+    header_ = header;
+}
+
+void
+TablePrinter::addRow(const std::vector<std::string> &row)
+{
+    tlat_assert(header_.empty() || row.size() == header_.size(),
+                "row width ", row.size(), " != header width ",
+                header_.size());
+    rows_.push_back(Row{false, row});
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const Row &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t i = 0; i < row.cells.size(); ++i) {
+            if (i >= widths.size())
+                widths.resize(i + 1, 0);
+            widths[i] = std::max(widths[i], row.cells[i].size());
+        }
+    }
+
+    const auto renderCells =
+        [&](const std::vector<std::string> &cells) {
+            std::string line;
+            for (std::size_t i = 0; i < widths.size(); ++i) {
+                const std::string &cell =
+                    i < cells.size() ? cells[i] : std::string();
+                line += i == 0 ? "| " : " | ";
+                line += cell;
+                line += std::string(widths[i] - cell.size(), ' ');
+            }
+            line += " |";
+            return line;
+        };
+
+    std::size_t total = 1;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    os << title_ << '\n'
+       << std::string(title_.size(), '=') << '\n';
+    if (!header_.empty()) {
+        os << renderCells(header_) << '\n'
+           << std::string(total, '-') << '\n';
+    }
+    for (const Row &row : rows_) {
+        if (row.separator)
+            os << std::string(total, '-') << '\n';
+        else
+            os << renderCells(row.cells) << '\n';
+    }
+    os << '\n';
+}
+
+std::string
+TablePrinter::percentCell(double percent)
+{
+    return format("%6.2f", percent);
+}
+
+} // namespace tlat

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-width ASCII table printing for the bench binaries. Every
+ * figure/table reproduction prints its series through this class so the
+ * output format is uniform and grep-able.
+ */
+
+#ifndef TLAT_UTIL_TABLE_PRINTER_HH
+#define TLAT_UTIL_TABLE_PRINTER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlat
+{
+
+/** Builds a table row by row, then renders it with aligned columns. */
+class TablePrinter
+{
+  public:
+    /** @param title Printed above the table with an underline. */
+    explicit TablePrinter(std::string title);
+
+    /** Sets the column headers (defines the column count). */
+    void setHeader(const std::vector<std::string> &header);
+
+    /** Appends a data row; must match the header width. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Appends a horizontal separator row. */
+    void addSeparator();
+
+    /** Renders the table. */
+    void print(std::ostream &os) const;
+
+    /** Formats a percentage cell like "97.13". */
+    static std::string percentCell(double percent);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<Row> rows_;
+};
+
+} // namespace tlat
+
+#endif // TLAT_UTIL_TABLE_PRINTER_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * doduc mirror: Monte-Carlo nuclear reactor kinetics.
+ *
+ * SPEC'89 doduc simulates a reactor with a large body of numerical
+ * code: many distinct small routines, biased data-dependent branches
+ * (cutoff tests on random draws), rejection-style loops and moderate
+ * call/return traffic. It has the second-largest static conditional
+ * branch count in the suite (paper Table 1: 1149).
+ *
+ * The mirror runs 24 generated "stations", each a distinct subroutine
+ * with its own cutoff thresholds and FP update sequence; every station
+ * iterates eight times per visit, drawing pseudo-random values from an
+ * in-ISA LCG for the biased cutoff branch and a 25%-continue rejection
+ * loop.
+ */
+
+#include "emit_helpers.hh"
+#include "util/random.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+constexpr unsigned kNumStations = 24;
+constexpr std::int64_t kSamplesPerPass = 48;
+constexpr std::int64_t kItersPerStation = 8;
+
+class Doduc : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "doduc"; }
+    bool isFloatingPoint() const override { return true; }
+    std::string testSet() const override { return "doducin"; }
+
+    std::optional<std::string>
+    trainSet() const override
+    {
+        return "tiny"; // paper: "tiny doducin"
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        ProgramBuilder b("doduc");
+        Rng gen_rng(0xd0d0c);
+
+        // The data sets differ in LCG seed and in the bias applied to
+        // every cutoff threshold: the "tiny" training input is more
+        // regular (higher bias), like a reduced reactor description.
+        const bool tiny = dataSet == "tiny";
+        const std::uint64_t seed = tiny ? 0x7001 : 0xd0c5eed;
+        const int bias_shift = tiny ? 3000 : 0;
+
+        LcgEmitter lcg(b, seed);
+        const std::uint64_t acc_base = b.bss(kNumStations);
+        // Pass counter (persists across restart-on-halt): the
+        // simulation alternates between two operating regimes, the
+        // nonstationarity that separates adaptive training from
+        // preset pattern bits (paper Section 2.1's closing argument).
+        const std::uint64_t pass_addr = b.data({0});
+
+        emitStackInit(b);
+        b.loadImm(19, static_cast<std::int64_t>(acc_base));
+        b.loadImm(18, static_cast<std::int64_t>(pass_addr));
+        b.ld(17, 18, 0);
+        b.addi(1, 17, 1);
+        b.st(18, 1, 0);
+        b.andi(17, 17, 1); // r17 = regime phase (0/1)
+        b.loadDouble(24, 0.46875);
+        b.loadDouble(25, 0.96875);
+        b.loadDouble(26, 1.0);
+
+        Label done = b.newLabel();
+        std::vector<Label> stations;
+        stations.reserve(kNumStations);
+        for (unsigned s = 0; s < kNumStations; ++s)
+            stations.push_back(b.newLabel());
+
+        // ---- main sampling loop.
+        b.li(22, 0); // sample counter
+        Label sample_loop = b.newLabel();
+        b.bind(sample_loop);
+        for (unsigned s = 0; s < kNumStations; ++s)
+            b.call(stations[s]);
+        b.addi(22, 22, 1);
+        b.li(1, kSamplesPerPass);
+        b.blt(22, 1, sample_loop);
+        b.jmp(done);
+
+        // ---- stations.
+        for (unsigned s = 0; s < kNumStations; ++s)
+            emitStation(b, gen_rng, lcg, stations[s], s, bias_shift);
+
+        b.bind(done);
+        b.halt();
+        return b.build();
+    }
+
+  private:
+    void
+    emitStation(ProgramBuilder &b, Rng &gen_rng, LcgEmitter lcg,
+                Label entry, unsigned station, int bias_shift) const
+    {
+        b.bind(entry);
+        // acc = accumulators[station]
+        b.ld(9, 19, static_cast<std::int32_t>(station * 8));
+
+        Label rare = b.newLabel();
+        Label after_cutoff = b.newLabel();
+
+        b.li(6, 0); // iteration counter
+        Label loop = b.newLabel();
+        b.bind(loop);
+
+        // Cutoff branch: the rare correction path (probability
+        // ~2-8%) lives out of line after the routine, compiler-style.
+        // Every third station is regime-sensitive: in the odd regime
+        // its threshold drops so the branch flips direction — the
+        // adaptive predictor relearns at each regime change, preset
+        // pattern bits cannot.
+        const std::int32_t bias =
+            61000 +
+            static_cast<std::int32_t>(gen_rng.nextBelow(4000)) +
+            bias_shift;
+        lcg.emitNextBelowPow2(b, 7, 8, 1u << 16);
+        b.loadImm(1, std::min<std::int32_t>(bias, 65535));
+        if (station % 3 == 0) {
+            b.loadImm(2, 57000);
+            b.mul(2, 2, 17); // phase * 57000
+            b.sub(1, 1, 2);  // odd regime: threshold ~4000-8000
+        }
+        b.bgeu(7, 1, rare);
+        b.bind(after_cutoff);
+
+        // Common FP update, distinct per station.
+        const unsigned ops =
+            3 + static_cast<unsigned>(gen_rng.nextBelow(5));
+        for (unsigned i = 0; i < ops; ++i) {
+            switch (gen_rng.nextBelow(4)) {
+              case 0: b.fmul(9, 9, 25); break;
+              case 1: b.fadd(9, 9, 26); break;
+              case 2: b.fsub(9, 9, 24); break;
+              default: b.fmul(9, 9, 24); break;
+            }
+        }
+
+        // Deterministic quadrature loop: fixed six-point update.
+        b.li(5, 0);
+        Label quad = b.newLabel();
+        b.bind(quad);
+        b.fmul(9, 9, 25);
+        b.fadd(9, 9, 26);
+        b.fmul(9, 9, 24);
+        b.addi(5, 5, 1);
+        b.li(1, 6);
+        b.blt(5, 1, quad);
+
+        // Rejection loop: redraw while v < 1/8 (12.5% continue).
+        Label reject = b.newLabel();
+        b.bind(reject);
+        lcg.emitNextBelowPow2(b, 7, 8, 1u << 16);
+        b.loadImm(1, 8192);
+        b.bltu(7, 1, reject);
+
+        b.addi(6, 6, 1);
+        b.li(1, kItersPerStation);
+        b.blt(6, 1, loop);
+
+        b.st(19, 9, static_cast<std::int32_t>(station * 8));
+        b.ret();
+
+        // Out-of-line rare correction path.
+        b.bind(rare);
+        const unsigned rare_ops =
+            4 + static_cast<unsigned>(gen_rng.nextBelow(6));
+        for (unsigned i = 0; i < rare_ops; ++i) {
+            if (gen_rng.nextBool())
+                b.fmul(9, 9, 24);
+            else
+                b.fadd(9, 9, 26);
+        }
+        b.jmp(after_cutoff);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDoduc()
+{
+    return std::make_unique<Doduc>();
+}
+
+} // namespace tlat::workloads

@@ -1,0 +1,79 @@
+#include "emit_helpers.hh"
+
+namespace tlat::workloads
+{
+
+void
+emitStackInit(ProgramBuilder &b, std::uint64_t words)
+{
+    const std::uint64_t base = b.bss(words);
+    b.loadImm(kSp, static_cast<std::int64_t>(base + words * 8));
+}
+
+void
+emitPush(ProgramBuilder &b, unsigned reg)
+{
+    b.addi(kSp, kSp, -8);
+    b.st(kSp, reg, 0);
+}
+
+void
+emitPop(ProgramBuilder &b, unsigned reg)
+{
+    b.ld(reg, kSp, 0);
+    b.addi(kSp, kSp, 8);
+}
+
+LcgEmitter::LcgEmitter(ProgramBuilder &b, std::uint64_t seed)
+    : state_address_(b.data({seed}))
+{
+}
+
+void
+LcgEmitter::emitNext(ProgramBuilder &b, unsigned dst, unsigned scratch)
+{
+    // state = state * 6364136223846793005 + 1442695040888963407
+    b.loadImm(scratch, static_cast<std::int64_t>(state_address_));
+    b.ld(dst, scratch, 0);
+    // Keep the multiplier in `scratch` only briefly; reload the state
+    // address afterwards for the store.
+    b.loadImm(scratch, static_cast<std::int64_t>(
+                           6364136223846793005ULL));
+    b.mul(dst, dst, scratch);
+    b.loadImm(scratch, static_cast<std::int64_t>(
+                           1442695040888963407ULL));
+    b.add(dst, dst, scratch);
+    b.loadImm(scratch, static_cast<std::int64_t>(state_address_));
+    b.st(scratch, dst, 0);
+}
+
+void
+LcgEmitter::emitNextBelowPow2(ProgramBuilder &b, unsigned dst,
+                              unsigned scratch, std::uint64_t bound)
+{
+    emitNext(b, dst, scratch);
+    // LCG low bits are weak; take bits from the top.
+    unsigned log2 = 0;
+    while ((std::uint64_t{1} << log2) < bound)
+        ++log2;
+    b.srli(dst, dst, static_cast<std::int32_t>(64 - log2));
+}
+
+void
+emitFillLoop(ProgramBuilder &b, std::uint64_t base_addr,
+             std::uint64_t count, std::int64_t value)
+{
+    b.loadImm(1, static_cast<std::int64_t>(base_addr));
+    b.loadImm(2, static_cast<std::int64_t>(base_addr + count * 8));
+    b.loadImm(3, value);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.bind(loop);
+    b.bgeu(1, 2, done);
+    b.st(1, 3, 0);
+    b.addi(1, 1, 8);
+    b.jmp(loop);
+    b.bind(done);
+}
+
+} // namespace tlat::workloads

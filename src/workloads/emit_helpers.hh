@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared code-generation snippets used by the workload programs:
+ * an in-ISA linear congruential generator, call-stack push/pop for
+ * recursive kernels, and simple data-initialization loops.
+ *
+ * Register conventions used by all workloads:
+ *   r0         zero
+ *   r1  - r10  scratch / locals
+ *   r11 - r18  arguments and return values for in-program subroutines
+ *   r19 - r29  callee-owned globals (base pointers, loop-invariants)
+ *   r30        data stack pointer (grows downward)
+ *   r31        link register (hardware, written by call)
+ */
+
+#ifndef TLAT_WORKLOADS_EMIT_HELPERS_HH
+#define TLAT_WORKLOADS_EMIT_HELPERS_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace tlat::workloads
+{
+
+using isa::ProgramBuilder;
+using Label = isa::ProgramBuilder::Label;
+
+/** Data stack pointer register. */
+constexpr unsigned kSp = 30;
+
+/**
+ * Emits the stack setup: reserves @p words of stack space in bss and
+ * points r30 one word past its top. Call once, early in the program.
+ */
+void emitStackInit(ProgramBuilder &b, std::uint64_t words = 4096);
+
+/** Pushes @p reg onto the data stack. */
+void emitPush(ProgramBuilder &b, unsigned reg);
+
+/** Pops the data stack into @p reg. */
+void emitPop(ProgramBuilder &b, unsigned reg);
+
+/**
+ * In-ISA pseudo-random number generator (64-bit LCG, constants from
+ * Knuth MMIX). The generator state lives in data memory so it persists
+ * across restart-on-halt runs, giving successive passes fresh data.
+ */
+class LcgEmitter
+{
+  public:
+    /**
+     * Allocates the state word (seeded with @p seed) in the data
+     * image.
+     */
+    LcgEmitter(ProgramBuilder &b, std::uint64_t seed);
+
+    /**
+     * Emits code advancing the generator and leaving the new state in
+     * @p dst. Clobbers @p scratch (must differ from dst).
+     */
+    void emitNext(ProgramBuilder &b, unsigned dst, unsigned scratch);
+
+    /**
+     * Emits code leaving a fresh value in [0, bound) in @p dst.
+     * bound must be a power of two. Clobbers @p scratch.
+     */
+    void emitNextBelowPow2(ProgramBuilder &b, unsigned dst,
+                           unsigned scratch, std::uint64_t bound);
+
+    std::uint64_t stateAddress() const { return state_address_; }
+
+  private:
+    std::uint64_t state_address_;
+};
+
+/**
+ * Emits a loop storing @p value into @p count consecutive words
+ * starting at byte address @p base_addr. Clobbers r1-r3.
+ */
+void emitFillLoop(ProgramBuilder &b, std::uint64_t base_addr,
+                  std::uint64_t count, std::int64_t value);
+
+} // namespace tlat::workloads
+
+#endif // TLAT_WORKLOADS_EMIT_HELPERS_HH

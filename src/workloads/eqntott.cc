@@ -1,0 +1,238 @@
+/**
+ * @file
+ * eqntott mirror: truth-table term comparison and sorting.
+ *
+ * SPEC'89 eqntott converts boolean equations to truth tables; its
+ * dominant kernel (cmppt) compares packed tri-state term vectors word
+ * by word with early exits, feeding a sort. The comparison branches
+ * are strongly correlated — terms arrive mostly ordered — which is
+ * precisely the behaviour pattern-history prediction exploits and
+ * single-counter schemes cannot (this benchmark shows one of the
+ * biggest AT-vs-BTB gaps in the paper's Figure 10).
+ *
+ * The mirror regenerates a mostly-sorted array of 128 eight-word terms
+ * each pass (in-ISA LCG noise on an increasing key), then runs an
+ * insertion sort driven by a cmppt subroutine with early-exit compare
+ * loops, followed by a bit-counting evaluation sweep over the sorted
+ * terms.
+ */
+
+#include <vector>
+
+#include "emit_helpers.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kNumTerms = 128;
+constexpr std::int64_t kTermWords = 8;
+
+class Eqntott : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "eqntott"; }
+    bool isFloatingPoint() const override { return false; }
+    std::string testSet() const override { return "int_pri_3"; }
+
+    std::optional<std::string>
+    trainSet() const override
+    {
+        return std::nullopt; // paper Table 3: NA
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        ProgramBuilder b(name());
+        LcgEmitter lcg(b, 0xe99);
+
+        const std::uint64_t term_base = b.bss(
+            static_cast<std::uint64_t>(kNumTerms * kTermWords));
+        const std::uint64_t idx_base =
+            b.bss(static_cast<std::uint64_t>(kNumTerms));
+        b.defineDataSymbol("terms", term_base);
+        b.defineDataSymbol("indices", idx_base);
+        b.defineDataSymbol("num_terms",
+                           static_cast<std::uint64_t>(kNumTerms));
+        b.defineDataSymbol("term_words",
+                           static_cast<std::uint64_t>(kTermWords));
+
+        emitStackInit(b);
+        // r19 terms, r20 index array, r21 = terms count,
+        // r22 = term bytes.
+        b.loadImm(19, static_cast<std::int64_t>(term_base));
+        b.loadImm(20, static_cast<std::int64_t>(idx_base));
+        b.loadImm(21, kNumTerms);
+        b.loadImm(22, kTermWords * 8);
+
+        Label cmppt = b.newLabel("cmppt");
+        Label main = b.newLabel("main");
+        b.jmp(main);
+
+        // ---- cmppt(r11 = &a, r12 = &b, r14 = PI class 0..7)
+        //      -> r13 in {-1, 0, 1}.
+        // eqntott specializes its comparator per product-term class;
+        // the dispatcher selects one of eight structurally identical
+        // clones through a jump table, so each class has its own
+        // static branch sites (paper Table 1 counts them all).
+        constexpr unsigned kCompareClones = 8;
+        {
+            b.bind(cmppt);
+            Label ctable = b.newLabel();
+            std::vector<Label> clones;
+            for (unsigned c = 0; c < kCompareClones; ++c)
+                clones.push_back(b.newLabel());
+            b.la(1, ctable);
+            b.slli(2, 14, 2);
+            b.add(1, 1, 2);
+            b.jr(1);
+            b.bind(ctable);
+            for (unsigned c = 0; c < kCompareClones; ++c)
+                b.jmp(clones[c]);
+
+            for (unsigned c = 0; c < kCompareClones; ++c) {
+                // Word-by-word compare with early exit, like
+                // eqntott's cmppt.
+                b.bind(clones[c]);
+                b.li(13, 0);
+                b.li(1, 0); // word index
+                Label loop = b.newLabel();
+                Label differ = b.newLabel();
+                Label equal = b.newLabel();
+                Label out = b.newLabel();
+                b.bind(loop);
+                b.slli(2, 1, 3);
+                b.add(3, 11, 2);
+                b.ld(3, 3, 0);  // a word
+                b.add(2, 12, 2);
+                b.ld(2, 2, 0);  // b word
+                b.bne(3, 2, differ);
+                b.addi(1, 1, 1);
+                b.li(2, static_cast<std::int32_t>(kTermWords));
+                b.blt(1, 2, loop);
+                b.jmp(equal);
+                b.bind(differ);
+                b.li(13, 1);
+                b.bgeu(3, 2, out);
+                b.li(13, -1);
+                b.jmp(out);
+                b.bind(equal);
+                b.li(13, 0);
+                b.bind(out);
+                b.ret();
+            }
+        }
+
+        b.bind(main);
+
+        // ---- regenerate terms: word 0 is a mostly-increasing key,
+        // the rest is LCG noise.
+        b.li(4, 0); // term index
+        Label gen_loop = b.newLabel();
+        b.bind(gen_loop);
+        // key = i * 16 + (lcg % 32): overlapping windows create a
+        // sprinkle of inversions for the sort to fix.
+        lcg.emitNextBelowPow2(b, 7, 8, 32);
+        b.slli(1, 4, 4);
+        b.add(7, 7, 1);
+        b.mul(2, 4, 22);
+        b.add(2, 2, 19);
+        b.st(2, 7, 0);
+        // noise words 1..7
+        b.li(5, 1);
+        Label word_loop = b.newLabel();
+        b.bind(word_loop);
+        lcg.emitNext(b, 7, 8);
+        b.slli(1, 5, 3);
+        b.add(1, 1, 2);
+        b.st(1, 7, 0);
+        b.addi(5, 5, 1);
+        b.li(1, static_cast<std::int32_t>(kTermWords));
+        b.blt(5, 1, word_loop);
+        // idx[i] = i
+        b.slli(1, 4, 3);
+        b.add(1, 1, 20);
+        b.st(1, 4, 0);
+        b.addi(4, 4, 1);
+        b.blt(4, 21, gen_loop);
+
+        // ---- insertion sort of idx[] by cmppt on the terms.
+        b.li(4, 1); // i
+        Label sort_loop = b.newLabel();
+        b.bind(sort_loop);
+        b.slli(1, 4, 3);
+        b.add(1, 1, 20);
+        b.ld(9, 1, 0);   // key index
+        b.addi(5, 4, -1); // j
+        Label inner = b.newLabel();
+        Label place = b.newLabel();
+        b.bind(inner);
+        b.blt(5, 0, place);
+        b.slli(1, 5, 3);
+        b.add(1, 1, 20);
+        b.ld(6, 1, 0);   // idx[j]
+        b.mul(11, 6, 22);
+        b.add(11, 11, 19);
+        b.mul(12, 9, 22);
+        b.add(12, 12, 19);
+        b.andi(14, 6, kCompareClones - 1); // PI class of the left term
+        b.call(cmppt);
+        // cmppt result <= 0 means already in order: stop shifting.
+        b.slti(2, 13, 1);
+        b.bne(2, 0, place);
+        // idx[j+1] = idx[j]
+        b.slli(1, 5, 3);
+        b.add(1, 1, 20);
+        b.ld(3, 1, 0);
+        b.st(1, 3, 8);
+        b.addi(5, 5, -1);
+        b.jmp(inner);
+        b.bind(place);
+        b.slli(1, 5, 3);
+        b.add(1, 1, 20);
+        b.st(1, 9, 8);   // idx[j+1] = key
+        b.addi(4, 4, 1);
+        b.blt(4, 21, sort_loop);
+
+        // ---- dedup sweep: adjacent sorted terms are re-compared and
+        // merged when equal (rare) — eqntott's duplicate-PT removal.
+        b.li(4, 1);
+        b.li(10, 0); // duplicate count
+        Label dedup_loop = b.newLabel();
+        b.bind(dedup_loop);
+        b.slli(1, 4, 3);
+        b.add(1, 1, 20);
+        b.ld(6, 1, -8);  // idx[i-1]
+        b.ld(7, 1, 0);   // idx[i]
+        b.mul(11, 6, 22);
+        b.add(11, 11, 19);
+        b.mul(12, 7, 22);
+        b.add(12, 12, 19);
+        b.andi(14, 6, kCompareClones - 1);
+        b.call(cmppt);
+        Label not_dup = b.newLabel();
+        b.bne(13, 0, not_dup);
+        b.addi(10, 10, 1);
+        b.bind(not_dup);
+        b.addi(4, 4, 1);
+        b.blt(4, 21, dedup_loop);
+
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeEqntott()
+{
+    return std::make_unique<Eqntott>();
+}
+
+} // namespace tlat::workloads

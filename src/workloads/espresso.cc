@@ -1,0 +1,239 @@
+/**
+ * @file
+ * espresso mirror: two-level logic minimization cube operations.
+ *
+ * espresso spends its time intersecting and comparing "cubes" (bit-set
+ * representations of product terms): emptiness tests, containment
+ * tests, popcount-style distance loops and set compaction. The branch
+ * behaviour is data-dependent but biased — most intersections are
+ * non-empty, most cubes are not contained in each other — with
+ * variable-trip bit-scan loops layered on top.
+ *
+ * Data sets (paper Table 3): "bca" (testing) and "cps" (training) —
+ * the parameters (cube count, literal density) live in the data image
+ * so both runs execute identical code.
+ */
+
+#include "emit_helpers.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+/** Words per cube (espresso cubes span several machine words). */
+constexpr std::int64_t kCubeWords = 4;
+
+class Espresso : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "espresso"; }
+    bool isFloatingPoint() const override { return false; }
+    std::string testSet() const override { return "bca"; }
+    std::optional<std::string> trainSet() const override
+    {
+        return "cps";
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        const bool train = dataSet == "cps";
+
+        ProgramBuilder b(name());
+        LcgEmitter lcg(b, train ? 0xe59e550 : 0xe59e551);
+
+        constexpr std::int64_t kMaxCubes = 64;
+        // Parameters in the data image so the code is data-set
+        // independent: [cube count, density mask].
+        const std::uint64_t params = b.data({
+            train ? std::uint64_t{40} : std::uint64_t{56},
+            // Literal density masks: sparse enough that some
+            // intersections come up empty, dense enough that most do
+            // not — the bias espresso's cube loops actually have.
+            // The training input ("cps") is a sparser cover; its
+            // rare-event rates differ from the testing input's, but
+            // no pattern-majority inverts — which is why espresso's
+            // Diff column degrades so little (see EXPERIMENTS.md).
+            train ? 0x000000f00f0f00ffULL : 0x00ff00f0f00f0f0fULL,
+        });
+        const std::uint64_t cube_base =
+            b.bss(static_cast<std::uint64_t>(kMaxCubes * kCubeWords));
+        const std::uint64_t flag_base =
+            b.bss(static_cast<std::uint64_t>(kMaxCubes));
+        b.defineDataSymbol("params", params);
+        b.defineDataSymbol("cubes", cube_base);
+        b.defineDataSymbol("flags", flag_base);
+        b.defineDataSymbol("lcg_state", lcg.stateAddress());
+
+        // r19 cubes, r20 flags, r21 cube count, r23 density mask.
+        b.loadImm(1, static_cast<std::int64_t>(params));
+        b.ld(21, 1, 0);
+        b.ld(23, 1, 8);
+        b.loadImm(19, static_cast<std::int64_t>(cube_base));
+        b.loadImm(20, static_cast<std::int64_t>(flag_base));
+
+        // count_literals(r7 = word) -> r13: bit-clear popcount,
+        // espresso's cdist kernel as a leaf subroutine.
+        Label count_literals = b.newLabel("count_literals");
+        Label over_count = b.newLabel();
+        b.jmp(over_count);
+        {
+            b.bind(count_literals);
+            b.li(13, 0);
+            Label bits = b.newLabel();
+            Label bits_done = b.newLabel();
+            b.beq(7, 0, bits_done); // empty word: rare forward guard
+            b.bind(bits);
+            b.addi(2, 7, -1);
+            b.and_(7, 7, 2);
+            b.addi(13, 13, 1);
+            b.bne(7, 0, bits); // bottom-tested bit-clear loop
+            b.bind(bits_done);
+            b.ret();
+        }
+        b.bind(over_count);
+
+        // ---- generate cubes and clear flags.
+        b.li(4, 0);
+        Label gen = b.newLabel();
+        b.bind(gen);
+        b.slli(1, 4, 5); // cube stride = 32 bytes (4 words)
+        b.add(1, 1, 19);
+        for (std::int32_t w = 0; w < kCubeWords; ++w) {
+            lcg.emitNext(b, 7, 8);
+            b.and_(7, 7, 23);
+            b.st(1, 7, w * 8);
+        }
+        b.slli(1, 4, 3);
+        b.add(1, 1, 20);
+        b.st(1, 0, 0);
+        b.addi(4, 4, 1);
+        b.blt(4, 21, gen);
+
+        // ---- pairwise sweep: per-pair word loop computing the
+        // intersection, then emptiness and containment tests with
+        // their rare outcomes laid out out-of-line, compiler-style.
+        Label empty_rare = b.newLabel();
+        Label contained_rare = b.newLabel();
+        Label next_j = b.newLabel();
+        Label after_empty = b.newLabel();
+        b.li(4, 0); // i
+        Label pair_i = b.newLabel();
+        Label pair_i_next = b.newLabel();
+        b.bind(pair_i);
+        b.addi(5, 4, 1);            // j = i + 1
+        b.bge(5, 21, pair_i_next);  // last i has no pairs (rare)
+        b.slli(8, 4, 5);
+        b.add(8, 8, 19);            // &cube[i]
+        Label pair_j = b.newLabel();
+        b.bind(pair_j);
+        b.slli(1, 5, 5);
+        b.add(1, 1, 19);            // &cube[j]
+        // Word loop (cubes span two words): accumulate the OR of the
+        // intersection and the containment flag.
+        b.li(6, 0);  // union of intersection words
+        b.li(7, 1);  // contained-so-far flag
+        b.li(2, 0);  // w
+        Label wloop = b.newLabel();
+        b.bind(wloop);
+        b.slli(3, 2, 3);
+        b.add(9, 8, 3);
+        b.ld(9, 9, 0);   // a_w
+        b.add(10, 1, 3);
+        b.ld(10, 10, 0); // b_w
+        b.and_(3, 9, 10);
+        b.or_(6, 6, 3);
+        // Word 0 is the cube's output part and is handled specially —
+        // a two-sided forward branch taken for words 1..3 (the
+        // deterministic if/else mix real cube loops have).
+        Label not_first = b.newLabel();
+        b.bne(2, 0, not_first);
+        b.or_(11, 9, 10); // output-part union
+        b.bind(not_first);
+        Label word_contained = b.newLabel();
+        b.beq(3, 9, word_contained); // rare: b covers this word of a
+        b.li(7, 0);
+        b.bind(word_contained);
+        b.addi(2, 2, 1);
+        b.li(3, static_cast<std::int32_t>(kCubeWords));
+        b.blt(2, 3, wloop);
+        // Emptiness: empty intersections are the rare case.
+        b.beq(6, 0, empty_rare);
+        b.bind(after_empty);
+        // Containment: rare; sets the covered flag out of line.
+        b.bne(7, 0, contained_rare);
+        b.bind(next_j);
+        b.addi(5, 5, 1);
+        b.blt(5, 21, pair_j);
+        b.bind(pair_i_next);
+        b.addi(4, 4, 1);
+        b.blt(4, 21, pair_i);
+        Label sweep_done = b.newLabel();
+        b.jmp(sweep_done);
+        // -- cold paths.
+        b.bind(empty_rare);
+        b.addi(12, 12, 1); // distance-0 pair count
+        b.jmp(next_j);     // empty pairs skip the containment test
+        b.bind(contained_rare);
+        b.slli(1, 4, 3);   // flag[i] = 1: cube i is covered
+        b.add(1, 1, 20);
+        b.li(2, 1);
+        b.st(1, 2, 0);
+        b.jmp(next_j);
+        b.bind(sweep_done);
+
+        // ---- distance loop: popcount of each cube's first word via
+        // the classic w &= w - 1 bit-clear loop (variable trips).
+        b.li(4, 0);
+        b.li(12, 0); // literal total
+        Label dist = b.newLabel();
+        b.bind(dist);
+        b.slli(1, 4, 5);
+        b.add(1, 1, 19);
+        b.ld(7, 1, 0);
+        b.call(count_literals);
+        b.add(12, 12, 13);
+        b.addi(4, 4, 1);
+        b.blt(4, 21, dist);
+
+        // ---- compaction: copy uncovered cubes to the front.
+        b.li(4, 0);
+        b.li(5, 0); // write index
+        Label compact = b.newLabel();
+        Label skip = b.newLabel();
+        b.bind(compact);
+        b.slli(1, 4, 3);
+        b.add(1, 1, 20);
+        b.ld(2, 1, 0);
+        b.bne(2, 0, skip); // covered cubes are the rare case
+        b.slli(1, 4, 5);
+        b.add(1, 1, 19);
+        b.slli(2, 5, 5);
+        b.add(2, 2, 19);
+        for (std::int32_t w = 0; w < kCubeWords; ++w) {
+            b.ld(6, 1, w * 8);
+            b.st(2, 6, w * 8);
+        }
+        b.addi(5, 5, 1);
+        b.bind(skip);
+        b.addi(4, 4, 1);
+        b.blt(4, 21, compact);
+
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeEspresso()
+{
+    return std::make_unique<Espresso>();
+}
+
+} // namespace tlat::workloads

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * fpppp mirror: enormous straight-line floating point basic blocks.
+ *
+ * SPEC'89 fpppp (two-electron integral derivatives) is famous for the
+ * largest basic blocks in the suite: long runs of FP arithmetic with
+ * only occasional branches, giving the lowest dynamic branch fraction
+ * of the nine benchmarks (paper Figure 3: ~5% for FP codes). Its
+ * conditional branches are a mix of short-period deterministic
+ * patterns (loop remainders in the integral bookkeeping) and
+ * value-dependent cutoffs.
+ *
+ * The mirror generates 56 distinct straight-line FP blocks, each 15-30
+ * arithmetic instructions ending in one or two conditional branches:
+ * one with a deterministic short period (2/3/5/7 passes — trivially
+ * captured by pattern history, poison for plain 2-bit counters when
+ * the period is 2) and, in half of the blocks, a value cutoff branch.
+ */
+
+#include "emit_helpers.hh"
+#include "util/random.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+constexpr unsigned kNumBlocks = 56;
+constexpr unsigned kArrayWords = 64;
+constexpr std::int64_t kRepsPerPass = 4;
+
+class Fpppp : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "fpppp"; }
+    bool isFloatingPoint() const override { return true; }
+    std::string testSet() const override { return "natoms"; }
+
+    std::optional<std::string>
+    trainSet() const override
+    {
+        return std::nullopt; // paper Table 3: NA
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        ProgramBuilder b("fpppp");
+        Rng rng(0xf9999);
+
+        // Working array of doubles, initialized in the data image.
+        std::vector<double> init(kArrayWords);
+        for (unsigned i = 0; i < kArrayWords; ++i)
+            init[i] = 0.25 + 0.01 * static_cast<double>(i % 13);
+        const std::uint64_t arr = b.dataDoubles(init);
+
+        // Pass counter lives in memory so it survives restart-on-halt
+        // and the short-period branches see long sequences.
+        const std::uint64_t pass_addr = b.data({0});
+
+        // r19 = array base, r20 = &pass counter, r21 = global step.
+        b.loadImm(19, static_cast<std::int64_t>(arr));
+        b.loadImm(20, static_cast<std::int64_t>(pass_addr));
+        b.ld(21, 20, 0);
+        b.addi(1, 21, 1);
+        b.st(20, 1, 0);
+
+        // Bounded-magnitude FP constants.
+        b.loadDouble(24, 0.4375);
+        b.loadDouble(25, 0.53125);
+        b.loadDouble(26, 1.0);
+
+        // r22 = rep, r5 = step = pass * kRepsPerPass + rep.
+        b.li(22, 0);
+        Label rep_loop = b.newLabel();
+        b.bind(rep_loop);
+        b.li(1, kRepsPerPass);
+        b.mul(5, 21, 1);
+        b.add(5, 5, 22);
+
+        for (unsigned block = 0; block < kNumBlocks; ++block)
+            emitBlock(b, rng, block);
+
+        b.addi(22, 22, 1);
+        b.li(1, kRepsPerPass);
+        b.blt(22, 1, rep_loop);
+        b.halt();
+        return b.build();
+    }
+
+  private:
+    /** One straight-line FP block with its trailing branches. */
+    void
+    emitBlock(ProgramBuilder &b, Rng &rng, unsigned block) const
+    {
+        // Load two array operands chosen at generation time.
+        const auto slot = [&rng]() {
+            return static_cast<std::int32_t>(
+                rng.nextBelow(kArrayWords) * 8);
+        };
+        b.ld(1, 19, slot());
+        b.ld(2, 19, slot());
+
+        // 12-26 bounded FP operations.
+        const unsigned ops = 12 + static_cast<unsigned>(
+                                      rng.nextBelow(15));
+        for (unsigned i = 0; i < ops; ++i) {
+            switch (rng.nextBelow(5)) {
+              case 0: b.fadd(1, 1, 2); break;
+              case 1: b.fsub(2, 2, 1); break;
+              case 2: b.fmul(1, 1, 24); break; // damp
+              case 3: b.fmul(2, 2, 25); break; // damp
+              default: b.fadd(2, 2, 26); break;
+            }
+        }
+        b.st(19, 1, slot());
+
+        // Deterministic short-period branch: taken unless
+        // step % period == phase. Periods of 4-8 passes model the
+        // integral-block bookkeeping (period 2 would be pathological
+        // for counter schemes and does not occur in the original).
+        const std::int32_t period = 4 + static_cast<std::int32_t>(
+                                            rng.nextBelow(5));
+        const std::int32_t phase = static_cast<std::int32_t>(
+            rng.nextBelow(static_cast<std::uint64_t>(period)));
+        Label skip = b.newLabel();
+        b.li(3, period);
+        b.rem(3, 5, 3);
+        b.li(4, phase);
+        b.beq(3, 4, skip);
+        b.fadd(1, 1, 26);
+        b.st(19, 1, slot());
+        b.bind(skip);
+
+        // Half the blocks get a value-cutoff branch as well.
+        if (block % 2 == 0) {
+            Label no_clamp = b.newLabel();
+            b.fabs_(3, 1);
+            b.loadDouble(4, 64.0);
+            b.fle(3, 3, 4);
+            b.bne(3, 0, no_clamp); // usually taken: |v| stays small
+            b.fmul(1, 1, 24);
+            b.bind(no_clamp);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFpppp()
+{
+    return std::make_unique<Fpppp>();
+}
+
+} // namespace tlat::workloads

@@ -1,0 +1,489 @@
+/**
+ * @file
+ * gcc mirror: token-driven compilation phases.
+ *
+ * SPEC'89 gcc is by far the branchiest benchmark of the suite: the
+ * most static conditional branches (paper Table 1: 6922 — 6x the next
+ * program), an integer-typical ~24% dynamic branch fraction, and
+ * irregular, data-driven control flow. It is the benchmark where
+ * predictor quality separates most clearly (paper Figure 10).
+ *
+ * The mirror models a compiler's shape directly:
+ *  - a lexer producing a token stream with source-code-like locality
+ *    (runs of repeated token types, selected through a long compare
+ *    chain over a skewed distribution);
+ *  - a parse phase dispatching each token through a 48-entry jump
+ *    table to generated handlers full of biased attribute tests and
+ *    symbol-table probe loops;
+ *  - a codegen phase re-dispatching the buffered tokens to a second
+ *    handler family;
+ *  - a peephole pass matching 64 two-slot patterns over the emitted
+ *    buffer (many static branches, mostly not taken).
+ *
+ * Data sets (paper Table 3: cexp.i / dbxout.i): "cexp" (training) and
+ * "dbxout" (testing) differ in LCG seed and run-length mask, both of
+ * which live in the data image — the code is identical.
+ */
+
+#include "emit_helpers.hh"
+#include "util/random.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+constexpr unsigned kNumTokenTypes = 48;
+constexpr std::int64_t kTokensPerPass = 512;
+constexpr unsigned kSymtabSlots = 64;
+
+class Gcc : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "gcc"; }
+    bool isFloatingPoint() const override { return false; }
+    std::string testSet() const override { return "dbxout"; }
+    std::optional<std::string> trainSet() const override
+    {
+        return "cexp";
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        const bool train = dataSet == "cexp";
+
+        ProgramBuilder b(name());
+        Rng gen(0x9cc001);
+
+        // Data-set parameters: [lcg seed, run-length mask].
+        LcgEmitter lcg(b, train ? 0x9cce1ULL : 0x9ccdbULL);
+        const std::uint64_t param_addr =
+            b.data({train ? std::uint64_t{7} : std::uint64_t{15}});
+
+        // Pass counter: alternating "source file personalities" so
+        // the attribute distributions drift between passes — the
+        // nonstationarity that favours run-time adaptation over
+        // preset profiling statistics.
+        const std::uint64_t pass_addr = b.data({0});
+
+        const std::uint64_t token_buf =
+            b.bss(static_cast<std::uint64_t>(kTokensPerPass));
+        const std::uint64_t out_buf =
+            b.bss(static_cast<std::uint64_t>(kTokensPerPass) + 2);
+        const std::uint64_t symtab = b.bss(kSymtabSlots);
+        // Lexer state: [current type, run remaining].
+        const std::uint64_t lex_state = b.data({0, 0});
+
+        // Skewed type distribution over a 12-bit draw, fixed at
+        // generation time (part of the "compiler", not the input).
+        std::vector<std::uint32_t> cumulative(kNumTokenTypes);
+        {
+            double total = 0;
+            std::vector<double> weight(kNumTokenTypes);
+            for (unsigned t = 0; t < kNumTokenTypes; ++t) {
+                weight[t] = 1.0 / static_cast<double>(t + 2);
+                total += weight[t];
+            }
+            double acc = 0;
+            for (unsigned t = 0; t < kNumTokenTypes; ++t) {
+                acc += weight[t];
+                cumulative[t] = static_cast<std::uint32_t>(
+                    4096.0 * acc / total);
+            }
+            cumulative[kNumTokenTypes - 1] = 4096;
+        }
+
+        // r19 token_buf, r20 out_buf, r21 symtab, r24 lex state,
+        // r25 param addr, r22 out index.
+        b.loadImm(19, static_cast<std::int64_t>(token_buf));
+        b.loadImm(20, static_cast<std::int64_t>(out_buf));
+        b.loadImm(21, static_cast<std::int64_t>(symtab));
+        b.loadImm(24, static_cast<std::int64_t>(lex_state));
+        b.loadImm(25, static_cast<std::int64_t>(param_addr));
+        b.li(22, 0);
+        // r13 = personality phase (0/1), flipped every pass; r14 = the
+        // attribute perturbation applied in that phase.
+        b.loadImm(1, static_cast<std::int64_t>(pass_addr));
+        b.ld(13, 1, 0);
+        b.addi(2, 13, 1);
+        b.st(1, 2, 0);
+        b.andi(13, 13, 1);
+        b.li(14, 256);
+        b.mul(14, 14, 13);
+
+        Label parse_table = b.newLabel();
+        Label codegen_table = b.newLabel();
+        std::vector<Label> parse_handlers(kNumTokenTypes);
+        std::vector<Label> codegen_handlers(kNumTokenTypes);
+        for (unsigned t = 0; t < kNumTokenTypes; ++t) {
+            parse_handlers[t] = b.newLabel();
+            codegen_handlers[t] = b.newLabel();
+        }
+
+        // emit_word(r10 = value): append to the output buffer; the
+        // wrap is the rare case. Called from every parse handler —
+        // gcc's obstack-style emit helper.
+        emit_word_ = b.newLabel("emit_word");
+        {
+            Label over = b.newLabel();
+            b.jmp(over);
+            b.bind(emit_word_);
+            Label wrap = b.newLabel();
+            b.slli(1, 22, 3);
+            b.add(1, 1, 20);
+            b.st(1, 10, 0);
+            b.addi(22, 22, 1);
+            b.li(2, static_cast<std::int32_t>(kTokensPerPass - 1));
+            b.bge(22, 2, wrap);
+            b.ret();
+            b.bind(wrap);
+            b.li(22, 0);
+            b.ret();
+            b.bind(over);
+        }
+
+        // ================= phase A: lex + parse =================
+        b.li(4, 0); // token index
+        Label lex_loop = b.newLabel();
+        b.bind(lex_loop);
+
+        // -- lexer: refresh the run if exhausted.
+        b.ld(6, 24, 0);  // current type
+        b.ld(7, 24, 8);  // run remaining
+        Label in_run = b.newLabel();
+        b.bne(7, 0, in_run);
+        // Draw a fresh type through the compare chain.
+        lcg.emitNextBelowPow2(b, 8, 9, 4096);
+        Label type_done = b.newLabel();
+        for (unsigned t = 0; t < kNumTokenTypes; ++t) {
+            Label next_check = b.newLabel();
+            b.loadImm(9, static_cast<std::int64_t>(cumulative[t]));
+            b.bge(8, 9, next_check);
+            b.li(6, static_cast<std::int32_t>(t));
+            b.jmp(type_done);
+            b.bind(next_check);
+        }
+        b.li(6, 0); // unreachable fallback
+        b.bind(type_done);
+        // Draw the run length: 2 + (lcg & mask).
+        lcg.emitNext(b, 8, 9);
+        b.ld(9, 25, 0);
+        b.and_(7, 8, 9);
+        b.addi(7, 7, 2);
+        b.st(24, 6, 0);
+        b.bind(in_run);
+        b.addi(7, 7, -1);
+        b.st(24, 7, 8);
+
+        // token = type | attribute << 8
+        lcg.emitNextBelowPow2(b, 8, 9, 4096);
+        b.slli(1, 8, 8);
+        b.or_(10, 6, 1); // r10 = token word
+        b.slli(1, 4, 3);
+        b.add(1, 1, 19);
+        b.st(1, 10, 0);
+
+        // Line/column bookkeeping: two-sided forward branches with
+        // deterministic short periods over the token index (lexers
+        // are full of these; they defeat BTFN's direction heuristic
+        // while being trivial for pattern history).
+        Label col4 = b.newLabel();
+        b.andi(2, 4, 3);
+        b.bne(2, 0, col4); // taken 3/4
+        b.addi(12, 12, 1);
+        b.bind(col4);
+        Label col3 = b.newLabel();
+        b.li(2, 3);
+        b.rem(2, 4, 2);
+        b.bne(2, 0, col3); // taken 2/3
+        b.addi(12, 12, 2);
+        b.bind(col3);
+
+        // -- dispatch to the parse handler.
+        Label parse_next = b.newLabel();
+        b.la(1, parse_table);
+        b.slli(2, 6, 2);
+        b.add(1, 1, 2);
+        b.jr(1);
+        b.bind(parse_table);
+        for (unsigned t = 0; t < kNumTokenTypes; ++t)
+            b.jmp(parse_handlers[t]);
+
+        for (unsigned t = 0; t < kNumTokenTypes; ++t) {
+            b.bind(parse_handlers[t]);
+            emitParseHandler(b, gen, t, parse_next);
+        }
+
+        b.bind(parse_next);
+        b.addi(4, 4, 1);
+        b.li(1, static_cast<std::int32_t>(kTokensPerPass));
+        b.blt(4, 1, lex_loop);
+
+        // ================= phase B: codegen =================
+        b.li(4, 0);
+        Label cg_loop = b.newLabel();
+        Label cg_next = b.newLabel();
+        b.bind(cg_loop);
+        b.slli(1, 4, 3);
+        b.add(1, 1, 19);
+        b.ld(10, 1, 0);   // token
+        b.andi(6, 10, 63);
+        b.srli(11, 10, 8); // attribute
+        b.la(1, codegen_table);
+        b.slli(2, 6, 2);
+        b.add(1, 1, 2);
+        b.jr(1);
+        b.bind(codegen_table);
+        for (unsigned t = 0; t < kNumTokenTypes; ++t)
+            b.jmp(codegen_handlers[t]);
+
+        for (unsigned t = 0; t < kNumTokenTypes; ++t) {
+            b.bind(codegen_handlers[t]);
+            emitCodegenHandler(b, gen, t, cg_next);
+        }
+
+        b.bind(cg_next);
+        b.addi(4, 4, 1);
+        b.li(1, static_cast<std::int32_t>(kTokensPerPass));
+        b.blt(4, 1, cg_loop);
+
+        // ================= phase C: peephole =================
+        // A real peepholer dispatches on the first slot's opcode and
+        // only tests the rules rooted at it: a third jump table, with
+        // one small rule block per type (~3 second-slot tests each,
+        // kNumPeepholeRules/kNumTokenTypes on average would be ~1,
+        // so blocks carry 2-4 generated rules).
+        Label peep_table = b.newLabel();
+        Label peep_next = b.newLabel();
+        Label clamp = b.newLabel();
+        Label after_clamp = b.newLabel();
+        std::vector<Label> peep_handlers(kNumTokenTypes);
+        for (unsigned t = 0; t < kNumTokenTypes; ++t)
+            peep_handlers[t] = b.newLabel();
+
+        b.li(4, 0);
+        Label peep_loop = b.newLabel();
+        b.bind(peep_loop);
+        b.slli(1, 4, 3);
+        b.add(1, 1, 20);
+        b.ld(9, 1, 0);   // out[i]
+        b.ld(10, 1, 8);  // out[i+1]
+        b.andi(9, 9, 63);
+        b.andi(10, 10, 63);
+        // Fused slots can exceed the table; clamp is the rare case.
+        b.li(2, static_cast<std::int32_t>(kNumTokenTypes));
+        b.bge(9, 2, clamp);
+        b.bind(after_clamp);
+        b.la(1, peep_table);
+        b.slli(2, 9, 2);
+        b.add(1, 1, 2);
+        b.jr(1);
+        b.bind(peep_table);
+        for (unsigned t = 0; t < kNumTokenTypes; ++t)
+            b.jmp(peep_handlers[t]);
+
+        for (unsigned t = 0; t < kNumTokenTypes; ++t) {
+            b.bind(peep_handlers[t]);
+            // 2-4 rules rooted at this first-slot type; matches are
+            // rare forward branches with the rewrites out of line.
+            const unsigned rules =
+                2 + static_cast<unsigned>(gen.nextBelow(3));
+            std::vector<std::pair<Label, Label>> rule_paths;
+            for (unsigned rule = 0; rule < rules; ++rule) {
+                Label match = b.newLabel();
+                Label next_rule = b.newLabel();
+                b.li(2, static_cast<std::int32_t>(
+                            gen.nextBelow(kNumTokenTypes)));
+                b.beq(10, 2, match);
+                b.bind(next_rule);
+                rule_paths.emplace_back(match, next_rule);
+            }
+            b.jmp(peep_next);
+            for (const auto &[match, next_rule] : rule_paths) {
+                b.bind(match);
+                b.slli(1, 4, 3); // rewrite: fuse the pair
+                b.add(1, 1, 20);
+                b.add(2, 9, 10);
+                b.st(1, 2, 0);
+                b.jmp(next_rule);
+            }
+        }
+
+        b.bind(peep_next);
+        b.addi(4, 4, 1);
+        b.li(1, static_cast<std::int32_t>(kTokensPerPass - 1));
+        b.blt(4, 1, peep_loop);
+        Label peep_done = b.newLabel();
+        b.jmp(peep_done);
+        b.bind(clamp);
+        b.li(9, 0);
+        b.jmp(after_clamp);
+        b.bind(peep_done);
+
+        b.halt();
+        return b.build();
+    }
+
+  private:
+    /**
+     * Parse-phase handler for one token type: biased attribute tests,
+     * a symbol-table probe for identifier-like types, output emission.
+     * Token in r10, type in r6, attribute available as r10 >> 8.
+     */
+    void
+    emitParseHandler(ProgramBuilder &b, Rng &gen, unsigned type,
+                     Label parse_next) const
+    {
+        b.srli(11, 10, 8); // attribute (12 bits)
+        b.xor_(11, 11, 14); // phase perturbation (see build())
+
+        // 2-4 biased attribute tests. The rare normalization paths
+        // are laid out after the handler body, compiler-style, so the
+        // tests are rarely-taken forward branches.
+        struct RareFixup
+        {
+            Label rare;
+            Label back;
+            std::int32_t addend;
+        };
+        std::vector<RareFixup> rare_paths;
+        const unsigned tests =
+            2 + static_cast<unsigned>(gen.nextBelow(3));
+        for (unsigned i = 0; i < tests; ++i) {
+            const std::int32_t threshold =
+                3000 + static_cast<std::int32_t>(gen.nextBelow(1000));
+            RareFixup fixup{b.newLabel(), b.newLabel(),
+                            static_cast<std::int32_t>(
+                                gen.nextBelow(64))};
+            b.li(2, threshold);
+            b.bge(11, 2, fixup.rare); // taken ~5-25%
+            b.bind(fixup.back);
+            rare_paths.push_back(fixup);
+        }
+
+        // Identifier-ish types (every third) probe the symbol table.
+        if (type % 3 == 0) {
+            Label probe = b.newLabel();
+            Label hit = b.newLabel();
+            Label insert = b.newLabel();
+            Label probe_done = b.newLabel();
+            b.andi(5, 11, kSymtabSlots - 1); // slot
+            b.li(3, 0);                      // probe budget
+            b.bind(probe);
+            b.slli(1, 5, 3);
+            b.add(1, 1, 21);
+            b.ld(2, 1, 0);
+            b.beq(2, 0, insert);   // empty slot: insert
+            b.beq(2, 11, hit);     // found
+            b.addi(5, 5, 1);       // linear probe
+            b.andi(5, 5, kSymtabSlots - 1);
+            b.addi(3, 3, 1);
+            b.li(2, 8);
+            b.blt(3, 2, probe);    // give up after 8 probes
+            b.jmp(probe_done);
+            b.bind(insert);
+            b.st(1, 11, 0);
+            b.jmp(probe_done);
+            b.bind(hit);
+            b.bind(probe_done);
+        }
+
+        // Emit 1-2 output words through the shared helper.
+        const unsigned emits =
+            1 + static_cast<unsigned>(gen.nextBelow(2));
+        for (unsigned i = 0; i < emits; ++i)
+            b.call(emit_word_);
+        b.jmp(parse_next);
+
+        // -- cold paths of this handler.
+        for (const RareFixup &fixup : rare_paths) {
+            b.bind(fixup.rare);
+            b.srli(11, 11, 1);
+            b.addi(11, 11, fixup.addend);
+            b.jmp(fixup.back);
+        }
+    }
+
+    /**
+     * Codegen-phase handler: instruction-selection-style nested tests
+     * plus a short emit loop. Token in r10, type r6, attribute r11.
+     */
+    /** Shared emit helper entry (set during build()). */
+    mutable Label emit_word_;
+
+    void
+    emitCodegenHandler(ProgramBuilder &b, Rng &gen, unsigned type,
+                       Label cg_next) const
+    {
+        // Addressing-mode style nested decision: two levels.
+        Label mode_b = b.newLabel();
+        Label mode_done = b.newLabel();
+        const std::int32_t split =
+            1000 + static_cast<std::int32_t>(gen.nextBelow(2000));
+        b.li(2, split);
+        b.bge(11, 2, mode_b);
+        b.andi(12, 11, 7);
+        b.jmp(mode_done);
+        b.bind(mode_b);
+        b.srli(12, 11, 3);
+        b.andi(12, 12, 7);
+        b.bind(mode_done);
+
+        // Emit loop: type-dependent fixed trip count 1..4 — short
+        // loops with per-type period, bread and butter for pattern
+        // history. The buffer wrap is the rare case, out of line.
+        const std::int32_t trips =
+            1 + static_cast<std::int32_t>(type % 4);
+        Label wrap = b.newLabel();
+        Label after_wrap = b.newLabel();
+        Label spill = b.newLabel();
+        Label after_spill = b.newLabel();
+        b.li(5, 0);
+        Label emit_loop = b.newLabel();
+        b.bind(emit_loop);
+        b.slli(1, 22, 3);
+        b.add(1, 1, 20);
+        b.add(2, 10, 5);
+        b.st(1, 2, 0);
+        b.addi(22, 22, 1);
+        b.li(2, static_cast<std::int32_t>(kTokensPerPass - 1));
+        b.bge(22, 2, wrap);
+        b.bind(after_wrap);
+        b.addi(5, 5, 1);
+        b.li(2, trips);
+        b.blt(5, 2, emit_loop);
+
+        // Occasional spill-style test on the running index; the
+        // spill itself is the rare case (1/8), out of line.
+        if (type % 2 == 0) {
+            b.andi(2, 12, 7);
+            b.beq(2, 0, spill);
+            b.bind(after_spill);
+        }
+        b.jmp(cg_next);
+
+        // -- cold paths.
+        b.bind(wrap);
+        b.li(22, 0);
+        b.jmp(after_wrap);
+        if (type % 2 == 0) {
+            b.bind(spill);
+            b.addi(12, 12, 1);
+            b.jmp(after_spill);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGcc()
+{
+    return std::make_unique<Gcc>();
+}
+
+} // namespace tlat::workloads

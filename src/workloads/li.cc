@@ -1,0 +1,331 @@
+/**
+ * @file
+ * li mirror: recursion-dominated interpreter workloads.
+ *
+ * SPEC'89 li is the xlisp interpreter; the paper trains it on a Tower
+ * of Hanoi script and tests on Eight Queens (Table 3), making it the
+ * benchmark where Static Training degrades most (~5%) when the
+ * training input differs: the two scripts drive disjoint parts of the
+ * interpreter.
+ *
+ * The mirror embeds both kernels in one program image — recursive
+ * Hanoi and backtracking Eight Queens — selected by a data word, with
+ * shared bookkeeping subroutines (move recording, board audit) so the
+ * static branch sets of the two runs partially overlap, exactly the
+ * situation that hurts cross-trained Static Training while leaving
+ * Two-Level Adaptive Training unaffected.
+ */
+
+#include <vector>
+
+#include "emit_helpers.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+constexpr std::int32_t kHanoiDepth = 12;
+
+class Li : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "li"; }
+    bool isFloatingPoint() const override { return false; }
+    std::string testSet() const override { return "queens"; }
+    std::optional<std::string> trainSet() const override
+    {
+        return "hanoi";
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        const std::uint64_t selector = dataSet == "queens" ? 1 : 0;
+
+        ProgramBuilder b(name());
+        const std::uint64_t sel_addr = b.data({selector});
+        const std::uint64_t count_addr = b.data({0});
+        const std::uint64_t board_base = b.bss(16);
+        b.defineDataSymbol("selector", sel_addr);
+        b.defineDataSymbol("counter", count_addr);
+        b.defineDataSymbol("board", board_base);
+
+        emitStackInit(b, 1 << 12);
+        b.loadImm(20, static_cast<std::int64_t>(board_base));
+        b.loadImm(21, static_cast<std::int64_t>(count_addr));
+        b.li(22, 8);
+        // Interpreter-style type tags: every "object" the scripts
+        // touch carries tag 42; the tag checks below model xlisp's
+        // ubiquitous type dispatch (always the same direction at a
+        // given site, like real interpreter runs).
+        b.li(17, 42);
+        b.li(18, 42);
+
+        Label hanoi = b.newLabel("hanoi");
+        Label queens = b.newLabel("queens");
+        Label safe = b.newLabel("safe");
+        Label record_move = b.newLabel("record_move");
+        Label audit = b.newLabel("audit");
+        Label do_hanoi = b.newLabel();
+        Label epilogue = b.newLabel();
+        // Interpreter error exit (type errors; never reached). Bound
+        // at the very end so the checks are forward, rarely-taken
+        // branches, the layout a compiler gives cold error paths.
+        Label error_exit = b.newLabel();
+
+        // ---- driver: data word selects the script.
+        b.loadImm(1, static_cast<std::int64_t>(sel_addr));
+        b.ld(19, 1, 0);
+        b.beq(19, 0, do_hanoi);
+        b.li(11, 0); // queens(col = 0)
+        b.call(queens);
+        b.jmp(epilogue);
+        b.bind(do_hanoi);
+        b.li(11, kHanoiDepth);
+        b.li(12, 0);
+        b.li(13, 1);
+        b.li(14, 2);
+        b.call(hanoi);
+        b.bind(epilogue);
+        b.halt();
+
+        // ---- hanoi(n r11, from r12, to r13, via r14).
+        {
+            b.bind(hanoi);
+            Label recurse = b.newLabel();
+            b.bne(11, 0, recurse);
+            b.ret();
+            b.bind(recurse);
+            // Interpreter overhead: tag-check the arguments (always
+            // passes) and walk the 3-element argument list.
+            b.bne(17, 18, error_exit);
+            b.li(9, 0);
+            Label arg_scan = b.newLabel();
+            b.bind(arg_scan);
+            b.addi(9, 9, 1);
+            b.li(10, 3);
+            b.blt(9, 10, arg_scan);
+            emitPush(b, 31);
+            emitPush(b, 11);
+            emitPush(b, 12);
+            emitPush(b, 13);
+            emitPush(b, 14);
+            // hanoi(n-1, from, via, to)
+            b.addi(11, 11, -1);
+            b.mov(1, 13);
+            b.mov(13, 14);
+            b.mov(14, 1);
+            b.call(hanoi);
+            // Reload the saved frame: [via, to, from, n, ra].
+            b.ld(14, kSp, 0);
+            b.ld(13, kSp, 8);
+            b.ld(12, kSp, 16);
+            b.ld(11, kSp, 24);
+            b.call(record_move);
+            // hanoi(n-1, via, to, from)
+            b.addi(11, 11, -1);
+            b.mov(1, 12);
+            b.mov(12, 14);
+            b.mov(14, 1);
+            b.call(hanoi);
+            emitPop(b, 14);
+            emitPop(b, 13);
+            emitPop(b, 12);
+            emitPop(b, 11);
+            emitPop(b, 31);
+            b.ret();
+        }
+
+        // ---- record_move(from r12, to r13): shared bookkeeping.
+        {
+            b.bind(record_move);
+            b.ld(1, 21, 0);
+            b.addi(1, 1, 1);
+            b.st(21, 1, 0);
+            b.slli(2, 12, 3);
+            b.add(2, 2, 20);
+            b.ld(3, 2, 0);
+            b.addi(3, 3, -1);
+            b.st(2, 3, 0);
+            b.slli(2, 13, 3);
+            b.add(2, 2, 20);
+            b.ld(3, 2, 0);
+            b.addi(3, 3, 1);
+            b.st(2, 3, 0);
+            // Every 64th move, audit the board (shared subroutine).
+            Label no_audit = b.newLabel();
+            b.andi(2, 1, 63);
+            b.bne(2, 0, no_audit);
+            emitPush(b, 31);
+            b.call(audit);
+            emitPop(b, 31);
+            b.bind(no_audit);
+            b.ret();
+        }
+
+        // ---- audit: checksum the 16-word board (shared).
+        {
+            b.bind(audit);
+            b.li(4, 0);
+            b.li(5, 0);
+            Label loop = b.newLabel();
+            Label non_negative = b.newLabel();
+            b.bind(loop);
+            b.slli(1, 4, 3);
+            b.add(1, 1, 20);
+            b.ld(2, 1, 0);
+            b.bge(2, 0, non_negative);
+            b.sub(2, 0, 2);
+            b.bind(non_negative);
+            b.add(5, 5, 2);
+            b.addi(4, 4, 1);
+            b.li(1, 16);
+            b.blt(4, 1, loop);
+            b.ret();
+        }
+
+        // ---- queens(col r11): backtracking search.
+        {
+            b.bind(queens);
+            Label recurse = b.newLabel();
+            Label row_loop = b.newLabel();
+            Label next_row = b.newLabel();
+            b.bne(11, 22, recurse);
+            // col == 8: record the solution, audit occasionally.
+            b.ld(1, 21, 0);
+            b.addi(1, 1, 1);
+            b.st(21, 1, 0);
+            Label no_audit = b.newLabel();
+            b.andi(2, 1, 15);
+            b.bne(2, 0, no_audit);
+            emitPush(b, 31);
+            b.call(audit);
+            emitPop(b, 31);
+            b.bind(no_audit);
+            b.ret();
+            b.bind(recurse);
+            Label do_place = b.newLabel();
+            // Interpreter overhead: tag check plus a 3-element
+            // argument-list walk per eval.
+            b.bne(17, 18, error_exit);
+            b.li(9, 0);
+            Label eval_args = b.newLabel();
+            b.bind(eval_args);
+            b.addi(9, 9, 1);
+            b.li(10, 3);
+            b.blt(9, 10, eval_args);
+            emitPush(b, 31);
+            b.li(16, 0); // row
+            b.bind(row_loop);
+            // Odd/even row bookkeeping: a two-sided forward branch
+            // alternating every row (period 2 — pattern history
+            // captures it, one-bit and counter schemes cannot).
+            Label odd_row = b.newLabel();
+            b.andi(9, 16, 1);
+            b.bne(9, 0, odd_row);
+            b.addi(9, 9, 1);
+            b.bind(odd_row);
+            b.call(safe);
+            // Placement is the rarer outcome (~30%); it lives out of
+            // line, compiler-style.
+            b.bne(13, 0, do_place);
+            b.bind(next_row);
+            b.addi(16, 16, 1);
+            b.blt(16, 22, row_loop);
+            emitPop(b, 31);
+            b.ret();
+            b.bind(do_place);
+            b.slli(1, 11, 3); // place: board[col] = row
+            b.add(1, 1, 20);
+            b.st(1, 16, 0);
+            emitPush(b, 16);
+            emitPush(b, 11);
+            b.addi(11, 11, 1);
+            b.call(queens);
+            emitPop(b, 11);
+            emitPop(b, 16);
+            b.jmp(next_row);
+        }
+
+        // ---- safe(row r16, col r11) -> r13: conflict scan (leaf).
+        // The interpreter evaluates a distinct "safe?" expression per
+        // column, so the check is dispatched to one of eight
+        // per-column specializations — structurally identical clones
+        // with their own static branch sites, the way xlisp unfolds
+        // per-call-site bytecode.
+        {
+            b.bind(safe);
+            Label stable = b.newLabel();
+            std::vector<Label> clones;
+            for (int c = 0; c < 8; ++c)
+                clones.push_back(b.newLabel());
+            b.la(1, stable);
+            b.slli(2, 11, 2);
+            b.add(1, 1, 2);
+            b.jr(1);
+            b.bind(stable);
+            for (int c = 0; c < 8; ++c)
+                b.jmp(clones[c]);
+
+            for (int c = 0; c < 8; ++c) {
+                b.bind(clones[c]);
+                Label loop = b.newLabel();
+                Label done = b.newLabel();
+                Label unsafe = b.newLabel();
+                Label positive = b.newLabel();
+                // Tag check on the board object, then a property-list
+                // walk (fixed 3 links) — xlisp-style per-call
+                // overhead.
+                b.bne(17, 18, error_exit);
+                b.li(9, 0);
+                Label plist = b.newLabel();
+                b.bind(plist);
+                b.addi(9, 9, 1);
+                b.li(10, 3);
+                b.blt(9, 10, plist);
+                b.li(13, 1);
+                b.li(4, 0); // c
+                b.bind(loop);
+                b.bge(4, 11, done);
+                // Bounds check (always in range).
+                b.bge(4, 22, error_exit);
+                b.slli(1, 4, 3);
+                b.add(1, 1, 20);
+                b.ld(5, 1, 0); // board[c]
+                b.beq(5, 16, unsafe);
+                b.sub(6, 5, 16);
+                b.bge(6, 0, positive);
+                b.sub(6, 0, 6);
+                b.bind(positive);
+                b.sub(7, 11, 4);
+                b.beq(6, 7, unsafe);
+                b.addi(4, 4, 1);
+                b.jmp(loop);
+                b.bind(unsafe);
+                b.li(13, 0);
+                b.bind(done);
+                b.ret();
+            }
+        }
+
+        // Cold error exit for the (never-failing) interpreter checks.
+        b.bind(error_exit);
+        b.halt();
+
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLi()
+{
+    return std::make_unique<Li>();
+}
+
+} // namespace tlat::workloads

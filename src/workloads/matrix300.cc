@@ -1,0 +1,142 @@
+/**
+ * @file
+ * matrix300 mirror: dense double-precision matrix multiply.
+ *
+ * The SPEC'89 matrix300 benchmark multiplies 300x300 matrices with
+ * SAXPY-style inner loops; its branch behaviour is almost entirely
+ * long, regular loop-closing branches, which is why every history-based
+ * predictor scores near the top on it (paper Figures 5-10) and why
+ * BTFN also does well (Figure 9).
+ *
+ * This mirror runs a 240x240 multiply with the inner loop unrolled by
+ * four, giving the same character: very few static branches (paper
+ * Table 1: 213), a low dynamic branch fraction, and loop trip counts
+ * long enough that loop-exit mispredictions are rare.
+ */
+
+#include "emit_helpers.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kN = 240;
+constexpr unsigned kUnroll = 4;
+static_assert(kN % kUnroll == 0);
+
+class Matrix300 : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "matrix300"; }
+    bool isFloatingPoint() const override { return true; }
+    std::string testSet() const override { return "default"; }
+
+    std::optional<std::string>
+    trainSet() const override
+    {
+        return std::nullopt; // paper Table 3: NA
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        ProgramBuilder b("matrix300");
+
+        // r19 = A, r20 = B, r21 = C, r22 = N, r23 = row stride bytes.
+        const std::uint64_t a_base =
+            b.bss(static_cast<std::uint64_t>(kN * kN));
+        const std::uint64_t b_base =
+            b.bss(static_cast<std::uint64_t>(kN * kN));
+        const std::uint64_t c_base =
+            b.bss(static_cast<std::uint64_t>(kN * kN));
+        b.defineDataSymbol("matrix_a", a_base);
+        b.defineDataSymbol("matrix_b", b_base);
+        b.defineDataSymbol("matrix_c", c_base);
+        b.defineDataSymbol("n", static_cast<std::uint64_t>(kN));
+
+        b.loadImm(19, static_cast<std::int64_t>(a_base));
+        b.loadImm(20, static_cast<std::int64_t>(b_base));
+        b.loadImm(21, static_cast<std::int64_t>(c_base));
+        b.loadImm(22, kN);
+        b.loadImm(23, kN * 8);
+
+        // ---- initialization: A[i] = (i % 17) * 0.25, B[i] = (i % 23).
+        b.loadImm(5, kN * kN); // element count
+        b.li(4, 0);            // index
+        b.loadDouble(24, 0.25);
+        Label init_loop = b.newLabel();
+        b.bind(init_loop);
+        b.li(1, 17);
+        b.rem(2, 4, 1);
+        b.fcvt(2, 2);
+        b.fmul(2, 2, 24);
+        b.slli(3, 4, 3);
+        b.add(3, 3, 19);
+        b.st(3, 2, 0);
+        b.li(1, 23);
+        b.rem(2, 4, 1);
+        b.fcvt(2, 2);
+        b.slli(3, 4, 3);
+        b.add(3, 3, 20);
+        b.st(3, 2, 0);
+        b.addi(4, 4, 1);
+        b.blt(4, 5, init_loop);
+
+        // ---- triple loop: C[i][j] = sum_k A[i][k] * B[k][j].
+        b.li(4, 0); // i
+        Label loop_i = b.newLabel();
+        b.bind(loop_i);
+        b.li(5, 0); // j
+        Label loop_j = b.newLabel();
+        b.bind(loop_j);
+
+        b.li(7, 0);             // sum = 0.0 (bit pattern zero)
+        b.li(6, 0);             // k
+        b.mul(8, 4, 22);        // r8 = &A[i][0]
+        b.slli(8, 8, 3);
+        b.add(8, 8, 19);
+        b.slli(9, 5, 3);        // r9 = &B[0][j]
+        b.add(9, 9, 20);
+
+        Label loop_k = b.newLabel();
+        b.bind(loop_k);
+        for (unsigned u = 0; u < kUnroll; ++u) {
+            b.ld(2, 8, static_cast<std::int32_t>(u * 8));
+            b.ld(3, 9, 0);
+            b.fmul(2, 2, 3);
+            b.fadd(7, 7, 2);
+            b.add(9, 9, 23); // advance B down one row
+        }
+        b.addi(8, 8, kUnroll * 8);
+        b.addi(6, 6, kUnroll);
+        b.blt(6, 22, loop_k);
+
+        b.mul(1, 4, 22); // C[i][j] = sum
+        b.add(1, 1, 5);
+        b.slli(1, 1, 3);
+        b.add(1, 1, 21);
+        b.st(1, 7, 0);
+
+        b.addi(5, 5, 1);
+        b.blt(5, 22, loop_j);
+        b.addi(4, 4, 1);
+        b.blt(4, 22, loop_i);
+
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMatrix300()
+{
+    return std::make_unique<Matrix300>();
+}
+
+} // namespace tlat::workloads

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * spice2g6 mirror: circuit simulation — device evaluation dispatch plus
+ * sparse solve sweeps.
+ *
+ * SPICE's inner time-step loop alternates (a) device-model evaluation,
+ * a switch on device type leading to branchy model code, and (b) a
+ * sparse linear solve with short variable-length row loops. The mix of
+ * indirect dispatch (register-unconditional jumps through a jump
+ * table), biased region checks and short data-dependent loops makes it
+ * middling-predictable: harder than the array codes, easier than gcc.
+ *
+ * Data sets (paper Table 3): "greycode" (testing) and "short-greycode"
+ * (training) — the training input uses a smaller circuit with a
+ * different seed and a more regular device-type distribution.
+ */
+
+#include <vector>
+
+#include "emit_helpers.hh"
+#include "util/random.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+constexpr unsigned kNumDeviceTypes = 4;
+constexpr std::int64_t kNewtonIters = 3;
+
+class Spice2g6 : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "spice2g6"; }
+    bool isFloatingPoint() const override { return true; }
+    std::string testSet() const override { return "greycode"; }
+
+    std::optional<std::string>
+    trainSet() const override
+    {
+        return "short-greycode";
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        const bool shortInput = dataSet == "short-greycode";
+
+        // Circuit description differs between data sets.
+        const std::uint64_t num_devices = shortInput ? 48 : 80;
+        const std::uint64_t num_rows = shortInput ? 48 : 64;
+        Rng data_rng(shortInput ? 0x51ce2 : 0x51ce6);
+
+        ProgramBuilder b(name());
+
+        // Device table: one word per device, low 2 bits = type.
+        // The training circuit is dominated by type 0 (resistors).
+        std::vector<std::uint64_t> devices(num_devices);
+        for (auto &device : devices) {
+            const std::uint64_t draw = data_rng.nextBelow(100);
+            std::uint64_t type;
+            if (shortInput)
+                type = draw < 70 ? 0 : (draw < 85 ? 1 : (draw < 95 ? 2 : 3));
+            else
+                type = draw < 40 ? 0 : (draw < 65 ? 1 : (draw < 88 ? 2 : 3));
+            device = type | (data_rng.nextBelow(1u << 12) << 2);
+        }
+        const std::uint64_t dev_base = b.data(devices);
+
+        // Row lengths for the solve sweep: short and mode-heavy
+        // (circuit matrices have a few nonzeros per row).
+        std::vector<std::uint64_t> row_len(num_rows);
+        for (auto &len : row_len) {
+            const std::uint64_t draw = data_rng.nextBelow(100);
+            len = draw < 80 ? 3 : (draw < 95 ? 2 : 4);
+        }
+        const std::uint64_t len_base = b.data(row_len);
+
+        const std::uint64_t diag_base = b.bss(num_rows);
+        const std::uint64_t rhs_base = b.bss(num_rows);
+        LcgEmitter lcg(b, shortInput ? 0x1111 : 0x2222);
+
+        // r19 devices, r20 row lengths, r21 diag, r23 rhs.
+        b.loadImm(19, static_cast<std::int64_t>(dev_base));
+        b.loadImm(20, static_cast<std::int64_t>(len_base));
+        b.loadImm(21, static_cast<std::int64_t>(diag_base));
+        b.loadImm(23, static_cast<std::int64_t>(rhs_base));
+        b.loadImm(26, static_cast<std::int64_t>(num_devices));
+        b.loadImm(27, static_cast<std::int64_t>(num_rows));
+        b.loadDouble(24, 0.8125);
+        b.loadDouble(25, 1.0);
+
+        // Each device type has two model revisions (level-1 and
+        // level-2 models in SPICE terms), selected by a device
+        // parameter bit: eight executed handler bodies in all.
+        constexpr unsigned kNumHandlers = 2 * kNumDeviceTypes;
+        Label jtable = b.newLabel();
+        Label after_dispatch = b.newLabel();
+        std::vector<Label> handlers;
+        for (unsigned h = 0; h < kNumHandlers; ++h)
+            handlers.push_back(b.newLabel());
+
+        // ---- Newton iteration loop.
+        b.li(28, 0);
+        Label newton = b.newLabel();
+        b.bind(newton);
+
+        // -- device evaluation sweep.
+        b.li(4, 0); // device index
+        Label dev_loop = b.newLabel();
+        b.bind(dev_loop);
+        b.slli(1, 4, 3);
+        b.add(1, 1, 19);
+        b.ld(5, 1, 0);   // device word
+        b.andi(6, 5, 3); // type
+        b.srli(7, 5, 2); // device parameter
+        // Handler index = type | (model-revision bit << 2).
+        b.srli(2, 7, 5);
+        b.andi(2, 2, 1);
+        b.slli(2, 2, 2);
+        b.or_(6, 6, 2);
+
+        // Indirect dispatch through the jump-slot table.
+        b.la(1, jtable);
+        b.slli(2, 6, 2);
+        b.add(1, 1, 2);
+        b.jr(1);
+
+        b.bind(jtable);
+        for (unsigned h = 0; h < kNumHandlers; ++h)
+            b.jmp(handlers[h]);
+
+        // Device handlers: conductance-style FP updates with a region
+        // check; each returns by falling into after_dispatch. The
+        // second revision of each model applies an extra smoothing
+        // term (distinct static code, similar dynamics).
+        for (unsigned h = 0; h < kNumHandlers; ++h) {
+            const unsigned t = h % kNumDeviceTypes;
+            const bool revision2 = h >= kNumDeviceTypes;
+            b.bind(handlers[h]);
+            // g = param scaled into a double.
+            b.fcvt(8, 7);
+            for (unsigned i = 0; i <= t; ++i)
+                b.fmul(8, 8, 24);
+            if (revision2) {
+                b.fadd(8, 8, 25);
+                b.fmul(8, 8, 24);
+            }
+            if (t >= 2) {
+                // Nonlinear devices: region check on the parameter —
+                // biased by the data distribution.
+                Label linear_region = b.newLabel();
+                b.li(2, 1024);
+                b.blt(7, 2, linear_region);
+                b.fadd(8, 8, 25);
+                b.fmul(8, 8, 24);
+                b.bind(linear_region);
+            }
+            // diag[device % rows] += g
+            b.rem(2, 4, 27);
+            b.slli(2, 2, 3);
+            b.add(2, 2, 21);
+            b.ld(3, 2, 0);
+            b.fadd(3, 3, 8);
+            b.st(2, 3, 0);
+            b.jmp(after_dispatch);
+        }
+
+        b.bind(after_dispatch);
+        b.addi(4, 4, 1);
+        b.blt(4, 26, dev_loop);
+
+        // -- solve sweep: variable-length row loops.
+        b.li(4, 0); // row index
+        Label row_loop = b.newLabel();
+        b.bind(row_loop);
+        b.slli(1, 4, 3);
+        b.add(2, 1, 20);
+        b.ld(5, 2, 0);  // row length 1..8
+        b.add(2, 1, 21);
+        b.ld(8, 2, 0);  // diag value
+        b.li(6, 0);
+        Label elem_loop = b.newLabel();
+        b.bind(elem_loop);
+        b.fmul(8, 8, 24);
+        b.fadd(8, 8, 25);
+        b.addi(6, 6, 1);
+        b.blt(6, 5, elem_loop);
+        b.add(2, 1, 23);
+        b.st(2, 8, 0);  // rhs[row] = value
+
+        // Convergence-style check: occasionally rescale (biased,
+        // data-dependent).
+        Label no_rescale = b.newLabel();
+        b.fabs_(9, 8);
+        b.loadDouble(3, 512.0);
+        b.fle(9, 9, 3);
+        b.bne(9, 0, no_rescale);
+        b.fmul(8, 8, 24);
+        b.add(2, 1, 21);
+        b.st(2, 8, 0);
+        b.bind(no_rescale);
+
+        b.addi(4, 4, 1);
+        b.blt(4, 27, row_loop);
+
+        // -- time-step noise: perturb a random diag entry.
+        lcg.emitNextBelowPow2(b, 7, 8, 32);
+        b.slli(7, 7, 3);
+        b.add(7, 7, 21);
+        b.ld(8, 7, 0);
+        b.fmul(8, 8, 24);
+        b.st(7, 8, 0);
+
+        b.addi(28, 28, 1);
+        b.li(1, kNewtonIters);
+        b.blt(28, 1, newton);
+
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSpice2g6()
+{
+    return std::make_unique<Spice2g6>();
+}
+
+} // namespace tlat::workloads

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * tomcatv mirror: vectorized mesh-generation-style stencil sweeps.
+ *
+ * SPEC'89 tomcatv generates a mesh by relaxing *two* coordinate
+ * grids (X and Y): each iteration computes residuals over both grids
+ * with 5-point stencils, tracks the maximum residual, and applies a
+ * relaxation update. It is loop-bound (paper: "matrix300 and tomcatv
+ * have repetitive loop execution; thus, a very high prediction
+ * accuracy is attainable"), with the max-residual comparison adding
+ * a sprinkle of data-dependent, rarely-taken branches.
+ *
+ * The mirror relaxes two 128x128 grids, four iterations per program
+ * run: per grid, a residual sweep with a per-row max test and an
+ * update sweep — the X and Y code paths are distinct static branch
+ * sites, as in the Fortran original.
+ */
+
+#include "emit_helpers.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kM = 128;
+
+class Tomcatv : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "tomcatv"; }
+    bool isFloatingPoint() const override { return true; }
+    std::string testSet() const override { return "default"; }
+
+    std::optional<std::string>
+    trainSet() const override
+    {
+        return std::nullopt; // paper Table 3: NA
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        ProgramBuilder b("tomcatv");
+
+        const auto grid_words = static_cast<std::uint64_t>(kM * kM);
+        const std::uint64_t x_base = b.bss(grid_words);
+        const std::uint64_t rx_base = b.bss(grid_words);
+        const std::uint64_t y_base = b.bss(grid_words);
+        const std::uint64_t ry_base = b.bss(grid_words);
+        b.defineDataSymbol("grid_x", x_base);
+        b.defineDataSymbol("grid_r", rx_base);
+        b.defineDataSymbol("grid_y", y_base);
+        b.defineDataSymbol("grid_ry", ry_base);
+        b.defineDataSymbol("m", static_cast<std::uint64_t>(kM));
+
+        // r19 = X, r20 = RX, r21 = Y, r22 = RY, r23 = M,
+        // r24 = row stride in bytes.
+        b.loadImm(19, static_cast<std::int64_t>(x_base));
+        b.loadImm(20, static_cast<std::int64_t>(rx_base));
+        b.loadImm(21, static_cast<std::int64_t>(y_base));
+        b.loadImm(22, static_cast<std::int64_t>(ry_base));
+        b.loadImm(23, kM);
+        b.loadImm(24, kM * 8);
+
+        // ---- grid initialization (distinct formulas per grid).
+        emitInit(b, 19, 7, 3, 31);   // X[i][j] = ((7i+3j)%31)/8
+        emitInit(b, 21, 5, 11, 29);  // Y[i][j] = ((5i+11j)%29)/8
+
+        // Relaxation weight and the running maximum register.
+        b.loadDouble(26, 0.20);  // omega
+        b.loadDouble(27, 0.0);   // rmax (reset each iteration)
+
+        // ---- outer iterations: relax both grids.
+        b.li(28, 0); // iteration counter
+        Label iter_loop = b.newLabel();
+        b.bind(iter_loop);
+        b.li(27, 0); // rmax = 0.0
+        emitRelaxation(b, 19, 20); // X against RX
+        emitRelaxation(b, 21, 22); // Y against RY
+
+        b.addi(28, 28, 1);
+        b.li(1, 4);
+        b.blt(28, 1, iter_loop);
+
+        b.halt();
+        return b.build();
+    }
+
+  private:
+    /**
+     * Emits the grid-fill loop:
+     * grid[i][j] = ((i*c1 + j*c2) % mod) * 0.125.
+     * Clobbers r1-r6 and r25.
+     */
+    void
+    emitInit(ProgramBuilder &b, unsigned grid_reg, std::int32_t c1,
+             std::int32_t c2, std::int32_t mod) const
+    {
+        b.loadImm(5, kM * kM);
+        b.li(4, 0);
+        b.loadDouble(25, 0.125);
+        Label init_loop = b.newLabel();
+        b.bind(init_loop);
+        b.li(1, mod);
+        b.li(2, c1);
+        b.div(3, 4, 23);  // i = idx / M
+        b.rem(6, 4, 23);  // j = idx % M
+        b.mul(3, 3, 2);   // i * c1
+        b.li(2, c2);
+        b.mul(6, 6, 2);   // j * c2
+        b.add(3, 3, 6);
+        b.rem(3, 3, 1);
+        b.fcvt(3, 3);
+        b.fmul(3, 3, 25);
+        b.slli(2, 4, 3);
+        b.add(2, 2, grid_reg);
+        b.st(2, 3, 0);
+        b.addi(4, 4, 1);
+        b.blt(4, 5, init_loop);
+    }
+
+    /**
+     * Emits one relaxation iteration of one grid: the 5-point
+     * residual sweep with the per-row max test, then the update
+     * sweep. Distinct call sites produce distinct static branches,
+     * like the X and Y loop nests of the Fortran original.
+     * Clobbers r1-r10; reads r23/r24/r26, updates r27 (rmax).
+     */
+    void
+    emitRelaxation(ProgramBuilder &b, unsigned grid_reg,
+                   unsigned res_reg) const
+    {
+        // Residual sweep over the interior: i, j in [1, M-2].
+        Label new_max = b.newLabel();
+        Label after_max = b.newLabel();
+        b.li(4, 1); // i
+        Label res_i = b.newLabel();
+        b.bind(res_i);
+        // r8 = &grid[i][1], r9 = &res[i][1]
+        b.mul(8, 4, 23);
+        b.addi(8, 8, 1);
+        b.slli(8, 8, 3);
+        b.add(9, 8, res_reg);
+        b.add(8, 8, grid_reg);
+        b.li(10, 0); // row residual norm (0.0)
+        b.li(5, 1);  // j
+        Label res_j = b.newLabel();
+        b.bind(res_j);
+        // 5-point stencil residual:
+        //   r = 0.25*(N + S + E + W) - C
+        b.ld(1, 8, 0);           // C
+        b.ld(2, 8, 8);           // E
+        b.ld(3, 8, -8);          // W
+        b.fadd(2, 2, 3);
+        b.sub(6, 8, 24);         // &grid[i-1][j]
+        b.ld(3, 6, 0);           // N
+        b.fadd(2, 2, 3);
+        b.add(6, 8, 24);         // &grid[i+1][j]
+        b.ld(3, 6, 0);           // S
+        b.fadd(2, 2, 3);
+        b.loadDouble(6, 0.25);
+        b.fmul(2, 2, 6);
+        b.fsub(2, 2, 1);         // residual
+        b.st(9, 2, 0);
+        // Row norm accumulates branchlessly; the max test runs once
+        // per row below (the per-element compare of the original is
+        // reduced the way vectorizing compilers reduce it).
+        b.fabs_(2, 2);
+        b.fadd(10, 10, 2);
+        b.addi(8, 8, 8);
+        b.addi(9, 9, 8);
+        b.addi(5, 5, 1);
+        b.addi(1, 23, -1);
+        b.blt(5, 1, res_j);
+        // rmax = max(rmax, rownorm): a new maximum is the rare case
+        // and lives out of line.
+        b.fle(1, 10, 27);
+        b.beq(1, 0, new_max);
+        b.bind(after_max);
+        b.addi(4, 4, 1);
+        b.addi(1, 23, -1);
+        b.blt(4, 1, res_i);
+        Label res_done = b.newLabel();
+        b.jmp(res_done);
+        b.bind(new_max);
+        b.mov(27, 10);
+        b.jmp(after_max);
+        b.bind(res_done);
+
+        // Update sweep: grid += omega * res over the interior.
+        b.li(4, 1);
+        Label upd_i = b.newLabel();
+        b.bind(upd_i);
+        b.mul(8, 4, 23);
+        b.addi(8, 8, 1);
+        b.slli(8, 8, 3);
+        b.add(9, 8, res_reg);
+        b.add(8, 8, grid_reg);
+        b.li(5, 1);
+        Label upd_j = b.newLabel();
+        b.bind(upd_j);
+        b.ld(1, 8, 0);
+        b.ld(2, 9, 0);
+        b.fmul(2, 2, 26);
+        b.fadd(1, 1, 2);
+        b.st(8, 1, 0);
+        b.addi(8, 8, 8);
+        b.addi(9, 9, 8);
+        b.addi(5, 5, 1);
+        b.addi(1, 23, -1);
+        b.blt(5, 1, upd_j);
+        b.addi(4, 4, 1);
+        b.addi(1, 23, -1);
+        b.blt(4, 1, upd_i);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTomcatv()
+{
+    return std::make_unique<Tomcatv>();
+}
+
+} // namespace tlat::workloads

@@ -1,0 +1,75 @@
+#include "workload.hh"
+
+#include "util/logging.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+struct RegistryEntry
+{
+    const char *name;
+    std::unique_ptr<Workload> (*factory)();
+    bool floatingPoint;
+};
+
+// Presentation order follows the paper: integer benchmarks first.
+const RegistryEntry kRegistry[] = {
+    {"eqntott", makeEqntott, false},
+    {"espresso", makeEspresso, false},
+    {"gcc", makeGcc, false},
+    {"li", makeLi, false},
+    {"doduc", makeDoduc, true},
+    {"fpppp", makeFpppp, true},
+    {"matrix300", makeMatrix300, true},
+    {"spice2g6", makeSpice2g6, true},
+    {"tomcatv", makeTomcatv, true},
+};
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const RegistryEntry &entry : kRegistry)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+std::vector<std::string>
+integerWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const RegistryEntry &entry : kRegistry) {
+        if (!entry.floatingPoint)
+            names.emplace_back(entry.name);
+    }
+    return names;
+}
+
+std::vector<std::string>
+floatingPointWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const RegistryEntry &entry : kRegistry) {
+        if (entry.floatingPoint)
+            names.emplace_back(entry.name);
+    }
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    for (const RegistryEntry &entry : kRegistry) {
+        if (name == entry.name)
+            return entry.factory();
+    }
+    tlat_fatal("unknown workload '", name, "'");
+}
+
+} // namespace tlat::workloads

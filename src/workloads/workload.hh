@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload interface: the nine SPEC-mirror benchmarks of the study.
+ *
+ * Each workload is a micro88 program authored with the ProgramBuilder
+ * API, designed to mirror the branch character of one SPEC'89
+ * benchmark from the paper (see DESIGN.md for the substitution
+ * rationale). A workload exposes named *data sets* which change the
+ * program's initial data image but never its code, so Static
+ * Training's Same/Diff experiments see identical static branches
+ * across training and testing runs (paper Table 3).
+ */
+
+#ifndef TLAT_WORKLOADS_WORKLOAD_HH
+#define TLAT_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace tlat::workloads
+{
+
+/** One SPEC-mirror benchmark. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name, e.g. "gcc". */
+    virtual std::string name() const = 0;
+
+    /** True for the floating point benchmarks (doduc, fpppp, ...). */
+    virtual bool isFloatingPoint() const = 0;
+
+    /** Name of the testing data set (paper Table 3). */
+    virtual std::string testSet() const = 0;
+
+    /**
+     * Name of the training data set, if the benchmark has one distinct
+     * enough to be usable (paper Table 3 lists "NA" for eqntott,
+     * matrix300, fpppp and tomcatv).
+     */
+    virtual std::optional<std::string> trainSet() const = 0;
+
+    /** All data-set names this workload accepts. */
+    virtual std::vector<std::string> dataSets() const = 0;
+
+    /**
+     * Builds the program with the given data set's initial data image.
+     * Fatal if @p dataSet is not one of dataSets().
+     */
+    virtual isa::Program build(const std::string &dataSet) const = 0;
+
+    /** Builds with the testing data set. */
+    isa::Program buildTest() const { return build(testSet()); }
+};
+
+/** Names of the nine benchmarks, in the paper's presentation order. */
+std::vector<std::string> workloadNames();
+
+/** Names of the integer benchmarks. */
+std::vector<std::string> integerWorkloadNames();
+
+/** Names of the floating point benchmarks. */
+std::vector<std::string> floatingPointWorkloadNames();
+
+/** Instantiates a workload by name; fatal on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace tlat::workloads
+
+#endif // TLAT_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared base class for the nine workload implementations.
+ */
+
+#ifndef TLAT_WORKLOADS_WORKLOAD_BASE_HH
+#define TLAT_WORKLOADS_WORKLOAD_BASE_HH
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "workload.hh"
+
+namespace tlat::workloads
+{
+
+/** Implements the data-set bookkeeping common to all workloads. */
+class WorkloadBase : public Workload
+{
+  public:
+    std::vector<std::string>
+    dataSets() const override
+    {
+        std::vector<std::string> sets = {testSet()};
+        if (auto train = trainSet())
+            sets.push_back(*train);
+        return sets;
+    }
+
+  protected:
+    /** Fatal unless @p dataSet is one of dataSets(). */
+    void
+    checkDataSet(const std::string &dataSet) const
+    {
+        const auto sets = dataSets();
+        if (std::find(sets.begin(), sets.end(), dataSet) ==
+            sets.end()) {
+            tlat_fatal("workload '", name(), "' has no data set '",
+                       dataSet, "'");
+        }
+    }
+};
+
+// Factory functions, one per benchmark (defined in the per-benchmark
+// source files).
+std::unique_ptr<Workload> makeEqntott();
+std::unique_ptr<Workload> makeEspresso();
+std::unique_ptr<Workload> makeGcc();
+std::unique_ptr<Workload> makeLi();
+std::unique_ptr<Workload> makeDoduc();
+std::unique_ptr<Workload> makeFpppp();
+std::unique_ptr<Workload> makeMatrix300();
+std::unique_ptr<Workload> makeSpice2g6();
+std::unique_ptr<Workload> makeTomcatv();
+
+} // namespace tlat::workloads
+
+#endif // TLAT_WORKLOADS_WORKLOAD_BASE_HH

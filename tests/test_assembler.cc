@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the micro88 text assembler and disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disassembler.hh"
+#include "sim/simulator.hh"
+
+namespace tlat::isa
+{
+namespace
+{
+
+Program
+mustAssemble(const std::string &source)
+{
+    AssemblyResult result = assemble(source, "test");
+    const auto *error = std::get_if<AssemblyError>(&result);
+    EXPECT_EQ(error, nullptr)
+        << (error ? "line " + std::to_string(error->line) + ": " +
+                        error->message
+                  : "");
+    return std::get<Program>(std::move(result));
+}
+
+AssemblyError
+mustFail(const std::string &source)
+{
+    AssemblyResult result = assemble(source, "test");
+    const auto *error = std::get_if<AssemblyError>(&result);
+    EXPECT_NE(error, nullptr) << "expected assembly failure";
+    return error ? *error : AssemblyError{};
+}
+
+TEST(Assembler, BasicProgram)
+{
+    const Program p = mustAssemble(R"(
+        li   r1, 5
+        addi r1, r1, -2
+        halt
+    )");
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.code[0].opcode, Opcode::Li);
+    EXPECT_EQ(p.code[0].imm, 5);
+    EXPECT_EQ(p.code[1].opcode, Opcode::Addi);
+    EXPECT_EQ(p.code[1].imm, -2);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = mustAssemble(R"(
+        # full-line comment
+        nop ; trailing comment
+
+        halt # done
+    )");
+    EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward)
+{
+    const Program p = mustAssemble(R"(
+    top:
+        beq r0, r0, end
+        jmp top
+    end:
+        halt
+    )");
+    EXPECT_EQ(p.code[0].imm, 2);
+    EXPECT_EQ(p.code[1].imm, -1);
+    EXPECT_EQ(p.symbols.at("top"), 0u);
+    EXPECT_EQ(p.symbols.at("end"), 2u);
+}
+
+TEST(Assembler, AbsolutePcAsBranchTarget)
+{
+    const Program p = mustAssemble(R"(
+        beq r0, r0, 2
+        nop
+        halt
+    )");
+    EXPECT_EQ(p.code[0].imm, 2);
+}
+
+TEST(Assembler, MemoryOperandSyntax)
+{
+    const Program p = mustAssemble(R"(
+        ld r2, 16(r3)
+        st r4, -8(r5)
+        halt
+    )");
+    EXPECT_EQ(p.code[0].opcode, Opcode::Ld);
+    EXPECT_EQ(p.code[0].rd, 2);
+    EXPECT_EQ(p.code[0].rs1, 3);
+    EXPECT_EQ(p.code[0].imm, 16);
+    EXPECT_EQ(p.code[1].opcode, Opcode::St);
+    EXPECT_EQ(p.code[1].rs2, 4);
+    EXPECT_EQ(p.code[1].rs1, 5);
+    EXPECT_EQ(p.code[1].imm, -8);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program p = mustAssemble(R"(
+        halt
+    .word 1, 2, 0x10
+    .double 1.5
+    .space 3
+    )");
+    ASSERT_EQ(p.initialData.size(), 4u);
+    EXPECT_EQ(p.initialData[0], 1u);
+    EXPECT_EQ(p.initialData[2], 16u);
+    EXPECT_EQ(p.initialData[3], 0x3ff8000000000000ull);
+    EXPECT_EQ(p.dataWords, 7u);
+}
+
+TEST(Assembler, HexImmediates)
+{
+    const Program p = mustAssemble("li r1, 0x7f\nhalt\n");
+    EXPECT_EQ(p.code[0].imm, 0x7f);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    EXPECT_EQ(mustFail("nop\nbogus r1\nhalt\n").line, 2);
+    EXPECT_EQ(mustFail("addi r1, r2\n").line, 1);
+    EXPECT_EQ(mustFail("ld r1, 7(q9)\n").line, 1);
+    EXPECT_EQ(mustFail("beq r0, r0, nowhere\n").line, 1);
+    EXPECT_EQ(mustFail("li r32, 0\n").line, 1);
+    EXPECT_EQ(mustFail("x: nop\nx: nop\n").line, 2);
+    EXPECT_EQ(mustFail(".space -1\n").line, 1);
+}
+
+TEST(Assembler, ExecutesCorrectly)
+{
+    const Program p = mustAssemble(R"(
+        li   r1, 0
+        li   r2, 10
+    loop:
+        add  r1, r1, r2
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        halt
+    )");
+    sim::Simulator simulator(p);
+    simulator.run(nullptr, {});
+    EXPECT_EQ(simulator.reg(1), 55u); // 10 + 9 + ... + 1
+}
+
+TEST(Disassembler, FormatsOperands)
+{
+    Instruction add;
+    add.opcode = Opcode::Add;
+    add.rd = 1;
+    add.rs1 = 2;
+    add.rs2 = 3;
+    EXPECT_EQ(disassemble(add), "add r1, r2, r3");
+
+    Instruction load;
+    load.opcode = Opcode::Ld;
+    load.rd = 2;
+    load.rs1 = 3;
+    load.imm = 16;
+    EXPECT_EQ(disassemble(load), "ld r2, 16(r3)");
+
+    Instruction branch;
+    branch.opcode = Opcode::Beq;
+    branch.rs1 = 1;
+    branch.rs2 = 0;
+    branch.imm = -2;
+    EXPECT_EQ(disassemble(branch), "beq r1, r0, -2");
+    EXPECT_EQ(disassemble(branch, 10), "beq r1, r0, 8");
+
+    Instruction ret;
+    ret.opcode = Opcode::Ret;
+    EXPECT_EQ(disassemble(ret), "ret");
+}
+
+TEST(Disassembler, AssemblerRoundTrip)
+{
+    // Every disassembled instruction must re-assemble to itself.
+    const Program p = mustAssemble(R"(
+        add  r1, r2, r3
+        addi r4, r5, -7
+        li   r6, 99
+        ld   r7, 8(r8)
+        st   r9, 0(r10)
+        fadd r11, r12, r13
+        fneg r14, r15
+        beq  r1, r2, 8
+        jmp  9
+        jr   r16
+        ret
+        nop
+        halt
+    )");
+    for (std::uint64_t pc = 0; pc < p.code.size(); ++pc) {
+        const std::string text =
+            disassemble(p.code[pc], static_cast<std::int64_t>(pc));
+        const Program again = mustAssemble(text + "\n");
+        ASSERT_EQ(again.code.size(), 1u) << text;
+        // Branch targets were rendered absolute; relative imm is
+        // reconstructed from pc 0, so compare semantics via opcode
+        // and registers, and immediate for non-control-flow.
+        EXPECT_EQ(again.code[0].opcode, p.code[pc].opcode) << text;
+        if (!isControlFlow(p.code[pc].opcode)) {
+            EXPECT_EQ(again.code[0], p.code[pc]) << text;
+        }
+    }
+}
+
+} // namespace
+} // namespace tlat::isa

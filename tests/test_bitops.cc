@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for util/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace tlat
+{
+namespace
+{
+
+TEST(LowMask, Boundaries)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(12), 0xfffu);
+    EXPECT_EQ(lowMask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+    EXPECT_EQ(lowMask(65), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractsField)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(0xffffffffffffffffull, 0, 64),
+              0xffffffffffffffffull);
+}
+
+TEST(InsertBits, ReplacesField)
+{
+    EXPECT_EQ(insertBits(0, 0, 8, 0xab), 0xabu);
+    EXPECT_EQ(insertBits(0xff00, 0, 8, 0xab), 0xffabu);
+    // Field wider than len is truncated.
+    EXPECT_EQ(insertBits(0, 0, 4, 0xff), 0xfu);
+    // Round trip with bits().
+    const std::uint64_t v = insertBits(0x1234, 4, 8, 0x56);
+    EXPECT_EQ(bits(v, 4, 8), 0x56u);
+}
+
+TEST(IsPowerOfTwo, Classification)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(FloorLog2, Values)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(floorLog2(~std::uint64_t{0}), 63u);
+}
+
+TEST(CeilLog2, Values)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(PopCount, Values)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t{0}), 64u);
+    EXPECT_EQ(popCount(0x5555555555555555ull), 32u);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+    // Adjacent inputs should differ in many bits (avalanche).
+    const unsigned diff = popCount(mix64(100) ^ mix64(101));
+    EXPECT_GT(diff, 16u);
+    EXPECT_LT(diff, 48u);
+}
+
+TEST(SignExtend, Widths)
+{
+    EXPECT_EQ(signExtend(0x7fff, 16), 0x7fff);
+    EXPECT_EQ(signExtend(0x8000, 16), -0x8000);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0x1ffffff, 26), 0x1ffffff); // sign bit clear
+    EXPECT_EQ(signExtend(0x3ffffff, 26), -1);
+    EXPECT_EQ(signExtend(0x2000000, 26), -33554432);
+    // High garbage bits above the field are ignored.
+    EXPECT_EQ(signExtend(0xabcd0001, 16), 1);
+}
+
+/** Property: bits/insertBits round trip over a sweep of positions. */
+class BitFieldSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(BitFieldSweep, InsertThenExtract)
+{
+    const auto [lo, len] = GetParam();
+    const std::uint64_t pattern = 0xa5a5a5a5a5a5a5a5ull;
+    const std::uint64_t field = lowMask(len) & 0x123456789abcdefull;
+    const std::uint64_t combined = insertBits(pattern, lo, len, field);
+    EXPECT_EQ(bits(combined, lo, len), field);
+    // Bits below the field are untouched.
+    if (lo > 0) {
+        EXPECT_EQ(bits(combined, 0, lo), bits(pattern, 0, lo));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, BitFieldSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 7u, 16u, 31u, 47u),
+                       ::testing::Values(1u, 4u, 8u, 16u)));
+
+} // namespace
+} // namespace tlat

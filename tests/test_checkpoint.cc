@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for predictor checkpointing: a predictor restored from a
+ * mid-run checkpoint must continue with bit-identical predictions,
+ * across every HRT flavour and option combination; mismatched
+ * configurations and corrupt streams are rejected.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/two_level_predictor.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace tlat::core
+{
+namespace
+{
+
+struct CheckpointCase
+{
+    const char *label;
+    TableKind kind;
+    bool cached;
+    bool speculative;
+};
+
+class CheckpointSweep
+    : public ::testing::TestWithParam<CheckpointCase>
+{
+};
+
+TEST_P(CheckpointSweep, RestoredPredictorContinuesIdentically)
+{
+    const CheckpointCase &params = GetParam();
+    TwoLevelConfig config;
+    config.hrtKind = params.kind;
+    config.hrtEntries = 128;
+    config.historyBits = 10;
+    config.cachedPredictionBit = params.cached;
+    config.speculativeHistoryUpdate = params.speculative;
+
+    const trace::TraceBuffer trace = sim::collectTrace(
+        workloads::makeWorkload("gcc")->buildTest(), 6000);
+    const auto &records = trace.records();
+
+    // Run the original predictor over the first half.
+    TwoLevelPredictor original(config);
+    std::size_t half = records.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+        if (records[i].cls != trace::BranchClass::Conditional)
+            continue;
+        original.predict(records[i]);
+        original.update(records[i]);
+    }
+
+    // Checkpoint and restore into a fresh predictor.
+    std::stringstream checkpoint;
+    ASSERT_TRUE(original.saveCheckpoint(checkpoint));
+    TwoLevelPredictor restored(config);
+    ASSERT_TRUE(restored.loadCheckpoint(checkpoint));
+
+    // Both must agree on every remaining branch.
+    for (std::size_t i = half; i < records.size(); ++i) {
+        if (records[i].cls != trace::BranchClass::Conditional)
+            continue;
+        ASSERT_EQ(original.predict(records[i]),
+                  restored.predict(records[i]))
+            << params.label << " diverged at record " << i;
+        original.update(records[i]);
+        restored.update(records[i]);
+    }
+    EXPECT_EQ(original.hrtStats().hits, restored.hrtStats().hits);
+    EXPECT_EQ(original.hrtStats().misses,
+              restored.hrtStats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flavours, CheckpointSweep,
+    ::testing::Values(
+        CheckpointCase{"ideal", TableKind::Ideal, false, false},
+        CheckpointCase{"assoc", TableKind::Associative, false, false},
+        CheckpointCase{"hashed", TableKind::Hashed, false, false},
+        CheckpointCase{"assoc_cached", TableKind::Associative, true,
+                       false},
+        CheckpointCase{"assoc_spec", TableKind::Associative, false,
+                       true}),
+    [](const ::testing::TestParamInfo<CheckpointCase> &info) {
+        return std::string(info.param.label);
+    });
+
+TEST(Checkpoint, RejectsMismatchedConfiguration)
+{
+    TwoLevelConfig config;
+    config.hrtKind = TableKind::Associative;
+    config.hrtEntries = 128;
+    config.historyBits = 10;
+    TwoLevelPredictor source(config);
+    std::stringstream checkpoint;
+    ASSERT_TRUE(source.saveCheckpoint(checkpoint));
+
+    config.historyBits = 12; // different geometry
+    TwoLevelPredictor target(config);
+    EXPECT_FALSE(target.loadCheckpoint(checkpoint));
+}
+
+TEST(Checkpoint, RejectsGarbageAndTruncation)
+{
+    TwoLevelConfig config;
+    config.hrtKind = TableKind::Hashed;
+    config.hrtEntries = 64;
+    config.historyBits = 8;
+    TwoLevelPredictor predictor(config);
+
+    std::stringstream garbage("definitely not a checkpoint");
+    EXPECT_FALSE(predictor.loadCheckpoint(garbage));
+
+    std::stringstream checkpoint;
+    ASSERT_TRUE(predictor.saveCheckpoint(checkpoint));
+    const std::string full = checkpoint.str();
+    std::stringstream truncated(
+        full.substr(0, full.size() / 2));
+    EXPECT_FALSE(predictor.loadCheckpoint(truncated));
+}
+
+TEST(Checkpoint, RefusesWithInFlightSpeculation)
+{
+    TwoLevelConfig config;
+    config.hrtKind = TableKind::Ideal;
+    config.historyBits = 8;
+    config.speculativeHistoryUpdate = true;
+    TwoLevelPredictor predictor(config);
+
+    trace::BranchRecord record;
+    record.pc = 4;
+    record.cls = trace::BranchClass::Conditional;
+    record.taken = true;
+    predictor.predict(record); // speculation now in flight
+
+    std::stringstream checkpoint;
+    EXPECT_FALSE(predictor.saveCheckpoint(checkpoint));
+    predictor.update(record); // resolve it
+    EXPECT_TRUE(predictor.saveCheckpoint(checkpoint));
+}
+
+} // namespace
+} // namespace tlat::core

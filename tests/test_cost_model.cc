@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the hardware storage cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+
+namespace tlat::core
+{
+namespace
+{
+
+SchemeConfig
+parse(const std::string &name)
+{
+    const auto config = SchemeConfig::parse(name);
+    EXPECT_TRUE(config.has_value()) << name;
+    return config.value_or(SchemeConfig{});
+}
+
+TEST(CostModel, AutomatonStateBits)
+{
+    EXPECT_EQ(automatonStateBits(AutomatonKind::LastTime), 1u);
+    EXPECT_EQ(automatonStateBits(AutomatonKind::A1), 2u);
+    EXPECT_EQ(automatonStateBits(AutomatonKind::A2), 2u);
+    EXPECT_EQ(automatonStateBits(AutomatonKind::A3), 2u);
+    EXPECT_EQ(automatonStateBits(AutomatonKind::A4), 2u);
+}
+
+TEST(CostModel, FlagshipAtConfiguration)
+{
+    const StorageCost cost =
+        storageCost(parse("AT(AHRT(512,12SR),PT(2^12,A2),)"));
+    // History: 512 x 12 bits.
+    EXPECT_EQ(cost.historyBits, 512u * 12);
+    // Tags: 512 sets/4 = 128 sets -> 7 index bits; 30-bit addresses
+    // leave 23 tag bits + valid.
+    EXPECT_EQ(cost.tagBits, 512u * 24);
+    // LRU: 128 sets x 5 bits for 4-way true LRU.
+    EXPECT_EQ(cost.lruBits, 128u * 5);
+    // Pattern table: 4096 x 2-bit automata.
+    EXPECT_EQ(cost.patternBits, 4096u * 2);
+    EXPECT_EQ(cost.total(), cost.historyBits + cost.tagBits +
+                                cost.lruBits + cost.patternBits);
+}
+
+TEST(CostModel, CachedPredictionBitAddsOneBitPerEntry)
+{
+    const SchemeConfig config =
+        parse("AT(AHRT(512,12SR),PT(2^12,A2),)");
+    const StorageCost without = storageCost(config);
+    const StorageCost with =
+        storageCost(config, 1024, 30, /*cachedPredictionBit=*/true);
+    EXPECT_EQ(with.historyBits, without.historyBits + 512);
+}
+
+TEST(CostModel, HashedTableHasNoTagsOrLru)
+{
+    const StorageCost cost =
+        storageCost(parse("AT(HHRT(512,12SR),PT(2^12,A2),)"));
+    EXPECT_EQ(cost.tagBits, 0u);
+    EXPECT_EQ(cost.lruBits, 0u);
+    EXPECT_EQ(cost.historyBits, 512u * 12);
+}
+
+TEST(CostModel, IdealTableScalesWithStaticBranches)
+{
+    const SchemeConfig config = parse("AT(IHRT(,12SR),PT(2^12,A2),)");
+    const StorageCost small = storageCost(config, 100);
+    const StorageCost large = storageCost(config, 7000);
+    EXPECT_EQ(small.historyBits, 100u * 12);
+    EXPECT_EQ(large.historyBits, 7000u * 12);
+    EXPECT_EQ(small.patternBits, large.patternBits);
+}
+
+TEST(CostModel, StaticTrainingPatternEntriesAreOneBit)
+{
+    // "the state transition logic in the pattern table is simpler
+    // for the Static Training scheme" — one preset bit per entry vs
+    // a 2-bit automaton.
+    const StorageCost st =
+        storageCost(parse("ST(AHRT(512,12SR),PT(2^12,PB),Same)"));
+    const StorageCost at =
+        storageCost(parse("AT(AHRT(512,12SR),PT(2^12,A2),)"));
+    EXPECT_EQ(st.patternBits, 4096u);
+    EXPECT_EQ(at.patternBits, 2 * st.patternBits);
+    // The history side is identical: "the history register table and
+    // pattern table required by both schemes are similar."
+    EXPECT_EQ(st.historyBits, at.historyBits);
+    EXPECT_EQ(st.tagBits, at.tagBits);
+}
+
+TEST(CostModel, LeeSmithEntriesAreAutomata)
+{
+    const StorageCost a2 =
+        storageCost(parse("LS(AHRT(512,A2),,)"));
+    EXPECT_EQ(a2.historyBits, 512u * 2);
+    EXPECT_EQ(a2.patternBits, 0u);
+    const StorageCost lt =
+        storageCost(parse("LS(AHRT(512,LT),,)"));
+    EXPECT_EQ(lt.historyBits, 512u * 1);
+}
+
+TEST(CostModel, StaticSchemesAreFree)
+{
+    for (const char *name : {"AlwaysTaken", "BTFN", "Profile"}) {
+        // Profile's counters live in software/profiling, not in the
+        // predictor hardware.
+        EXPECT_EQ(storageCost(parse(name)).total(), 0u) << name;
+    }
+}
+
+TEST(CostModel, LongerHistoryCostsExponentialPatternBits)
+{
+    const StorageCost k6 =
+        storageCost(parse("AT(AHRT(512,6SR),PT(2^6,A2),)"));
+    const StorageCost k12 =
+        storageCost(parse("AT(AHRT(512,12SR),PT(2^12,A2),)"));
+    EXPECT_EQ(k6.patternBits, 64u * 2);
+    EXPECT_EQ(k12.patternBits, 4096u * 2);
+    EXPECT_LT(k6.total(), k12.total());
+}
+
+} // namespace
+} // namespace tlat::core

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the design-space exploration helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/design_space.hh"
+
+namespace tlat::harness
+{
+namespace
+{
+
+TEST(DesignPoint, SchemeNamesParseUnderTheTable2Grammar)
+{
+    const DesignPoint assoc{12, core::TableKind::Associative, 512};
+    EXPECT_EQ(assoc.schemeName(),
+              "AT(AHRT(512,12SR),PT(2^12,A2),)");
+    EXPECT_TRUE(
+        core::SchemeConfig::parse(assoc.schemeName()).has_value());
+
+    const DesignPoint ideal{8, core::TableKind::Ideal, 0};
+    EXPECT_EQ(ideal.schemeName(), "AT(IHRT(,8SR),PT(2^8,A2),)");
+    EXPECT_TRUE(
+        core::SchemeConfig::parse(ideal.schemeName()).has_value());
+}
+
+TEST(DesignPoint, LabelsAreCompactAndDistinct)
+{
+    EXPECT_EQ((DesignPoint{12, core::TableKind::Associative, 512})
+                  .label(),
+              "k12/A512");
+    EXPECT_EQ((DesignPoint{6, core::TableKind::Hashed, 256}).label(),
+              "k6/H256");
+    EXPECT_EQ((DesignPoint{10, core::TableKind::Ideal, 0}).label(),
+              "k10/I");
+}
+
+TEST(DesignPoint, StorageBitsMatchCostModel)
+{
+    const DesignPoint point{12, core::TableKind::Associative, 512};
+    const auto expected =
+        core::storageCost(
+            *core::SchemeConfig::parse(point.schemeName()))
+            .total();
+    EXPECT_EQ(point.storageBits(), expected);
+    // Longer history costs more (exponential pattern table).
+    const DesignPoint longer{14, core::TableKind::Associative, 512};
+    EXPECT_GT(longer.storageBits(), point.storageBits());
+}
+
+TEST(GridPoints, CartesianWithIdealCollapsed)
+{
+    const auto points = gridPoints(
+        {8, 12},
+        {core::TableKind::Ideal, core::TableKind::Associative},
+        {256, 512});
+    // Per history length: 1 ideal + 2 associative = 3.
+    ASSERT_EQ(points.size(), 6u);
+    int ideal_count = 0;
+    for (const DesignPoint &point : points)
+        ideal_count += point.hrtKind == core::TableKind::Ideal;
+    EXPECT_EQ(ideal_count, 2);
+}
+
+TEST(Frontier, BestUnderBudgetAndPareto)
+{
+    // Hand-built entries: (cost, accuracy).
+    const auto entry = [](std::uint64_t bits, double accuracy) {
+        FrontierEntry e;
+        e.point = DesignPoint{12, core::TableKind::Associative, 512};
+        e.storageBits = bits;
+        e.totalMeanAccuracy = accuracy;
+        return e;
+    };
+    const std::vector<FrontierEntry> entries = {
+        entry(1000, 90.0), entry(2000, 95.0), entry(3000, 94.0),
+        entry(4000, 97.0), entry(2500, 95.0),
+    };
+
+    // Budget selection.
+    EXPECT_FALSE(bestUnderBudget(entries, 500).has_value());
+    EXPECT_EQ(bestUnderBudget(entries, 1500)->storageBits, 1000u);
+    // Tie at 95.0: the cheaper one (2000) wins.
+    EXPECT_EQ(bestUnderBudget(entries, 2600)->storageBits, 2000u);
+    EXPECT_DOUBLE_EQ(
+        bestUnderBudget(entries, 10000)->totalMeanAccuracy, 97.0);
+
+    // Pareto frontier: 1000/90, 2000/95, 4000/97. The 3000/94 and
+    // 2500/95 points are dominated.
+    const auto frontier = paretoFrontier(entries);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].storageBits, 1000u);
+    EXPECT_EQ(frontier[1].storageBits, 2000u);
+    EXPECT_EQ(frontier[2].storageBits, 4000u);
+}
+
+TEST(Sweep, EndToEndOnSmallGrid)
+{
+    BenchmarkSuite suite(2000);
+    const auto points = gridPoints(
+        {6, 8}, {core::TableKind::Associative}, {256});
+    const AccuracyReport report = sweepDesignSpace(suite, points);
+    const auto entries = measureFrontier(points, report);
+    ASSERT_EQ(entries.size(), 2u);
+    for (const FrontierEntry &e : entries) {
+        EXPECT_GT(e.totalMeanAccuracy, 50.0);
+        EXPECT_GT(e.storageBits, 0u);
+    }
+    // More history never costs less.
+    EXPECT_GT(entries[1].storageBits, entries[0].storageBits);
+}
+
+} // namespace
+} // namespace tlat::harness

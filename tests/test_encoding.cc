@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit and property tests for micro88 binary encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+#include "util/random.hh"
+
+namespace tlat::isa
+{
+namespace
+{
+
+Instruction
+makeInstruction(Opcode opcode, unsigned rd, unsigned rs1, unsigned rs2,
+                std::int32_t imm)
+{
+    Instruction instruction;
+    instruction.opcode = opcode;
+    instruction.rd = static_cast<std::uint8_t>(rd);
+    instruction.rs1 = static_cast<std::uint8_t>(rs1);
+    instruction.rs2 = static_cast<std::uint8_t>(rs2);
+    instruction.imm = imm;
+    return instruction;
+}
+
+TEST(Encoding, RFormatRoundTrip)
+{
+    const Instruction in =
+        makeInstruction(Opcode::Add, 3, 17, 31, 0);
+    const auto out = decode(encode(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, in);
+}
+
+TEST(Encoding, ImmediateSignRoundTrip)
+{
+    for (std::int32_t imm :
+         {0, 1, -1, 100, -100, kImm16Min, kImm16Max}) {
+        const Instruction in =
+            makeInstruction(Opcode::Addi, 4, 5, 0, imm);
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->imm, imm) << imm;
+    }
+}
+
+TEST(Encoding, JumpImm26RoundTrip)
+{
+    for (std::int32_t imm :
+         {0, 1, -1, kImm26Min, kImm26Max, 12345, -54321}) {
+        const Instruction in =
+            makeInstruction(Opcode::Jmp, 0, 0, 0, imm);
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->imm, imm) << imm;
+    }
+}
+
+TEST(Encoding, StoreFormatRoundTrip)
+{
+    const Instruction in = makeInstruction(Opcode::St, 0, 9, 12, -48);
+    const auto out = decode(encode(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rs1, 9);
+    EXPECT_EQ(out->rs2, 12);
+    EXPECT_EQ(out->imm, -48);
+}
+
+TEST(Encoding, DecodeRejectsBadOpcodeField)
+{
+    const std::uint32_t bad =
+        static_cast<std::uint32_t>(Opcode::NumOpcodes) << 26;
+    EXPECT_FALSE(decode(bad).has_value());
+    EXPECT_FALSE(decode(0xffffffffu).has_value());
+}
+
+TEST(Encoding, IsEncodableBoundaries)
+{
+    EXPECT_TRUE(isEncodable(
+        makeInstruction(Opcode::Addi, 0, 0, 0, kImm16Max)));
+    EXPECT_FALSE(isEncodable(
+        makeInstruction(Opcode::Addi, 0, 0, 0, kImm16Max + 1)));
+    EXPECT_FALSE(isEncodable(
+        makeInstruction(Opcode::Addi, 0, 0, 0, kImm16Min - 1)));
+    EXPECT_TRUE(isEncodable(
+        makeInstruction(Opcode::Jmp, 0, 0, 0, kImm26Min)));
+    EXPECT_FALSE(isEncodable(
+        makeInstruction(Opcode::Jmp, 0, 0, 0, kImm26Min - 1)));
+    EXPECT_FALSE(
+        isEncodable(makeInstruction(Opcode::Add, 32, 0, 0, 0)));
+}
+
+/** Property: random valid instructions of every opcode round trip. */
+class EncodingSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EncodingSweep, RandomRoundTrip)
+{
+    const auto opcode = static_cast<Opcode>(GetParam());
+    Rng rng(GetParam() * 977 + 5);
+    for (int i = 0; i < 200; ++i) {
+        Instruction in;
+        in.opcode = opcode;
+        switch (opcodeFormat(opcode)) {
+          case Format::R:
+            in.rd = static_cast<std::uint8_t>(rng.nextBelow(32));
+            in.rs1 = static_cast<std::uint8_t>(rng.nextBelow(32));
+            in.rs2 = static_cast<std::uint8_t>(rng.nextBelow(32));
+            break;
+          case Format::R2:
+            in.rd = static_cast<std::uint8_t>(rng.nextBelow(32));
+            in.rs1 = static_cast<std::uint8_t>(rng.nextBelow(32));
+            break;
+          case Format::RI:
+            in.rd = static_cast<std::uint8_t>(rng.nextBelow(32));
+            in.rs1 = static_cast<std::uint8_t>(rng.nextBelow(32));
+            in.imm = static_cast<std::int32_t>(
+                rng.nextInRange(kImm16Min, kImm16Max));
+            break;
+          case Format::RdImm:
+            in.rd = static_cast<std::uint8_t>(rng.nextBelow(32));
+            in.imm = static_cast<std::int32_t>(
+                rng.nextInRange(kImm16Min, kImm16Max));
+            break;
+          case Format::Store:
+          case Format::Branch:
+            in.rs1 = static_cast<std::uint8_t>(rng.nextBelow(32));
+            in.rs2 = static_cast<std::uint8_t>(rng.nextBelow(32));
+            in.imm = static_cast<std::int32_t>(
+                rng.nextInRange(kImm16Min, kImm16Max));
+            break;
+          case Format::Jump:
+            in.imm = static_cast<std::int32_t>(
+                rng.nextInRange(kImm26Min, kImm26Max));
+            break;
+          case Format::JumpReg:
+            in.rs1 = static_cast<std::uint8_t>(rng.nextBelow(32));
+            break;
+          case Format::None:
+            break;
+        }
+        ASSERT_TRUE(isEncodable(in));
+        const auto out = decode(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, in)
+            << opcodeName(opcode) << " iteration " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodingSweep,
+    ::testing::Range(
+        0u, static_cast<unsigned>(Opcode::NumOpcodes)),
+    [](const ::testing::TestParamInfo<unsigned> &info) {
+        return std::string(
+            opcodeName(static_cast<Opcode>(info.param)));
+    });
+
+} // namespace
+} // namespace tlat::isa

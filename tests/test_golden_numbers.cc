@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Golden-number regression pins: the whole stack — workload
+ * generation, the micro88 simulator, trace collection and the
+ * predictors — is deterministic, so the flagship accuracies at a
+ * fixed small budget are exact constants. Any change to an opcode's
+ * semantics, a workload's code generation, an LCG constant or a
+ * predictor's update rule shows up here immediately.
+ *
+ * If a change is *intentional* (e.g. retuning a workload), re-derive
+ * the constants by running the schemes at budget 20000 and update the
+ * table — and mention it in EXPERIMENTS.md, since every figure moves
+ * with them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/figure_runner.hh"
+
+namespace tlat
+{
+namespace
+{
+
+struct GoldenRow
+{
+    const char *benchmark;
+    double at;   // AT(AHRT(512,12SR),PT(2^12,A2),)
+    double ls;   // LS(AHRT(512,A2),,)
+    double btfn; // BTFN
+};
+
+// Derived at TLAT_BRANCH_BUDGET = 20000 (exact, deterministic).
+constexpr GoldenRow kGolden[] = {
+    {"eqntott", 96.355000, 92.265000, 70.155000},
+    {"espresso", 99.495000, 86.520000, 73.310000},
+    {"gcc", 92.355000, 89.785000, 80.720000},
+    {"li", 83.165000, 80.390000, 81.960000},
+    {"doduc", 94.360000, 85.055000, 76.275000},
+    {"fpppp", 96.045000, 87.790000, 55.405000},
+    {"matrix300", 100.000000, 100.000000, 100.000000},
+    {"spice2g6", 92.105000, 80.885000, 81.325000},
+    {"tomcatv", 99.995000, 99.995000, 99.995000},
+};
+
+TEST(GoldenNumbers, FlagshipAccuraciesAreExact)
+{
+    harness::BenchmarkSuite suite(20000);
+    const harness::AccuracyReport report = harness::runSchemes(
+        suite, "golden",
+        {"AT(AHRT(512,12SR),PT(2^12,A2),)", "LS(AHRT(512,A2),,)",
+         "BTFN"},
+        {"at", "ls", "btfn"});
+    for (const GoldenRow &row : kGolden) {
+        EXPECT_NEAR(report.cell(row.benchmark, "at"), row.at, 1e-6)
+            << row.benchmark;
+        EXPECT_NEAR(report.cell(row.benchmark, "ls"), row.ls, 1e-6)
+            << row.benchmark;
+        EXPECT_NEAR(report.cell(row.benchmark, "btfn"), row.btfn,
+                    1e-6)
+            << row.benchmark;
+    }
+}
+
+} // namespace
+} // namespace tlat

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the HRT storage strategies: ideal, set-associative
+ * (tags + LRU) and tagless hashed, including the paper's
+ * no-reinitialization-on-reallocation rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/history_table.hh"
+
+namespace tlat::core
+{
+namespace
+{
+
+struct Payload
+{
+    int value = -1;
+    bool operator==(const Payload &other) const = default;
+};
+
+TEST(TableKindNames, Rendering)
+{
+    EXPECT_STREQ(tableKindName(TableKind::Ideal), "IHRT");
+    EXPECT_STREQ(tableKindName(TableKind::Associative), "AHRT");
+    EXPECT_STREQ(tableKindName(TableKind::Hashed), "HHRT");
+}
+
+TEST(IdealTable, OneEntryPerAddressNeverEvicts)
+{
+    IdealTable<Payload> table(Payload{7});
+    for (std::uint64_t pc = 0; pc < 1000 * 4; pc += 4) {
+        Payload &entry = table.lookup(pc);
+        EXPECT_EQ(entry.value, 7);
+        entry.value = static_cast<int>(pc);
+    }
+    EXPECT_EQ(table.size(), 1000u);
+    for (std::uint64_t pc = 0; pc < 1000 * 4; pc += 4)
+        EXPECT_EQ(table.lookup(pc).value, static_cast<int>(pc));
+    EXPECT_EQ(table.stats().misses, 1000u);
+    EXPECT_EQ(table.stats().hits, 1000u);
+}
+
+TEST(IdealTable, Reset)
+{
+    IdealTable<Payload> table(Payload{1});
+    table.lookup(4).value = 9;
+    table.reset();
+    EXPECT_EQ(table.lookup(4).value, 1);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(AssociativeTable, HitsWithinTheWorkingSet)
+{
+    // 8 entries, 4-way => 2 sets. Two branches mapping to different
+    // sets always hit after first touch.
+    AssociativeTable<Payload> table(8, 4, Payload{0});
+    table.lookup(0 * 4).value = 1;
+    table.lookup(1 * 4).value = 2;
+    EXPECT_EQ(table.lookup(0 * 4).value, 1);
+    EXPECT_EQ(table.lookup(1 * 4).value, 2);
+    EXPECT_EQ(table.stats().misses, 2u);
+    EXPECT_EQ(table.stats().hits, 2u);
+}
+
+TEST(AssociativeTable, LruEvictsLeastRecentlyUsed)
+{
+    // One set (4 entries, 4-way): pcs 0,8,16,24 (all even set bits —
+    // with 1 set every line maps to set 0).
+    AssociativeTable<Payload> table(4, 4, Payload{0});
+    for (int i = 0; i < 4; ++i)
+        table.lookup(static_cast<std::uint64_t>(i) * 4).value = i;
+    // Touch 0,1,2 so 3 is LRU.
+    table.lookup(0);
+    table.lookup(4);
+    table.lookup(8);
+    // A fifth branch evicts pc 12 (value 3).
+    table.lookup(16 * 4).value = 99;
+    // pc 12 misses now; pcs 0,4,8 still hit with their payloads.
+    EXPECT_EQ(table.lookup(0).value, 0);
+    EXPECT_EQ(table.lookup(4).value, 1);
+    EXPECT_EQ(table.lookup(8).value, 2);
+    const std::uint64_t misses_before = table.stats().misses;
+    table.lookup(12);
+    EXPECT_EQ(table.stats().misses, misses_before + 1);
+}
+
+TEST(AssociativeTable, ReallocationKeepsPayload)
+{
+    // Paper Section 4.2: "when an entry is re-allocated to a
+    // different static branch, the history register is not
+    // re-initialized."
+    AssociativeTable<Payload> table(4, 4, Payload{5});
+    for (int i = 0; i < 4; ++i)
+        table.lookup(static_cast<std::uint64_t>(i) * 4).value = 10 + i;
+    // Evict the LRU entry (pc 0) with a new branch: the new branch
+    // must inherit value 10, not the initial 5.
+    EXPECT_EQ(table.lookup(100 * 4).value, 10);
+}
+
+TEST(AssociativeTable, TagsDistinguishAliasedAddresses)
+{
+    // 4 entries, 4-way = 1 set: all addresses alias the set but tags
+    // keep them distinct.
+    AssociativeTable<Payload> table(4, 4, Payload{0});
+    table.lookup(0x1000).value = 1;
+    table.lookup(0x2000).value = 2;
+    EXPECT_EQ(table.lookup(0x1000).value, 1);
+    EXPECT_EQ(table.lookup(0x2000).value, 2);
+}
+
+TEST(AssociativeTable, GeometryAccessors)
+{
+    AssociativeTable<Payload> table(512, 4, Payload{});
+    EXPECT_EQ(table.numSets(), 128u);
+    EXPECT_EQ(table.associativity(), 4u);
+    EXPECT_EQ(table.kind(), TableKind::Associative);
+}
+
+TEST(AssociativeTable, Reset)
+{
+    AssociativeTable<Payload> table(8, 4, Payload{3});
+    table.lookup(4).value = 9;
+    table.reset();
+    EXPECT_EQ(table.lookup(4).value, 3);
+    EXPECT_EQ(table.stats().misses, 1u);
+    EXPECT_EQ(table.stats().hits, 0u);
+}
+
+TEST(HashedTable, CollisionsShareEntries)
+{
+    // 4 entries, low-bit indexing on pc>>2: pcs 0 and 16 collide
+    // (lines 0 and 4, index 0).
+    HashedTable<Payload> table(4, Payload{0});
+    table.lookup(0).value = 42;
+    EXPECT_EQ(table.lookup(16).value, 42); // interference!
+    table.lookup(16).value = 7;
+    EXPECT_EQ(table.lookup(0).value, 7);
+}
+
+TEST(HashedTable, DistinctIndicesAreIndependent)
+{
+    HashedTable<Payload> table(4, Payload{0});
+    table.lookup(0 * 4).value = 1;
+    table.lookup(1 * 4).value = 2;
+    table.lookup(2 * 4).value = 3;
+    EXPECT_EQ(table.lookup(0 * 4).value, 1);
+    EXPECT_EQ(table.lookup(1 * 4).value, 2);
+    EXPECT_EQ(table.lookup(2 * 4).value, 3);
+}
+
+TEST(HashedTable, MixedHashSpreadsStridedAddresses)
+{
+    // Addresses striding by table-size*4 all collide with low-bit
+    // indexing but spread under the mixed hash.
+    HashedTable<Payload> low(16, Payload{0}, 2, HashKind::LowBits);
+    HashedTable<Payload> mixed(16, Payload{0}, 2, HashKind::Mixed);
+    int low_collisions = 0;
+    int mixed_collisions = 0;
+    for (int i = 0; i < 8; ++i) {
+        const std::uint64_t pc = static_cast<std::uint64_t>(i) * 16 * 4;
+        Payload &le = low.lookup(pc);
+        if (le.value == 1)
+            ++low_collisions;
+        le.value = 1;
+        Payload &me = mixed.lookup(pc);
+        if (me.value == 1)
+            ++mixed_collisions;
+        me.value = 1;
+    }
+    EXPECT_EQ(low_collisions, 7);
+    EXPECT_LT(mixed_collisions, 7);
+}
+
+TEST(HashedTable, FirstTouchCountsAsMiss)
+{
+    HashedTable<Payload> table(8, Payload{0});
+    table.lookup(0);
+    table.lookup(0);
+    table.lookup(32); // collides with 0 (8 entries): counted a hit
+    EXPECT_EQ(table.stats().misses, 1u);
+    EXPECT_EQ(table.stats().hits, 2u);
+}
+
+TEST(TableStats, HitRatio)
+{
+    TableStats stats;
+    EXPECT_EQ(stats.hitRatio(), 0.0);
+    stats.hits = 3;
+    stats.misses = 1;
+    EXPECT_DOUBLE_EQ(stats.hitRatio(), 0.75);
+}
+
+TEST(HashedTableDeath, NonPowerOfTwoSizeIsRejected)
+{
+    EXPECT_DEATH(HashedTable<Payload>(100, Payload{}),
+                 "power of two");
+}
+
+TEST(AssociativeTableDeath, BadGeometryIsRejected)
+{
+    EXPECT_DEATH(AssociativeTable<Payload>(10, 4, Payload{}),
+                 "divisible");
+    EXPECT_DEATH(AssociativeTable<Payload>(12, 4, Payload{}),
+                 "power of two");
+}
+
+} // namespace
+} // namespace tlat::core

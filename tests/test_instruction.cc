@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the micro88 opcode metadata tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+namespace tlat::isa
+{
+namespace
+{
+
+constexpr unsigned kNumOpcodes =
+    static_cast<unsigned>(Opcode::NumOpcodes);
+
+TEST(OpcodeTable, NamesRoundTrip)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        const auto opcode = static_cast<Opcode>(i);
+        const std::string name = opcodeName(opcode);
+        EXPECT_FALSE(name.empty());
+        EXPECT_EQ(opcodeFromName(name), opcode) << name;
+    }
+}
+
+TEST(OpcodeTable, NamesAreUnique)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        for (unsigned j = i + 1; j < kNumOpcodes; ++j) {
+            EXPECT_STRNE(opcodeName(static_cast<Opcode>(i)),
+                         opcodeName(static_cast<Opcode>(j)));
+        }
+    }
+}
+
+TEST(OpcodeTable, UnknownNameRejected)
+{
+    EXPECT_EQ(opcodeFromName("bogus"), Opcode::NumOpcodes);
+    EXPECT_EQ(opcodeFromName(""), Opcode::NumOpcodes);
+    // Names are lowercase; uppercase is not accepted.
+    EXPECT_EQ(opcodeFromName("ADD"), Opcode::NumOpcodes);
+}
+
+TEST(BranchClassification, ConditionalBranches)
+{
+    const Opcode conditionals[] = {Opcode::Beq,  Opcode::Bne,
+                                   Opcode::Blt,  Opcode::Bge,
+                                   Opcode::Bltu, Opcode::Bgeu};
+    for (Opcode opcode : conditionals) {
+        EXPECT_TRUE(isConditionalBranch(opcode));
+        EXPECT_TRUE(isControlFlow(opcode));
+        EXPECT_EQ(opcodeFormat(opcode), Format::Branch);
+    }
+}
+
+TEST(BranchClassification, UnconditionalControlFlow)
+{
+    for (Opcode opcode :
+         {Opcode::Jmp, Opcode::Call, Opcode::Jr, Opcode::Ret}) {
+        EXPECT_FALSE(isConditionalBranch(opcode));
+        EXPECT_TRUE(isControlFlow(opcode));
+    }
+}
+
+TEST(BranchClassification, NonBranches)
+{
+    for (Opcode opcode : {Opcode::Add, Opcode::Ld, Opcode::St,
+                          Opcode::Fadd, Opcode::Nop, Opcode::Halt}) {
+        EXPECT_FALSE(isConditionalBranch(opcode));
+        EXPECT_FALSE(isControlFlow(opcode));
+    }
+}
+
+TEST(Groups, SemanticGroups)
+{
+    EXPECT_EQ(opcodeGroup(Opcode::Add), InstrGroup::IntAlu);
+    EXPECT_EQ(opcodeGroup(Opcode::Addi), InstrGroup::IntAlu);
+    EXPECT_EQ(opcodeGroup(Opcode::Fmul), InstrGroup::FpAlu);
+    EXPECT_EQ(opcodeGroup(Opcode::Fsqrt), InstrGroup::FpAlu);
+    EXPECT_EQ(opcodeGroup(Opcode::Ld), InstrGroup::Memory);
+    EXPECT_EQ(opcodeGroup(Opcode::St), InstrGroup::Memory);
+    EXPECT_EQ(opcodeGroup(Opcode::Beq), InstrGroup::ControlFlow);
+    EXPECT_EQ(opcodeGroup(Opcode::Ret), InstrGroup::ControlFlow);
+    EXPECT_EQ(opcodeGroup(Opcode::Nop), InstrGroup::Other);
+    EXPECT_EQ(opcodeGroup(Opcode::Halt), InstrGroup::Other);
+}
+
+TEST(Formats, EveryOpcodeHasAFormat)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        const Format format = opcodeFormat(static_cast<Opcode>(i));
+        EXPECT_LE(static_cast<unsigned>(format),
+                  static_cast<unsigned>(Format::None));
+    }
+}
+
+TEST(Instruction, EqualityComparesAllFields)
+{
+    Instruction a;
+    a.opcode = Opcode::Addi;
+    a.rd = 1;
+    a.rs1 = 2;
+    a.imm = 5;
+    Instruction b = a;
+    EXPECT_EQ(a, b);
+    b.imm = 6;
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace tlat::isa

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * End-to-end integration tests: run real predictors over real
+ * workload traces and check the paper's qualitative claims hold at
+ * test-sized budgets. Everything here is deterministic — the
+ * workloads and predictors have no hidden entropy — so the bands are
+ * safe against flakiness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/two_level_predictor.hh"
+#include "harness/experiment.hh"
+#include "harness/figure_runner.hh"
+#include "harness/suite.hh"
+#include "predictors/scheme_factory.hh"
+
+namespace tlat
+{
+namespace
+{
+
+constexpr std::uint64_t kBudget = 60000;
+
+harness::BenchmarkSuite &
+sharedSuite()
+{
+    static harness::BenchmarkSuite suite(kBudget);
+    return suite;
+}
+
+double
+accuracyOf(const std::string &scheme, const std::string &benchmark)
+{
+    auto predictor = predictors::makePredictor(scheme);
+    const auto result = harness::runExperiment(
+        *predictor, sharedSuite().testTrace(benchmark));
+    return result.accuracy.accuracyPercent();
+}
+
+TEST(Integration, FlagshipAtBeatsLeeSmithOverall)
+{
+    // The paper's headline: AT ~97%, other schemes under 93%.
+    harness::AccuracyReport report = harness::runSchemes(
+        sharedSuite(), "headline",
+        {"AT(AHRT(512,12SR),PT(2^12,A2),)", "LS(AHRT(512,A2),,)"},
+        {"at", "ls"});
+    const double at = report.totalMean("at");
+    const double ls = report.totalMean("ls");
+    EXPECT_GT(at, 94.0);
+    EXPECT_LT(ls, at - 2.0);
+}
+
+TEST(Integration, AtBeatsOrMatchesLeeSmithOnEveryBenchmark)
+{
+    harness::AccuracyReport report = harness::runSchemes(
+        sharedSuite(), "per-benchmark",
+        {"AT(AHRT(512,12SR),PT(2^12,A2),)", "LS(AHRT(512,A2),,)"},
+        {"at", "ls"});
+    for (const std::string &benchmark : sharedSuite().benchmarks()) {
+        EXPECT_GT(report.cell(benchmark, "at"),
+                  report.cell(benchmark, "ls") - 1.0)
+            << benchmark;
+    }
+}
+
+TEST(Integration, HrtQualityOrdering)
+{
+    // Figure 6: IHRT >= AHRT(512) >= HHRT(512) and
+    // AHRT(512) >= AHRT(256), in decreasing hit-ratio order.
+    harness::AccuracyReport report = harness::runSchemes(
+        sharedSuite(), "hrt",
+        {"AT(IHRT(,12SR),PT(2^12,A2),)",
+         "AT(AHRT(512,12SR),PT(2^12,A2),)",
+         "AT(HHRT(512,12SR),PT(2^12,A2),)",
+         "AT(AHRT(256,12SR),PT(2^12,A2),)"},
+        {"ihrt", "ahrt512", "hhrt512", "ahrt256"});
+    const double slack = 0.05; // ties allowed at tiny table pressure
+    EXPECT_GE(report.totalMean("ihrt") + slack,
+              report.totalMean("ahrt512"));
+    EXPECT_GE(report.totalMean("ahrt512") + slack,
+              report.totalMean("hhrt512"));
+    EXPECT_GE(report.totalMean("ahrt512") + slack,
+              report.totalMean("ahrt256"));
+}
+
+TEST(Integration, LongerHistoryHelps)
+{
+    // Figure 7: accuracy improves (weakly) with history length.
+    harness::AccuracyReport report = harness::runSchemes(
+        sharedSuite(), "history",
+        {"AT(AHRT(512,6SR),PT(2^6,A2),)",
+         "AT(AHRT(512,12SR),PT(2^12,A2),)"},
+        {"k6", "k12"});
+    EXPECT_GT(report.totalMean("k12"), report.totalMean("k6"));
+}
+
+TEST(Integration, FourStateAutomataBeatLastTime)
+{
+    // Figure 5: LT about 1% below A2/A3/A4.
+    harness::AccuracyReport report = harness::runSchemes(
+        sharedSuite(), "automata",
+        {"AT(AHRT(512,12SR),PT(2^12,A2),)",
+         "AT(AHRT(512,12SR),PT(2^12,A3),)",
+         "AT(AHRT(512,12SR),PT(2^12,A4),)",
+         "AT(AHRT(512,12SR),PT(2^12,LT),)"},
+        {"a2", "a3", "a4", "lt"});
+    const double lt = report.totalMean("lt");
+    for (const char *scheme : {"a2", "a3", "a4"})
+        EXPECT_GT(report.totalMean(scheme), lt) << scheme;
+    // And A2/A3/A4 are within noise of each other (<1.5%).
+    EXPECT_NEAR(report.totalMean("a2"), report.totalMean("a3"), 1.5);
+    EXPECT_NEAR(report.totalMean("a2"), report.totalMean("a4"), 1.5);
+}
+
+TEST(Integration, BtfnShinesOnLoopBoundFpCodes)
+{
+    // Figure 9: BTFN ~98% on matrix300/tomcatv, poor elsewhere.
+    EXPECT_GT(accuracyOf("BTFN", "matrix300"), 95.0);
+    EXPECT_GT(accuracyOf("BTFN", "tomcatv"), 95.0);
+    EXPECT_LT(accuracyOf("BTFN", "eqntott"), 80.0);
+    EXPECT_LT(accuracyOf("BTFN", "fpppp"), 80.0);
+}
+
+TEST(Integration, StaticTrainingSameTracksAtButDiffDegrades)
+{
+    // Figure 8: ST(Same, ideal) is comparable to AT; ST(Diff) loses
+    // accuracy on the irregular integer benchmarks.
+    harness::AccuracyReport report = harness::runSchemes(
+        sharedSuite(), "st",
+        {"AT(IHRT(,12SR),PT(2^12,A2),)",
+         "ST(IHRT(,12SR),PT(2^12,PB),Same)",
+         "ST(IHRT(,12SR),PT(2^12,PB),Diff)"},
+        {"at", "same", "diff"});
+    EXPECT_NEAR(report.totalMean("at"), report.totalMean("same"),
+                2.5);
+    // li: trained on hanoi, tested on queens (paper: ~5% drop).
+    EXPECT_LT(report.cell("li", "diff"),
+              report.cell("li", "same") - 2.0);
+    // Diff cells must exist exactly for the five trainable marks.
+    EXPECT_GE(report.cell("gcc", "diff"), 0.0);
+    EXPECT_LT(report.cell("tomcatv", "diff"), 0.0);
+}
+
+TEST(Integration, ProfileLandsBetweenStaticAndAt)
+{
+    harness::AccuracyReport report = harness::runSchemes(
+        sharedSuite(), "profile",
+        {"AT(AHRT(512,12SR),PT(2^12,A2),)", "Profile",
+         "AlwaysTaken"},
+        {"at", "profile", "taken"});
+    EXPECT_GT(report.totalMean("profile"),
+              report.totalMean("taken"));
+    EXPECT_GT(report.totalMean("at"), report.totalMean("profile"));
+}
+
+TEST(Integration, CachedPredictionBitCostsLittle)
+{
+    // Section 3.2: the one-lookup variant must track the two-lookup
+    // scheme closely on a real trace.
+    const auto &trace = sharedSuite().testTrace("gcc");
+    core::TwoLevelConfig config;
+    config.hrtKind = core::TableKind::Associative;
+    config.hrtEntries = 512;
+    config.historyBits = 12;
+    core::TwoLevelPredictor two_lookup(config);
+    config.cachedPredictionBit = true;
+    core::TwoLevelPredictor one_lookup(config);
+    const double two = harness::measure(two_lookup, trace)
+                           .accuracyPercent();
+    const double one = harness::measure(one_lookup, trace)
+                           .accuracyPercent();
+    EXPECT_NEAR(one, two, 0.5);
+}
+
+TEST(Integration, MissRateHeadline)
+{
+    // "The miss rate is 3 percent for the Two-Level Adaptive Training
+    // scheme vs. 7 percent (best case) for the other schemes" — in
+    // this reproduction the gap direction and rough magnitude must
+    // hold: AT's miss rate at most ~60% of the best baseline's.
+    harness::AccuracyReport report = harness::runSchemes(
+        sharedSuite(), "miss",
+        {"AT(AHRT(512,12SR),PT(2^12,A2),)", "LS(AHRT(512,A2),,)",
+         "Profile"},
+        {"at", "ls", "profile"});
+    const double at_miss = 100.0 - report.totalMean("at");
+    const double best_other_miss =
+        100.0 - std::max(report.totalMean("ls"),
+                         report.totalMean("profile"));
+    EXPECT_LT(at_miss, 0.65 * best_other_miss);
+}
+
+} // namespace
+} // namespace tlat

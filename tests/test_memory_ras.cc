@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the data memory and the return address stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+#include "sim/return_address_stack.hh"
+
+namespace tlat::sim
+{
+namespace
+{
+
+TEST(Memory, InitializeAndAccess)
+{
+    Memory memory(4);
+    memory.initialize({1, 2});
+    EXPECT_EQ(memory.load(0), 1u);
+    EXPECT_EQ(memory.load(8), 2u);
+    EXPECT_EQ(memory.load(16), 0u);
+    memory.store(24, 99);
+    EXPECT_EQ(memory.load(24), 99u);
+    EXPECT_EQ(memory.sizeWords(), 4u);
+    EXPECT_EQ(memory.sizeBytes(), 32u);
+}
+
+TEST(Memory, DoubleAccessors)
+{
+    Memory memory(2);
+    memory.storeDouble(8, 3.25);
+    EXPECT_DOUBLE_EQ(memory.loadDouble(8), 3.25);
+    EXPECT_EQ(memory.load(8), 0x400a000000000000ull);
+}
+
+TEST(MemoryDeath, UnalignedAccessIsFatal)
+{
+    Memory memory(4);
+    EXPECT_EXIT(memory.load(4), ::testing::ExitedWithCode(1),
+                "unaligned");
+    EXPECT_EXIT(memory.store(3, 0), ::testing::ExitedWithCode(1),
+                "unaligned");
+}
+
+TEST(MemoryDeath, OutOfBoundsIsFatal)
+{
+    Memory memory(4);
+    EXPECT_EXIT(memory.load(32), ::testing::ExitedWithCode(1),
+                "out of bounds");
+}
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(100);
+    ras.push(200);
+    ras.push(300);
+    EXPECT_EQ(ras.liveEntries(), 3u);
+    EXPECT_EQ(ras.pop(), 300u);
+    EXPECT_EQ(ras.pop(), 200u);
+    EXPECT_EQ(ras.pop(), 100u);
+    EXPECT_EQ(ras.liveEntries(), 0u);
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.underflows(), 1u);
+}
+
+TEST(Ras, OverflowDropsOldest)
+{
+    // The paper: "The return address prediction may miss when the
+    // return address stack overflows." The oldest entry is lost.
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // overwrites 1
+    EXPECT_EQ(ras.overflows(), 1u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    // Entry 1 is gone: a further pop underflows.
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.underflows(), 1u);
+}
+
+TEST(Ras, DeepCallChainWithinDepthIsExact)
+{
+    ReturnAddressStack ras(16);
+    for (std::uint64_t i = 1; i <= 16; ++i)
+        ras.push(i * 4);
+    for (std::uint64_t i = 16; i >= 1; --i)
+        EXPECT_EQ(ras.pop(), i * 4);
+    EXPECT_EQ(ras.overflows(), 0u);
+}
+
+TEST(Ras, Clear)
+{
+    ReturnAddressStack ras(4);
+    ras.push(1);
+    ras.pop();
+    ras.pop(); // underflow
+    ras.clear();
+    EXPECT_EQ(ras.liveEntries(), 0u);
+    EXPECT_EQ(ras.underflows(), 0u);
+    EXPECT_EQ(ras.overflows(), 0u);
+}
+
+} // namespace
+} // namespace tlat::sim

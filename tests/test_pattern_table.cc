@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the global pattern table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pattern_table.hh"
+
+namespace tlat::core
+{
+namespace
+{
+
+TEST(PatternTable, SizeIsTwoToTheK)
+{
+    EXPECT_EQ(PatternTable(1, AutomatonKind::A2).size(), 2u);
+    EXPECT_EQ(PatternTable(6, AutomatonKind::A2).size(), 64u);
+    EXPECT_EQ(PatternTable(12, AutomatonKind::A2).size(), 4096u);
+}
+
+TEST(PatternTable, PaperInitialization)
+{
+    // Section 4.2: automata entries start in state 3 (Last-Time in
+    // state 1), so everything predicts taken initially.
+    PatternTable a2(4, AutomatonKind::A2);
+    PatternTable lt(4, AutomatonKind::LastTime);
+    for (std::uint32_t pattern = 0; pattern < 16; ++pattern) {
+        EXPECT_EQ(a2.state(pattern), 3);
+        EXPECT_TRUE(a2.predict(pattern));
+        EXPECT_EQ(lt.state(pattern), 1);
+        EXPECT_TRUE(lt.predict(pattern));
+    }
+}
+
+TEST(PatternTable, CustomInitialState)
+{
+    PatternTable table(4, AutomatonKind::A2, 0);
+    EXPECT_EQ(table.state(5), 0);
+    EXPECT_FALSE(table.predict(5));
+}
+
+TEST(PatternTable, EntriesAreIndependent)
+{
+    PatternTable table(4, AutomatonKind::A2);
+    for (int i = 0; i < 4; ++i)
+        table.update(3, false);
+    EXPECT_FALSE(table.predict(3));
+    EXPECT_TRUE(table.predict(2));
+    EXPECT_TRUE(table.predict(4));
+    EXPECT_EQ(table.state(3), 0);
+    EXPECT_EQ(table.state(2), 3);
+}
+
+TEST(PatternTable, PatternIsMaskedToTableSize)
+{
+    PatternTable table(4, AutomatonKind::A2);
+    table.update(0x13, false); // masks to 3
+    EXPECT_EQ(table.state(3), 2);
+    EXPECT_EQ(table.state(0x13), 2); // same entry
+}
+
+TEST(PatternTable, Reset)
+{
+    PatternTable table(4, AutomatonKind::A2);
+    for (int i = 0; i < 4; ++i)
+        table.update(7, false);
+    table.reset();
+    EXPECT_EQ(table.state(7), 3);
+}
+
+TEST(PatternTable, StepFollowsAutomatonSpec)
+{
+    PatternTable table(2, AutomatonKind::A3);
+    table.update(1, false); // 3 --N--> 1 under A3
+    EXPECT_EQ(table.state(1), 1);
+    EXPECT_EQ(table.automatonKind(), AutomatonKind::A3);
+    EXPECT_EQ(table.historyBits(), 2u);
+}
+
+
+TEST(PatternTableCounters, TwoBitCounterEqualsA2)
+{
+    PatternTable a2(4, AutomatonKind::A2);
+    PatternTable c2(4, PatternTable::CounterEntries{2});
+    // Drive both with an arbitrary outcome stream on mixed patterns
+    // and require identical predictions throughout.
+    const bool outcomes[] = {true,  false, false, true, true,
+                             false, true,  false, false, false};
+    std::uint32_t pattern = 0xf;
+    for (int rep = 0; rep < 20; ++rep) {
+        for (bool taken : outcomes) {
+            ASSERT_EQ(a2.predict(pattern), c2.predict(pattern));
+            a2.update(pattern, taken);
+            c2.update(pattern, taken);
+            pattern = (pattern * 5 + (taken ? 3 : 1)) & 0xf;
+        }
+    }
+}
+
+TEST(PatternTableCounters, OneBitCounterIsLastTime)
+{
+    PatternTable lt(3, AutomatonKind::LastTime);
+    PatternTable c1(3, PatternTable::CounterEntries{1});
+    for (int i = 0; i < 50; ++i) {
+        const bool taken = (i * 7) % 3 == 0;
+        const std::uint32_t pattern = i & 7;
+        ASSERT_EQ(lt.predict(pattern), c1.predict(pattern)) << i;
+        lt.update(pattern, taken);
+        c1.update(pattern, taken);
+    }
+}
+
+TEST(PatternTableCounters, WiderCountersHaveMoreHysteresis)
+{
+    // From saturation, a 3-bit counter needs 4 contrary outcomes to
+    // flip its prediction; a 2-bit counter needs 2.
+    PatternTable c3(2, PatternTable::CounterEntries{3});
+    EXPECT_TRUE(c3.predict(0));
+    for (int i = 0; i < 3; ++i)
+        c3.update(0, false);
+    EXPECT_TRUE(c3.predict(0)); // 7 -> 4: still taken
+    c3.update(0, false);
+    EXPECT_FALSE(c3.predict(0)); // 3: flipped
+    EXPECT_EQ(c3.counterBits(), 3u);
+}
+
+TEST(PatternTableCounters, InitializationIsTakenBiased)
+{
+    PatternTable c4(4, PatternTable::CounterEntries{4});
+    for (std::uint32_t pattern = 0; pattern < 16; ++pattern) {
+        EXPECT_TRUE(c4.predict(pattern));
+        EXPECT_EQ(c4.state(pattern), 15);
+    }
+}
+
+TEST(PatternTableCounters, ResetRestoresSaturation)
+{
+    PatternTable c2(2, PatternTable::CounterEntries{2});
+    for (int i = 0; i < 4; ++i)
+        c2.update(1, false);
+    EXPECT_FALSE(c2.predict(1));
+    c2.reset();
+    EXPECT_TRUE(c2.predict(1));
+}
+
+} // namespace
+} // namespace tlat::core

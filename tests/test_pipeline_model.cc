@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the deep-pipeline timing model: cycle accounting,
+ * BTB learning, RAS integration, and the end-to-end property the
+ * paper's motivation rests on — a better direction predictor means a
+ * lower CPI, increasingly so as the pipeline deepens.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline_model.hh"
+#include "predictors/scheme_factory.hh"
+#include "predictors/static_predictors.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace tlat::pipeline
+{
+namespace
+{
+
+trace::BranchRecord
+record(std::uint64_t pc, std::uint64_t target,
+       trace::BranchClass cls, bool taken, bool is_call = false)
+{
+    trace::BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.cls = cls;
+    r.taken = taken;
+    r.isCall = is_call;
+    return r;
+}
+
+PipelineConfig
+basicConfig()
+{
+    PipelineConfig config;
+    config.fetchWidth = 1;
+    config.resolveLatency = 8;
+    config.decodeBubble = 2;
+    config.registerResolveLatency = 6;
+    return config;
+}
+
+TEST(PipelineModel, BaseCyclesWithoutBranches)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().intAlu = 100;
+    predictors::AlwaysTakenPredictor predictor;
+    PipelineModel model(basicConfig());
+    const PipelineResult result = model.run(trace, predictor);
+    EXPECT_EQ(result.instructions, 100u);
+    EXPECT_EQ(result.cycles, 100u);
+    EXPECT_DOUBLE_EQ(result.cpi(), 1.0);
+}
+
+TEST(PipelineModel, FetchWidthDividesBaseCycles)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().intAlu = 100;
+    PipelineConfig config = basicConfig();
+    config.fetchWidth = 4;
+    predictors::AlwaysTakenPredictor predictor;
+    const PipelineResult result =
+        PipelineModel(config).run(trace, predictor);
+    EXPECT_EQ(result.cycles, 25u);
+    // Rounds up.
+    trace.mix().intAlu = 101;
+    const PipelineResult odd =
+        PipelineModel(config).run(trace, predictor);
+    EXPECT_EQ(odd.cycles, 26u);
+}
+
+TEST(PipelineModel, DirectionMispredictCostsResolveLatency)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().intAlu = 10;
+    trace.mix().controlFlow = 1;
+    trace.append(record(4, 40, trace::BranchClass::Conditional,
+                        false)); // not taken
+    predictors::AlwaysTakenPredictor predictor; // will mispredict
+    const PipelineResult result =
+        PipelineModel(basicConfig()).run(trace, predictor);
+    EXPECT_EQ(result.directionFlushes, 1u);
+    EXPECT_EQ(result.cycles, 11u + 8u);
+}
+
+TEST(PipelineModel, CorrectNotTakenIsFree)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().controlFlow = 1;
+    trace.append(record(4, 40, trace::BranchClass::Conditional,
+                        false));
+    predictors::AlwaysNotTakenPredictor predictor;
+    const PipelineResult result =
+        PipelineModel(basicConfig()).run(trace, predictor);
+    EXPECT_EQ(result.directionFlushes, 0u);
+    EXPECT_EQ(result.btbBubbles, 0u);
+    EXPECT_EQ(result.cycles, 1u);
+}
+
+TEST(PipelineModel, TakenBranchNeedsBtbThenLearnsIt)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().controlFlow = 3;
+    for (int i = 0; i < 3; ++i)
+        trace.append(record(4, 40, trace::BranchClass::Conditional,
+                            true));
+    predictors::AlwaysTakenPredictor predictor; // always right here
+    const PipelineResult result =
+        PipelineModel(basicConfig()).run(trace, predictor);
+    // First execution: cold BTB -> one decode bubble; later ones hit.
+    EXPECT_EQ(result.btbBubbles, 1u);
+    EXPECT_EQ(result.cycles, 3u + 2u);
+}
+
+TEST(PipelineModel, ImmediateJumpsUseBtbToo)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().controlFlow = 2;
+    trace.append(record(
+        8, 80, trace::BranchClass::ImmediateUnconditional, true));
+    trace.append(record(
+        8, 80, trace::BranchClass::ImmediateUnconditional, true));
+    predictors::AlwaysTakenPredictor predictor;
+    const PipelineResult result =
+        PipelineModel(basicConfig()).run(trace, predictor);
+    EXPECT_EQ(result.btbBubbles, 1u);
+    EXPECT_EQ(result.cycles, 2u + 2u);
+}
+
+TEST(PipelineModel, IndirectJumpStallsUntilBtbWarm)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().controlFlow = 2;
+    trace.append(record(
+        8, 80, trace::BranchClass::RegisterUnconditional, true));
+    trace.append(record(
+        8, 80, trace::BranchClass::RegisterUnconditional, true));
+    predictors::AlwaysTakenPredictor predictor;
+    const PipelineResult result =
+        PipelineModel(basicConfig()).run(trace, predictor);
+    EXPECT_EQ(result.indirectStalls, 1u);
+    EXPECT_EQ(result.cycles, 2u + 6u);
+}
+
+TEST(PipelineModel, IndirectTargetChangeStallsAgain)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().controlFlow = 2;
+    trace.append(record(
+        8, 80, trace::BranchClass::RegisterUnconditional, true));
+    trace.append(record(
+        8, 120, trace::BranchClass::RegisterUnconditional, true));
+    predictors::AlwaysTakenPredictor predictor;
+    const PipelineResult result =
+        PipelineModel(basicConfig()).run(trace, predictor);
+    EXPECT_EQ(result.indirectStalls, 2u);
+}
+
+TEST(PipelineModel, RasPredictsBalancedReturns)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().controlFlow = 4;
+    trace.append(record(
+        100, 1000, trace::BranchClass::ImmediateUnconditional, true,
+        /*is_call=*/true));
+    trace.append(record(
+        200, 1000, trace::BranchClass::ImmediateUnconditional, true,
+        /*is_call=*/true));
+    // Wait: two calls from different sites, LIFO returns.
+    trace.append(record(1040, 204, trace::BranchClass::Return, true));
+    trace.append(record(1040, 104, trace::BranchClass::Return, true));
+    predictors::AlwaysTakenPredictor predictor;
+    PipelineConfig config = basicConfig();
+    const PipelineResult result =
+        PipelineModel(config).run(trace, predictor);
+    EXPECT_EQ(result.returnMispredicts, 0u);
+    // Only the two cold-call BTB bubbles cost cycles.
+    EXPECT_EQ(result.btbBubbles, 2u);
+}
+
+TEST(PipelineModel, ReturnMispredictOnRasUnderflow)
+{
+    trace::TraceBuffer trace("t");
+    trace.mix().controlFlow = 1;
+    trace.append(record(1040, 104, trace::BranchClass::Return, true));
+    predictors::AlwaysTakenPredictor predictor;
+    const PipelineResult result =
+        PipelineModel(basicConfig()).run(trace, predictor);
+    EXPECT_EQ(result.returnMispredicts, 1u);
+    EXPECT_EQ(result.cycles, 1u + 6u);
+}
+
+TEST(PipelineModel, BetterPredictorLowersCpiOnRealCode)
+{
+    const trace::TraceBuffer trace = sim::collectTrace(
+        workloads::makeWorkload("gcc")->buildTest(), 30000);
+    const auto cpi = [&trace](const std::string &scheme) {
+        auto predictor = predictors::makePredictor(scheme);
+        if (predictor->needsTraining())
+            predictor->train(trace);
+        return PipelineModel(basicConfig())
+            .run(trace, *predictor)
+            .cpi();
+    };
+    const double at = cpi("AT(AHRT(512,12SR),PT(2^12,A2),)");
+    const double ls = cpi("LS(AHRT(512,A2),,)");
+    const double taken = cpi("AlwaysTaken");
+    EXPECT_LT(at, ls);
+    EXPECT_LT(ls, taken);
+}
+
+TEST(PipelineModel, DeeperPipelineAmplifiesTheGap)
+{
+    const trace::TraceBuffer trace = sim::collectTrace(
+        workloads::makeWorkload("li")->buildTest(), 30000);
+    const auto speedup = [&trace](unsigned depth) {
+        PipelineConfig config = basicConfig();
+        config.resolveLatency = depth;
+        auto at = predictors::makePredictor(
+            "AT(AHRT(512,12SR),PT(2^12,A2),)");
+        auto ls = predictors::makePredictor("LS(AHRT(512,A2),,)");
+        const double at_cpi =
+            PipelineModel(config).run(trace, *at).cpi();
+        const double ls_cpi =
+            PipelineModel(config).run(trace, *ls).cpi();
+        return ls_cpi / at_cpi;
+    };
+    EXPECT_GT(speedup(16), speedup(4));
+    EXPECT_GT(speedup(4), 1.0);
+}
+
+} // namespace
+} // namespace tlat::pipeline

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the ProgramBuilder: label fixups, data/bss layout,
+ * pseudo-instruction expansion. The data-layout tests are regression
+ * tests for a real bug: interleaved data() and bss() allocations used
+ * to overlap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+
+namespace tlat::isa
+{
+namespace
+{
+
+TEST(ProgramBuilder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("labels");
+    auto back = b.newLabel();
+    auto fwd = b.newLabel();
+    b.bind(back);
+    b.nop();                 // pc 0? no: bind(back) at 0, nop at 0
+    b.beq(0, 0, fwd);        // pc 1 -> forward
+    b.nop();                 // pc 2
+    b.bind(fwd);
+    b.bne(1, 2, back);       // pc 3 -> backward
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.code[1].imm, 2);  // 1 -> 3
+    EXPECT_EQ(p.code[3].imm, -3); // 3 -> 0
+}
+
+TEST(ProgramBuilder, SymbolsRecorded)
+{
+    ProgramBuilder b("symbols");
+    auto entry = b.newLabel("main");
+    b.nop();
+    b.bind(entry);
+    b.halt();
+    Program p = b.build();
+    ASSERT_TRUE(p.symbols.count("main"));
+    EXPECT_EQ(p.symbols.at("main"), 1u);
+}
+
+TEST(ProgramBuilder, DataThenBssLayout)
+{
+    ProgramBuilder b("layout");
+    const auto a = b.data({1, 2, 3});
+    const auto s = b.bss(4);
+    const auto c = b.data({9});
+    b.halt();
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(s, 24u);
+    EXPECT_EQ(c, 56u); // regression: must not overlap the bss block
+    Program p = b.build();
+    EXPECT_EQ(p.dataWords, 8u);
+    ASSERT_EQ(p.initialData.size(), 8u);
+    EXPECT_EQ(p.initialData[0], 1u);
+    // The bss hole is zero-filled in the image.
+    EXPECT_EQ(p.initialData[3], 0u);
+    EXPECT_EQ(p.initialData[6], 0u);
+    EXPECT_EQ(p.initialData[7], 9u);
+}
+
+TEST(ProgramBuilder, BssOnlyProgramHasNoImage)
+{
+    ProgramBuilder b("bss");
+    const auto s = b.bss(16);
+    b.halt();
+    EXPECT_EQ(s, 0u);
+    Program p = b.build();
+    EXPECT_EQ(p.dataWords, 16u);
+    EXPECT_TRUE(p.initialData.empty());
+}
+
+TEST(ProgramBuilder, DataDoublesBitPatterns)
+{
+    ProgramBuilder b("doubles");
+    b.dataDoubles({1.0, -2.5});
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.initialData.size(), 2u);
+    EXPECT_EQ(p.initialData[0], 0x3ff0000000000000ull);
+    EXPECT_EQ(p.initialData[1], 0xc004000000000000ull);
+}
+
+TEST(ProgramBuilder, StaticConditionalBranchCount)
+{
+    ProgramBuilder b("count");
+    auto l = b.newLabel();
+    b.bind(l);
+    b.beq(0, 0, l);
+    b.bne(0, 0, l);
+    b.jmp(l);
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.staticConditionalBranches(), 2u);
+}
+
+/** Executes a tiny program and returns the final value of r1. */
+std::uint64_t
+runForR1(ProgramBuilder &b)
+{
+    b.halt();
+    const Program p = b.build();
+    sim::Simulator simulator(p);
+    simulator.run(nullptr, {});
+    return simulator.reg(1);
+}
+
+TEST(LoadImm, SmallValues)
+{
+    for (std::int64_t value : {0ll, 1ll, -1ll, 32767ll, -32768ll}) {
+        ProgramBuilder b("imm");
+        b.loadImm(1, value);
+        EXPECT_EQ(runForR1(b), static_cast<std::uint64_t>(value))
+            << value;
+    }
+}
+
+TEST(LoadImm, LargeValues)
+{
+    const std::int64_t cases[] = {
+        32768,       -32769,      0x12345678,
+        -0x12345678, 0x7fffffffffffffffll,
+        static_cast<std::int64_t>(0x8000000000000000ull),
+        0x0000ffff0000ffffll, -4611686018427387904ll,
+    };
+    for (std::int64_t value : cases) {
+        ProgramBuilder b("imm");
+        b.loadImm(1, value);
+        EXPECT_EQ(runForR1(b), static_cast<std::uint64_t>(value))
+            << value;
+    }
+}
+
+TEST(LoadImm, RandomValuesProperty)
+{
+    Rng rng(0x10adb);
+    for (int i = 0; i < 300; ++i) {
+        const auto value = static_cast<std::int64_t>(rng.next());
+        ProgramBuilder b("imm");
+        b.loadImm(1, value);
+        EXPECT_EQ(runForR1(b), static_cast<std::uint64_t>(value))
+            << value;
+    }
+}
+
+TEST(LoadDouble, RoundTripsThroughFpAdd)
+{
+    ProgramBuilder b("dbl");
+    b.loadDouble(2, 1.5);
+    b.loadDouble(3, 2.25);
+    b.fadd(1, 2, 3);
+    b.halt();
+    const Program p = b.build();
+    sim::Simulator simulator(p);
+    simulator.run(nullptr, {});
+    double result;
+    const std::uint64_t bits = simulator.reg(1);
+    static_assert(sizeof(result) == sizeof(bits));
+    __builtin_memcpy(&result, &bits, sizeof(result));
+    EXPECT_DOUBLE_EQ(result, 3.75);
+}
+
+TEST(La, LoadsLabelByteAddress)
+{
+    ProgramBuilder b("la");
+    auto target = b.newLabel();
+    b.la(1, target); // expands to 2 instructions
+    b.nop();
+    b.bind(target);  // pc 3
+    b.halt();
+    EXPECT_EQ(runForR1(b) / kInstructionBytes, 3u);
+}
+
+TEST(La, EnablesJumpTables)
+{
+    // jr through a jump-slot table, the workloads' dispatch idiom.
+    ProgramBuilder b("jt");
+    auto table = b.newLabel();
+    auto slot0 = b.newLabel();
+    auto slot1 = b.newLabel();
+    auto done = b.newLabel();
+    b.li(2, 1);        // select slot 1
+    b.la(1, table);
+    b.slli(3, 2, 2);
+    b.add(1, 1, 3);
+    b.jr(1);
+    b.bind(table);
+    b.jmp(slot0);
+    b.jmp(slot1);
+    b.bind(slot0);
+    b.li(1, 100);
+    b.jmp(done);
+    b.bind(slot1);
+    b.li(1, 200);
+    b.bind(done);
+    EXPECT_EQ(runForR1(b), 200u);
+}
+
+TEST(ProgramBuilderDeath, UnboundLabelIsFatal)
+{
+    ProgramBuilder b("bad");
+    auto never = b.newLabel();
+    b.jmp(never);
+    b.halt();
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1),
+                "never bound");
+}
+
+TEST(ProgramBuilderDeath, DoubleBindPanics)
+{
+    ProgramBuilder b("bad");
+    auto label = b.newLabel();
+    b.bind(label);
+    EXPECT_DEATH(b.bind(label), "bound twice");
+}
+
+} // namespace
+} // namespace tlat::isa

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG (util/random.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+namespace tlat
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextBoolEdges)
+{
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+        EXPECT_FALSE(rng.nextBool(-0.5));
+        EXPECT_TRUE(rng.nextBool(1.5));
+    }
+}
+
+TEST(Rng, NextBoolApproximatesProbability)
+{
+    Rng rng(17);
+    int taken = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        taken += rng.nextBool(0.3) ? 1 : 0;
+    const double rate = static_cast<double>(taken) / trials;
+    EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(19);
+    double sum = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, RoughUniformityOverBuckets)
+{
+    Rng rng(23);
+    int buckets[8] = {};
+    const int trials = 16000;
+    for (int i = 0; i < trials; ++i)
+        ++buckets[rng.nextBelow(8)];
+    for (int count : buckets) {
+        EXPECT_GT(count, trials / 8 - trials / 40);
+        EXPECT_LT(count, trials / 8 + trials / 40);
+    }
+}
+
+} // namespace
+} // namespace tlat

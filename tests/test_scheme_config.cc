@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the Table 2 scheme-name grammar.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheme_config.hh"
+
+namespace tlat::core
+{
+namespace
+{
+
+SchemeConfig
+mustParse(const std::string &name)
+{
+    const auto config = SchemeConfig::parse(name);
+    EXPECT_TRUE(config.has_value()) << name;
+    return config.value_or(SchemeConfig{});
+}
+
+TEST(SchemeConfig, ParsesFlagshipAtConfiguration)
+{
+    const SchemeConfig config =
+        mustParse("AT(AHRT(512,12SR),PT(2^12,A2),)");
+    EXPECT_EQ(config.scheme, Scheme::TwoLevelAdaptive);
+    EXPECT_EQ(config.hrtKind, TableKind::Associative);
+    EXPECT_EQ(config.hrtEntries, 512u);
+    EXPECT_EQ(config.historyBits, 12u);
+    EXPECT_EQ(config.automaton, AutomatonKind::A2);
+    EXPECT_EQ(config.data, DataMode::None);
+}
+
+TEST(SchemeConfig, ParsesIdealHrt)
+{
+    const SchemeConfig config =
+        mustParse("AT(IHRT(,12SR),PT(2^12,A2),)");
+    EXPECT_EQ(config.hrtKind, TableKind::Ideal);
+    EXPECT_EQ(config.hrtEntries, 0u);
+}
+
+TEST(SchemeConfig, ParsesEveryTable2AtRow)
+{
+    // The eleven AT rows of Table 2.
+    const char *rows[] = {
+        "AT(AHRT(256,12SR),PT(2^12,A2),)",
+        "AT(AHRT(512,12SR),PT(2^12,A2),)",
+        "AT(AHRT(512,12SR),PT(2^12,A3),)",
+        "AT(AHRT(512,12SR),PT(2^12,A4),)",
+        "AT(AHRT(512,12SR),PT(2^12,LT),)",
+        "AT(AHRT(512,10SR),PT(2^10,A2),)",
+        "AT(AHRT(512,8SR),PT(2^8,A2),)",
+        "AT(AHRT(512,6SR),PT(2^6,A2),)",
+        "AT(HHRT(256,12SR),PT(2^12,A2),)",
+        "AT(HHRT(512,12SR),PT(2^12,A2),)",
+        "AT(IHRT(,12SR),PT(2^12,A2),)",
+    };
+    for (const char *row : rows) {
+        const SchemeConfig config = mustParse(row);
+        EXPECT_EQ(config.scheme, Scheme::TwoLevelAdaptive);
+        // Round trip through text().
+        EXPECT_EQ(config.text(), row);
+    }
+}
+
+TEST(SchemeConfig, ParsesStaticTrainingRows)
+{
+    const SchemeConfig same =
+        mustParse("ST(AHRT(512,12SR),PT(2^12,PB),Same)");
+    EXPECT_EQ(same.scheme, Scheme::StaticTraining);
+    EXPECT_EQ(same.data, DataMode::Same);
+    const SchemeConfig diff =
+        mustParse("ST(IHRT(,12SR),PT(2^12,PB),Diff)");
+    EXPECT_EQ(diff.data, DataMode::Diff);
+    EXPECT_EQ(diff.hrtKind, TableKind::Ideal);
+    EXPECT_EQ(same.text(), "ST(AHRT(512,12SR),PT(2^12,PB),Same)");
+}
+
+TEST(SchemeConfig, ParsesLeeSmithRows)
+{
+    const char *rows[] = {
+        "LS(AHRT(512,A2),,)", "LS(AHRT(512,LT),,)",
+        "LS(HHRT(512,A2),,)", "LS(HHRT(512,LT),,)",
+        "LS(IHRT(,A2),,)",    "LS(IHRT(,LT),,)",
+    };
+    for (const char *row : rows) {
+        const SchemeConfig config = mustParse(row);
+        EXPECT_EQ(config.scheme, Scheme::LeeSmithBtb);
+        EXPECT_EQ(config.text(), row);
+    }
+    EXPECT_EQ(mustParse("LS(AHRT(512,A2),,)").automaton,
+              AutomatonKind::A2);
+    EXPECT_EQ(mustParse("LS(AHRT(512,LT),,)").automaton,
+              AutomatonKind::LastTime);
+}
+
+TEST(SchemeConfig, ParsesStaticSchemes)
+{
+    EXPECT_EQ(mustParse("AlwaysTaken").scheme, Scheme::AlwaysTaken);
+    EXPECT_EQ(mustParse("AlwaysNotTaken").scheme,
+              Scheme::AlwaysNotTaken);
+    EXPECT_EQ(mustParse("BTFN").scheme, Scheme::Btfn);
+    EXPECT_EQ(mustParse("Profile").scheme, Scheme::Profile);
+    EXPECT_EQ(mustParse("Profile").data, DataMode::Same);
+}
+
+TEST(SchemeConfig, AcceptsWhitespace)
+{
+    EXPECT_TRUE(SchemeConfig::parse(
+                    "  AT(AHRT(512,12SR),PT(2^12,A2),)  ")
+                    .has_value());
+}
+
+TEST(SchemeConfig, RejectsMalformedNames)
+{
+    const char *bad[] = {
+        "",
+        "XX(AHRT(512,12SR),PT(2^12,A2),)",
+        "AT(AHRT(512,12SR),PT(2^12,A2))",       // missing clause
+        "AT(AHRT(512,12SR),PT(2^12,A2),Same)",  // AT takes no data
+        "AT(AHRT(0,12SR),PT(2^12,A2),)",        // zero entries
+        "AT(AHRT(512,12),PT(2^12,A2),)",        // not a SR spec
+        "AT(AHRT(512,12SR),PT(2^10,A2),)",      // PT size mismatch
+        "AT(AHRT(512,12SR),PT(2^12,A9),)",      // unknown automaton
+        "AT(QHRT(512,12SR),PT(2^12,A2),)",      // unknown table
+        "AT(IHRT(512,12SR),PT(2^12,A2),)",      // IHRT with a size
+        "ST(AHRT(512,12SR),PT(2^12,PB),)",      // ST needs Same/Diff
+        "ST(AHRT(512,12SR),PT(2^12,A2),Same)",  // ST needs PB
+        "LS(AHRT(512,A2),PT(2^12,A2),)",        // LS has no PT
+        "LS(AHRT(512,12SR),,)",                 // LS entry is automaton
+        "AlwaysSometimes",
+    };
+    for (const char *name : bad) {
+        EXPECT_FALSE(SchemeConfig::parse(name).has_value()) << name;
+    }
+}
+
+TEST(SchemeConfig, HistoryBitsBoundaries)
+{
+    EXPECT_TRUE(SchemeConfig::parse("AT(AHRT(512,1SR),PT(2^1,A2),)")
+                    .has_value());
+    EXPECT_FALSE(SchemeConfig::parse("AT(AHRT(512,0SR),PT(2^0,A2),)")
+                     .has_value());
+    EXPECT_FALSE(
+        SchemeConfig::parse("AT(AHRT(512,25SR),PT(2^25,A2),)")
+            .has_value());
+}
+
+TEST(SchemeConfig, TextForStaticSchemes)
+{
+    SchemeConfig config;
+    config.scheme = Scheme::Btfn;
+    EXPECT_EQ(config.text(), "BTFN");
+    config.scheme = Scheme::AlwaysTaken;
+    EXPECT_EQ(config.text(), "AlwaysTaken");
+}
+
+} // namespace
+} // namespace tlat::core

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the speculative-history-update mode of the
+ * Two-Level predictor: equivalence under immediate updates, repair
+ * on misprediction, squash of younger in-flight speculations, and
+ * the benefit under delayed updates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delayed_update.hh"
+#include "core/two_level_predictor.hh"
+#include "harness/experiment.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace tlat::core
+{
+namespace
+{
+
+trace::BranchRecord
+conditional(std::uint64_t pc, bool taken)
+{
+    trace::BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 16;
+    record.cls = trace::BranchClass::Conditional;
+    record.taken = taken;
+    return record;
+}
+
+TwoLevelConfig
+config(bool speculative, unsigned bits = 6)
+{
+    TwoLevelConfig result;
+    result.hrtKind = TableKind::Ideal;
+    result.historyBits = bits;
+    result.speculativeHistoryUpdate = speculative;
+    return result;
+}
+
+TEST(SpeculativeHistory, EquivalentUnderImmediateUpdates)
+{
+    // With every update immediately following its predict, the
+    // speculative register is either confirmed or repaired before the
+    // next use: predictions must match the baseline exactly.
+    TwoLevelPredictor baseline(config(false));
+    TwoLevelPredictor speculative(config(true));
+    Rng rng(0x5bec);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t pc = 4 * (1 + rng.nextBelow(20));
+        const bool taken = rng.nextBool(0.6);
+        const auto record = conditional(pc, taken);
+        ASSERT_EQ(baseline.predict(record),
+                  speculative.predict(record))
+            << "iteration " << i;
+        baseline.update(record);
+        speculative.update(record);
+    }
+}
+
+TEST(SpeculativeHistory, EquivalenceHoldsWithCachedPredictionBit)
+{
+    TwoLevelConfig base = config(false);
+    base.cachedPredictionBit = true;
+    TwoLevelConfig spec = config(true);
+    spec.cachedPredictionBit = true;
+    TwoLevelPredictor baseline(base);
+    TwoLevelPredictor speculative(spec);
+    Rng rng(0x5bec2);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t pc = 4 * (1 + rng.nextBelow(8));
+        const bool taken = rng.nextBool(0.5);
+        const auto record = conditional(pc, taken);
+        ASSERT_EQ(baseline.predict(record),
+                  speculative.predict(record))
+            << "iteration " << i;
+        baseline.update(record);
+        speculative.update(record);
+    }
+}
+
+TEST(SpeculativeHistory, UnpairedUpdateFallsBack)
+{
+    // update() without a predict() must still work (the training
+    // path of some harness uses update-only).
+    TwoLevelPredictor predictor(config(true, 1));
+    for (int i = 0; i < 4; ++i)
+        predictor.update(conditional(4, false));
+    EXPECT_FALSE(predictor.predict(conditional(4, false)));
+}
+
+TEST(SpeculativeHistory, InFlightPredictionsUseSpeculativeHistory)
+{
+    // Two predicts with no intervening update: the second must see
+    // the history the first speculated, not the stale one.
+    TwoLevelPredictor predictor(config(true, 4));
+    // Two in-flight predictions, then a misprediction: the repair
+    // must rewind the register and squash the younger speculation.
+    const auto n_record = conditional(4, false);
+    const bool first = predictor.predict(n_record);  // predicts T
+    EXPECT_TRUE(first);
+    const bool second = predictor.predict(n_record); // spec hist 1111
+    EXPECT_TRUE(second);
+    // Resolve the first as not-taken: mispredict -> repair history
+    // to 1110 and squash the second speculation.
+    predictor.update(n_record);
+    // The next update (for the second in-flight) finds no pending
+    // speculation (squashed) and applies the non-speculative path on
+    // the repaired history.
+    predictor.update(n_record);
+    // History should now be 1100 (two not-takens shifted in); after
+    // two more not-takens PT[1100]... just verify the predictor still
+    // behaves sanely and converges to not-taken.
+    for (int i = 0; i < 12; ++i)
+        predictor.update(conditional(4, false));
+    EXPECT_FALSE(predictor.predict(conditional(4, false)));
+}
+
+TEST(SpeculativeHistory, HelpsUnderDelayedUpdatesOnRealCode)
+{
+    // The payoff: with updates delayed (deep pipeline), speculative
+    // history keeps the lookup patterns fresh across the many
+    // interleaved branches of real code. Measured on the gcc mirror
+    // with a 4-branch update delay.
+    const trace::TraceBuffer trace = sim::collectTrace(
+        workloads::makeWorkload("gcc")->buildTest(), 30000);
+    const auto run = [&trace](bool speculative) {
+        DelayedUpdatePredictor wrapped(
+            std::make_unique<TwoLevelPredictor>(
+                config(speculative, 12)),
+            4, /*predict_taken_when_unresolved=*/false);
+        return harness::measure(wrapped, trace).accuracyPercent();
+    };
+    const double with_speculation = run(true);
+    const double without_speculation = run(false);
+    EXPECT_GT(with_speculation, without_speculation + 1.0);
+}
+
+TEST(SpeculativeHistory, TightLoopLimitCycleAndThePaperPolicy)
+{
+    // The known bad case: a single tight-loop branch whose own
+    // wrong-path speculation corrupts its history deterministically
+    // (no re-fetch in a trace-driven model), locking into a
+    // suboptimal cycle. This is precisely the situation the paper's
+    // Section 3.2 predict-taken-when-unresolved policy addresses —
+    // with the policy on, the mostly-taken loop branch recovers.
+    const auto run = [](bool policy) {
+        DelayedUpdatePredictor wrapped(
+            std::make_unique<TwoLevelPredictor>(config(true, 8)),
+            4, policy);
+        int correct = 0;
+        int total = 0;
+        for (int i = 0; i < 4000; ++i) {
+            const bool taken = i % 5 != 4;
+            const auto record = conditional(4, taken);
+            if (i >= 1000) {
+                ++total;
+                correct += wrapped.predict(record) == taken;
+            }
+            wrapped.update(record);
+        }
+        return static_cast<double>(correct) / total;
+    };
+    const double without_policy = run(false);
+    const double with_policy = run(true);
+    EXPECT_LT(without_policy, 0.7); // the limit cycle
+    EXPECT_GT(with_policy, without_policy + 0.1);
+}
+
+TEST(SpeculativeHistory, ResetClearsInFlightState)
+{
+    TwoLevelPredictor predictor(config(true));
+    predictor.predict(conditional(4, false));
+    predictor.reset();
+    // After reset, an update must take the unpaired path without
+    // consuming a stale speculation.
+    predictor.update(conditional(4, false));
+    EXPECT_TRUE(predictor.predict(conditional(4, true)));
+}
+
+} // namespace
+} // namespace tlat::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for util/stats.hh: accuracy counters, means, running
+ * statistics and category counters.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace tlat
+{
+namespace
+{
+
+TEST(AccuracyCounter, Empty)
+{
+    AccuracyCounter counter;
+    EXPECT_EQ(counter.total(), 0u);
+    EXPECT_EQ(counter.accuracy(), 0.0);
+    EXPECT_EQ(counter.missPercent(), 0.0);
+}
+
+TEST(AccuracyCounter, CountsHitsAndMisses)
+{
+    AccuracyCounter counter;
+    for (int i = 0; i < 97; ++i)
+        counter.record(true);
+    for (int i = 0; i < 3; ++i)
+        counter.record(false);
+    EXPECT_EQ(counter.hits(), 97u);
+    EXPECT_EQ(counter.misses(), 3u);
+    EXPECT_DOUBLE_EQ(counter.accuracyPercent(), 97.0);
+    EXPECT_DOUBLE_EQ(counter.missPercent(), 3.0);
+}
+
+TEST(AccuracyCounter, MergeAndReset)
+{
+    AccuracyCounter a;
+    AccuracyCounter b;
+    a.record(true);
+    b.record(false);
+    b.record(true);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.hits(), 2u);
+    a.reset();
+    EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(GeometricMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geometricMean({5.0}), 5.0);
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 4.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, IsBelowArithmeticForUnequalValues)
+{
+    const std::vector<double> values = {90.0, 99.0, 60.0};
+    EXPECT_LT(geometricMean(values), arithmeticMean(values));
+}
+
+TEST(ArithmeticMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(RunningStats, MatchesClosedForm)
+{
+    RunningStats stats;
+    const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double v : values)
+        stats.record(v);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    // Sample variance of the classic example is 32/7.
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats stats;
+    stats.record(42.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 42.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 42.0);
+}
+
+TEST(RunningStats, Reset)
+{
+    RunningStats stats;
+    stats.record(1.0);
+    stats.reset();
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(CategoryCounter, CountsAndFractions)
+{
+    CategoryCounter counter;
+    counter.record("a");
+    counter.record("b", 3);
+    counter.record("a");
+    EXPECT_EQ(counter.total(), 5u);
+    EXPECT_EQ(counter.count("a"), 2u);
+    EXPECT_EQ(counter.count("b"), 3u);
+    EXPECT_EQ(counter.count("missing"), 0u);
+    EXPECT_DOUBLE_EQ(counter.fraction("a"), 0.4);
+    EXPECT_DOUBLE_EQ(counter.fraction("missing"), 0.0);
+}
+
+TEST(CategoryCounter, PreservesFirstSeenOrder)
+{
+    CategoryCounter counter;
+    counter.record("z");
+    counter.record("a");
+    counter.record("z");
+    counter.record("m");
+    const auto &order = counter.categories();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "z");
+    EXPECT_EQ(order[1], "a");
+    EXPECT_EQ(order[2], "m");
+}
+
+} // namespace
+} // namespace tlat

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the trace layer: buffers, binary/text serialization
+ * round trips and trace statistics.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "util/random.hh"
+
+namespace tlat::trace
+{
+namespace
+{
+
+BranchRecord
+record(std::uint64_t pc, std::uint64_t target, BranchClass cls,
+       bool taken)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.cls = cls;
+    r.taken = taken;
+    return r;
+}
+
+TraceBuffer
+sampleTrace()
+{
+    TraceBuffer buffer("sample");
+    buffer.mix().intAlu = 10;
+    buffer.mix().fpAlu = 5;
+    buffer.mix().memory = 3;
+    buffer.mix().controlFlow = 4;
+    buffer.mix().other = 1;
+    buffer.append(record(4, 16, BranchClass::Conditional, true));
+    buffer.append(record(8, 16, BranchClass::Conditional, false));
+    buffer.append(
+        record(12, 40, BranchClass::ImmediateUnconditional, true));
+    buffer.append(record(20, 4, BranchClass::Return, true));
+    return buffer;
+}
+
+TEST(TraceBuffer, Basics)
+{
+    const TraceBuffer buffer = sampleTrace();
+    EXPECT_EQ(buffer.size(), 4u);
+    EXPECT_EQ(buffer.conditionalCount(), 2u);
+    EXPECT_EQ(buffer.name(), "sample");
+    EXPECT_EQ(buffer[0].pc, 4u);
+}
+
+TEST(TraceBuffer, Clear)
+{
+    TraceBuffer buffer = sampleTrace();
+    buffer.clear();
+    EXPECT_TRUE(buffer.empty());
+    EXPECT_EQ(buffer.mix().total(), 0u);
+}
+
+TEST(InstructionMix, Fractions)
+{
+    const TraceBuffer buffer = sampleTrace();
+    EXPECT_EQ(buffer.mix().total(), 23u);
+    EXPECT_NEAR(buffer.mix().branchFraction(), 4.0 / 23.0, 1e-12);
+}
+
+TEST(InstructionMix, Merge)
+{
+    InstructionMix a;
+    a.intAlu = 1;
+    InstructionMix b;
+    b.intAlu = 2;
+    b.fpAlu = 3;
+    a.merge(b);
+    EXPECT_EQ(a.intAlu, 3u);
+    EXPECT_EQ(a.fpAlu, 3u);
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    const TraceBuffer original = sampleTrace();
+    std::stringstream stream;
+    ASSERT_TRUE(writeBinary(original, stream));
+    const auto loaded = readBinary(stream);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->name(), original.name());
+    EXPECT_EQ(loaded->records(), original.records());
+    EXPECT_EQ(loaded->mix().total(), original.mix().total());
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    const TraceBuffer original = sampleTrace();
+    std::stringstream stream;
+    ASSERT_TRUE(writeText(original, stream));
+    const auto loaded = readText(stream);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->name(), original.name());
+    EXPECT_EQ(loaded->records(), original.records());
+    EXPECT_EQ(loaded->mix().intAlu, original.mix().intAlu);
+}
+
+TEST(TraceIo, BinaryRejectsGarbage)
+{
+    std::stringstream stream("not a trace at all");
+    EXPECT_FALSE(readBinary(stream).has_value());
+}
+
+TEST(TraceIo, BinaryRejectsTruncation)
+{
+    const TraceBuffer original = sampleTrace();
+    std::stringstream stream;
+    ASSERT_TRUE(writeBinary(original, stream));
+    const std::string full = stream.str();
+    for (std::size_t cut : {4ul, 12ul, full.size() - 3}) {
+        std::stringstream truncated(full.substr(0, cut));
+        EXPECT_FALSE(readBinary(truncated).has_value()) << cut;
+    }
+}
+
+TEST(TraceIo, TextRejectsBadRecords)
+{
+    std::stringstream bad_class("4 8 X T\n");
+    EXPECT_FALSE(readText(bad_class).has_value());
+    std::stringstream bad_taken("4 8 C Q\n");
+    EXPECT_FALSE(readText(bad_taken).has_value());
+    std::stringstream bad_fields("4\n");
+    EXPECT_FALSE(readText(bad_fields).has_value());
+}
+
+TEST(TraceIo, TextSkipsBlanksAndComments)
+{
+    std::stringstream stream("# name: x\n\n# comment\n4 8 C T\n");
+    const auto loaded = readText(stream);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->name(), "x");
+    ASSERT_EQ(loaded->size(), 1u);
+    EXPECT_TRUE(loaded->records()[0].taken);
+}
+
+TEST(TraceIo, RandomRoundTripProperty)
+{
+    Rng rng(0x77ace);
+    TraceBuffer buffer("random");
+    for (int i = 0; i < 5000; ++i) {
+        buffer.append(record(
+            rng.next() & ~3ull, rng.next() & ~3ull,
+            static_cast<BranchClass>(rng.nextBelow(
+                static_cast<std::uint64_t>(BranchClass::NumClasses))),
+            rng.nextBool()));
+    }
+    std::stringstream binary;
+    ASSERT_TRUE(writeBinary(buffer, binary));
+    const auto from_binary = readBinary(binary);
+    ASSERT_TRUE(from_binary.has_value());
+    EXPECT_EQ(from_binary->records(), buffer.records());
+
+    std::stringstream text;
+    ASSERT_TRUE(writeText(buffer, text));
+    const auto from_text = readText(text);
+    ASSERT_TRUE(from_text.has_value());
+    EXPECT_EQ(from_text->records(), buffer.records());
+}
+
+TEST(TraceStats, ComputesClassCountsAndCensus)
+{
+    TraceBuffer buffer("stats");
+    // Two static conditional branches (pc 4 twice, pc 8 once), one
+    // return, one unconditional.
+    buffer.append(record(4, 16, BranchClass::Conditional, true));
+    buffer.append(record(4, 16, BranchClass::Conditional, false));
+    buffer.append(record(8, 16, BranchClass::Conditional, true));
+    buffer.append(record(20, 4, BranchClass::Return, true));
+    buffer.append(
+        record(24, 40, BranchClass::RegisterUnconditional, true));
+    const TraceStats stats = computeStats(buffer);
+    EXPECT_EQ(stats.dynamicBranches(), 5u);
+    EXPECT_EQ(stats.dynamicConditionalBranches, 3u);
+    EXPECT_EQ(stats.takenConditionalBranches, 2u);
+    EXPECT_EQ(stats.staticConditionalBranches, 2u);
+    EXPECT_EQ(stats.staticBranches, 4u);
+    EXPECT_NEAR(stats.takenFraction(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(stats.classFraction(BranchClass::Conditional),
+                3.0 / 5.0, 1e-12);
+    EXPECT_NEAR(stats.classFraction(BranchClass::Return), 1.0 / 5.0,
+                1e-12);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceStats stats = computeStats(TraceBuffer{});
+    EXPECT_EQ(stats.dynamicBranches(), 0u);
+    EXPECT_EQ(stats.takenFraction(), 0.0);
+    EXPECT_EQ(stats.classFraction(BranchClass::Conditional), 0.0);
+}
+
+TEST(BranchClassNames, AllNamed)
+{
+    EXPECT_STREQ(branchClassName(BranchClass::Conditional),
+                 "conditional");
+    EXPECT_STREQ(branchClassName(BranchClass::Return), "return");
+    EXPECT_STREQ(
+        branchClassName(BranchClass::ImmediateUnconditional),
+        "immediate-unconditional");
+    EXPECT_STREQ(branchClassName(BranchClass::RegisterUnconditional),
+                 "register-unconditional");
+}
+
+} // namespace
+} // namespace tlat::trace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the remaining util pieces: saturating counter, table
+ * printer and CSV writer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv_writer.hh"
+#include "util/saturating_counter.hh"
+#include "util/table_printer.hh"
+
+namespace tlat
+{
+namespace
+{
+
+TEST(SaturatingCounter, SaturatesBothEnds)
+{
+    SaturatingCounter counter(2, 0);
+    EXPECT_EQ(counter.value(), 0u);
+    counter.decrement();
+    EXPECT_EQ(counter.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+    counter.increment();
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(SaturatingCounter, InitialClampAndReset)
+{
+    SaturatingCounter counter(2, 9);
+    EXPECT_EQ(counter.value(), 3u); // clamped to max
+    counter.decrement();
+    counter.reset();
+    EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST(SaturatingCounter, UpperHalf)
+{
+    SaturatingCounter counter(2, 0);
+    EXPECT_FALSE(counter.upperHalf());
+    counter.increment(); // 1
+    EXPECT_FALSE(counter.upperHalf());
+    counter.increment(); // 2
+    EXPECT_TRUE(counter.upperHalf());
+    counter.increment(); // 3
+    EXPECT_TRUE(counter.upperHalf());
+}
+
+TEST(SaturatingCounter, WiderCounter)
+{
+    SaturatingCounter counter(4, 8);
+    EXPECT_EQ(counter.max(), 15u);
+    counter.set(100);
+    EXPECT_EQ(counter.value(), 15u);
+}
+
+TEST(TablePrinter, RendersAlignedTable)
+{
+    TablePrinter printer("t");
+    printer.setHeader({"name", "value"});
+    printer.addRow({"a", "1"});
+    printer.addSeparator();
+    printer.addRow({"long-name", "22"});
+    std::ostringstream oss;
+    printer.print(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("t\n=\n"), std::string::npos);
+    EXPECT_NE(text.find("| name"), std::string::npos);
+    EXPECT_NE(text.find("| long-name | 22"), std::string::npos);
+}
+
+TEST(TablePrinter, PercentCell)
+{
+    EXPECT_EQ(TablePrinter::percentCell(97.0), " 97.00");
+    EXPECT_EQ(TablePrinter::percentCell(3.126), "  3.13");
+    EXPECT_EQ(TablePrinter::percentCell(100.0), "100.00");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss);
+    csv.writeRow({"a", "b,c"});
+    csv.writeRow({"1", "2"});
+    EXPECT_EQ(oss.str(), "a,\"b,c\"\n1,2\n");
+}
+
+} // namespace
+} // namespace tlat

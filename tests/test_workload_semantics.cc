@@ -1,0 +1,273 @@
+/**
+ * @file
+ * End-to-end semantic verification of the workloads: the micro88
+ * programs must compute *correct results*, not just plausible branch
+ * streams. These tests run a full program pass in the simulator and
+ * check its data memory against host-computed references:
+ *
+ *  - li/hanoi moves exactly 2^depth - 1 disks;
+ *  - li/queens finds exactly the 92 solutions of eight queens;
+ *  - matrix300's product matches a bit-identical host matmul;
+ *  - tomcatv's grid matches a bit-identical host stencil replay;
+ *  - espresso's cube memory matches a host mirror of the whole pass
+ *    (LCG generation, containment flags, compaction);
+ *  - eqntott's index array is sorted under its own comparator.
+ *
+ * Together these differentially test the simulator's integer, FP and
+ * memory semantics against the host CPU.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace tlat
+{
+namespace
+{
+
+/** Runs one full program pass (to Halt) and returns the simulator. */
+std::unique_ptr<sim::Simulator>
+runOnePass(const isa::Program &program)
+{
+    auto simulator = std::make_unique<sim::Simulator>(program);
+    const sim::SimResult result = simulator->run(nullptr, {});
+    EXPECT_EQ(result.stopReason, sim::StopReason::Halted);
+    return simulator;
+}
+
+double
+loadDouble(const sim::Memory &memory, std::uint64_t address)
+{
+    return memory.loadDouble(address);
+}
+
+TEST(WorkloadSemantics, HanoiMovesExactlyTwoToTheNMinusOne)
+{
+    const auto workload = workloads::makeWorkload("li");
+    const isa::Program program = workload->build("hanoi");
+    const auto simulator = runOnePass(program);
+    const std::uint64_t counter_addr =
+        program.dataSymbols.at("counter");
+    // The driver runs hanoi(12): 2^12 - 1 moves.
+    EXPECT_EQ(simulator->memory().load(counter_addr), 4095u);
+}
+
+TEST(WorkloadSemantics, EightQueensFindsNinetyTwoSolutions)
+{
+    const auto workload = workloads::makeWorkload("li");
+    const isa::Program program = workload->build("queens");
+    const auto simulator = runOnePass(program);
+    const std::uint64_t counter_addr =
+        program.dataSymbols.at("counter");
+    // The classic result: 92 solutions on the 8x8 board.
+    EXPECT_EQ(simulator->memory().load(counter_addr), 92u);
+}
+
+TEST(WorkloadSemantics, Matrix300ProductIsBitExact)
+{
+    const auto workload = workloads::makeWorkload("matrix300");
+    const isa::Program program = workload->buildTest();
+    const auto simulator = runOnePass(program);
+    const sim::Memory &memory = simulator->memory();
+
+    const auto n = static_cast<std::int64_t>(
+        program.dataSymbols.at("n"));
+    const std::uint64_t c_base = program.dataSymbols.at("matrix_c");
+
+    const auto a_at = [&](std::int64_t idx) {
+        // A[idx] = double(idx % 17) * 0.25, in the program's own
+        // operation order (exact in binary FP).
+        return static_cast<double>(idx % 17) * 0.25;
+    };
+    const auto b_at = [&](std::int64_t idx) {
+        return static_cast<double>(idx % 23);
+    };
+
+    // Spot-check a spread of cells with the exact summation order
+    // the program uses (k ascending, multiply then accumulate).
+    const std::pair<std::int64_t, std::int64_t> matmul_cells[] = {
+        {0, 0}, {1, 2}, {17, 40}, {n - 1, n - 1}, {n / 2, 3}};
+    for (const auto &[i, j] : matmul_cells) {
+        double sum = 0.0;
+        for (std::int64_t k = 0; k < n; ++k)
+            sum += a_at(i * n + k) * b_at(k * n + j);
+        const double simulated = loadDouble(
+            memory,
+            c_base + static_cast<std::uint64_t>(i * n + j) * 8);
+        EXPECT_EQ(simulated, sum) << "C[" << i << "][" << j << "]";
+    }
+}
+
+TEST(WorkloadSemantics, TomcatvGridIsBitExact)
+{
+    const auto workload = workloads::makeWorkload("tomcatv");
+    const isa::Program program = workload->buildTest();
+    const auto simulator = runOnePass(program);
+    const sim::Memory &memory = simulator->memory();
+
+    const auto m = static_cast<std::int64_t>(
+        program.dataSymbols.at("m"));
+    const std::uint64_t x_base = program.dataSymbols.at("grid_x");
+
+    // Host replay with the program's exact operation order.
+    std::vector<double> x(static_cast<std::size_t>(m * m));
+    std::vector<double> r(static_cast<std::size_t>(m * m));
+    for (std::int64_t idx = 0; idx < m * m; ++idx) {
+        const std::int64_t i = idx / m;
+        const std::int64_t j = idx % m;
+        x[static_cast<std::size_t>(idx)] =
+            static_cast<double>((i * 7 + j * 3) % 31) * 0.125;
+    }
+    const double omega = 0.20;
+    for (int iteration = 0; iteration < 4; ++iteration) {
+        for (std::int64_t i = 1; i < m - 1; ++i) {
+            for (std::int64_t j = 1; j < m - 1; ++j) {
+                const std::size_t at =
+                    static_cast<std::size_t>(i * m + j);
+                const double c = x[at];
+                double t = x[at + 1] + x[at - 1]; // E + W
+                t = t + x[at - static_cast<std::size_t>(m)]; // + N
+                t = t + x[at + static_cast<std::size_t>(m)]; // + S
+                t = t * 0.25;
+                r[at] = t - c;
+            }
+        }
+        for (std::int64_t i = 1; i < m - 1; ++i) {
+            for (std::int64_t j = 1; j < m - 1; ++j) {
+                const std::size_t at =
+                    static_cast<std::size_t>(i * m + j);
+                x[at] = x[at] + r[at] * omega;
+            }
+        }
+    }
+
+    // Compare a sample of interior and border cells bitwise.
+    const std::pair<std::int64_t, std::int64_t> grid_cells[] = {
+        {0, 0}, {1, 1}, {5, 77}, {m - 2, m - 2}, {m / 2, m / 2}};
+    for (const auto &[i, j] : grid_cells) {
+        const std::size_t at = static_cast<std::size_t>(i * m + j);
+        const double simulated =
+            loadDouble(memory, x_base + at * 8);
+        EXPECT_EQ(simulated, x[at])
+            << "X[" << i << "][" << j << "]";
+    }
+}
+
+TEST(WorkloadSemantics, EspressoPassMatchesHostMirror)
+{
+    const auto workload = workloads::makeWorkload("espresso");
+    const isa::Program program = workload->build("bca");
+    const auto simulator = runOnePass(program);
+    const sim::Memory &memory = simulator->memory();
+
+    const std::uint64_t params_addr =
+        program.dataSymbols.at("params");
+    const std::uint64_t cube_base = program.dataSymbols.at("cubes");
+    const std::uint64_t flag_base = program.dataSymbols.at("flags");
+    const std::uint64_t lcg_addr =
+        program.dataSymbols.at("lcg_state");
+
+    const std::uint64_t nc = memory.load(params_addr);
+    const std::uint64_t mask = memory.load(params_addr + 8);
+    ASSERT_GT(nc, 0u);
+
+    // Host mirror of the whole pass, from the program's initial LCG
+    // seed (the image value, since we ran exactly one pass).
+    std::uint64_t lcg = program.initialData[lcg_addr / 8];
+    const auto next = [&lcg]() {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        return lcg;
+    };
+
+    constexpr std::size_t kWords = 4;
+    std::vector<std::uint64_t> cubes(nc * kWords);
+    for (auto &word : cubes)
+        word = next() & mask;
+
+    std::vector<std::uint64_t> flags(nc, 0);
+    for (std::uint64_t i = 0; i + 1 < nc; ++i) {
+        for (std::uint64_t j = i + 1; j < nc; ++j) {
+            std::uint64_t inter_union = 0;
+            bool contained = true;
+            for (std::size_t w = 0; w < kWords; ++w) {
+                const std::uint64_t a = cubes[i * kWords + w];
+                const std::uint64_t b = cubes[j * kWords + w];
+                inter_union |= a & b;
+                contained = contained && (a & b) == a;
+            }
+            if (inter_union == 0)
+                continue; // empty pairs skip the containment test
+            if (contained)
+                flags[i] = 1;
+        }
+    }
+
+    // Compaction: copy uncovered cubes to the front, in place.
+    std::uint64_t write = 0;
+    for (std::uint64_t i = 0; i < nc; ++i) {
+        if (flags[i] != 0)
+            continue;
+        for (std::size_t w = 0; w < kWords; ++w)
+            cubes[write * kWords + w] = cubes[i * kWords + w];
+        ++write;
+    }
+
+    // Compare every cube word and every flag against the simulation.
+    for (std::uint64_t word = 0; word < nc * kWords; ++word) {
+        EXPECT_EQ(memory.load(cube_base + word * 8), cubes[word])
+            << "cube word " << word;
+    }
+    for (std::uint64_t i = 0; i < nc; ++i) {
+        EXPECT_EQ(memory.load(flag_base + i * 8), flags[i])
+            << "flag " << i;
+    }
+    EXPECT_EQ(memory.load(lcg_addr), lcg);
+}
+
+TEST(WorkloadSemantics, EqntottIndexArrayIsSorted)
+{
+    const auto workload = workloads::makeWorkload("eqntott");
+    const isa::Program program = workload->buildTest();
+    const auto simulator = runOnePass(program);
+    const sim::Memory &memory = simulator->memory();
+
+    const std::uint64_t term_base = program.dataSymbols.at("terms");
+    const std::uint64_t idx_base = program.dataSymbols.at("indices");
+    const std::uint64_t count = program.dataSymbols.at("num_terms");
+    const std::uint64_t words = program.dataSymbols.at("term_words");
+
+    // cmppt order: word-by-word unsigned comparison.
+    const auto cmppt = [&](std::uint64_t a, std::uint64_t b) {
+        for (std::uint64_t w = 0; w < words; ++w) {
+            const std::uint64_t wa =
+                memory.load(term_base + (a * words + w) * 8);
+            const std::uint64_t wb =
+                memory.load(term_base + (b * words + w) * 8);
+            if (wa != wb)
+                return wa > wb ? 1 : -1;
+        }
+        return 0;
+    };
+
+    std::vector<std::uint64_t> indices(count);
+    std::vector<bool> seen(count, false);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        indices[i] = memory.load(idx_base + i * 8);
+        ASSERT_LT(indices[i], count);
+        EXPECT_FALSE(seen[indices[i]])
+            << "index " << indices[i] << " duplicated";
+        seen[indices[i]] = true;
+    }
+    for (std::uint64_t i = 1; i < count; ++i) {
+        EXPECT_LE(cmppt(indices[i - 1], indices[i]), 0)
+            << "out of order at position " << i;
+    }
+}
+
+} // namespace
+} // namespace tlat

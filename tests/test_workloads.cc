@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the nine SPEC-mirror workloads: they must build, run,
+ * produce the right branch-class structure, be deterministic, and —
+ * critically for the Static Training Diff experiments — keep their
+ * static code identical across data sets.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "trace/trace_stats.hh"
+#include "workloads/workload.hh"
+
+namespace tlat::workloads
+{
+namespace
+{
+
+class WorkloadSweep : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    std::unique_ptr<Workload> workload_ = makeWorkload(GetParam());
+};
+
+TEST_P(WorkloadSweep, BuildsNonTrivialProgram)
+{
+    const isa::Program program = workload_->buildTest();
+    EXPECT_EQ(program.name, GetParam());
+    EXPECT_GT(program.code.size(), 20u);
+    EXPECT_GT(program.staticConditionalBranches(), 0u);
+}
+
+TEST_P(WorkloadSweep, RunsToBranchBudget)
+{
+    const isa::Program program = workload_->buildTest();
+    const trace::TraceBuffer buffer =
+        sim::collectTrace(program, 5000);
+    EXPECT_EQ(buffer.conditionalCount(), 5000u);
+    EXPECT_GT(buffer.mix().total(), 5000u);
+}
+
+TEST_P(WorkloadSweep, TraceIsDeterministic)
+{
+    const trace::TraceBuffer a =
+        sim::collectTrace(workload_->buildTest(), 2000);
+    const trace::TraceBuffer b =
+        sim::collectTrace(workload_->buildTest(), 2000);
+    EXPECT_EQ(a.records(), b.records());
+}
+
+TEST_P(WorkloadSweep, EveryDataSetBuildsAndRuns)
+{
+    for (const std::string &data_set : workload_->dataSets()) {
+        const isa::Program program = workload_->build(data_set);
+        const trace::TraceBuffer buffer =
+            sim::collectTrace(program, 1000);
+        EXPECT_EQ(buffer.conditionalCount(), 1000u) << data_set;
+    }
+}
+
+TEST_P(WorkloadSweep, DataSetsShareStaticCodeShape)
+{
+    // Static Training's Diff experiment requires identical branch
+    // sites across data sets: same code size, same opcode at every
+    // pc (immediates may differ — they encode the input data).
+    const auto sets = workload_->dataSets();
+    if (sets.size() < 2)
+        GTEST_SKIP() << "single data set";
+    const isa::Program test_program = workload_->build(sets[0]);
+    const isa::Program train_program = workload_->build(sets[1]);
+    ASSERT_EQ(test_program.code.size(), train_program.code.size());
+    for (std::size_t pc = 0; pc < test_program.code.size(); ++pc) {
+        EXPECT_EQ(test_program.code[pc].opcode,
+                  train_program.code[pc].opcode)
+            << "pc " << pc;
+    }
+}
+
+TEST_P(WorkloadSweep, ConditionalBranchesDominateTheMix)
+{
+    // Paper Figure 4: about 80% of dynamic branches are conditional.
+    // Loosely: conditionals must be the majority class everywhere.
+    const trace::TraceBuffer buffer =
+        sim::collectTrace(workload_->buildTest(), 20000);
+    const trace::TraceStats stats = trace::computeStats(buffer);
+    EXPECT_GT(stats.classFraction(trace::BranchClass::Conditional),
+              0.5);
+}
+
+TEST_P(WorkloadSweep, BranchFractionIsPlausible)
+{
+    // Paper Figure 3: ~24% for integer codes, ~5% for FP codes.
+    const trace::TraceBuffer buffer =
+        sim::collectTrace(workload_->buildTest(), 20000);
+    const double fraction = buffer.mix().branchFraction();
+    if (workload_->isFloatingPoint()) {
+        EXPECT_GT(fraction, 0.02);
+        EXPECT_LT(fraction, 0.25);
+    } else {
+        EXPECT_GT(fraction, 0.05);
+        EXPECT_LT(fraction, 0.55);
+    }
+}
+
+TEST_P(WorkloadSweep, FpWorkloadsExecuteFpInstructions)
+{
+    const trace::TraceBuffer buffer =
+        sim::collectTrace(workload_->buildTest(), 20000);
+    if (workload_->isFloatingPoint()) {
+        EXPECT_GT(buffer.mix().fpAlu, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadSweep,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(WorkloadRegistry, NinePaperBenchmarks)
+{
+    const auto names = workloadNames();
+    ASSERT_EQ(names.size(), 9u);
+    const std::set<std::string> expected = {
+        "eqntott", "espresso", "gcc",       "li",      "doduc",
+        "fpppp",   "matrix300", "spice2g6", "tomcatv"};
+    EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+              expected);
+}
+
+TEST(WorkloadRegistry, IntegerFpSplitMatchesPaper)
+{
+    EXPECT_EQ(integerWorkloadNames(),
+              (std::vector<std::string>{"eqntott", "espresso", "gcc",
+                                        "li"}));
+    EXPECT_EQ(floatingPointWorkloadNames(),
+              (std::vector<std::string>{"doduc", "fpppp", "matrix300",
+                                        "spice2g6", "tomcatv"}));
+}
+
+TEST(WorkloadRegistry, Table3TrainingSets)
+{
+    // Paper Table 3: four benchmarks have no usable training set.
+    const std::set<std::string> no_train = {"eqntott", "matrix300",
+                                            "fpppp", "tomcatv"};
+    for (const std::string &name : workloadNames()) {
+        const auto workload = makeWorkload(name);
+        EXPECT_EQ(workload->trainSet().has_value(),
+                  no_train.count(name) == 0)
+            << name;
+    }
+    EXPECT_EQ(makeWorkload("li")->trainSet().value(), "hanoi");
+    EXPECT_EQ(makeWorkload("li")->testSet(), "queens");
+    EXPECT_EQ(makeWorkload("espresso")->trainSet().value(), "cps");
+    EXPECT_EQ(makeWorkload("gcc")->trainSet().value(), "cexp");
+}
+
+TEST(WorkloadRegistryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("nasa7"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(WorkloadRegistryDeath, UnknownDataSetIsFatal)
+{
+    const auto workload = makeWorkload("li");
+    EXPECT_EXIT(workload->build("fibonacci"),
+                ::testing::ExitedWithCode(1), "no data set");
+}
+
+TEST(WorkloadShape, GccHasTheMostStaticConditionalBranches)
+{
+    // Paper Table 1: gcc dwarfs the other benchmarks (6922 vs <=1149).
+    std::uint64_t gcc_count = 0;
+    std::uint64_t max_other = 0;
+    for (const std::string &name : workloadNames()) {
+        const std::uint64_t count = makeWorkload(name)
+                                        ->buildTest()
+                                        .staticConditionalBranches();
+        if (name == "gcc")
+            gcc_count = count;
+        else
+            max_other = std::max(max_other, count);
+    }
+    EXPECT_GT(gcc_count, 3 * max_other);
+}
+
+TEST(WorkloadShape, Matrix300HasTheFewest)
+{
+    const std::uint64_t matrix = makeWorkload("matrix300")
+                                     ->buildTest()
+                                     .staticConditionalBranches();
+    for (const std::string &name : workloadNames()) {
+        if (name == "matrix300")
+            continue;
+        EXPECT_LE(matrix, makeWorkload(name)
+                              ->buildTest()
+                              .staticConditionalBranches())
+            << name;
+    }
+}
+
+TEST(WorkloadShape, LiExercisesReturns)
+{
+    // li is the recursion-heavy benchmark; returns must appear.
+    const trace::TraceBuffer buffer =
+        sim::collectTrace(makeWorkload("li")->buildTest(), 20000);
+    const trace::TraceStats stats = trace::computeStats(buffer);
+    EXPECT_GT(stats.classFraction(trace::BranchClass::Return), 0.01);
+}
+
+TEST(WorkloadShape, GccUsesIndirectJumps)
+{
+    // The token dispatch goes through jump tables (jr).
+    const trace::TraceBuffer buffer =
+        sim::collectTrace(makeWorkload("gcc")->buildTest(), 20000);
+    const trace::TraceStats stats = trace::computeStats(buffer);
+    EXPECT_GT(
+        stats.classFraction(trace::BranchClass::RegisterUnconditional),
+        0.01);
+}
+
+TEST(WorkloadShape, LoopBoundFpCodesAreHighlyTakenBiased)
+{
+    // matrix300 and tomcatv: overwhelmingly taken loop branches.
+    for (const char *name : {"matrix300", "tomcatv"}) {
+        const trace::TraceBuffer buffer =
+            sim::collectTrace(makeWorkload(name)->buildTest(), 50000);
+        const trace::TraceStats stats = trace::computeStats(buffer);
+        EXPECT_GT(stats.takenFraction(), 0.9) << name;
+    }
+}
+
+} // namespace
+} // namespace tlat::workloads

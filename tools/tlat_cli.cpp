@@ -1,0 +1,476 @@
+/**
+ * @file
+ * tlat — command-line driver for the library.
+ *
+ *   tlat list                          benchmarks and example schemes
+ *   tlat trace <benchmark> [options]   generate a trace file
+ *   tlat stats <benchmark|file>        workload characterization
+ *   tlat run <scheme> <benchmark|file> measure a predictor
+ *   tlat profile <scheme> <benchmark>  per-branch miss breakdown
+ *   tlat disasm <benchmark>            dump the workload's micro88
+ *   tlat cost <scheme>                 storage cost breakdown
+ *   tlat compare <scheme>...           suite-wide accuracy report
+ *   tlat ras <benchmark>               return-stack depth sweep
+ *   tlat cpi <scheme> <benchmark>      pipeline timing model
+ *
+ * Common options:
+ *   --budget N      conditional-branch budget (default 300000)
+ *   --data SET      workload data set (default: the testing set)
+ *   --train FILE|BENCH  training trace for ST/Profile schemes
+ *   --out FILE      output path for `trace` (.tltr binary or .txt)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "harness/branch_profile.hh"
+#include "harness/figure_runner.hh"
+#include "harness/ras_experiment.hh"
+#include "pipeline/pipeline_model.hh"
+#include "harness/experiment.hh"
+#include "harness/suite.hh"
+#include "isa/disassembler.hh"
+#include "predictors/scheme_factory.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "util/string_utils.hh"
+#include "util/table_printer.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tlat;
+
+struct Options
+{
+    std::uint64_t budget = 300000;
+    std::string data;
+    std::string train;
+    std::string out;
+    std::vector<std::string> positional;
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: tlat <command> [options]\n"
+           "  list                         benchmarks and schemes\n"
+           "  trace <benchmark>            generate a trace "
+           "(--out file.tltr)\n"
+           "  stats <benchmark|file>       workload statistics\n"
+           "  run <scheme> <bench|file>    measure a predictor\n"
+           "  profile <scheme> <bench>     per-branch breakdown\n"
+           "  disasm <benchmark>           dump micro88 assembly\n"
+           "  cost <scheme>                storage cost breakdown\n"
+           "  compare <scheme>...          suite-wide report\n"
+           "  ras <benchmark>              return-stack sweep\n"
+           "  cpi <scheme> <benchmark>     pipeline timing model\n"
+           "options: --budget N --data SET --train SRC --out FILE\n";
+    return 2;
+}
+
+std::optional<Options>
+parseOptions(int argc, char **argv, int first)
+{
+    Options options;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::optional<std::string> {
+            if (i + 1 >= argc)
+                return std::nullopt;
+            return std::string(argv[++i]);
+        };
+        if (arg == "--budget") {
+            const auto value = next();
+            const auto parsed =
+                value ? parseSize(*value) : std::nullopt;
+            if (!parsed)
+                return std::nullopt;
+            options.budget = *parsed;
+        } else if (arg == "--data") {
+            const auto value = next();
+            if (!value)
+                return std::nullopt;
+            options.data = *value;
+        } else if (arg == "--train") {
+            const auto value = next();
+            if (!value)
+                return std::nullopt;
+            options.train = *value;
+        } else if (arg == "--out") {
+            const auto value = next();
+            if (!value)
+                return std::nullopt;
+            options.out = *value;
+        } else if (startsWith(arg, "--")) {
+            std::cerr << "unknown option " << arg << "\n";
+            return std::nullopt;
+        } else {
+            options.positional.push_back(arg);
+        }
+    }
+    return options;
+}
+
+bool
+isBenchmark(const std::string &name)
+{
+    const auto names = workloads::workloadNames();
+    return std::find(names.begin(), names.end(), name) !=
+           names.end();
+}
+
+/** Loads a trace from a benchmark name or a trace file path. */
+std::optional<trace::TraceBuffer>
+loadTrace(const std::string &source, const Options &options)
+{
+    if (isBenchmark(source)) {
+        const auto workload = workloads::makeWorkload(source);
+        const std::string data_set =
+            options.data.empty() ? workload->testSet() : options.data;
+        trace::TraceBuffer buffer = sim::collectTrace(
+            workload->build(data_set), options.budget);
+        buffer.setName(source);
+        return buffer;
+    }
+    auto loaded = trace::loadFromFile(source);
+    if (!loaded)
+        std::cerr << "cannot load trace '" << source << "'\n";
+    return loaded;
+}
+
+int
+cmdList()
+{
+    std::cout << "benchmarks (SPEC'89 mirrors):\n";
+    for (const std::string &name : workloads::workloadNames()) {
+        const auto workload = workloads::makeWorkload(name);
+        std::cout << "  " << name << "  (data sets:";
+        for (const std::string &set : workload->dataSets())
+            std::cout << ' ' << set;
+        std::cout << ")\n";
+    }
+    std::cout << "\nscheme name examples (paper Table 2 notation):\n"
+                 "  AT(AHRT(512,12SR),PT(2^12,A2),)\n"
+                 "  AT(IHRT(,8SR),PT(2^8,LT),)\n"
+                 "  ST(AHRT(512,12SR),PT(2^12,PB),Same)\n"
+                 "  LS(AHRT(512,A2),,)\n"
+                 "  Profile | BTFN | AlwaysTaken | AlwaysNotTaken\n";
+    return 0;
+}
+
+int
+cmdTrace(const Options &options)
+{
+    if (options.positional.size() != 1 || options.out.empty()) {
+        std::cerr << "usage: tlat trace <benchmark> --out FILE\n";
+        return 2;
+    }
+    const auto buffer = loadTrace(options.positional[0], options);
+    if (!buffer)
+        return 1;
+    if (!trace::saveToFile(*buffer, options.out)) {
+        std::cerr << "cannot write '" << options.out << "'\n";
+        return 1;
+    }
+    std::cout << "wrote " << buffer->size() << " branch records ("
+              << buffer->conditionalCount() << " conditional) to "
+              << options.out << "\n";
+    return 0;
+}
+
+int
+cmdStats(const Options &options)
+{
+    if (options.positional.size() != 1)
+        return usage();
+    const auto buffer = loadTrace(options.positional[0], options);
+    if (!buffer)
+        return 1;
+    const trace::TraceStats stats = trace::computeStats(*buffer);
+    TablePrinter table("trace statistics: " + buffer->name());
+    table.setHeader({"metric", "value"});
+    table.addRow({"dynamic instructions",
+                  std::to_string(buffer->mix().total())});
+    table.addRow({"branch fraction %",
+                  TablePrinter::percentCell(
+                      buffer->mix().branchFraction() * 100.0)});
+    table.addRow({"dynamic branches",
+                  std::to_string(stats.dynamicBranches())});
+    table.addRow({"conditional %",
+                  TablePrinter::percentCell(
+                      stats.classFraction(
+                          trace::BranchClass::Conditional) *
+                      100.0)});
+    table.addRow({"taken %", TablePrinter::percentCell(
+                                 stats.takenFraction() * 100.0)});
+    table.addRow({"static conditional branches",
+                  std::to_string(stats.staticConditionalBranches)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(const Options &options)
+{
+    if (options.positional.size() != 2) {
+        std::cerr << "usage: tlat run <scheme> <benchmark|file>\n";
+        return 2;
+    }
+    const auto config =
+        core::SchemeConfig::parse(options.positional[0]);
+    if (!config) {
+        std::cerr << "bad scheme name '" << options.positional[0]
+                  << "'\n";
+        return 2;
+    }
+    const auto test = loadTrace(options.positional[1], options);
+    if (!test)
+        return 1;
+
+    std::optional<trace::TraceBuffer> train;
+    if (!options.train.empty()) {
+        train = loadTrace(options.train, options);
+        if (!train)
+            return 1;
+    } else if (config->data == core::DataMode::Diff &&
+               isBenchmark(options.positional[1])) {
+        const auto workload =
+            workloads::makeWorkload(options.positional[1]);
+        if (const auto set = workload->trainSet()) {
+            Options train_options = options;
+            train_options.data = *set;
+            train = loadTrace(options.positional[1], train_options);
+        } else {
+            std::cerr << "no training data set for "
+                      << options.positional[1] << "\n";
+            return 1;
+        }
+    }
+
+    auto predictor = predictors::makePredictor(*config);
+    const auto result = harness::runExperiment(
+        *predictor, *test, train ? &*train : nullptr);
+    std::cout << predictor->name() << " on " << test->name() << ":\n"
+              << "  conditional branches: "
+              << result.accuracy.total() << "\n"
+              << "  accuracy:  "
+              << TablePrinter::percentCell(
+                     result.accuracy.accuracyPercent())
+              << " %\n"
+              << "  miss rate: "
+              << TablePrinter::percentCell(
+                     result.accuracy.missPercent())
+              << " %\n";
+    return 0;
+}
+
+int
+cmdProfile(const Options &options)
+{
+    if (options.positional.size() != 2) {
+        std::cerr << "usage: tlat profile <scheme> <benchmark>\n";
+        return 2;
+    }
+    auto predictor =
+        predictors::makePredictor(options.positional[0]);
+    const auto test = loadTrace(options.positional[1], options);
+    if (!test)
+        return 1;
+    if (predictor->needsTraining())
+        predictor->train(*test);
+    const harness::BranchProfile profile =
+        harness::profileBranches(*predictor, *test);
+
+    TablePrinter table("worst branches for " + predictor->name() +
+                       " on " + test->name());
+    table.setHeader({"pc", "executions", "misses", "accuracy %",
+                     "taken %"});
+    for (const harness::BranchSite &site : profile.worstSites(15)) {
+        table.addRow({format("0x%llx",
+                             static_cast<unsigned long long>(site.pc)),
+                      std::to_string(site.executions),
+                      std::to_string(site.mispredictions),
+                      TablePrinter::percentCell(site.accuracy() *
+                                                100.0),
+                      TablePrinter::percentCell(site.takenRate() *
+                                                100.0)});
+    }
+    table.print(std::cout);
+    std::cout << "static branches: " << profile.staticBranches()
+              << ", total miss rate "
+              << TablePrinter::percentCell(
+                     100.0 *
+                     static_cast<double>(
+                         profile.totalMispredictions()) /
+                     static_cast<double>(profile.totalExecutions()))
+              << " %; top-10 sites hold "
+              << TablePrinter::percentCell(
+                     profile.missConcentration(10) * 100.0)
+              << " % of the misses\n";
+    return 0;
+}
+
+int
+cmdDisasm(const Options &options)
+{
+    if (options.positional.size() != 1)
+        return usage();
+    if (!isBenchmark(options.positional[0])) {
+        std::cerr << "unknown benchmark '" << options.positional[0]
+                  << "'\n";
+        return 2;
+    }
+    const auto workload =
+        workloads::makeWorkload(options.positional[0]);
+    const std::string data_set =
+        options.data.empty() ? workload->testSet() : options.data;
+    std::cout << isa::disassemble(workload->build(data_set));
+    return 0;
+}
+
+int
+cmdCost(const Options &options)
+{
+    if (options.positional.size() != 1)
+        return usage();
+    const auto config =
+        core::SchemeConfig::parse(options.positional[0]);
+    if (!config) {
+        std::cerr << "bad scheme name\n";
+        return 2;
+    }
+    const core::StorageCost cost = core::storageCost(*config);
+    TablePrinter table("storage cost: " + config->text());
+    table.setHeader({"component", "bits"});
+    table.addRow({"history entries",
+                  std::to_string(cost.historyBits)});
+    table.addRow({"tag store", std::to_string(cost.tagBits)});
+    table.addRow({"LRU state", std::to_string(cost.lruBits)});
+    table.addRow({"pattern table",
+                  std::to_string(cost.patternBits)});
+    table.addRow({"total", std::to_string(cost.total())});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRas(const Options &options)
+{
+    if (options.positional.size() != 1)
+        return usage();
+    const auto buffer = loadTrace(options.positional[0], options);
+    if (!buffer)
+        return 1;
+    TablePrinter table("return-target hit rate: " + buffer->name());
+    table.setHeader({"stack depth", "returns", "hit rate %"});
+    for (const std::size_t depth : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
+        const harness::RasResult result =
+            harness::runRasExperiment(*buffer, depth);
+        table.addRow({std::to_string(depth),
+                      std::to_string(result.returns),
+                      TablePrinter::percentCell(result.hitRate() *
+                                                100.0)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCpi(const Options &options)
+{
+    if (options.positional.size() != 2) {
+        std::cerr << "usage: tlat cpi <scheme> <benchmark|file>\n";
+        return 2;
+    }
+    auto predictor =
+        predictors::makePredictor(options.positional[0]);
+    const auto buffer = loadTrace(options.positional[1], options);
+    if (!buffer)
+        return 1;
+    if (predictor->needsTraining())
+        predictor->train(*buffer);
+
+    pipeline::PipelineConfig config;
+    const pipeline::PipelineResult result =
+        pipeline::PipelineModel(config).run(*buffer, *predictor);
+    TablePrinter table("pipeline model: " + predictor->name() +
+                       " on " + buffer->name());
+    table.setHeader({"metric", "value"});
+    table.addRow({"instructions",
+                  std::to_string(result.instructions)});
+    table.addRow({"cycles", std::to_string(result.cycles)});
+    table.addRow({"CPI", format("%.4f", result.cpi())});
+    table.addRow({"direction flushes",
+                  std::to_string(result.directionFlushes)});
+    table.addRow({"BTB bubbles",
+                  std::to_string(result.btbBubbles)});
+    table.addRow({"indirect stalls",
+                  std::to_string(result.indirectStalls)});
+    table.addRow({"return mispredicts",
+                  std::to_string(result.returnMispredicts)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCompare(const Options &options)
+{
+    if (options.positional.empty()) {
+        std::cerr << "usage: tlat compare <scheme>...\n";
+        return 2;
+    }
+    for (const std::string &scheme : options.positional) {
+        if (!core::SchemeConfig::parse(scheme)) {
+            std::cerr << "bad scheme name '" << scheme << "'\n";
+            return 2;
+        }
+    }
+    harness::BenchmarkSuite suite(options.budget);
+    const harness::AccuracyReport report = harness::runSchemes(
+        suite, "prediction accuracy (percent)", options.positional);
+    report.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    const auto options = parseOptions(argc, argv, 2);
+    if (!options)
+        return usage();
+
+    if (command == "list")
+        return cmdList();
+    if (command == "trace")
+        return cmdTrace(*options);
+    if (command == "stats")
+        return cmdStats(*options);
+    if (command == "run")
+        return cmdRun(*options);
+    if (command == "profile")
+        return cmdProfile(*options);
+    if (command == "disasm")
+        return cmdDisasm(*options);
+    if (command == "cost")
+        return cmdCost(*options);
+    if (command == "compare")
+        return cmdCompare(*options);
+    if (command == "ras")
+        return cmdRas(*options);
+    if (command == "cpi")
+        return cmdCpi(*options);
+    return usage();
+}
