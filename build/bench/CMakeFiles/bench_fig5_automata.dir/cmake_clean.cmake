@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_automata.dir/bench_fig5_automata.cpp.o"
+  "CMakeFiles/bench_fig5_automata.dir/bench_fig5_automata.cpp.o.d"
+  "bench_fig5_automata"
+  "bench_fig5_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

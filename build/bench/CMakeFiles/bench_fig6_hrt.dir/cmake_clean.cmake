@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hrt.dir/bench_fig6_hrt.cpp.o"
+  "CMakeFiles/bench_fig6_hrt.dir/bench_fig6_hrt.cpp.o.d"
+  "bench_fig6_hrt"
+  "bench_fig6_hrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_other_schemes.dir/bench_fig9_other_schemes.cpp.o"
+  "CMakeFiles/bench_fig9_other_schemes.dir/bench_fig9_other_schemes.cpp.o.d"
+  "bench_fig9_other_schemes"
+  "bench_fig9_other_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_other_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

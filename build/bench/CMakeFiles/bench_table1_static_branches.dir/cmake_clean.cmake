@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_static_branches.dir/bench_table1_static_branches.cpp.o"
+  "CMakeFiles/bench_table1_static_branches.dir/bench_table1_static_branches.cpp.o.d"
+  "bench_table1_static_branches"
+  "bench_table1_static_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_static_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variants_taxonomy.dir/bench_variants_taxonomy.cpp.o"
+  "CMakeFiles/bench_variants_taxonomy.dir/bench_variants_taxonomy.cpp.o.d"
+  "bench_variants_taxonomy"
+  "bench_variants_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variants_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_automaton.dir/custom_automaton.cpp.o"
+  "CMakeFiles/custom_automaton.dir/custom_automaton.cpp.o.d"
+  "custom_automaton"
+  "custom_automaton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_automaton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

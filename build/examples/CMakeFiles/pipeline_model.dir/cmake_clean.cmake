@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_model.dir/pipeline_model.cpp.o"
+  "CMakeFiles/pipeline_model.dir/pipeline_model.cpp.o.d"
+  "pipeline_model"
+  "pipeline_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

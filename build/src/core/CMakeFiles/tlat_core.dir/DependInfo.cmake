@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/automaton.cc" "src/core/CMakeFiles/tlat_core.dir/automaton.cc.o" "gcc" "src/core/CMakeFiles/tlat_core.dir/automaton.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/tlat_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/tlat_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/generalized_two_level.cc" "src/core/CMakeFiles/tlat_core.dir/generalized_two_level.cc.o" "gcc" "src/core/CMakeFiles/tlat_core.dir/generalized_two_level.cc.o.d"
+  "/root/repo/src/core/history_table.cc" "src/core/CMakeFiles/tlat_core.dir/history_table.cc.o" "gcc" "src/core/CMakeFiles/tlat_core.dir/history_table.cc.o.d"
+  "/root/repo/src/core/scheme_config.cc" "src/core/CMakeFiles/tlat_core.dir/scheme_config.cc.o" "gcc" "src/core/CMakeFiles/tlat_core.dir/scheme_config.cc.o.d"
+  "/root/repo/src/core/two_level_predictor.cc" "src/core/CMakeFiles/tlat_core.dir/two_level_predictor.cc.o" "gcc" "src/core/CMakeFiles/tlat_core.dir/two_level_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/tlat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

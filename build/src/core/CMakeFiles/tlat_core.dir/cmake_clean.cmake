@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_core.dir/automaton.cc.o"
+  "CMakeFiles/tlat_core.dir/automaton.cc.o.d"
+  "CMakeFiles/tlat_core.dir/cost_model.cc.o"
+  "CMakeFiles/tlat_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/tlat_core.dir/generalized_two_level.cc.o"
+  "CMakeFiles/tlat_core.dir/generalized_two_level.cc.o.d"
+  "CMakeFiles/tlat_core.dir/history_table.cc.o"
+  "CMakeFiles/tlat_core.dir/history_table.cc.o.d"
+  "CMakeFiles/tlat_core.dir/scheme_config.cc.o"
+  "CMakeFiles/tlat_core.dir/scheme_config.cc.o.d"
+  "CMakeFiles/tlat_core.dir/two_level_predictor.cc.o"
+  "CMakeFiles/tlat_core.dir/two_level_predictor.cc.o.d"
+  "libtlat_core.a"
+  "libtlat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

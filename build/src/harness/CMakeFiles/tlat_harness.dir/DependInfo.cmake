@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/branch_profile.cc" "src/harness/CMakeFiles/tlat_harness.dir/branch_profile.cc.o" "gcc" "src/harness/CMakeFiles/tlat_harness.dir/branch_profile.cc.o.d"
+  "/root/repo/src/harness/design_space.cc" "src/harness/CMakeFiles/tlat_harness.dir/design_space.cc.o" "gcc" "src/harness/CMakeFiles/tlat_harness.dir/design_space.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/tlat_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/tlat_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/figure_runner.cc" "src/harness/CMakeFiles/tlat_harness.dir/figure_runner.cc.o" "gcc" "src/harness/CMakeFiles/tlat_harness.dir/figure_runner.cc.o.d"
+  "/root/repo/src/harness/ras_experiment.cc" "src/harness/CMakeFiles/tlat_harness.dir/ras_experiment.cc.o" "gcc" "src/harness/CMakeFiles/tlat_harness.dir/ras_experiment.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/harness/CMakeFiles/tlat_harness.dir/report.cc.o" "gcc" "src/harness/CMakeFiles/tlat_harness.dir/report.cc.o.d"
+  "/root/repo/src/harness/suite.cc" "src/harness/CMakeFiles/tlat_harness.dir/suite.cc.o" "gcc" "src/harness/CMakeFiles/tlat_harness.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tlat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/tlat_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tlat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tlat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tlat_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_harness.dir/branch_profile.cc.o"
+  "CMakeFiles/tlat_harness.dir/branch_profile.cc.o.d"
+  "CMakeFiles/tlat_harness.dir/design_space.cc.o"
+  "CMakeFiles/tlat_harness.dir/design_space.cc.o.d"
+  "CMakeFiles/tlat_harness.dir/experiment.cc.o"
+  "CMakeFiles/tlat_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/tlat_harness.dir/figure_runner.cc.o"
+  "CMakeFiles/tlat_harness.dir/figure_runner.cc.o.d"
+  "CMakeFiles/tlat_harness.dir/ras_experiment.cc.o"
+  "CMakeFiles/tlat_harness.dir/ras_experiment.cc.o.d"
+  "CMakeFiles/tlat_harness.dir/report.cc.o"
+  "CMakeFiles/tlat_harness.dir/report.cc.o.d"
+  "CMakeFiles/tlat_harness.dir/suite.cc.o"
+  "CMakeFiles/tlat_harness.dir/suite.cc.o.d"
+  "libtlat_harness.a"
+  "libtlat_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtlat_harness.a"
+)

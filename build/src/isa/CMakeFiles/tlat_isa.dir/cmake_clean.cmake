@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_isa.dir/assembler.cc.o"
+  "CMakeFiles/tlat_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/tlat_isa.dir/disassembler.cc.o"
+  "CMakeFiles/tlat_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/tlat_isa.dir/encoding.cc.o"
+  "CMakeFiles/tlat_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/tlat_isa.dir/instruction.cc.o"
+  "CMakeFiles/tlat_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/tlat_isa.dir/program.cc.o"
+  "CMakeFiles/tlat_isa.dir/program.cc.o.d"
+  "libtlat_isa.a"
+  "libtlat_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_pipeline.dir/pipeline_model.cc.o"
+  "CMakeFiles/tlat_pipeline.dir/pipeline_model.cc.o.d"
+  "libtlat_pipeline.a"
+  "libtlat_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_predictors.dir/lee_smith_btb.cc.o"
+  "CMakeFiles/tlat_predictors.dir/lee_smith_btb.cc.o.d"
+  "CMakeFiles/tlat_predictors.dir/scheme_factory.cc.o"
+  "CMakeFiles/tlat_predictors.dir/scheme_factory.cc.o.d"
+  "CMakeFiles/tlat_predictors.dir/static_training.cc.o"
+  "CMakeFiles/tlat_predictors.dir/static_training.cc.o.d"
+  "libtlat_predictors.a"
+  "libtlat_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

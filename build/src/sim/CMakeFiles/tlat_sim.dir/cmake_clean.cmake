@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_sim.dir/simulator.cc.o"
+  "CMakeFiles/tlat_sim.dir/simulator.cc.o.d"
+  "libtlat_sim.a"
+  "libtlat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

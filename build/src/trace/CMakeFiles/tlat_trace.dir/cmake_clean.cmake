@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_trace.dir/record.cc.o"
+  "CMakeFiles/tlat_trace.dir/record.cc.o.d"
+  "CMakeFiles/tlat_trace.dir/trace_buffer.cc.o"
+  "CMakeFiles/tlat_trace.dir/trace_buffer.cc.o.d"
+  "CMakeFiles/tlat_trace.dir/trace_filter.cc.o"
+  "CMakeFiles/tlat_trace.dir/trace_filter.cc.o.d"
+  "CMakeFiles/tlat_trace.dir/trace_io.cc.o"
+  "CMakeFiles/tlat_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/tlat_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/tlat_trace.dir/trace_stats.cc.o.d"
+  "libtlat_trace.a"
+  "libtlat_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_util.dir/csv_writer.cc.o"
+  "CMakeFiles/tlat_util.dir/csv_writer.cc.o.d"
+  "CMakeFiles/tlat_util.dir/logging.cc.o"
+  "CMakeFiles/tlat_util.dir/logging.cc.o.d"
+  "CMakeFiles/tlat_util.dir/stats.cc.o"
+  "CMakeFiles/tlat_util.dir/stats.cc.o.d"
+  "CMakeFiles/tlat_util.dir/string_utils.cc.o"
+  "CMakeFiles/tlat_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/tlat_util.dir/table_printer.cc.o"
+  "CMakeFiles/tlat_util.dir/table_printer.cc.o.d"
+  "libtlat_util.a"
+  "libtlat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

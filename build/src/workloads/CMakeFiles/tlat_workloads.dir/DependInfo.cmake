@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/doduc.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/doduc.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/doduc.cc.o.d"
+  "/root/repo/src/workloads/emit_helpers.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/emit_helpers.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/emit_helpers.cc.o.d"
+  "/root/repo/src/workloads/eqntott.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/eqntott.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/eqntott.cc.o.d"
+  "/root/repo/src/workloads/espresso.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/espresso.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/espresso.cc.o.d"
+  "/root/repo/src/workloads/fpppp.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/fpppp.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/fpppp.cc.o.d"
+  "/root/repo/src/workloads/gcc.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/gcc.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/gcc.cc.o.d"
+  "/root/repo/src/workloads/li.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/li.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/li.cc.o.d"
+  "/root/repo/src/workloads/matrix300.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/matrix300.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/matrix300.cc.o.d"
+  "/root/repo/src/workloads/spice2g6.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/spice2g6.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/spice2g6.cc.o.d"
+  "/root/repo/src/workloads/tomcatv.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/tomcatv.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/tomcatv.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/tlat_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/tlat_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/tlat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tlat_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat_workloads.dir/doduc.cc.o"
+  "CMakeFiles/tlat_workloads.dir/doduc.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/emit_helpers.cc.o"
+  "CMakeFiles/tlat_workloads.dir/emit_helpers.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/eqntott.cc.o"
+  "CMakeFiles/tlat_workloads.dir/eqntott.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/espresso.cc.o"
+  "CMakeFiles/tlat_workloads.dir/espresso.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/fpppp.cc.o"
+  "CMakeFiles/tlat_workloads.dir/fpppp.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/gcc.cc.o"
+  "CMakeFiles/tlat_workloads.dir/gcc.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/li.cc.o"
+  "CMakeFiles/tlat_workloads.dir/li.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/matrix300.cc.o"
+  "CMakeFiles/tlat_workloads.dir/matrix300.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/spice2g6.cc.o"
+  "CMakeFiles/tlat_workloads.dir/spice2g6.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/tomcatv.cc.o"
+  "CMakeFiles/tlat_workloads.dir/tomcatv.cc.o.d"
+  "CMakeFiles/tlat_workloads.dir/workload.cc.o"
+  "CMakeFiles/tlat_workloads.dir/workload.cc.o.d"
+  "libtlat_workloads.a"
+  "libtlat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_predictors.dir/test_baseline_predictors.cc.o"
+  "CMakeFiles/test_baseline_predictors.dir/test_baseline_predictors.cc.o.d"
+  "test_baseline_predictors"
+  "test_baseline_predictors.pdb"
+  "test_baseline_predictors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/test_bitops.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/test_bitops.dir/test_bitops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/tlat_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/tlat_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/tlat_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tlat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tlat_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tlat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tlat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

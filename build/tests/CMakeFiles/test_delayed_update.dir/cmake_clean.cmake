@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delayed_update.dir/test_delayed_update.cc.o"
+  "CMakeFiles/test_delayed_update.dir/test_delayed_update.cc.o.d"
+  "test_delayed_update"
+  "test_delayed_update.pdb"
+  "test_delayed_update[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delayed_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

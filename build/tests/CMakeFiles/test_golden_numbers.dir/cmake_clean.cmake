@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_numbers.dir/test_golden_numbers.cc.o"
+  "CMakeFiles/test_golden_numbers.dir/test_golden_numbers.cc.o.d"
+  "test_golden_numbers"
+  "test_golden_numbers.pdb"
+  "test_golden_numbers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

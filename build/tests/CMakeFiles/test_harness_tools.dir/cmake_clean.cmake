@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness_tools.dir/test_harness_tools.cc.o"
+  "CMakeFiles/test_harness_tools.dir/test_harness_tools.cc.o.d"
+  "test_harness_tools"
+  "test_harness_tools.pdb"
+  "test_harness_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

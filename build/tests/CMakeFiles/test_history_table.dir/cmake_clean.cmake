@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_table.dir/test_history_table.cc.o"
+  "CMakeFiles/test_history_table.dir/test_history_table.cc.o.d"
+  "test_history_table"
+  "test_history_table.pdb"
+  "test_history_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

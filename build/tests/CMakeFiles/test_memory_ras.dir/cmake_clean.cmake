@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_ras.dir/test_memory_ras.cc.o"
+  "CMakeFiles/test_memory_ras.dir/test_memory_ras.cc.o.d"
+  "test_memory_ras"
+  "test_memory_ras.pdb"
+  "test_memory_ras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

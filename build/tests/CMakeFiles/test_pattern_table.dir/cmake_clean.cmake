@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_table.dir/test_pattern_table.cc.o"
+  "CMakeFiles/test_pattern_table.dir/test_pattern_table.cc.o.d"
+  "test_pattern_table"
+  "test_pattern_table.pdb"
+  "test_pattern_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

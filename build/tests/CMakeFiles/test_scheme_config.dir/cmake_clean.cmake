@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_config.dir/test_scheme_config.cc.o"
+  "CMakeFiles/test_scheme_config.dir/test_scheme_config.cc.o.d"
+  "test_scheme_config"
+  "test_scheme_config.pdb"
+  "test_scheme_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speculative_history.dir/test_speculative_history.cc.o"
+  "CMakeFiles/test_speculative_history.dir/test_speculative_history.cc.o.d"
+  "test_speculative_history"
+  "test_speculative_history.pdb"
+  "test_speculative_history[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speculative_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_training.dir/test_static_training.cc.o"
+  "CMakeFiles/test_static_training.dir/test_static_training.cc.o.d"
+  "test_static_training"
+  "test_static_training.pdb"
+  "test_static_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_string_utils.dir/test_string_utils.cc.o"
+  "CMakeFiles/test_string_utils.dir/test_string_utils.cc.o.d"
+  "test_string_utils"
+  "test_string_utils.pdb"
+  "test_string_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_string_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_semantics.dir/test_workload_semantics.cc.o"
+  "CMakeFiles/test_workload_semantics.dir/test_workload_semantics.cc.o.d"
+  "test_workload_semantics"
+  "test_workload_semantics.pdb"
+  "test_workload_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

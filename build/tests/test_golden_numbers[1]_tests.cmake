@@ -1,0 +1,3 @@
+add_test([=[GoldenNumbers.FlagshipAccuraciesAreExact]=]  /root/repo/build/tests/test_golden_numbers [==[--gtest_filter=GoldenNumbers.FlagshipAccuraciesAreExact]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenNumbers.FlagshipAccuraciesAreExact]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_golden_numbers_TESTS GoldenNumbers.FlagshipAccuraciesAreExact)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlat.dir/tlat_cli.cpp.o"
+  "CMakeFiles/tlat.dir/tlat_cli.cpp.o.d"
+  "tlat"
+  "tlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/tlat" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/tlat" "run" "AT(AHRT(512,12SR),PT(2^12,A2),)" "eqntott" "--budget" "5000")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_diff "/root/repo/build/tools/tlat" "run" "ST(AHRT(512,12SR),PT(2^12,PB),Diff)" "li" "--budget" "5000")
+set_tests_properties(cli_run_diff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/tlat" "stats" "matrix300" "--budget" "5000")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build/tools/tlat" "profile" "LS(AHRT(512,A2),,)" "gcc" "--budget" "5000")
+set_tests_properties(cli_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_disasm "/root/repo/build/tools/tlat" "disasm" "tomcatv")
+set_tests_properties(cli_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cost "/root/repo/build/tools/tlat" "cost" "AT(AHRT(512,12SR),PT(2^12,A2),)")
+set_tests_properties(cli_cost PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/tools/tlat" "compare" "AT(AHRT(512,12SR),PT(2^12,A2),)" "BTFN" "--budget" "5000")
+set_tests_properties(cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ras "/root/repo/build/tools/tlat" "ras" "li" "--budget" "5000")
+set_tests_properties(cli_ras PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cpi "/root/repo/build/tools/tlat" "cpi" "LS(AHRT(512,A2),,)" "doduc" "--budget" "5000")
+set_tests_properties(cli_cpi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_roundtrip "/root/repo/build/tools/tlat" "trace" "espresso" "--budget" "2000" "--out" "/root/repo/build/tools/espresso.tltr")
+set_tests_properties(cli_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats_from_file "/root/repo/build/tools/tlat" "stats" "/root/repo/build/tools/espresso.tltr")
+set_tests_properties(cli_stats_from_file PROPERTIES  DEPENDS "cli_trace_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_scheme "/root/repo/build/tools/tlat" "run" "gshare" "eqntott")
+set_tests_properties(cli_bad_scheme PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_no_args "/root/repo/build/tools/tlat")
+set_tests_properties(cli_no_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
