@@ -22,6 +22,7 @@
 #include <string>
 
 #include "harness/figure_runner.hh"
+#include "harness/parallel_sweep.hh"
 #include "harness/suite.hh"
 
 namespace tlat::bench
@@ -39,6 +40,9 @@ printHeader(const std::string &artifact, const std::string &caption)
               << harness::branchBudgetFromEnv()
               << " conditional branches"
               << " (override with TLAT_BRANCH_BUDGET)\n"
+              << "sweep worker threads: " << harness::defaultJobs()
+              << " (override with TLAT_JOBS; accuracies are "
+                 "identical for every value)\n"
               << "==================================================="
                  "=========\n\n";
 }

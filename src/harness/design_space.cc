@@ -75,7 +75,7 @@ gridPoints(const std::vector<unsigned> &history_bits,
 
 AccuracyReport
 sweepDesignSpace(BenchmarkSuite &suite,
-                 const std::vector<DesignPoint> &points)
+                 const std::vector<DesignPoint> &points, unsigned jobs)
 {
     std::vector<std::string> schemes;
     std::vector<std::string> labels;
@@ -83,7 +83,8 @@ sweepDesignSpace(BenchmarkSuite &suite,
         schemes.push_back(point.schemeName());
         labels.push_back(point.label());
     }
-    return runSchemes(suite, "design-space sweep", schemes, labels);
+    return runSchemes(suite, "design-space sweep", schemes, labels,
+                      jobs);
 }
 
 std::vector<FrontierEntry>

@@ -60,9 +60,14 @@ gridPoints(const std::vector<unsigned> &history_bits,
            const std::vector<core::TableKind> &kinds,
            const std::vector<std::size_t> &entry_counts);
 
-/** Measures every point over the suite; columns use label(). */
+/**
+ * Measures every point over the suite; columns use label(). Runs on
+ * the deterministic parallel sweep engine: @p jobs worker threads
+ * (0 = defaultJobs()), identical output for every jobs value.
+ */
 AccuracyReport sweepDesignSpace(BenchmarkSuite &suite,
-                                const std::vector<DesignPoint> &points);
+                                const std::vector<DesignPoint> &points,
+                                unsigned jobs = 0);
 
 /** A measured point: geometry, cost and total-mean accuracy. */
 struct FrontierEntry

@@ -1,10 +1,6 @@
 #include "figure_runner.hh"
 
-#include "core/scheme_config.hh"
-#include "experiment.hh"
-#include "predictors/scheme_factory.hh"
-#include "util/logging.hh"
-#include "workloads/workload.hh"
+#include "parallel_sweep.hh"
 
 namespace tlat::harness
 {
@@ -12,39 +8,10 @@ namespace tlat::harness
 AccuracyReport
 runSchemes(BenchmarkSuite &suite, const std::string &title,
            const std::vector<std::string> &scheme_names,
-           const std::vector<std::string> &column_labels)
+           const std::vector<std::string> &column_labels,
+           unsigned jobs)
 {
-    tlat_assert(column_labels.empty() ||
-                    column_labels.size() == scheme_names.size(),
-                "label list does not match scheme list");
-
-    AccuracyReport report(title, workloads::workloadNames(),
-                          workloads::floatingPointWorkloadNames());
-
-    for (std::size_t s = 0; s < scheme_names.size(); ++s) {
-        const auto config =
-            core::SchemeConfig::parse(scheme_names[s]);
-        if (!config)
-            tlat_fatal("bad scheme name '", scheme_names[s], "'");
-        const std::string label =
-            column_labels.empty() ? scheme_names[s]
-                                  : column_labels[s];
-
-        const auto predictor = predictors::makePredictor(*config);
-        for (const std::string &benchmark : suite.benchmarks()) {
-            const trace::TraceBuffer *train = nullptr;
-            if (config->data == core::DataMode::Diff) {
-                train = suite.trainTrace(benchmark);
-                if (!train)
-                    continue; // no training set: leave the cell empty
-            }
-            const ExperimentResult result = runExperiment(
-                *predictor, suite.testTrace(benchmark), train);
-            report.add(benchmark, label,
-                       result.accuracy.accuracyPercent());
-        }
-    }
-    return report;
+    return runSweep(suite, title, scheme_names, column_labels, jobs);
 }
 
 } // namespace tlat::harness

@@ -20,6 +20,11 @@ namespace tlat::harness
 /**
  * Runs every scheme on every benchmark.
  *
+ * A thin wrapper over the deterministic parallel sweep engine
+ * (parallel_sweep.hh): cells shard over worker threads, each one
+ * measures a freshly constructed predictor, and the report is merged
+ * in a fixed order — reported accuracies never depend on @p jobs.
+ *
  * Diff-data Static Training configurations are only measured on the
  * benchmarks that have a training data set (paper Table 3 lists "NA"
  * for four of the nine); the report prints "-" for the others, as the
@@ -29,11 +34,14 @@ namespace tlat::harness
  * @param column_labels Optional short column labels, parallel to
  *        @p scheme_names (the full Table 2 names are long); empty
  *        means use the scheme names themselves.
+ * @param jobs Worker threads; 0 means defaultJobs() (TLAT_JOBS or the
+ *        hardware thread count).
  */
 AccuracyReport
 runSchemes(BenchmarkSuite &suite, const std::string &title,
            const std::vector<std::string> &scheme_names,
-           const std::vector<std::string> &column_labels = {});
+           const std::vector<std::string> &column_labels = {},
+           unsigned jobs = 0);
 
 } // namespace tlat::harness
 

@@ -1,0 +1,129 @@
+#include "parallel_sweep.hh"
+
+#include <cstdlib>
+#include <optional>
+
+#include "core/scheme_config.hh"
+#include "experiment.hh"
+#include "predictors/scheme_factory.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+#include "util/thread_pool.hh"
+#include "workloads/workload.hh"
+
+namespace tlat::harness
+{
+
+unsigned
+defaultJobs()
+{
+    const char *text = std::getenv("TLAT_JOBS");
+    if (!text)
+        return util::ThreadPool::hardwareThreads();
+    const auto value = parseSize(text);
+    if (!value || *value == 0)
+        tlat_fatal("bad TLAT_JOBS value '", text, "'");
+    return static_cast<unsigned>(*value);
+}
+
+std::uint64_t
+cellSeed(std::string_view scheme, std::string_view benchmark)
+{
+    // FNV-1a over "scheme\0benchmark", then a SplitMix64 finalizer so
+    // near-identical names land far apart in seed space.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const auto absorb = [&hash](std::string_view text) {
+        for (const char c : text) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    absorb(scheme);
+    hash *= 0x100000001b3ULL; // NUL separator: "ab","c" != "a","bc"
+    absorb(benchmark);
+    return mix64(hash);
+}
+
+AccuracyReport
+runSweep(BenchmarkSuite &suite, const std::string &title,
+         const std::vector<std::string> &scheme_names,
+         const std::vector<std::string> &column_labels, unsigned jobs)
+{
+    tlat_assert(column_labels.empty() ||
+                    column_labels.size() == scheme_names.size(),
+                "label list does not match scheme list");
+    if (jobs == 0)
+        jobs = defaultJobs();
+
+    std::vector<core::SchemeConfig> configs;
+    configs.reserve(scheme_names.size());
+    bool any_diff = false;
+    for (const std::string &name : scheme_names) {
+        const auto config = core::SchemeConfig::parse(name);
+        if (!config)
+            tlat_fatal("bad scheme name '", name, "'");
+        any_diff |= config->data == core::DataMode::Diff;
+        configs.push_back(*config);
+    }
+
+    util::ThreadPool pool(jobs);
+
+    // Phase 1: make sure every trace exists. Generation itself is
+    // parallel, but cache content is a pure function of (benchmark,
+    // data set, budget) — independent of worker count.
+    suite.preload(pool, any_diff);
+
+    // Phase 2: build the cell list single-threaded, in the fixed
+    // scheme-major order the report will be merged in.
+    struct Cell
+    {
+        std::size_t scheme;
+        std::size_t benchmark;
+        const trace::TraceBuffer *test;
+        const trace::TraceBuffer *train; // null: Same-data protocol
+    };
+    const std::vector<std::string> benchmarks = suite.benchmarks();
+    std::vector<Cell> cells;
+    cells.reserve(scheme_names.size() * benchmarks.size());
+    for (std::size_t s = 0; s < scheme_names.size(); ++s) {
+        for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+            const trace::TraceBuffer *train = nullptr;
+            if (configs[s].data == core::DataMode::Diff) {
+                train = suite.trainTrace(benchmarks[b]);
+                if (!train)
+                    continue; // no training set: leave the cell empty
+            }
+            cells.push_back(Cell{s, b,
+                                 &suite.testTrace(benchmarks[b]),
+                                 train});
+        }
+    }
+
+    // Phase 3: run the cells. One cold predictor per cell — never
+    // shared, never reused — writing into a preassigned result slot.
+    std::vector<std::optional<ExperimentResult>> results(cells.size());
+    util::parallelFor(pool, cells.size(), [&](std::size_t i) {
+        const Cell &cell = cells[i];
+        const auto predictor =
+            predictors::makePredictor(configs[cell.scheme]);
+        results[i] = runExperiment(*predictor, *cell.test, cell.train);
+    });
+
+    // Phase 4: merge in cell-list order, which is scheme-major; the
+    // report's column order and every cell are therefore independent
+    // of how the pool scheduled phase 3.
+    AccuracyReport report(title, workloads::workloadNames(),
+                          workloads::floatingPointWorkloadNames());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        const std::string &label =
+            column_labels.empty() ? scheme_names[cell.scheme]
+                                  : column_labels[cell.scheme];
+        report.add(benchmarks[cell.benchmark], label,
+                   results[i]->accuracy.accuracyPercent());
+    }
+    return report;
+}
+
+} // namespace tlat::harness

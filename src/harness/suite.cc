@@ -5,6 +5,7 @@
 #include "sim/simulator.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
+#include "util/thread_pool.hh"
 
 namespace tlat::harness
 {
@@ -56,6 +57,43 @@ BenchmarkSuite::testTrace(const std::string &benchmark)
 {
     const auto workload = workloads::makeWorkload(benchmark);
     return traceFor(benchmark, workload->testSet());
+}
+
+void
+BenchmarkSuite::preload(util::ThreadPool &pool, bool include_training)
+{
+    struct Pending
+    {
+        std::string key;
+        std::string benchmark;
+        std::string dataSet;
+        trace::TraceBuffer buffer;
+    };
+    std::vector<Pending> pending;
+    for (const std::string &benchmark : benchmarks()) {
+        const auto workload = workloads::makeWorkload(benchmark);
+        std::vector<std::string> sets{workload->testSet()};
+        if (include_training) {
+            if (const auto train = workload->trainSet())
+                sets.push_back(*train);
+        }
+        for (const std::string &set : sets) {
+            const std::string key = benchmark + "/" + set;
+            if (!cache_.count(key))
+                pending.push_back({key, benchmark, set, {}});
+        }
+    }
+
+    util::parallelFor(pool, pending.size(), [&](std::size_t i) {
+        Pending &job = pending[i];
+        const auto workload = workloads::makeWorkload(job.benchmark);
+        job.buffer =
+            sim::collectTrace(workload->build(job.dataSet), budget_);
+        job.buffer.setName(job.benchmark);
+    });
+
+    for (Pending &job : pending)
+        cache_.emplace(job.key, std::move(job.buffer));
 }
 
 const trace::TraceBuffer *

@@ -22,6 +22,11 @@
 #include "trace/trace_buffer.hh"
 #include "workloads/workload.hh"
 
+namespace tlat::util
+{
+class ThreadPool;
+}
+
 namespace tlat::harness
 {
 
@@ -52,6 +57,18 @@ class BenchmarkSuite
      */
     const trace::TraceBuffer *
     trainTrace(const std::string &benchmark);
+
+    /**
+     * Generates every not-yet-cached trace on @p pool and caches it.
+     * Trace content depends only on (benchmark, data set, budget), so
+     * the cache ends up bit-identical to demand generation no matter
+     * how many workers run. After this, testTrace()/trainTrace() only
+     * read the cache, which is what makes the parallel sweep's
+     * read-only sharing of traces safe.
+     *
+     * @param include_training Also generate the training-set traces.
+     */
+    void preload(util::ThreadPool &pool, bool include_training);
 
     /** True for the floating point benchmarks. */
     bool isFloatingPoint(const std::string &benchmark) const;

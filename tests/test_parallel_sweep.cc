@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Serial-equivalence harness for the deterministic parallel sweep
+ * engine (the Figure 5 grid is the golden workload):
+ *
+ *  - jobs=1 and jobs=4..8 produce bit-identical AccuracyReports,
+ *    including when the traces themselves are generated under
+ *    different pool widths;
+ *  - repeated runs at the same jobs value are bit-identical;
+ *  - the engine matches a hand-rolled serial reference that runs one
+ *    cold predictor per (scheme, benchmark) cell;
+ *  - every cell starts from a cold predictor — no warmed HRT/PT state
+ *    leaks from one benchmark into the next (regression guard for the
+ *    old runSchemes, which reused one predictor per scheme column);
+ *  - the per-cell RNG seeding rule is a pure, collision-aware
+ *    function of (scheme, benchmark).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/scheme_config.hh"
+#include "harness/experiment.hh"
+#include "harness/figure_runner.hh"
+#include "harness/parallel_sweep.hh"
+#include "predictors/scheme_factory.hh"
+#include "workloads/workload.hh"
+
+namespace tlat::harness
+{
+namespace
+{
+
+// Small but non-trivial: every benchmark exercises HRT evictions and
+// the tests stay fast enough for tier1.
+constexpr std::uint64_t kBudget = 2000;
+
+const std::vector<std::string> kFig5Schemes = {
+    "AT(AHRT(512,12SR),PT(2^12,A2),)",
+    "AT(AHRT(512,12SR),PT(2^12,A3),)",
+    "AT(AHRT(512,12SR),PT(2^12,A4),)",
+    "AT(AHRT(512,12SR),PT(2^12,LT),)",
+};
+const std::vector<std::string> kFig5Labels = {"A2", "A3", "A4", "LT"};
+
+/** Exact bit equality — stricter than double ==, which would let
+ *  +0.0 pass for -0.0. */
+void
+expectBitIdentical(double a, double b, const std::string &where)
+{
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a),
+              std::bit_cast<std::uint64_t>(b))
+        << where << ": " << a << " vs " << b;
+}
+
+/** Every cell, every mean, and the column order must match. */
+void
+expectReportsBitIdentical(const AccuracyReport &a,
+                          const AccuracyReport &b)
+{
+    ASSERT_EQ(a.schemes(), b.schemes());
+    for (const std::string &scheme : a.schemes()) {
+        for (const std::string &bench : workloads::workloadNames()) {
+            expectBitIdentical(a.cell(bench, scheme),
+                               b.cell(bench, scheme),
+                               bench + "/" + scheme);
+        }
+        expectBitIdentical(a.totalMean(scheme), b.totalMean(scheme),
+                           "totalMean/" + scheme);
+        expectBitIdentical(a.intMean(scheme), b.intMean(scheme),
+                           "intMean/" + scheme);
+        expectBitIdentical(a.fpMean(scheme), b.fpMean(scheme),
+                           "fpMean/" + scheme);
+    }
+}
+
+AccuracyReport
+runFig5(unsigned jobs)
+{
+    // A fresh suite per run: trace generation itself happens under
+    // the pool width being tested, so this covers preload
+    // determinism, not just the cell engine.
+    BenchmarkSuite suite(kBudget);
+    return runSweep(suite, "fig5", kFig5Schemes, kFig5Labels, jobs);
+}
+
+TEST(ParallelSweep, SerialEquivalenceAcrossJobCounts)
+{
+    const AccuracyReport serial = runFig5(1);
+    for (const unsigned jobs : {4u, 8u}) {
+        const AccuracyReport parallel = runFig5(jobs);
+        expectReportsBitIdentical(serial, parallel);
+    }
+}
+
+TEST(ParallelSweep, RepeatedRunsAtSameJobCountAreIdentical)
+{
+    const AccuracyReport first = runFig5(6);
+    const AccuracyReport second = runFig5(6);
+    expectReportsBitIdentical(first, second);
+}
+
+TEST(ParallelSweep, MatchesHandRolledSerialReference)
+{
+    // Reference: the textbook serial protocol, one cold predictor per
+    // cell, no thread pool anywhere.
+    BenchmarkSuite ref_suite(kBudget);
+    AccuracyReport reference(
+        "fig5", workloads::workloadNames(),
+        workloads::floatingPointWorkloadNames());
+    for (std::size_t s = 0; s < kFig5Schemes.size(); ++s) {
+        const auto config =
+            core::SchemeConfig::parse(kFig5Schemes[s]);
+        ASSERT_TRUE(config.has_value());
+        for (const std::string &bench : ref_suite.benchmarks()) {
+            const auto predictor = predictors::makePredictor(*config);
+            const ExperimentResult result = runExperiment(
+                *predictor, ref_suite.testTrace(bench), nullptr);
+            reference.add(bench, kFig5Labels[s],
+                          result.accuracy.accuracyPercent());
+        }
+    }
+    expectReportsBitIdentical(reference, runFig5(5));
+}
+
+TEST(ParallelSweep, EveryCellStartsFromAColdPredictor)
+{
+    // Regression guard: the pre-engine runSchemes built one predictor
+    // per scheme and carried it across all nine benchmarks. Each cell
+    // of a full-suite sweep must equal a standalone run on a fresh
+    // predictor that has never seen another benchmark.
+    const std::string scheme = kFig5Schemes[0];
+    BenchmarkSuite suite(kBudget);
+    const AccuracyReport swept =
+        runSchemes(suite, "cold", {scheme}, {"A2"}, 3);
+    for (const std::string &bench : suite.benchmarks()) {
+        const auto predictor = predictors::makePredictor(scheme);
+        const ExperimentResult standalone = runExperiment(
+            *predictor, suite.testTrace(bench), nullptr);
+        expectBitIdentical(swept.cell(bench, "A2"),
+                           standalone.accuracy.accuracyPercent(),
+                           "cold cell " + bench);
+    }
+}
+
+TEST(ParallelSweep, DiffCellsSkipBenchmarksWithoutTrainingSets)
+{
+    // Paper Table 3: four benchmarks have no distinct training set;
+    // their Diff-data cells must stay empty at any jobs count, and
+    // the measured cells must agree between serial and parallel.
+    const std::vector<std::string> schemes = {
+        "ST(AHRT(512,12SR),PT(2^12,PB),Diff)"};
+    BenchmarkSuite serial_suite(kBudget);
+    const AccuracyReport serial =
+        runSweep(serial_suite, "st-diff", schemes, {"ST"}, 1);
+    BenchmarkSuite parallel_suite(kBudget);
+    const AccuracyReport parallel =
+        runSweep(parallel_suite, "st-diff", schemes, {"ST"}, 4);
+
+    for (const std::string &bench : serial_suite.benchmarks()) {
+        const bool has_training =
+            serial_suite.trainTrace(bench) != nullptr;
+        EXPECT_EQ(serial.cell(bench, "ST") >= 0.0, has_training)
+            << bench;
+        expectBitIdentical(serial.cell(bench, "ST"),
+                           parallel.cell(bench, "ST"), bench);
+    }
+}
+
+TEST(CellSeed, PureFunctionOfSchemeAndBenchmark)
+{
+    EXPECT_EQ(cellSeed("AT(...)", "gcc"), cellSeed("AT(...)", "gcc"));
+    EXPECT_NE(cellSeed("AT(...)", "gcc"), cellSeed("AT(...)", "li"));
+    EXPECT_NE(cellSeed("AT(...)", "gcc"), cellSeed("LS(...)", "gcc"));
+    // Swapping the roles must matter...
+    EXPECT_NE(cellSeed("gcc", "li"), cellSeed("li", "gcc"));
+    // ...and the separator keeps concatenations apart.
+    EXPECT_NE(cellSeed("ab", "c"), cellSeed("a", "bc"));
+}
+
+TEST(CellSeed, SpreadsAcrossTheFigureGrid)
+{
+    std::set<std::uint64_t> seeds;
+    for (const std::string &scheme : kFig5Schemes)
+        for (const std::string &bench : workloads::workloadNames())
+            seeds.insert(cellSeed(scheme, bench));
+    EXPECT_EQ(seeds.size(),
+              kFig5Schemes.size() * workloads::workloadNames().size());
+}
+
+} // namespace
+} // namespace tlat::harness

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the fixed-size worker pool behind the parallel sweep
+ * engine: completion of everything submitted, exception propagation
+ * to the submitter, nested and empty submission without deadlock, and
+ * clean shutdown with tasks still queued.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace tlat::util
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    std::atomic<int> counter{0};
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadCountMeansHardware)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes)
+{
+    std::atomic<int> counter{0};
+    ThreadPool pool(1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 10; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionReachesTheSubmitter)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+
+    // The pool survives a throwing task and keeps serving.
+    auto ok = pool.submit([] {});
+    EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock)
+{
+    // Tasks submit further tasks to the same pool; the outer task
+    // does not wait on the inner futures (that is the documented
+    // anti-pattern), the test thread does.
+    std::atomic<int> counter{0};
+    ThreadPool pool(1); // worst case: no spare worker
+    std::vector<std::future<void>> inner(4);
+    auto outer = pool.submit([&pool, &inner, &counter] {
+        for (auto &slot : inner)
+            slot = pool.submit([&counter] { ++counter; });
+    });
+    outer.get();
+    for (auto &future : inner)
+        future.get();
+    EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        // The first task holds the only worker so the rest are still
+        // queued when the destructor runs; all must complete anyway.
+        pool.submit([] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        });
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> touched(257);
+    parallelFor(pool, touched.size(),
+                [&touched](std::size_t i) { ++touched[i]; });
+    for (const auto &count : touched)
+        EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeReturnsImmediately)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    parallelFor(pool, 0, [&ran](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, RethrowsTheLowestIndexFailure)
+{
+    ThreadPool pool(3);
+    try {
+        parallelFor(pool, 8, [](std::size_t i) {
+            if (i == 2 || i == 5)
+                throw std::runtime_error("fail " +
+                                         std::to_string(i));
+        });
+        FAIL() << "parallelFor swallowed the exception";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "fail 2");
+    }
+}
+
+TEST(ParallelFor, AllIterationsFinishBeforeAThrowPropagates)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        parallelFor(pool, 16,
+                    [&completed](std::size_t i) {
+                        if (i == 0)
+                            throw std::runtime_error("early");
+                        ++completed;
+                    }),
+        std::runtime_error);
+    EXPECT_EQ(completed.load(), 15);
+}
+
+} // namespace
+} // namespace tlat::util

@@ -18,6 +18,9 @@
  *   --data SET      workload data set (default: the testing set)
  *   --train FILE|BENCH  training trace for ST/Profile schemes
  *   --out FILE      output path for `trace` (.tltr binary or .txt)
+ *   --jobs N        sweep worker threads for `compare` (default: the
+ *                   hardware thread count; results are identical for
+ *                   every value)
  */
 
 #include <cstdlib>
@@ -50,6 +53,7 @@ using namespace tlat;
 struct Options
 {
     std::uint64_t budget = 300000;
+    unsigned jobs = 0; // 0: harness::defaultJobs()
     std::string data;
     std::string train;
     std::string out;
@@ -72,7 +76,8 @@ usage()
            "  compare <scheme>...          suite-wide report\n"
            "  ras <benchmark>              return-stack sweep\n"
            "  cpi <scheme> <benchmark>     pipeline timing model\n"
-           "options: --budget N --data SET --train SRC --out FILE\n";
+           "options: --budget N --data SET --train SRC --out FILE "
+           "--jobs N\n";
     return 2;
 }
 
@@ -94,6 +99,13 @@ parseOptions(int argc, char **argv, int first)
             if (!parsed)
                 return std::nullopt;
             options.budget = *parsed;
+        } else if (arg == "--jobs") {
+            const auto value = next();
+            const auto parsed =
+                value ? parseSize(*value) : std::nullopt;
+            if (!parsed || *parsed == 0)
+                return std::nullopt;
+            options.jobs = static_cast<unsigned>(*parsed);
         } else if (arg == "--data") {
             const auto value = next();
             if (!value)
@@ -435,7 +447,8 @@ cmdCompare(const Options &options)
     }
     harness::BenchmarkSuite suite(options.budget);
     const harness::AccuracyReport report = harness::runSchemes(
-        suite, "prediction accuracy (percent)", options.positional);
+        suite, "prediction accuracy (percent)", options.positional,
+        {}, options.jobs);
     report.print(std::cout);
     return 0;
 }
