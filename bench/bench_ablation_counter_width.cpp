@@ -20,6 +20,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("ablation_counter_width");
     bench::printHeader(
         "Extension: counter width",
         "Pattern-table entries as n-bit saturating counters "

@@ -35,6 +35,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("ablation_delayed_update");
     bench::printHeader(
         "Section 3.2 ablation",
         "Update delay (deep pipeline) and the "

@@ -15,6 +15,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("ablation_hhrt_hash");
     bench::printHeader(
         "HHRT hash ablation",
         "Low-order-bit indexing (paper-era) vs mixed hashing in the "

@@ -18,6 +18,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("ablation_init");
     bench::printHeader(
         "Section 4.2 ablation",
         "Taken-biased initialization (paper) vs all-zeros "

@@ -17,6 +17,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("ablation_latency");
     bench::printHeader(
         "Section 3.2 ablation",
         "Cached prediction bit (one lookup) vs two sequential "

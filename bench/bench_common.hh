@@ -16,14 +16,20 @@
 #ifndef TLAT_BENCH_BENCH_COMMON_HH
 #define TLAT_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/figure_runner.hh"
 #include "harness/parallel_sweep.hh"
 #include "harness/suite.hh"
+#include "util/json_writer.hh"
+#include "util/string_utils.hh"
 
 namespace tlat::bench
 {
@@ -74,6 +80,160 @@ maybeWriteCsv(const harness::AccuracyReport &report,
     report.printCsv(os);
     std::cout << "(csv written to " << path << ")\n\n";
 }
+
+/**
+ * Machine-readable record of one bench run, written as
+ * BENCH_<stem>.json when the recorder goes out of scope.
+ *
+ * Schema "tlat-bench-v1":
+ *   schema, figure, config{branch_budget, jobs, fingerprint},
+ *   wall_time_seconds, results[{benchmark, scheme,
+ *   accuracy_percent}], means[{scheme, int_mean, fp_mean,
+ *   total_mean}], scalars{...}
+ *
+ * The file lands in $TLAT_BENCH_JSON_DIR when set, else the current
+ * directory. `fingerprint` hashes the budget, the jobs setting and
+ * every (benchmark, scheme) label, so a plotting script can tell two
+ * records produced under different configurations apart. Everything
+ * except wall_time_seconds is deterministic for a given config.
+ */
+class BenchRecorder
+{
+  public:
+    explicit BenchRecorder(std::string stem)
+        : stem_(std::move(stem)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    BenchRecorder(const BenchRecorder &) = delete;
+    BenchRecorder &operator=(const BenchRecorder &) = delete;
+
+    /** Copies the report's cells and means into the record. */
+    void
+    addReport(const harness::AccuracyReport &report)
+    {
+        for (const std::string &scheme : report.schemes()) {
+            for (const std::string &benchmark :
+                 report.benchmarks()) {
+                const double accuracy =
+                    report.cell(benchmark, scheme);
+                if (accuracy >= 0.0)
+                    rows_.push_back({benchmark, scheme, accuracy});
+            }
+            means_.push_back({scheme, report.intMean(scheme),
+                              report.fpMean(scheme),
+                              report.totalMean(scheme)});
+        }
+    }
+
+    /** Records one named headline number (e.g. a miss-rate ratio). */
+    void
+    addScalar(const std::string &name, double value)
+    {
+        scalars_.emplace_back(name, value);
+    }
+
+    ~BenchRecorder()
+    {
+        const double wall_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        const char *dir = std::getenv("TLAT_BENCH_JSON_DIR");
+        const std::string path = (dir ? std::string(dir) + "/" : "") +
+                                 "BENCH_" + stem_ + ".json";
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "cannot write " << path << "\n";
+            return;
+        }
+        JsonWriter json(os);
+        json.beginObject();
+        json.member("schema", "tlat-bench-v1");
+        json.member("figure", stem_);
+        json.key("config").beginObject();
+        json.member("branch_budget",
+                    harness::branchBudgetFromEnv());
+        json.member("jobs",
+                    static_cast<std::uint64_t>(
+                        harness::defaultJobs()));
+        json.member("fingerprint", fingerprint());
+        json.endObject();
+        json.member("wall_time_seconds", wall_seconds);
+        json.key("results").beginArray();
+        for (const Row &row : rows_) {
+            json.beginObject();
+            json.member("benchmark", row.benchmark);
+            json.member("scheme", row.scheme);
+            json.member("accuracy_percent", row.accuracyPercent);
+            json.endObject();
+        }
+        json.endArray();
+        json.key("means").beginArray();
+        for (const Mean &mean : means_) {
+            json.beginObject();
+            json.member("scheme", mean.scheme);
+            json.member("int_mean", mean.intMean);
+            json.member("fp_mean", mean.fpMean);
+            json.member("total_mean", mean.totalMean);
+            json.endObject();
+        }
+        json.endArray();
+        json.key("scalars").beginObject();
+        for (const auto &[name, value] : scalars_)
+            json.member(name, value);
+        json.endObject();
+        json.endObject();
+        std::cout << "(bench record written to " << path << ")\n";
+    }
+
+  private:
+    struct Row
+    {
+        std::string benchmark;
+        std::string scheme;
+        double accuracyPercent;
+    };
+    struct Mean
+    {
+        std::string scheme;
+        double intMean;
+        double fpMean;
+        double totalMean;
+    };
+
+    /** FNV-1a over the run configuration, as a hex string. */
+    std::string
+    fingerprint() const
+    {
+        std::uint64_t hash = 0xcbf29ce484222325ULL;
+        const auto absorb = [&hash](std::string_view text) {
+            for (const char c : text) {
+                hash ^= static_cast<unsigned char>(c);
+                hash *= 0x100000001b3ULL;
+            }
+            hash *= 0x100000001b3ULL; // separator
+        };
+        // Only results-affecting configuration: jobs and wall time
+        // are run-shape, not result-shape (the sweep engine is
+        // deterministic for every jobs count).
+        absorb(stem_);
+        absorb(std::to_string(harness::branchBudgetFromEnv()));
+        for (const Row &row : rows_) {
+            absorb(row.benchmark);
+            absorb(row.scheme);
+        }
+        return format("%016llx",
+                      static_cast<unsigned long long>(hash));
+    }
+
+    std::string stem_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<Row> rows_;
+    std::vector<Mean> means_;
+    std::vector<std::pair<std::string, double>> scalars_;
+};
 
 } // namespace tlat::bench
 

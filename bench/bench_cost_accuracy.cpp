@@ -17,6 +17,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("cost_accuracy");
     bench::printHeader(
         "Extension: cost vs accuracy",
         "Storage bits (cost model) against total geometric-mean "
@@ -41,6 +42,7 @@ main()
                                    std::end(schemes));
     const harness::AccuracyReport report =
         harness::runSchemes(suite, "accuracy", names);
+    record.addReport(report);
 
     TablePrinter table("storage cost vs accuracy");
     table.setHeader({"scheme", "history bits", "tag bits",

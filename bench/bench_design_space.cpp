@@ -15,6 +15,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("design_space");
     bench::printHeader(
         "Extension: design space",
         "History length x HRT geometry sweep with the storage cost "
@@ -28,6 +29,7 @@ main()
     const harness::AccuracyReport report =
         harness::sweepDesignSpace(suite, points);
     report.print(std::cout);
+    record.addReport(report);
     bench::maybeWriteCsv(report, "design_space");
 
     const auto entries = harness::measureFrontier(points, report);

@@ -18,6 +18,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("fig10_comparison");
     bench::printHeader("Figure 10",
                        "Comparison of branch prediction schemes.");
 
@@ -51,6 +52,7 @@ main()
         }
     }
     report.print(std::cout);
+    record.addReport(report);
     bench::maybeWriteCsv(report, "fig10");
 
     // Abstract headline: miss-rate comparison.
@@ -58,6 +60,8 @@ main()
     double best_other = 0.0;
     for (const char *scheme : {"ST", "LS-A2", "Profile", "LS-LT"})
         best_other = std::max(best_other, report.totalMean(scheme));
+    record.addScalar("at_miss_percent", at_miss);
+    record.addScalar("best_other_miss_percent", 100.0 - best_other);
     std::cout << "headline: AT miss rate "
               << TablePrinter::percentCell(at_miss)
               << " % vs best other scheme "

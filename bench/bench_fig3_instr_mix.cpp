@@ -16,6 +16,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("fig3_instr_mix");
     bench::printHeader(
         "Figure 3", "Distribution of dynamic instructions.");
 

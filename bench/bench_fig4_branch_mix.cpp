@@ -13,6 +13,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("fig4_branch_mix");
     bench::printHeader(
         "Figure 4", "Distribution of dynamic branch instructions.");
 

@@ -11,6 +11,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("fig5_automata");
     bench::printHeader("Figure 5",
                        "Two-Level Adaptive Training schemes using "
                        "different state transition automata.");
@@ -26,6 +27,7 @@ main()
         },
         {"A2", "A3", "A4", "LT"});
     report.print(std::cout);
+    record.addReport(report);
     bench::maybeWriteCsv(report, "fig5");
 
     bench::printExpectation(

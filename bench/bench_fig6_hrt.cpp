@@ -33,6 +33,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("fig6_hrt");
     bench::printHeader("Figure 6",
                        "Two-Level Adaptive Training schemes using "
                        "different history register table "
@@ -50,6 +51,7 @@ main()
         },
         {"IHRT", "AHRT512", "HHRT512", "AHRT256", "HHRT256"});
     report.print(std::cout);
+    record.addReport(report);
     bench::maybeWriteCsv(report, "fig6");
 
     // The paper explains the ordering by HRT hit ratio ("in the

@@ -10,6 +10,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("fig7_history_length");
     bench::printHeader("Figure 7",
                        "Two-Level Adaptive Training schemes using "
                        "history registers of different lengths.");
@@ -25,6 +26,7 @@ main()
         },
         {"6SR", "8SR", "10SR", "12SR"});
     report.print(std::cout);
+    record.addReport(report);
     bench::maybeWriteCsv(report, "fig7");
 
     bench::printExpectation(

@@ -16,6 +16,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("fig8_static_training");
     bench::printHeader(
         "Figure 8 / Table 3",
         "Prediction accuracy of Static Training schemes.");
@@ -48,6 +49,7 @@ main()
         {"IHRT/Same", "AHRT/Same", "HHRT/Same", "IHRT/Diff",
          "AHRT/Diff", "HHRT/Diff", "AT(ref)"});
     report.print(std::cout);
+    record.addReport(report);
     bench::maybeWriteCsv(report, "fig8");
 
     bench::printExpectation(

@@ -11,6 +11,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("fig9_other_schemes");
     bench::printHeader(
         "Figure 9",
         "Prediction accuracy of Branch Target Buffer designs, BTFN, "
@@ -33,6 +34,7 @@ main()
         {"LS-A2/I", "LS-A2/A", "LS-A2/H", "LS-LT/I", "LS-LT/A",
          "LS-LT/H", "Profile", "BTFN", "AlwaysTaken"});
     report.print(std::cout);
+    record.addReport(report);
     bench::maybeWriteCsv(report, "fig9");
 
     bench::printExpectation(

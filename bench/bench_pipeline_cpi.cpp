@@ -20,6 +20,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("pipeline_cpi");
     bench::printHeader(
         "Derived: pipeline CPI",
         "Cycles per instruction with each direction predictor "

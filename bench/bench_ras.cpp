@@ -15,6 +15,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("ras");
     bench::printHeader(
         "Section 4: return address stack",
         "Return-target hit rate versus stack depth.");

@@ -18,6 +18,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("table1_static_branches");
     bench::printHeader(
         "Table 1",
         "Number of static conditional branches per benchmark.");

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "core/two_level_predictor.hh"
 #include "predictors/scheme_factory.hh"
 #include "sim/simulator.hh"
@@ -112,4 +113,18 @@ BENCHMARK(BM_SimulatorTraceGeneration);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run is wrapped in a BenchRecorder:
+// like every other bench binary it leaves a BENCH_throughput.json
+// behind (wall time + config fingerprint; per-benchmark numbers come
+// from --benchmark_format=json if needed).
+int
+main(int argc, char **argv)
+{
+    tlat::bench::BenchRecorder record("throughput");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

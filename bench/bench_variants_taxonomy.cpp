@@ -40,6 +40,7 @@ int
 main()
 {
     using namespace tlat;
+    bench::BenchRecorder record("variants_taxonomy");
     bench::printHeader(
         "Extension: two-level variants",
         "GAg / GAg+xor / SAg / PAg (the paper) / PAs / PAp at 12 "

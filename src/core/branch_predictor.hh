@@ -17,6 +17,7 @@
 
 #include <string>
 
+#include "run_metrics.hh"
 #include "trace/trace_buffer.hh"
 
 namespace tlat::core
@@ -50,6 +51,18 @@ class BranchPredictor
     virtual void train(const trace::TraceBuffer &trace)
     {
         (void)trace;
+    }
+
+    /**
+     * Snapshots the predictor's internal observability counters into
+     * @p metrics (run_metrics.hh). Called by the harness *after* a
+     * measured run — never on the predict/update hot path, so schemes
+     * pay nothing when the caller does not ask. The default leaves
+     * the metrics zeroed for schemes with no internal tables.
+     */
+    virtual void collectMetrics(RunMetrics &metrics) const
+    {
+        (void)metrics;
     }
 };
 

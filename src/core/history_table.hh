@@ -63,6 +63,20 @@ struct TableStats
 {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /**
+     * Misses that displaced a live entry (AHRT): the victim's payload
+     * is re-allocated to a different static branch without
+     * re-initialization, so the new branch inherits foreign history.
+     * Always 0 for the ideal table.
+     */
+    std::uint64_t evictions = 0;
+    /**
+     * Accesses that observed another branch's state in the shared
+     * slot: HHRT lookups whose slot was last used by a different
+     * address line, and AHRT re-allocations (which hand the evicted
+     * payload to the new branch). Always 0 for the ideal table.
+     */
+    std::uint64_t aliasedLookups = 0;
 
     double
     hitRatio() const
@@ -138,13 +152,17 @@ class HistoryTable
     {
         putScalar(os, stats_.hits);
         putScalar(os, stats_.misses);
+        putScalar(os, stats_.evictions);
+        putScalar(os, stats_.aliasedLookups);
     }
 
     bool
     loadStats(std::istream &is)
     {
         return getScalar(is, stats_.hits) &&
-               getScalar(is, stats_.misses);
+               getScalar(is, stats_.misses) &&
+               getScalar(is, stats_.evictions) &&
+               getScalar(is, stats_.aliasedLookups);
     }
 
     TableStats stats_;
@@ -273,8 +291,13 @@ class AssociativeTable : public HistoryTable<Entry>
         }
 
         // Miss: re-allocate the LRU way. Per the paper, the payload is
-        // *not* re-initialized.
+        // *not* re-initialized — when the victim was live, the new
+        // branch inherits foreign history (eviction + aliasing).
         ++this->stats_.misses;
+        if (victim->valid) {
+            ++this->stats_.evictions;
+            ++this->stats_.aliasedLookups;
+        }
         victim->valid = true;
         victim->tag = tag;
         victim->lastUse = tick_;
@@ -380,13 +403,18 @@ class HashedTable : public HistoryTable<Entry>
             (hash_ == HashKind::LowBits ? line : mix64(line)) &
             (size_ - 1);
         // A tagless table cannot distinguish hit from miss; count the
-        // first touch of a slot as a miss for reporting purposes.
+        // first touch of a slot as a miss for reporting purposes. A
+        // touched slot last used by a *different* line is collision
+        // interference — the aliasing that costs the HHRT accuracy.
         if (touched_[index]) {
             ++this->stats_.hits;
+            if (lines_[index] != line)
+                ++this->stats_.aliasedLookups;
         } else {
             ++this->stats_.misses;
             touched_[index] = true;
         }
+        lines_[index] = line;
         return entries_[index];
     }
 
@@ -397,6 +425,7 @@ class HashedTable : public HistoryTable<Entry>
     {
         entries_.assign(size_, initial_);
         touched_.assign(size_, false);
+        lines_.assign(size_, 0);
         this->stats_ = TableStats{};
     }
 
@@ -412,6 +441,7 @@ class HashedTable : public HistoryTable<Entry>
         for (std::size_t i = 0; i < size_; ++i) {
             this->putScalar(
                 os, static_cast<std::uint8_t>(touched_[i] ? 1 : 0));
+            this->putScalar(os, lines_[i]);
             save_entry(os, entries_[i]);
         }
     }
@@ -428,6 +458,7 @@ class HashedTable : public HistoryTable<Entry>
         for (std::size_t i = 0; i < size_; ++i) {
             std::uint8_t touched;
             if (!this->getScalar(is, touched) || touched > 1 ||
+                !this->getScalar(is, lines_[i]) ||
                 !load_entry(is, entries_[i]))
                 return false;
             touched_[i] = touched != 0;
@@ -442,6 +473,8 @@ class HashedTable : public HistoryTable<Entry>
     std::size_t size_ = 0;
     std::vector<Entry> entries_;
     std::vector<bool> touched_;
+    /** Last address line to use each slot (aliasing attribution). */
+    std::vector<std::uint64_t> lines_;
 };
 
 } // namespace tlat::core

@@ -124,6 +124,30 @@ class PatternTable
     /** Counter width, or 0 for automaton-entry tables. */
     unsigned counterBits() const { return counter_bits_; }
 
+    /** Distinct states an entry can be in. */
+    unsigned
+    statesPerEntry() const
+    {
+        return counter_bits_ > 0 ? (1u << counter_bits_)
+                                 : automatonSpec(kind_).numStates;
+    }
+
+    /**
+     * Occupancy histogram: element i counts entries currently in
+     * state i (sums to size()). Computed on demand — a pure snapshot
+     * of the table, costing nothing during the measured run.
+     */
+    std::vector<std::uint64_t>
+    stateHistogram() const
+    {
+        std::vector<std::uint64_t> histogram(statesPerEntry(), 0);
+        for (const std::uint8_t state : states_) {
+            if (state < histogram.size())
+                ++histogram[state];
+        }
+        return histogram;
+    }
+
     void
     reset()
     {

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Run-level observability counters for a predictor.
+ *
+ * The paper's evaluation attributes mispredictions to *causes* — HRT
+ * misses (Section 5.1.2), pattern interference from table aliasing,
+ * warmup — rather than reporting a single accuracy number. RunMetrics
+ * is the snapshot a predictor fills in after a measured run so the
+ * harness and the CLI can report that attribution.
+ *
+ * Collection is pull-based: predictors keep their existing cheap
+ * always-on counters and copy them into a RunMetrics when
+ * BranchPredictor::collectMetrics() is called after the run. Nothing
+ * on the predict/update hot path tests a "metrics enabled" flag, so
+ * a run that never calls collectMetrics() pays nothing beyond the
+ * counters the simulator always maintained.
+ *
+ * Determinism: every field is a pure function of the (scheme, trace)
+ * pair — no timestamps, thread ids or allocation addresses — so
+ * metrics collected under the parallel sweep engine are bit-identical
+ * for every worker count.
+ */
+
+#ifndef TLAT_CORE_RUN_METRICS_HH
+#define TLAT_CORE_RUN_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tlat::core
+{
+
+/** Predictor-internal counters snapshotted after a measured run. */
+struct RunMetrics
+{
+    // ---- Level 1: history register table --------------------------
+    /** Lookups that found the branch resident. */
+    std::uint64_t hrtHits = 0;
+    /** Lookups that missed (first touch or capacity/conflict). */
+    std::uint64_t hrtMisses = 0;
+    /**
+     * Misses that displaced a live entry (AHRT only): the victim's
+     * history register is handed to a different static branch, the
+     * paper's re-allocation interference.
+     */
+    std::uint64_t hrtEvictions = 0;
+    /**
+     * Accesses observing another branch's state in the same slot:
+     * HHRT lookups whose slot was last touched by a different
+     * address line (tag-less aliasing), plus AHRT re-allocations
+     * observed through the inherited payload.
+     */
+    std::uint64_t hrtAliasedLookups = 0;
+
+    // ---- Level 2: global pattern table ----------------------------
+    /**
+     * Occupancy histogram over automaton/counter states at snapshot
+     * time: entry i counts pattern-table entries currently in state
+     * i. Sums to the table size (2^k).
+     */
+    std::vector<std::uint64_t> ptStateHistogram;
+
+    // ---- Speculative history update -------------------------------
+    /** Mispredictions that squashed younger in-flight speculation. */
+    std::uint64_t squashEvents = 0;
+    /** Younger speculations discarded by those squashes. */
+    std::uint64_t squashedSpeculations = 0;
+    /**
+     * Branch pcs still holding in-flight speculation state at
+     * snapshot time. After a fully paired predict()/update() run this
+     * must be 0 — the regression guard for the drained-deque leak.
+     */
+    std::uint64_t inFlightBranches = 0;
+
+    double
+    hrtHitRatio() const
+    {
+        const std::uint64_t total = hrtHits + hrtMisses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hrtHits) /
+                                static_cast<double>(total);
+    }
+};
+
+} // namespace tlat::core
+
+#endif // TLAT_CORE_RUN_METRICS_HH

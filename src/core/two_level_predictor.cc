@@ -123,8 +123,14 @@ TwoLevelPredictor::update(const trace::BranchRecord &record)
                 entry.history = ((speculation.pattern << 1) |
                                  (record.taken ? 1u : 0u)) &
                                 history_mask_;
+                ++squash_events_;
+                squashed_speculations_ += it->second.size();
                 it->second.clear();
             }
+            // Erase drained pcs: keeping empty deques would grow the
+            // map by one node per static branch for the whole run.
+            if (it->second.empty())
+                in_flight_.erase(it);
             if (config_.cachedPredictionBit) {
                 entry.cachedPrediction =
                     pattern_table_.predict(entry.history);
@@ -158,15 +164,33 @@ TwoLevelPredictor::reset()
     pattern_table_.reset();
     hrt_->reset();
     in_flight_.clear();
+    squash_events_ = 0;
+    squashed_speculations_ = 0;
     last_pc_ = ~std::uint64_t{0};
     last_entry_ = nullptr;
+}
+
+void
+TwoLevelPredictor::collectMetrics(RunMetrics &metrics) const
+{
+    const TableStats &stats = hrt_->stats();
+    metrics.hrtHits = stats.hits;
+    metrics.hrtMisses = stats.misses;
+    metrics.hrtEvictions = stats.evictions;
+    metrics.hrtAliasedLookups = stats.aliasedLookups;
+    metrics.ptStateHistogram = pattern_table_.stateHistogram();
+    metrics.squashEvents = squash_events_;
+    metrics.squashedSpeculations = squashed_speculations_;
+    metrics.inFlightBranches = in_flight_.size();
 }
 
 namespace
 {
 
 constexpr char kCheckpointMagic[4] = {'T', 'L', 'C', 'P'};
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: TableStats gained eviction/aliasing counters and the HHRT
+// serializes its per-slot last-line attribution state.
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 template <typename T>
 void

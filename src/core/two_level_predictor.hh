@@ -94,9 +94,28 @@ class TwoLevelPredictor : public BranchPredictor
     bool predict(const trace::BranchRecord &record) override;
     void update(const trace::BranchRecord &record) override;
     void reset() override;
+    void collectMetrics(RunMetrics &metrics) const override;
 
     /** HRT access statistics (hit ratio drives Figure 6's ordering). */
     const TableStats &hrtStats() const { return hrt_->stats(); }
+
+    /**
+     * Branch pcs currently holding in-flight speculation state. With
+     * paired predict()/update() calls this returns to 0 after every
+     * resolved branch — drained pcs are erased, not kept as empty
+     * deques (regression guard for the unbounded-growth bug).
+     */
+    std::size_t inFlightBranches() const { return in_flight_.size(); }
+
+    /** Mispredictions that squashed younger speculation. */
+    std::uint64_t squashEvents() const { return squash_events_; }
+
+    /** Younger in-flight speculations discarded by squashes. */
+    std::uint64_t
+    squashedSpeculations() const
+    {
+        return squashed_speculations_;
+    }
 
     /** The global pattern table (tests and inspection). */
     const PatternTable &patternTable() const { return pattern_table_; }
@@ -141,6 +160,8 @@ class TwoLevelPredictor : public BranchPredictor
 
     std::unordered_map<std::uint64_t, std::deque<Speculation>>
         in_flight_;
+    std::uint64_t squash_events_ = 0;
+    std::uint64_t squashed_speculations_ = 0;
 
     // predict() immediately followed by update() on the same branch is
     // the common case; reuse the looked-up entry to model one logical

@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <algorithm>
+
 namespace tlat::harness
 {
 
@@ -32,6 +34,68 @@ runExperiment(core::BranchPredictor &predictor,
     result.benchmark = test.name();
     result.accuracy = measure(predictor, test);
     return result;
+}
+
+RunMetricsReport
+measureWithMetrics(core::BranchPredictor &predictor,
+                   const trace::TraceBuffer &test,
+                   const MetricsOptions &options)
+{
+    RunMetricsReport report;
+    report.scheme = predictor.name();
+    report.benchmark = test.name();
+    report.options = options;
+    report.options.warmupWindow =
+        std::max<std::uint64_t>(1, options.warmupWindow);
+
+    BranchProfile profile;
+    std::uint64_t window_branches = 0;
+    std::uint64_t window_hits = 0;
+    const auto closeWindow = [&]() {
+        WarmupPoint point;
+        point.branches = report.accuracy.total();
+        point.windowAccuracyPercent =
+            100.0 * static_cast<double>(window_hits) /
+            static_cast<double>(window_branches);
+        point.cumulativeAccuracyPercent =
+            report.accuracy.accuracyPercent();
+        report.warmupCurve.push_back(point);
+        window_branches = 0;
+        window_hits = 0;
+    };
+
+    for (const trace::BranchRecord &record : test.records()) {
+        if (record.cls != trace::BranchClass::Conditional)
+            continue;
+        const bool predicted = predictor.predict(record);
+        const bool correct = predicted == record.taken;
+        report.accuracy.record(correct);
+        profile.record(record.pc, correct, record.taken);
+        ++window_branches;
+        if (correct)
+            ++window_hits;
+        if (window_branches == report.options.warmupWindow)
+            closeWindow();
+        predictor.update(record);
+    }
+    if (window_branches > 0)
+        closeWindow(); // final partial window
+
+    predictor.collectMetrics(report.predictor);
+    report.topOffenders = profile.worstSites(options.topOffenders);
+    return report;
+}
+
+RunMetricsReport
+runProfiledExperiment(core::BranchPredictor &predictor,
+                      const trace::TraceBuffer &test,
+                      const trace::TraceBuffer *train,
+                      const MetricsOptions &options)
+{
+    predictor.reset();
+    if (predictor.needsTraining())
+        predictor.train(train ? *train : test);
+    return measureWithMetrics(predictor, test, options);
 }
 
 } // namespace tlat::harness

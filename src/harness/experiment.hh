@@ -14,8 +14,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "branch_profile.hh"
 #include "core/branch_predictor.hh"
+#include "core/run_metrics.hh"
 #include "core/scheme_config.hh"
 #include "trace/trace_buffer.hh"
 #include "util/stats.hh"
@@ -49,6 +52,72 @@ ExperimentResult runExperiment(core::BranchPredictor &predictor,
                                const trace::TraceBuffer &test,
                                const trace::TraceBuffer *train =
                                    nullptr);
+
+// ---- Observability layer ------------------------------------------
+//
+// The metrics path is a *separate* measuring loop: the plain
+// measure()/runExperiment() used by the figure benches is untouched,
+// which is what keeps metrics collection zero-cost when not asked
+// for. Everything below is a pure function of (scheme, trace), so
+// reports collected under the parallel sweep engine are bit-identical
+// for every worker count.
+
+/** One point of the warmup curve (window of conditional branches). */
+struct WarmupPoint
+{
+    /** Conditional branches measured up to and including this window. */
+    std::uint64_t branches = 0;
+    /** Accuracy within this window alone, percent. */
+    double windowAccuracyPercent = 0.0;
+    /** Accuracy from the start of the run, percent. */
+    double cumulativeAccuracyPercent = 0.0;
+};
+
+/** Knobs of the metrics-collecting measurement loop. */
+struct MetricsOptions
+{
+    /** Conditional branches per warmup-curve window (>= 1). */
+    std::uint64_t warmupWindow = 10000;
+    /** Entries in the per-branch top-offender list. */
+    std::size_t topOffenders = 10;
+};
+
+/** Everything observed about one measured (scheme, benchmark) run. */
+struct RunMetricsReport
+{
+    std::string scheme;
+    std::string benchmark;
+    AccuracyCounter accuracy;
+    /** Predictor-internal counters (zeroed for stateless schemes). */
+    core::RunMetrics predictor;
+    MetricsOptions options;
+    /** Accuracy over consecutive windows — the warmup transient. */
+    std::vector<WarmupPoint> warmupCurve;
+    /** Heaviest mispredicting static branches, worst first. */
+    std::vector<BranchSite> topOffenders;
+};
+
+/**
+ * Like measure(), but also collects the warmup curve, the per-branch
+ * misprediction attribution and the predictor's internal counters.
+ * Prediction/update behaviour is identical to measure() — the
+ * accuracy field always matches a plain measure() run bit-for-bit.
+ */
+RunMetricsReport measureWithMetrics(core::BranchPredictor &predictor,
+                                    const trace::TraceBuffer &test,
+                                    const MetricsOptions &options =
+                                        {});
+
+/**
+ * Full protocol with metrics: reset, train if needed, measure with
+ * collection. The metrics counterpart of runExperiment().
+ */
+RunMetricsReport runProfiledExperiment(core::BranchPredictor &predictor,
+                                       const trace::TraceBuffer &test,
+                                       const trace::TraceBuffer *train =
+                                           nullptr,
+                                       const MetricsOptions &options =
+                                           {});
 
 } // namespace tlat::harness
 

@@ -1,0 +1,98 @@
+#include "metrics_json.hh"
+
+#include <sstream>
+
+#include "util/json_writer.hh"
+#include "util/string_utils.hh"
+
+namespace tlat::harness
+{
+
+void
+writeRunMetricsJson(
+    const RunMetricsReport &report, std::ostream &os,
+    const std::vector<std::pair<std::string, std::string>> &context)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.member("schema", kRunMetricsSchema);
+    json.member("scheme", report.scheme);
+    json.member("benchmark", report.benchmark);
+
+    if (!context.empty()) {
+        json.key("context").beginObject();
+        for (const auto &[name, text] : context)
+            json.member(name, text);
+        json.endObject();
+    }
+
+    json.key("accuracy").beginObject();
+    json.member("conditional_branches", report.accuracy.total());
+    json.member("hits", report.accuracy.hits());
+    json.member("misses", report.accuracy.misses());
+    json.member("accuracy_percent", report.accuracy.accuracyPercent());
+    json.member("miss_percent", report.accuracy.missPercent());
+    json.endObject();
+
+    const core::RunMetrics &m = report.predictor;
+    json.key("predictor").beginObject();
+    json.key("hrt").beginObject();
+    json.member("hits", m.hrtHits);
+    json.member("misses", m.hrtMisses);
+    json.member("hit_ratio", m.hrtHitRatio());
+    json.member("evictions", m.hrtEvictions);
+    json.member("aliased_lookups", m.hrtAliasedLookups);
+    json.endObject();
+    json.key("pattern_table").beginObject();
+    json.key("state_histogram").beginArray();
+    for (const std::uint64_t count : m.ptStateHistogram)
+        json.value(count);
+    json.endArray();
+    json.endObject();
+    json.key("speculation").beginObject();
+    json.member("squash_events", m.squashEvents);
+    json.member("squashed_speculations", m.squashedSpeculations);
+    json.member("in_flight_branches", m.inFlightBranches);
+    json.endObject();
+    json.endObject();
+
+    json.key("warmup").beginObject();
+    json.member("window", report.options.warmupWindow);
+    json.key("points").beginArray();
+    for (const WarmupPoint &point : report.warmupCurve) {
+        json.beginObject();
+        json.member("branches", point.branches);
+        json.member("window_accuracy_percent",
+                    point.windowAccuracyPercent);
+        json.member("cumulative_accuracy_percent",
+                    point.cumulativeAccuracyPercent);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    json.key("top_offenders").beginArray();
+    for (const BranchSite &site : report.topOffenders) {
+        json.beginObject();
+        json.member("pc", format("0x%llx",
+                                 static_cast<unsigned long long>(
+                                     site.pc)));
+        json.member("executions", site.executions);
+        json.member("mispredictions", site.mispredictions);
+        json.member("accuracy_percent", site.accuracy() * 100.0);
+        json.member("taken_percent", site.takenRate() * 100.0);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+std::string
+runMetricsJsonString(const RunMetricsReport &report)
+{
+    std::ostringstream os;
+    writeRunMetricsJson(report, os);
+    return os.str();
+}
+
+} // namespace tlat::harness

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * JSON serialization of RunMetricsReport — the machine-readable
+ * surface behind `tlat run --json` / `tlat profile --json`.
+ *
+ * The document is schema-stable: fixed key set, fixed key order,
+ * fixed number formatting (json_writer.hh). Identical reports
+ * serialize to byte-identical text, which is how the sweep
+ * determinism tests compare metrics across worker counts.
+ */
+
+#ifndef TLAT_HARNESS_METRICS_JSON_HH
+#define TLAT_HARNESS_METRICS_JSON_HH
+
+#include <ostream>
+#include <string>
+
+#include "experiment.hh"
+
+namespace tlat::harness
+{
+
+/** Schema identifier stamped into every run-metrics document. */
+inline constexpr const char *kRunMetricsSchema = "tlat-run-metrics-v1";
+
+/**
+ * Writes the full report as one JSON document (trailing newline).
+ * @param writer_context Optional "context" object members the caller
+ *        wants stamped in (budget, train source, ...), pre-rendered
+ *        as alternating key/value pairs; empty means no context
+ *        object.
+ */
+void writeRunMetricsJson(
+    const RunMetricsReport &report, std::ostream &os,
+    const std::vector<std::pair<std::string, std::string>>
+        &context = {});
+
+/** Serializes to a string (the determinism tests diff these). */
+std::string runMetricsJsonString(const RunMetricsReport &report);
+
+} // namespace tlat::harness
+
+#endif // TLAT_HARNESS_METRICS_JSON_HH

@@ -48,7 +48,8 @@ cellSeed(std::string_view scheme, std::string_view benchmark)
 AccuracyReport
 runSweep(BenchmarkSuite &suite, const std::string &title,
          const std::vector<std::string> &scheme_names,
-         const std::vector<std::string> &column_labels, unsigned jobs)
+         const std::vector<std::string> &column_labels, unsigned jobs,
+         std::vector<RunMetricsReport> *metrics_out)
 {
     tlat_assert(column_labels.empty() ||
                     column_labels.size() == scheme_names.size(),
@@ -102,17 +103,32 @@ runSweep(BenchmarkSuite &suite, const std::string &title,
 
     // Phase 3: run the cells. One cold predictor per cell — never
     // shared, never reused — writing into a preassigned result slot.
+    // The metrics-collecting loop only runs when the caller asked for
+    // it; the default path is the plain measure() loop.
     std::vector<std::optional<ExperimentResult>> results(cells.size());
+    std::vector<RunMetricsReport> cell_metrics(
+        metrics_out ? cells.size() : 0);
     util::parallelFor(pool, cells.size(), [&](std::size_t i) {
         const Cell &cell = cells[i];
         const auto predictor =
             predictors::makePredictor(configs[cell.scheme]);
-        results[i] = runExperiment(*predictor, *cell.test, cell.train);
+        if (metrics_out) {
+            cell_metrics[i] = runProfiledExperiment(
+                *predictor, *cell.test, cell.train);
+            ExperimentResult result;
+            result.scheme = cell_metrics[i].scheme;
+            result.benchmark = cell_metrics[i].benchmark;
+            result.accuracy = cell_metrics[i].accuracy;
+            results[i] = result;
+        } else {
+            results[i] =
+                runExperiment(*predictor, *cell.test, cell.train);
+        }
     });
 
     // Phase 4: merge in cell-list order, which is scheme-major; the
-    // report's column order and every cell are therefore independent
-    // of how the pool scheduled phase 3.
+    // report's column order, every cell and the appended metrics are
+    // therefore independent of how the pool scheduled phase 3.
     AccuracyReport report(title, workloads::workloadNames(),
                           workloads::floatingPointWorkloadNames());
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -122,6 +138,8 @@ runSweep(BenchmarkSuite &suite, const std::string &title,
                                   : column_labels[cell.scheme];
         report.add(benchmarks[cell.benchmark], label,
                    results[i]->accuracy.accuracyPercent());
+        if (metrics_out)
+            metrics_out->push_back(std::move(cell_metrics[i]));
     }
     return report;
 }

@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "experiment.hh"
 #include "report.hh"
 #include "suite.hh"
 
@@ -65,11 +66,19 @@ std::uint64_t cellSeed(std::string_view scheme,
  *
  * @param column_labels Optional short labels, parallel to
  *        @p scheme_names; empty means use the scheme names.
+ * @param metrics_out When non-null, every cell is measured through
+ *        the metrics-collecting loop (runProfiledExperiment) and the
+ *        per-cell reports are appended in the same fixed scheme-major
+ *        cell order as the report merge — so the collected metrics,
+ *        like the accuracies, are bit-identical for every jobs count.
+ *        Null (the default) keeps the plain zero-overhead loop.
  */
 AccuracyReport runSweep(BenchmarkSuite &suite, const std::string &title,
                         const std::vector<std::string> &scheme_names,
                         const std::vector<std::string> &column_labels = {},
-                        unsigned jobs = 0);
+                        unsigned jobs = 0,
+                        std::vector<RunMetricsReport> *metrics_out =
+                            nullptr);
 
 } // namespace tlat::harness
 

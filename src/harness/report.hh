@@ -54,6 +54,12 @@ class AccuracyReport
         return scheme_order_;
     }
 
+    /** Row order, as passed to the constructor. */
+    const std::vector<std::string> &benchmarks() const
+    {
+        return benchmarks_;
+    }
+
   private:
     double meanOver(const std::string &scheme,
                     const std::vector<std::string> &rows) const;

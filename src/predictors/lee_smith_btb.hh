@@ -44,6 +44,17 @@ class LeeSmithPredictor : public core::BranchPredictor
     void update(const trace::BranchRecord &record) override;
     void reset() override;
 
+    /** The BTB table counters map onto the level-1 metric fields. */
+    void
+    collectMetrics(core::RunMetrics &metrics) const override
+    {
+        const core::TableStats &stats = table_->stats();
+        metrics.hrtHits = stats.hits;
+        metrics.hrtMisses = stats.misses;
+        metrics.hrtEvictions = stats.evictions;
+        metrics.hrtAliasedLookups = stats.aliasedLookups;
+    }
+
     const core::TableStats &tableStats() const
     {
         return table_->stats();

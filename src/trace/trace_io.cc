@@ -1,5 +1,6 @@
 #include "trace_io.hh"
 
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -64,6 +65,16 @@ classFromLetter(char letter)
       default:
         return std::nullopt;
     }
+}
+
+void
+setError(TextReadError *error, std::size_t line,
+         std::string message)
+{
+    if (!error)
+        return;
+    error->line = line;
+    error->message = std::move(message);
 }
 
 } // namespace
@@ -157,10 +168,14 @@ writeText(const TraceBuffer &trace, std::ostream &os)
        << mix.memory << ' ' << mix.controlFlow << ' ' << mix.other
        << '\n';
     for (const BranchRecord &record : trace.records()) {
-        // Calls print as 'J' (jsr), other immediate unconditionals
-        // as 'U'.
-        const char cls_letter =
-            record.isCall ? 'J' : classLetter(record.cls);
+        // Class and call bit are independent: calls print as the
+        // lowercase class letter ('u' = immediate call, 'g' =
+        // register-indirect call), so every combination round-trips.
+        const char upper = classLetter(record.cls);
+        const char cls_letter = record.isCall
+            ? static_cast<char>(
+                  std::tolower(static_cast<unsigned char>(upper)))
+            : upper;
         os << std::hex << record.pc << ' ' << record.target << std::dec
            << ' ' << cls_letter << ' ' << (record.taken ? 'T' : 'N')
            << '\n';
@@ -169,11 +184,13 @@ writeText(const TraceBuffer &trace, std::ostream &os)
 }
 
 std::optional<TraceBuffer>
-readText(std::istream &is)
+readText(std::istream &is, TextReadError *error)
 {
     TraceBuffer trace;
     std::string line;
+    std::size_t line_number = 0;
     while (std::getline(is, line)) {
+        ++line_number;
         const std::string text = trim(line);
         if (text.empty())
             continue;
@@ -185,8 +202,11 @@ readText(std::istream &is)
                 InstructionMix &mix = trace.mix();
                 mix_in >> mix.intAlu >> mix.fpAlu >> mix.memory >>
                     mix.controlFlow >> mix.other;
-                if (!mix_in)
+                if (!mix_in) {
+                    setError(error, line_number,
+                             "malformed '# mix:' header");
                     return std::nullopt;
+                }
             }
             continue;
         }
@@ -198,15 +218,40 @@ readText(std::istream &is)
         record_in >> std::hex >> record.pc >> record.target >>
             cls_text >> taken_text;
         if (!record_in || cls_text.size() != 1 ||
-            taken_text.size() != 1)
+            taken_text.size() != 1) {
+            setError(error, line_number,
+                     "expected '<pc> <target> <class> <T|N>'");
             return std::nullopt;
-        auto cls = classFromLetter(cls_text[0]);
-        if (cls_text[0] == 'J') {
-            cls = BranchClass::ImmediateUnconditional;
-            record.isCall = true;
         }
-        if (!cls || (taken_text[0] != 'T' && taken_text[0] != 'N'))
+        std::string junk;
+        if (record_in >> junk) {
+            setError(error, line_number,
+                     "trailing junk after record fields: '" + junk +
+                         "'");
             return std::nullopt;
+        }
+
+        char letter = cls_text[0];
+        if (letter == 'J') {
+            // Legacy encoding: 'J' (jsr) was an immediate call.
+            letter = 'u';
+        }
+        record.isCall =
+            std::islower(static_cast<unsigned char>(letter)) != 0;
+        const auto cls = classFromLetter(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(letter))));
+        if (!cls) {
+            setError(error, line_number,
+                     std::string("unknown branch class letter '") +
+                         cls_text[0] + "'");
+            return std::nullopt;
+        }
+        if (taken_text[0] != 'T' && taken_text[0] != 'N') {
+            setError(error, line_number,
+                     std::string("bad outcome letter '") +
+                         taken_text[0] + "' (want T or N)");
+            return std::nullopt;
+        }
         record.cls = *cls;
         record.taken = taken_text[0] == 'T';
         trace.append(record);
@@ -226,18 +271,33 @@ saveToFile(const TraceBuffer &trace, const std::string &path)
 }
 
 std::optional<TraceBuffer>
-loadFromFile(const std::string &path)
+loadFromFile(const std::string &path, std::string *error)
 {
     if (endsWith(path, ".txt")) {
         std::ifstream is(path);
-        if (!is)
+        if (!is) {
+            if (error)
+                *error = "cannot open file";
             return std::nullopt;
-        return readText(is);
+        }
+        TextReadError text_error;
+        auto loaded = readText(is, &text_error);
+        if (!loaded && error) {
+            *error = "line " + std::to_string(text_error.line) +
+                     ": " + text_error.message;
+        }
+        return loaded;
     }
     std::ifstream is(path, std::ios::binary);
-    if (!is)
+    if (!is) {
+        if (error)
+            *error = "cannot open file";
         return std::nullopt;
-    return readBinary(is);
+    }
+    auto loaded = readBinary(is);
+    if (!loaded && error)
+        *error = "malformed or truncated binary trace";
+    return loaded;
 }
 
 } // namespace tlat::trace

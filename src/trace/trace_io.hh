@@ -18,9 +18,15 @@
  *   records          count x { pc u64, target u64, cls u8, taken u8 }
  *
  * Text format, after an optional "# name: ..." header line:
- *   <pc-hex> <target-hex> <C|R|U|G> <T|N>
+ *   <pc-hex> <target-hex> <class-letter> <T|N>
  * where C=conditional, R=return, U=immediate unconditional,
- * G=register unconditional.
+ * G=register unconditional. The branch class and the call bit are
+ * encoded independently: a subroutine call is written as the
+ * *lowercase* class letter (u = immediate-unconditional call,
+ * g = register-unconditional call), so every class/flag combination
+ * round-trips. The legacy letter J (an immediate-unconditional call)
+ * is still accepted on input. Record lines must have exactly four
+ * fields; trailing junk is rejected with the offending line number.
  */
 
 #ifndef TLAT_TRACE_TRACE_IO_HH
@@ -44,14 +50,30 @@ std::optional<TraceBuffer> readBinary(std::istream &is);
 /** Writes the text format. Returns false on stream failure. */
 bool writeText(const TraceBuffer &trace, std::ostream &os);
 
-/** Reads the text format; nullopt on malformed input. */
-std::optional<TraceBuffer> readText(std::istream &is);
+/** Where and why text parsing failed (1-based line number). */
+struct TextReadError
+{
+    std::size_t line = 0;
+    std::string message;
+};
+
+/**
+ * Reads the text format; nullopt on malformed input, with the
+ * offending line reported through @p error when non-null.
+ */
+std::optional<TraceBuffer> readText(std::istream &is,
+                                    TextReadError *error = nullptr);
 
 /** Saves to a file, picking the format from the extension (.tltr/.txt). */
 bool saveToFile(const TraceBuffer &trace, const std::string &path);
 
-/** Loads from a file, picking the format from the extension. */
-std::optional<TraceBuffer> loadFromFile(const std::string &path);
+/**
+ * Loads from a file, picking the format from the extension. On
+ * failure @p error (when non-null) receives a human-readable reason,
+ * including the line number for text-format parse errors.
+ */
+std::optional<TraceBuffer> loadFromFile(const std::string &path,
+                                        std::string *error = nullptr);
 
 } // namespace tlat::trace
 

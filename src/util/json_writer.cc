@@ -1,0 +1,217 @@
+#include "json_writer.hh"
+
+#include "logging.hh"
+#include "string_utils.hh"
+
+namespace tlat
+{
+
+std::string
+JsonWriter::escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0; i < scopes_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beforeValue(bool is_key)
+{
+    if (scopes_.empty()) {
+        tlat_assert(!wrote_root_ && !is_key,
+                    "only one root value allowed");
+        return;
+    }
+    if (scopes_.back() == Scope::Object) {
+        if (is_key) {
+            tlat_assert(!pending_key_, "key after key");
+            if (scope_has_items_.back())
+                os_ << ',';
+            scope_has_items_.back() = true;
+            newlineIndent();
+        } else {
+            tlat_assert(pending_key_,
+                        "object member value without a key");
+            pending_key_ = false;
+        }
+        return;
+    }
+    tlat_assert(!is_key, "key inside array");
+    if (scope_has_items_.back())
+        os_ << ',';
+    scope_has_items_.back() = true;
+    newlineIndent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue(false);
+    os_ << '{';
+    scopes_.push_back(Scope::Object);
+    scope_has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    tlat_assert(!scopes_.empty() && scopes_.back() == Scope::Object &&
+                    !pending_key_,
+                "unbalanced endObject");
+    const bool had_items = scope_has_items_.back();
+    scopes_.pop_back();
+    scope_has_items_.pop_back();
+    if (had_items)
+        newlineIndent();
+    os_ << '}';
+    if (scopes_.empty()) {
+        wrote_root_ = true;
+        os_ << '\n';
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue(false);
+    os_ << '[';
+    scopes_.push_back(Scope::Array);
+    scope_has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    tlat_assert(!scopes_.empty() && scopes_.back() == Scope::Array,
+                "unbalanced endArray");
+    const bool had_items = scope_has_items_.back();
+    scopes_.pop_back();
+    scope_has_items_.pop_back();
+    if (had_items)
+        newlineIndent();
+    os_ << ']';
+    if (scopes_.empty()) {
+        wrote_root_ = true;
+        os_ << '\n';
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    tlat_assert(!scopes_.empty() && scopes_.back() == Scope::Object,
+                "key outside object");
+    beforeValue(true);
+    os_ << '"' << escape(name) << "\": ";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    beforeValue(false);
+    os_ << '"' << escape(text) << '"';
+    if (scopes_.empty())
+        wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    beforeValue(false);
+    // Fixed %.10g: enough digits for accuracy percentages to
+    // round-trip, and identical text for identical doubles — the
+    // property the byte-level determinism tests rely on.
+    os_ << format("%.10g", number);
+    if (scopes_.empty())
+        wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue(false);
+    os_ << number;
+    if (scopes_.empty())
+        wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue(false);
+    os_ << number;
+    if (scopes_.empty())
+        wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(unsigned number)
+{
+    return value(static_cast<std::uint64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    beforeValue(false);
+    os_ << (flag ? "true" : "false");
+    if (scopes_.empty())
+        wrote_root_ = true;
+    return *this;
+}
+
+} // namespace tlat

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal streaming JSON emitter for machine-readable run and bench
+ * records (`tlat run --json`, BENCH_*.json).
+ *
+ * Design goals, in order:
+ *  - schema stability: keys are emitted in call order, numbers with a
+ *    fixed format, so two runs producing the same values produce
+ *    byte-identical documents (the determinism tests diff raw text);
+ *  - no dependencies: the toolchain image has no JSON library, and
+ *    the emit-only subset is ~100 lines;
+ *  - misuse resistance: unbalanced begin/end or a value without a key
+ *    inside an object aborts via tlat_assert rather than emitting
+ *    invalid JSON.
+ *
+ * Parsing is intentionally out of scope — consumers are jq/python.
+ */
+
+#ifndef TLAT_UTIL_JSON_WRITER_HH
+#define TLAT_UTIL_JSON_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlat
+{
+
+/** Streaming JSON writer with two-space indentation. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emits an object member key; the next call must be its value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(unsigned number);
+    JsonWriter &value(bool flag);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    member(std::string_view name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** True once every opened scope has been closed. */
+    bool complete() const { return scopes_.empty() && wrote_root_; }
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(std::string_view text);
+
+  private:
+    enum class Scope : std::uint8_t
+    {
+        Object,
+        Array
+    };
+
+    /** Comma/newline/indent bookkeeping before a value or key. */
+    void beforeValue(bool is_key);
+    void newlineIndent();
+
+    std::ostream &os_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> scope_has_items_;
+    bool pending_key_ = false;
+    bool wrote_root_ = false;
+};
+
+} // namespace tlat
+
+#endif // TLAT_UTIL_JSON_WRITER_HH

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the streaming JSON emitter: document shape, escaping,
+ * number formatting, and the schema-stability property the metrics
+ * determinism tests rely on (identical values -> byte-identical
+ * text). The emitted documents are also fed through a minimal
+ * recursive-descent checker to prove they are well-formed JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "harness/metrics_json.hh"
+#include "util/json_writer.hh"
+
+namespace tlat
+{
+namespace
+{
+
+/** Minimal well-formedness checker (no value extraction). */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        skipSpace();
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return string();
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const std::string &word)
+    {
+        if (text_.compare(pos_, word.size(), word) != 0)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+emitSample()
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.member("name", "two-level");
+    json.member("accuracy", 97.03125);
+    json.member("branches", std::uint64_t{300000});
+    json.member("speculative", false);
+    json.key("nested").beginObject();
+    json.member("depth", 2);
+    json.endObject();
+    json.key("values").beginArray();
+    json.value(1).value(2).value(3);
+    json.endArray();
+    json.endObject();
+    EXPECT_TRUE(json.complete());
+    return os.str();
+}
+
+TEST(JsonWriter, EmitsWellFormedDocuments)
+{
+    const std::string text = emitSample();
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+}
+
+TEST(JsonWriter, KeysAppearInCallOrder)
+{
+    const std::string text = emitSample();
+    EXPECT_LT(text.find("\"name\""), text.find("\"accuracy\""));
+    EXPECT_LT(text.find("\"accuracy\""), text.find("\"branches\""));
+    EXPECT_LT(text.find("\"branches\""), text.find("\"nested\""));
+    EXPECT_LT(text.find("\"nested\""), text.find("\"values\""));
+}
+
+TEST(JsonWriter, IdenticalValuesProduceIdenticalText)
+{
+    // The schema-stability contract the sweep determinism tests
+    // build on: same calls, same values -> byte-identical output.
+    EXPECT_EQ(emitSample(), emitSample());
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)),
+              "\\u0001");
+}
+
+TEST(JsonWriter, DoubleFormattingIsFixed)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginArray();
+    json.value(0.5).value(97.03).value(100.0).value(0.0);
+    json.endArray();
+    EXPECT_EQ(os.str(), "[\n  0.5,\n  97.03,\n  100,\n  0\n]\n");
+}
+
+TEST(JsonWriter, IntegerAndBoolFormatting)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.member("u64", std::uint64_t{18446744073709551615ULL});
+    json.member("i64", std::int64_t{-42});
+    json.member("flag", true);
+    json.endObject();
+    const std::string text = os.str();
+    EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+    EXPECT_NE(text.find("-42"), std::string::npos);
+    EXPECT_NE(text.find("true"), std::string::npos);
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("empty_object").beginObject();
+    json.endObject();
+    json.key("empty_array").beginArray();
+    json.endArray();
+    json.endObject();
+    EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+TEST(RunMetricsJson, DocumentIsWellFormedAndSchemaTagged)
+{
+    harness::RunMetricsReport report;
+    report.scheme = "AT(AHRT(512,12SR),PT(2^12,A2),)";
+    report.benchmark = "gcc";
+    report.accuracy.record(true);
+    report.accuracy.record(false);
+    report.predictor.hrtHits = 1;
+    report.predictor.hrtMisses = 1;
+    report.predictor.ptStateHistogram = {2, 0, 1, 1};
+    harness::WarmupPoint point;
+    point.branches = 2;
+    point.windowAccuracyPercent = 50.0;
+    point.cumulativeAccuracyPercent = 50.0;
+    report.warmupCurve.push_back(point);
+    harness::BranchSite site;
+    site.pc = 0x40;
+    site.executions = 2;
+    site.mispredictions = 1;
+    report.topOffenders.push_back(site);
+
+    const std::string text = harness::runMetricsJsonString(report);
+    EXPECT_TRUE(JsonChecker(text).valid()) << text;
+    EXPECT_NE(text.find(harness::kRunMetricsSchema),
+              std::string::npos);
+    EXPECT_NE(text.find("\"top_offenders\""), std::string::npos);
+    EXPECT_NE(text.find("\"state_histogram\""), std::string::npos);
+    EXPECT_NE(text.find("\"0x40\""), std::string::npos);
+
+    // Serialization is a pure function of the report.
+    EXPECT_EQ(text, harness::runMetricsJsonString(report));
+}
+
+} // namespace
+} // namespace tlat

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the run-metrics observability layer:
+ *
+ *  - the in_flight_ map drains under paired predict()/update() use
+ *    (regression guard for the unbounded-growth bug: drained deques
+ *    used to stay in the map forever);
+ *  - squash counters match the speculative-update semantics;
+ *  - collectMetrics() snapshots agree with the predictor's own
+ *    counters, AHRT evictions/aliasing behave as documented and the
+ *    pattern-table histogram always sums to the table size;
+ *  - measureWithMetrics() is observationally identical to the plain
+ *    measure() loop (the zero-cost-when-disabled contract has a
+ *    correctness side: turning metrics on must not change results);
+ *  - the warmup curve's window bookkeeping adds up;
+ *  - metrics collected through runSweep are byte-identical (via the
+ *    canonical JSON serialization) for every jobs count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/two_level_predictor.hh"
+#include "harness/experiment.hh"
+#include "harness/metrics_json.hh"
+#include "harness/parallel_sweep.hh"
+#include "harness/suite.hh"
+#include "predictors/scheme_factory.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+#include "workloads/workload.hh"
+
+namespace tlat
+{
+namespace
+{
+
+trace::BranchRecord
+conditional(std::uint64_t pc, bool taken)
+{
+    trace::BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 16;
+    record.cls = trace::BranchClass::Conditional;
+    record.taken = taken;
+    return record;
+}
+
+core::TwoLevelConfig
+speculativeConfig()
+{
+    core::TwoLevelConfig config;
+    config.hrtKind = core::TableKind::Ideal;
+    config.historyBits = 6;
+    config.speculativeHistoryUpdate = true;
+    return config;
+}
+
+const trace::TraceBuffer &
+gccTrace()
+{
+    static const trace::TraceBuffer trace = sim::collectTrace(
+        workloads::makeWorkload("gcc")->buildTest(), 20000);
+    return trace;
+}
+
+// ---- in_flight_ growth regression ---------------------------------
+
+TEST(InFlightMap, DrainsUnderPairedUse)
+{
+    // The original bug: update() popped the deque but never erased
+    // the map node, so in_flight_ grew by one node per distinct pc
+    // and never shrank — after a long paired run the map held every
+    // static branch ever seen. Paired use must leave it empty.
+    core::TwoLevelPredictor predictor(speculativeConfig());
+    Rng rng(0x1f11);
+    for (int i = 0; i < 20000; ++i) {
+        const auto record = conditional(
+            4 * (1 + rng.nextBelow(500)), rng.nextBool(0.6));
+        predictor.predict(record);
+        predictor.update(record);
+        ASSERT_EQ(predictor.inFlightBranches(), 0u)
+            << "iteration " << i;
+    }
+}
+
+TEST(InFlightMap, TracksOnlyUnresolvedBranches)
+{
+    core::TwoLevelPredictor predictor(speculativeConfig());
+    // Three distinct branches in flight at once.
+    predictor.predict(conditional(4, true));
+    predictor.predict(conditional(8, true));
+    predictor.predict(conditional(12, true));
+    EXPECT_EQ(predictor.inFlightBranches(), 3u);
+    // Resolving each one removes its node — not just empties it.
+    predictor.update(conditional(4, true));
+    EXPECT_EQ(predictor.inFlightBranches(), 2u);
+    predictor.update(conditional(8, true));
+    EXPECT_EQ(predictor.inFlightBranches(), 1u);
+    predictor.update(conditional(12, true));
+    EXPECT_EQ(predictor.inFlightBranches(), 0u);
+}
+
+TEST(InFlightMap, PairedFullRunEndsDrained)
+{
+    auto config = speculativeConfig();
+    config.historyBits = 12;
+    core::TwoLevelPredictor predictor(config);
+    harness::measure(predictor, gccTrace());
+    EXPECT_EQ(predictor.inFlightBranches(), 0u);
+
+    core::RunMetrics metrics;
+    predictor.collectMetrics(metrics);
+    EXPECT_EQ(metrics.inFlightBranches, 0u);
+}
+
+// ---- squash accounting --------------------------------------------
+
+TEST(SquashCounters, MispredictionSquashesYoungerSpeculation)
+{
+    core::TwoLevelConfig config = speculativeConfig();
+    config.historyBits = 4;
+    core::TwoLevelPredictor predictor(config);
+    // Fresh predictor predicts taken (all-ones init). Two in-flight
+    // predictions of a branch that resolves not-taken: the first
+    // resolution mispredicts and squashes the younger speculation.
+    const auto record = conditional(4, false);
+    EXPECT_TRUE(predictor.predict(record));
+    EXPECT_TRUE(predictor.predict(record));
+    EXPECT_EQ(predictor.squashEvents(), 0u);
+    predictor.update(record);
+    EXPECT_EQ(predictor.squashEvents(), 1u);
+    EXPECT_EQ(predictor.squashedSpeculations(), 1u);
+    // The squashed speculation is gone: its pc no longer in flight.
+    EXPECT_EQ(predictor.inFlightBranches(), 0u);
+    predictor.update(record); // unpaired fallback, no new squash
+    EXPECT_EQ(predictor.squashEvents(), 1u);
+
+    core::RunMetrics metrics;
+    predictor.collectMetrics(metrics);
+    EXPECT_EQ(metrics.squashEvents, 1u);
+    EXPECT_EQ(metrics.squashedSpeculations, 1u);
+
+    predictor.reset();
+    EXPECT_EQ(predictor.squashEvents(), 0u);
+    EXPECT_EQ(predictor.squashedSpeculations(), 0u);
+}
+
+// ---- collectMetrics snapshots -------------------------------------
+
+TEST(CollectMetrics, MatchesPredictorCounters)
+{
+    core::TwoLevelConfig config;
+    config.hrtKind = core::TableKind::Associative;
+    config.hrtEntries = 64; // small: force evictions on gcc
+    config.historyBits = 8;
+    core::TwoLevelPredictor predictor(config);
+    harness::measure(predictor, gccTrace());
+
+    core::RunMetrics metrics;
+    predictor.collectMetrics(metrics);
+    EXPECT_EQ(metrics.hrtHits, predictor.hrtStats().hits);
+    EXPECT_EQ(metrics.hrtMisses, predictor.hrtStats().misses);
+    EXPECT_GT(metrics.hrtHits, 0u);
+    EXPECT_GT(metrics.hrtMisses, 0u);
+    EXPECT_GT(metrics.hrtEvictions, 0u);
+    EXPECT_GT(metrics.hrtAliasedLookups, 0u);
+    EXPECT_DOUBLE_EQ(metrics.hrtHitRatio(),
+                     predictor.hrtStats().hitRatio());
+}
+
+TEST(CollectMetrics, IdealTableNeverEvicts)
+{
+    core::TwoLevelConfig config;
+    config.hrtKind = core::TableKind::Ideal;
+    config.historyBits = 8;
+    core::TwoLevelPredictor predictor(config);
+    harness::measure(predictor, gccTrace());
+
+    core::RunMetrics metrics;
+    predictor.collectMetrics(metrics);
+    EXPECT_EQ(metrics.hrtEvictions, 0u);
+    EXPECT_EQ(metrics.hrtAliasedLookups, 0u);
+    // An ideal table misses exactly once per static branch.
+    EXPECT_EQ(metrics.hrtMisses, predictor.hrtStats().misses);
+}
+
+TEST(CollectMetrics, PatternHistogramSumsToTableSize)
+{
+    for (const unsigned bits : {4u, 8u}) {
+        core::TwoLevelConfig config;
+        config.hrtKind = core::TableKind::Ideal;
+        config.historyBits = bits;
+        core::TwoLevelPredictor predictor(config);
+        harness::measure(predictor, gccTrace());
+
+        core::RunMetrics metrics;
+        predictor.collectMetrics(metrics);
+        ASSERT_EQ(metrics.ptStateHistogram.size(),
+                  predictor.patternTable().statesPerEntry());
+        std::uint64_t sum = 0;
+        for (const std::uint64_t count : metrics.ptStateHistogram)
+            sum += count;
+        EXPECT_EQ(sum, predictor.patternTable().size());
+        EXPECT_EQ(sum, std::uint64_t{1} << bits);
+    }
+}
+
+TEST(CollectMetrics, StatelessPredictorsReportZeroedMetrics)
+{
+    const auto predictor = predictors::makePredictor("BTFN");
+    harness::measure(*predictor, gccTrace());
+    core::RunMetrics metrics;
+    predictor->collectMetrics(metrics);
+    EXPECT_EQ(metrics.hrtHits + metrics.hrtMisses, 0u);
+    EXPECT_TRUE(metrics.ptStateHistogram.empty());
+}
+
+// ---- measureWithMetrics vs measure --------------------------------
+
+TEST(MeasureWithMetrics, IdenticalAccuracyToPlainMeasure)
+{
+    // Two cold predictors of the same configuration over the same
+    // trace: the instrumented loop must count exactly what the plain
+    // loop counts. This is the observable half of the "zero cost when
+    // disabled" requirement — the metrics loop is a superset, never a
+    // divergence.
+    const std::string scheme = "AT(AHRT(512,12SR),PT(2^12,A2),)";
+    const auto plain = predictors::makePredictor(scheme);
+    const auto instrumented = predictors::makePredictor(scheme);
+
+    const AccuracyCounter baseline =
+        harness::measure(*plain, gccTrace());
+    const harness::RunMetricsReport report =
+        harness::measureWithMetrics(*instrumented, gccTrace());
+    EXPECT_EQ(report.accuracy.total(), baseline.total());
+    EXPECT_EQ(report.accuracy.hits(), baseline.hits());
+    EXPECT_EQ(report.accuracy.misses(), baseline.misses());
+}
+
+TEST(MeasureWithMetrics, WarmupWindowBookkeepingAddsUp)
+{
+    core::TwoLevelConfig config;
+    config.hrtKind = core::TableKind::Ideal;
+    config.historyBits = 8;
+    core::TwoLevelPredictor predictor(config);
+
+    harness::MetricsOptions options;
+    options.warmupWindow = 1000;
+    const harness::RunMetricsReport report =
+        harness::measureWithMetrics(predictor, gccTrace(), options);
+
+    const std::uint64_t total = report.accuracy.total();
+    ASSERT_GT(total, 0u);
+    const std::uint64_t expected_points =
+        (total + options.warmupWindow - 1) / options.warmupWindow;
+    ASSERT_EQ(report.warmupCurve.size(), expected_points);
+
+    // Point i's cumulative count is monotone and ends at the total.
+    std::uint64_t previous = 0;
+    for (const harness::WarmupPoint &point : report.warmupCurve) {
+        EXPECT_GT(point.branches, previous);
+        EXPECT_LE(point.branches - previous, options.warmupWindow);
+        EXPECT_GE(point.windowAccuracyPercent, 0.0);
+        EXPECT_LE(point.windowAccuracyPercent, 100.0);
+        previous = point.branches;
+    }
+    EXPECT_EQ(previous, total);
+    EXPECT_DOUBLE_EQ(
+        report.warmupCurve.back().cumulativeAccuracyPercent,
+        report.accuracy.accuracyPercent());
+}
+
+TEST(MeasureWithMetrics, TopOffendersAreWorstFirstAndBounded)
+{
+    core::TwoLevelConfig config;
+    config.hrtKind = core::TableKind::Ideal;
+    config.historyBits = 6;
+    core::TwoLevelPredictor predictor(config);
+
+    harness::MetricsOptions options;
+    options.topOffenders = 5;
+    const harness::RunMetricsReport report =
+        harness::measureWithMetrics(predictor, gccTrace(), options);
+    ASSERT_LE(report.topOffenders.size(), options.topOffenders);
+    ASSERT_FALSE(report.topOffenders.empty());
+    for (std::size_t i = 1; i < report.topOffenders.size(); ++i) {
+        EXPECT_GE(report.topOffenders[i - 1].mispredictions,
+                  report.topOffenders[i].mispredictions);
+    }
+}
+
+// ---- sweep determinism --------------------------------------------
+
+std::vector<std::string>
+sweepMetricsJson(unsigned jobs)
+{
+    // Fresh suite per run: trace generation happens under the pool
+    // width being tested, like the accuracy serial-equivalence test.
+    harness::BenchmarkSuite suite(2000);
+    std::vector<harness::RunMetricsReport> metrics;
+    harness::runSweep(suite, "metrics",
+                      {"AT(AHRT(512,12SR),PT(2^12,A2),)",
+                       "LS(AHRT(512,LT),,)"},
+                      {"AT", "LS"}, jobs, &metrics);
+    std::vector<std::string> serialized;
+    serialized.reserve(metrics.size());
+    for (const harness::RunMetricsReport &report : metrics)
+        serialized.push_back(harness::runMetricsJsonString(report));
+    return serialized;
+}
+
+TEST(SweepMetrics, ByteIdenticalAcrossJobCounts)
+{
+    // The strongest form of the determinism requirement: the full
+    // JSON serialization — every counter, histogram bucket, warmup
+    // point and offender row — is byte-identical for jobs 1, 4, 8.
+    const std::vector<std::string> serial = sweepMetricsJson(1);
+    ASSERT_FALSE(serial.empty());
+    for (const unsigned jobs : {4u, 8u}) {
+        const std::vector<std::string> parallel =
+            sweepMetricsJson(jobs);
+        ASSERT_EQ(serial.size(), parallel.size()) << jobs << " jobs";
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(serial[i], parallel[i])
+                << "cell " << i << " at " << jobs << " jobs";
+    }
+}
+
+TEST(SweepMetrics, CellOrderIsSchemeMajor)
+{
+    harness::BenchmarkSuite suite(2000);
+    std::vector<harness::RunMetricsReport> metrics;
+    harness::runSweep(suite, "order",
+                      {"AT(AHRT(512,12SR),PT(2^12,A2),)",
+                       "LS(AHRT(512,LT),,)"},
+                      {}, 4, &metrics);
+    const std::vector<std::string> benchmarks = suite.benchmarks();
+    ASSERT_EQ(metrics.size(), 2 * benchmarks.size());
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        EXPECT_EQ(metrics[i].benchmark,
+                  benchmarks[i % benchmarks.size()])
+            << "cell " << i;
+    }
+}
+
+} // namespace
+} // namespace tlat

@@ -19,13 +19,14 @@ namespace
 
 BranchRecord
 record(std::uint64_t pc, std::uint64_t target, BranchClass cls,
-       bool taken)
+       bool taken, bool is_call = false)
 {
     BranchRecord r;
     r.pc = pc;
     r.target = target;
     r.cls = cls;
     r.taken = taken;
+    r.isCall = is_call;
     return r;
 }
 
@@ -134,6 +135,111 @@ TEST(TraceIo, TextRejectsBadRecords)
     EXPECT_FALSE(readText(bad_fields).has_value());
 }
 
+TEST(TraceIo, TextRejectsTrailingJunk)
+{
+    // Only four fields are defined; a fifth token is junk, not
+    // silently ignored.
+    std::stringstream junk("4 8 C T extra\n");
+    TextReadError error;
+    EXPECT_FALSE(readText(junk, &error).has_value());
+    EXPECT_EQ(error.line, 1u);
+    EXPECT_NE(error.message.find("trailing junk"), std::string::npos);
+    EXPECT_NE(error.message.find("extra"), std::string::npos);
+
+    std::stringstream many("4 8 C T N G 12\n");
+    EXPECT_FALSE(readText(many).has_value());
+}
+
+TEST(TraceIo, TextErrorsReportLineNumbers)
+{
+    std::stringstream bad_class("# name: x\n4 8 C T\n4 8 X T\n");
+    TextReadError error;
+    EXPECT_FALSE(readText(bad_class, &error).has_value());
+    EXPECT_EQ(error.line, 3u);
+    EXPECT_NE(error.message.find("class letter"), std::string::npos);
+
+    std::stringstream short_line("4 8 C T\n\n4 8\n");
+    error = {};
+    EXPECT_FALSE(readText(short_line, &error).has_value());
+    EXPECT_EQ(error.line, 3u);
+
+    std::stringstream bad_outcome("4 8 C T\n4 8 C Q\n");
+    error = {};
+    EXPECT_FALSE(readText(bad_outcome, &error).has_value());
+    EXPECT_EQ(error.line, 2u);
+    EXPECT_NE(error.message.find("outcome"), std::string::npos);
+}
+
+TEST(TraceIo, TextEncodesClassAndCallBitIndependently)
+{
+    // Regression: writeText used to collapse any call record to 'J',
+    // so a register-unconditional call read back as an
+    // immediate-unconditional one.
+    TraceBuffer buffer("calls");
+    buffer.append(record(4, 96, BranchClass::RegisterUnconditional,
+                         true, /*is_call=*/true));
+    buffer.append(record(8, 96, BranchClass::ImmediateUnconditional,
+                         true, /*is_call=*/true));
+    std::stringstream text;
+    ASSERT_TRUE(writeText(buffer, text));
+    const auto loaded = readText(text);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->records(), buffer.records());
+    EXPECT_EQ(loaded->records()[0].cls,
+              BranchClass::RegisterUnconditional);
+    EXPECT_TRUE(loaded->records()[0].isCall);
+}
+
+TEST(TraceIo, TextAcceptsLegacyCallLetter)
+{
+    // Old traces encoded immediate-unconditional calls as 'J'.
+    std::stringstream text("10 40 J T\n");
+    const auto loaded = readText(text);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), 1u);
+    EXPECT_EQ(loaded->records()[0].cls,
+              BranchClass::ImmediateUnconditional);
+    EXPECT_TRUE(loaded->records()[0].isCall);
+    EXPECT_TRUE(loaded->records()[0].taken);
+}
+
+TEST(TraceIo, RoundTripAllClassFlagCombinations)
+{
+    // binary -> text -> binary over the full class x taken x call
+    // cross product: every combination must survive both formats.
+    TraceBuffer buffer("combos");
+    std::uint64_t pc = 4;
+    for (unsigned cls = 0;
+         cls < static_cast<unsigned>(BranchClass::NumClasses); ++cls) {
+        for (const bool taken : {false, true}) {
+            for (const bool is_call : {false, true}) {
+                buffer.append(record(pc, pc + 64,
+                                     static_cast<BranchClass>(cls),
+                                     taken, is_call));
+                pc += 4;
+            }
+        }
+    }
+
+    std::stringstream binary;
+    ASSERT_TRUE(writeBinary(buffer, binary));
+    const auto from_binary = readBinary(binary);
+    ASSERT_TRUE(from_binary.has_value());
+    EXPECT_EQ(from_binary->records(), buffer.records());
+
+    std::stringstream text;
+    ASSERT_TRUE(writeText(*from_binary, text));
+    const auto from_text = readText(text);
+    ASSERT_TRUE(from_text.has_value());
+    EXPECT_EQ(from_text->records(), buffer.records());
+
+    std::stringstream binary_again;
+    ASSERT_TRUE(writeBinary(*from_text, binary_again));
+    const auto full_circle = readBinary(binary_again);
+    ASSERT_TRUE(full_circle.has_value());
+    EXPECT_EQ(full_circle->records(), buffer.records());
+}
+
 TEST(TraceIo, TextSkipsBlanksAndComments)
 {
     std::stringstream stream("# name: x\n\n# comment\n4 8 C T\n");
@@ -153,7 +259,7 @@ TEST(TraceIo, RandomRoundTripProperty)
             rng.next() & ~3ull, rng.next() & ~3ull,
             static_cast<BranchClass>(rng.nextBelow(
                 static_cast<std::uint64_t>(BranchClass::NumClasses))),
-            rng.nextBool()));
+            rng.nextBool(), rng.nextBool()));
     }
     std::stringstream binary;
     ASSERT_TRUE(writeBinary(buffer, binary));

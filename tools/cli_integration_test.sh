@@ -1,0 +1,93 @@
+#!/bin/sh
+# Integration test for the tlat CLI exit-code contract and --json
+# output. Driven by ctest (tier1) with the binary path as $1.
+#
+# Pinned contract (tools/tlat_cli.cpp):
+#   0  success
+#   1  runtime failure (unloadable trace, ...)
+#   2  usage error (bad/duplicate/unknown option, bad scheme)
+#   3  unknown command
+set -u
+
+TLAT=${1:?usage: cli_integration_test.sh <path-to-tlat>}
+failures=0
+
+# expect <expected-exit> <description> <args...>
+expect() {
+    want=$1
+    what=$2
+    shift 2
+    "$TLAT" "$@" >/dev/null 2>&1
+    got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $what: expected exit $want, got $got (tlat $*)"
+        failures=$((failures + 1))
+    else
+        echo "ok: $what (exit $got)"
+    fi
+}
+
+expect 0 "list succeeds" list
+expect 3 "unknown command" frobnicate
+expect 2 "no arguments is a usage error"
+expect 2 "unknown option" list --frobnicate
+expect 2 "bad --budget value" run BTFN eqntott --budget twelve
+expect 2 "bad --jobs value" compare BTFN --jobs 0
+expect 2 "missing option value" run BTFN eqntott --budget
+expect 2 "duplicate option" run BTFN eqntott --budget 100 --budget 200
+expect 2 "bad scheme name" run "NotAScheme(x)" eqntott
+expect 2 "wrong positional count" run BTFN
+expect 1 "nonexistent trace file" run BTFN /nonexistent/trace.tltr
+
+# A malformed text trace must fail at runtime with a line number.
+tmpdir=${TMPDIR:-/tmp}
+badtrace="$tmpdir/tlat_cli_bad_trace_$$.txt"
+printf '1 100 C T\n2 200 C N extra\n' >"$badtrace"
+"$TLAT" run BTFN "$badtrace" >/dev/null 2>"$badtrace.err"
+got=$?
+if [ "$got" -ne 1 ]; then
+    echo "FAIL: malformed trace: expected exit 1, got $got"
+    failures=$((failures + 1))
+elif ! grep -q "line 2" "$badtrace.err"; then
+    echo "FAIL: malformed trace error lacks line number:"
+    cat "$badtrace.err"
+    failures=$((failures + 1))
+else
+    echo "ok: malformed trace rejected with line number (exit 1)"
+fi
+rm -f "$badtrace" "$badtrace.err"
+
+# run --json emits the schema-tagged document on stdout.
+json=$("$TLAT" run BTFN eqntott --budget 2000 --json 2>/dev/null)
+got=$?
+if [ "$got" -ne 0 ]; then
+    echo "FAIL: run --json: expected exit 0, got $got"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v1"'; then
+    echo "FAIL: run --json output lacks schema tag"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"top_offenders"'; then
+    echo "FAIL: run --json output lacks top_offenders"
+    failures=$((failures + 1))
+else
+    echo "ok: run --json emits tlat-run-metrics-v1"
+fi
+
+# profile --json uses the same schema.
+json=$("$TLAT" profile BTFN eqntott --budget 2000 --json 2>/dev/null)
+got=$?
+if [ "$got" -ne 0 ]; then
+    echo "FAIL: profile --json: expected exit 0, got $got"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v1"'; then
+    echo "FAIL: profile --json output lacks schema tag"
+    failures=$((failures + 1))
+else
+    echo "ok: profile --json emits tlat-run-metrics-v1"
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures check(s) failed"
+    exit 1
+fi
+echo "all CLI integration checks passed"

@@ -21,8 +21,20 @@
  *   --jobs N        sweep worker threads for `compare` (default: the
  *                   hardware thread count; results are identical for
  *                   every value)
+ *   --json          `run` and `profile` emit one machine-readable
+ *                   JSON document (schema tlat-run-metrics-v1) with
+ *                   accuracy, predictor counters, the warmup curve
+ *                   and the top mispredicting branches
+ *
+ * Exit codes (stable; the CLI integration test pins them):
+ *   0  success
+ *   1  runtime failure (unloadable trace, unwritable output, ...)
+ *   2  usage error (bad/duplicate/unknown option, bad scheme name,
+ *      wrong positionals)
+ *   3  unknown command
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -35,6 +47,7 @@
 #include "harness/ras_experiment.hh"
 #include "pipeline/pipeline_model.hh"
 #include "harness/experiment.hh"
+#include "harness/metrics_json.hh"
 #include "harness/suite.hh"
 #include "isa/disassembler.hh"
 #include "predictors/scheme_factory.hh"
@@ -50,10 +63,18 @@ namespace
 
 using namespace tlat;
 
+// Stable exit codes — distinct classes so scripts and the CI
+// integration test can tell "you called it wrong" from "it failed".
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownCommand = 3;
+
 struct Options
 {
     std::uint64_t budget = 300000;
     unsigned jobs = 0; // 0: harness::defaultJobs()
+    bool json = false;
     std::string data;
     std::string train;
     std::string out;
@@ -77,35 +98,56 @@ usage()
            "  ras <benchmark>              return-stack sweep\n"
            "  cpi <scheme> <benchmark>     pipeline timing model\n"
            "options: --budget N --data SET --train SRC --out FILE "
-           "--jobs N\n";
-    return 2;
+           "--jobs N --json\n";
+    return kExitUsage;
 }
 
 std::optional<Options>
 parseOptions(int argc, char **argv, int first)
 {
     Options options;
+    std::vector<std::string> seen;
     for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
-        const auto next = [&]() -> std::optional<std::string> {
-            if (i + 1 >= argc)
+        if (startsWith(arg, "--")) {
+            if (std::find(seen.begin(), seen.end(), arg) !=
+                seen.end()) {
+                std::cerr << "duplicate option " << arg << "\n";
                 return std::nullopt;
+            }
+            seen.push_back(arg);
+        }
+        const auto next = [&]() -> std::optional<std::string> {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                return std::nullopt;
+            }
             return std::string(argv[++i]);
         };
         if (arg == "--budget") {
             const auto value = next();
             const auto parsed =
                 value ? parseSize(*value) : std::nullopt;
-            if (!parsed)
+            if (!parsed) {
+                if (value)
+                    std::cerr << "bad value '" << *value
+                              << "' for --budget\n";
                 return std::nullopt;
+            }
             options.budget = *parsed;
         } else if (arg == "--jobs") {
             const auto value = next();
             const auto parsed =
                 value ? parseSize(*value) : std::nullopt;
-            if (!parsed || *parsed == 0)
+            if (!parsed || *parsed == 0) {
+                if (value)
+                    std::cerr << "bad value '" << *value
+                              << "' for --jobs (want N >= 1)\n";
                 return std::nullopt;
+            }
             options.jobs = static_cast<unsigned>(*parsed);
+        } else if (arg == "--json") {
+            options.json = true;
         } else if (arg == "--data") {
             const auto value = next();
             if (!value)
@@ -152,9 +194,11 @@ loadTrace(const std::string &source, const Options &options)
         buffer.setName(source);
         return buffer;
     }
-    auto loaded = trace::loadFromFile(source);
+    std::string error;
+    auto loaded = trace::loadFromFile(source, &error);
     if (!loaded)
-        std::cerr << "cannot load trace '" << source << "'\n";
+        std::cerr << "cannot load trace '" << source
+                  << "': " << error << "\n";
     return loaded;
 }
 
@@ -175,7 +219,7 @@ cmdList()
                  "  ST(AHRT(512,12SR),PT(2^12,PB),Same)\n"
                  "  LS(AHRT(512,A2),,)\n"
                  "  Profile | BTFN | AlwaysTaken | AlwaysNotTaken\n";
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -183,19 +227,19 @@ cmdTrace(const Options &options)
 {
     if (options.positional.size() != 1 || options.out.empty()) {
         std::cerr << "usage: tlat trace <benchmark> --out FILE\n";
-        return 2;
+        return kExitUsage;
     }
     const auto buffer = loadTrace(options.positional[0], options);
     if (!buffer)
-        return 1;
+        return kExitRuntime;
     if (!trace::saveToFile(*buffer, options.out)) {
         std::cerr << "cannot write '" << options.out << "'\n";
-        return 1;
+        return kExitRuntime;
     }
     std::cout << "wrote " << buffer->size() << " branch records ("
               << buffer->conditionalCount() << " conditional) to "
               << options.out << "\n";
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -205,7 +249,7 @@ cmdStats(const Options &options)
         return usage();
     const auto buffer = loadTrace(options.positional[0], options);
     if (!buffer)
-        return 1;
+        return kExitRuntime;
     const trace::TraceStats stats = trace::computeStats(*buffer);
     TablePrinter table("trace statistics: " + buffer->name());
     table.setHeader({"metric", "value"});
@@ -226,7 +270,7 @@ cmdStats(const Options &options)
     table.addRow({"static conditional branches",
                   std::to_string(stats.staticConditionalBranches)});
     table.print(std::cout);
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -234,24 +278,24 @@ cmdRun(const Options &options)
 {
     if (options.positional.size() != 2) {
         std::cerr << "usage: tlat run <scheme> <benchmark|file>\n";
-        return 2;
+        return kExitUsage;
     }
     const auto config =
         core::SchemeConfig::parse(options.positional[0]);
     if (!config) {
         std::cerr << "bad scheme name '" << options.positional[0]
                   << "'\n";
-        return 2;
+        return kExitUsage;
     }
     const auto test = loadTrace(options.positional[1], options);
     if (!test)
-        return 1;
+        return kExitRuntime;
 
     std::optional<trace::TraceBuffer> train;
     if (!options.train.empty()) {
         train = loadTrace(options.train, options);
         if (!train)
-            return 1;
+            return kExitRuntime;
     } else if (config->data == core::DataMode::Diff &&
                isBenchmark(options.positional[1])) {
         const auto workload =
@@ -263,11 +307,23 @@ cmdRun(const Options &options)
         } else {
             std::cerr << "no training data set for "
                       << options.positional[1] << "\n";
-            return 1;
+            return kExitRuntime;
         }
     }
 
     auto predictor = predictors::makePredictor(*config);
+    if (options.json) {
+        const harness::RunMetricsReport report =
+            harness::runProfiledExperiment(
+                *predictor, *test, train ? &*train : nullptr);
+        std::vector<std::pair<std::string, std::string>> context;
+        context.emplace_back("budget",
+                             std::to_string(options.budget));
+        if (train)
+            context.emplace_back("train", train->name());
+        harness::writeRunMetricsJson(report, std::cout, context);
+        return kExitOk;
+    }
     const auto result = harness::runExperiment(
         *predictor, *test, train ? &*train : nullptr);
     std::cout << predictor->name() << " on " << test->name() << ":\n"
@@ -281,7 +337,7 @@ cmdRun(const Options &options)
               << TablePrinter::percentCell(
                      result.accuracy.missPercent())
               << " %\n";
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -289,13 +345,22 @@ cmdProfile(const Options &options)
 {
     if (options.positional.size() != 2) {
         std::cerr << "usage: tlat profile <scheme> <benchmark>\n";
-        return 2;
+        return kExitUsage;
     }
     auto predictor =
         predictors::makePredictor(options.positional[0]);
     const auto test = loadTrace(options.positional[1], options);
     if (!test)
-        return 1;
+        return kExitRuntime;
+    if (options.json) {
+        const harness::RunMetricsReport report =
+            harness::runProfiledExperiment(*predictor, *test);
+        std::vector<std::pair<std::string, std::string>> context;
+        context.emplace_back("budget",
+                             std::to_string(options.budget));
+        harness::writeRunMetricsJson(report, std::cout, context);
+        return kExitOk;
+    }
     if (predictor->needsTraining())
         predictor->train(*test);
     const harness::BranchProfile profile =
@@ -327,7 +392,7 @@ cmdProfile(const Options &options)
               << TablePrinter::percentCell(
                      profile.missConcentration(10) * 100.0)
               << " % of the misses\n";
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -338,14 +403,14 @@ cmdDisasm(const Options &options)
     if (!isBenchmark(options.positional[0])) {
         std::cerr << "unknown benchmark '" << options.positional[0]
                   << "'\n";
-        return 2;
+        return kExitUsage;
     }
     const auto workload =
         workloads::makeWorkload(options.positional[0]);
     const std::string data_set =
         options.data.empty() ? workload->testSet() : options.data;
     std::cout << isa::disassemble(workload->build(data_set));
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -357,7 +422,7 @@ cmdCost(const Options &options)
         core::SchemeConfig::parse(options.positional[0]);
     if (!config) {
         std::cerr << "bad scheme name\n";
-        return 2;
+        return kExitUsage;
     }
     const core::StorageCost cost = core::storageCost(*config);
     TablePrinter table("storage cost: " + config->text());
@@ -370,7 +435,7 @@ cmdCost(const Options &options)
                   std::to_string(cost.patternBits)});
     table.addRow({"total", std::to_string(cost.total())});
     table.print(std::cout);
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -380,7 +445,7 @@ cmdRas(const Options &options)
         return usage();
     const auto buffer = loadTrace(options.positional[0], options);
     if (!buffer)
-        return 1;
+        return kExitRuntime;
     TablePrinter table("return-target hit rate: " + buffer->name());
     table.setHeader({"stack depth", "returns", "hit rate %"});
     for (const std::size_t depth : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
@@ -392,7 +457,7 @@ cmdRas(const Options &options)
                                                 100.0)});
     }
     table.print(std::cout);
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -400,13 +465,13 @@ cmdCpi(const Options &options)
 {
     if (options.positional.size() != 2) {
         std::cerr << "usage: tlat cpi <scheme> <benchmark|file>\n";
-        return 2;
+        return kExitUsage;
     }
     auto predictor =
         predictors::makePredictor(options.positional[0]);
     const auto buffer = loadTrace(options.positional[1], options);
     if (!buffer)
-        return 1;
+        return kExitRuntime;
     if (predictor->needsTraining())
         predictor->train(*buffer);
 
@@ -429,7 +494,7 @@ cmdCpi(const Options &options)
     table.addRow({"return mispredicts",
                   std::to_string(result.returnMispredicts)});
     table.print(std::cout);
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -437,12 +502,12 @@ cmdCompare(const Options &options)
 {
     if (options.positional.empty()) {
         std::cerr << "usage: tlat compare <scheme>...\n";
-        return 2;
+        return kExitUsage;
     }
     for (const std::string &scheme : options.positional) {
         if (!core::SchemeConfig::parse(scheme)) {
             std::cerr << "bad scheme name '" << scheme << "'\n";
-            return 2;
+            return kExitUsage;
         }
     }
     harness::BenchmarkSuite suite(options.budget);
@@ -450,7 +515,7 @@ cmdCompare(const Options &options)
         suite, "prediction accuracy (percent)", options.positional,
         {}, options.jobs);
     report.print(std::cout);
-    return 0;
+    return kExitOk;
 }
 
 } // namespace
@@ -485,5 +550,7 @@ main(int argc, char **argv)
         return cmdRas(*options);
     if (command == "cpi")
         return cmdCpi(*options);
-    return usage();
+    std::cerr << "unknown command '" << command << "'\n";
+    usage();
+    return kExitUnknownCommand;
 }
