@@ -50,6 +50,28 @@ runPredictorLoop(benchmark::State &state, const std::string &scheme)
     state.SetItemsProcessed(static_cast<std::int64_t>(branches));
 }
 
+// Same predictors driven through the fused batch API
+// (simulateBatch over the prefiltered conditional view) — the
+// BM_*Fused / BM_* pairs are the per-family A/B the throughput gate
+// summarizes.
+void
+runFusedLoop(benchmark::State &state, const std::string &scheme)
+{
+    const trace::TraceBuffer &trace = gccTrace();
+    const auto predictor = predictors::makePredictor(scheme);
+    if (predictor->needsTraining())
+        predictor->train(trace);
+
+    std::uint64_t branches = 0;
+    for (auto _ : state) {
+        AccuracyCounter accuracy;
+        predictor->simulateBatch(trace.conditionalView(), accuracy);
+        benchmark::DoNotOptimize(accuracy.hits());
+        branches += accuracy.total();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(branches));
+}
+
 void
 BM_TwoLevelAhrt(benchmark::State &state)
 {
@@ -58,11 +80,25 @@ BM_TwoLevelAhrt(benchmark::State &state)
 BENCHMARK(BM_TwoLevelAhrt);
 
 void
+BM_TwoLevelAhrtFused(benchmark::State &state)
+{
+    runFusedLoop(state, "AT(AHRT(512,12SR),PT(2^12,A2),)");
+}
+BENCHMARK(BM_TwoLevelAhrtFused);
+
+void
 BM_TwoLevelIhrt(benchmark::State &state)
 {
     runPredictorLoop(state, "AT(IHRT(,12SR),PT(2^12,A2),)");
 }
 BENCHMARK(BM_TwoLevelIhrt);
+
+void
+BM_TwoLevelIhrtFused(benchmark::State &state)
+{
+    runFusedLoop(state, "AT(IHRT(,12SR),PT(2^12,A2),)");
+}
+BENCHMARK(BM_TwoLevelIhrtFused);
 
 void
 BM_TwoLevelHhrt(benchmark::State &state)
@@ -77,6 +113,13 @@ BM_LeeSmith(benchmark::State &state)
     runPredictorLoop(state, "LS(AHRT(512,A2),,)");
 }
 BENCHMARK(BM_LeeSmith);
+
+void
+BM_LeeSmithFused(benchmark::State &state)
+{
+    runFusedLoop(state, "LS(AHRT(512,A2),,)");
+}
+BENCHMARK(BM_LeeSmithFused);
 
 void
 BM_StaticTraining(benchmark::State &state)
@@ -111,12 +154,59 @@ BM_SimulatorTraceGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatorTraceGeneration);
 
+/**
+ * Steady-clock A/B of the flagship AT(AHRT) scheme: the reference
+ * predict()/update() loop against the fused simulateBatch() path,
+ * both over the same gcc trace. These are the headline scalars the
+ * CI throughput gate (tools/check_throughput.py) compares against
+ * the committed baseline — the gate checks fused_speedup (a ratio,
+ * stable across hosts) rather than absolute records/sec.
+ */
+double
+timedRecordsPerSec(bool fused)
+{
+    const trace::TraceBuffer &trace = gccTrace();
+    const auto predictor =
+        predictors::makePredictor("AT(AHRT(512,12SR),PT(2^12,A2),)");
+
+    const auto pass = [&]() -> std::uint64_t {
+        AccuracyCounter accuracy;
+        if (fused) {
+            predictor->simulateBatch(trace.conditionalView(),
+                                     accuracy);
+        } else {
+            for (const trace::BranchRecord &record : trace.records()) {
+                if (record.cls != trace::BranchClass::Conditional)
+                    continue;
+                benchmark::DoNotOptimize(
+                    predictor->predict(record));
+                predictor->update(record);
+                accuracy.record(true);
+            }
+        }
+        return accuracy.total();
+    };
+
+    pass(); // warm tables and caches
+    constexpr int kPasses = 20;
+    std::uint64_t records = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kPasses; ++i)
+        records += pass();
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return static_cast<double>(records) / seconds;
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the run is wrapped in a BenchRecorder:
 // like every other bench binary it leaves a BENCH_throughput.json
-// behind (wall time + config fingerprint; per-benchmark numbers come
-// from --benchmark_format=json if needed).
+// behind (wall time + config fingerprint + the reference-vs-fused
+// headline scalars; per-benchmark numbers come from
+// --benchmark_format=json if needed).
 int
 main(int argc, char **argv)
 {
@@ -126,5 +216,15 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    const double reference = timedRecordsPerSec(false);
+    const double fused = timedRecordsPerSec(true);
+    record.addScalar("reference_records_per_sec", reference);
+    record.addScalar("fused_records_per_sec", fused);
+    record.addScalar("fused_speedup", fused / reference);
+    std::cout << "reference: " << reference
+              << " records/sec, fused: " << fused
+              << " records/sec, speedup: " << fused / reference
+              << "x\n";
     return 0;
 }

@@ -5,50 +5,9 @@
 namespace tlat::core
 {
 
-namespace
-{
-
-// Outcome index 0 = not taken, 1 = taken.
-const AutomatonSpec kSpecs[] = {
-    // Last-Time: state is simply the last outcome.
-    {
-        "LT", 2, 1,
-        {{0, 1}, {0, 1}, {0, 0}, {0, 0}},
-        {false, true, false, false},
-    },
-    // A1: 2-bit shift register of the last two outcomes; predict
-    // not-taken only when no taken outcome is recorded (state 0).
-    {
-        "A1", 4, 3,
-        {{0, 1}, {2, 3}, {0, 1}, {2, 3}},
-        {false, true, true, true},
-    },
-    // A2: saturating up/down counter; predict taken iff state >= 2.
-    {
-        "A2", 4, 3,
-        {{0, 1}, {0, 2}, {1, 3}, {2, 3}},
-        {false, false, true, true},
-    },
-    // A3: A2 with fast recovery from strong-taken (3 --NT--> 1).
-    {
-        "A3", 4, 3,
-        {{0, 1}, {0, 2}, {1, 3}, {1, 3}},
-        {false, false, true, true},
-    },
-    // A4: big-jump hysteresis — a confirming outcome in a weak state
-    // jumps straight to the strong state of that side (1 --T--> 3,
-    // 2 --NT--> 0).
-    {
-        "A4", 4, 3,
-        {{0, 1}, {0, 3}, {0, 3}, {2, 3}},
-        {false, false, true, true},
-    },
-};
-
-static_assert(sizeof(kSpecs) / sizeof(kSpecs[0]) ==
-              static_cast<std::size_t>(AutomatonKind::NumKinds));
-
-} // namespace
+// The spec table itself lives in the header (kAutomatonSpecs,
+// constexpr) so the fused simulation loop's template dispatch can
+// fold it at compile time; this file keeps the runtime lookups.
 
 const AutomatonSpec &
 automatonSpec(AutomatonKind kind)
@@ -57,7 +16,7 @@ automatonSpec(AutomatonKind kind)
     tlat_assert(index <
                     static_cast<std::size_t>(AutomatonKind::NumKinds),
                 "bad automaton kind ", index);
-    return kSpecs[index];
+    return kAutomatonSpecs[index];
 }
 
 std::optional<AutomatonKind>
@@ -65,7 +24,7 @@ automatonFromName(const std::string &name)
 {
     for (std::size_t i = 0;
          i < static_cast<std::size_t>(AutomatonKind::NumKinds); ++i) {
-        if (name == kSpecs[i].name)
+        if (name == kAutomatonSpecs[i].name)
             return static_cast<AutomatonKind>(i);
     }
     return std::nullopt;

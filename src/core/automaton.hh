@@ -60,8 +60,109 @@ struct AutomatonSpec
     bool predictTaken[4];
 };
 
+/**
+ * The automata definitions (paper Figure 2), constexpr so the fused
+ * simulation loop's compile-time dispatch (AutomatonOps) folds table
+ * lookups into immediate loads. Outcome index 0 = not taken,
+ * 1 = taken.
+ */
+inline constexpr AutomatonSpec kAutomatonSpecs[] = {
+    // Last-Time: state is simply the last outcome.
+    {
+        "LT", 2, 1,
+        {{0, 1}, {0, 1}, {0, 0}, {0, 0}},
+        {false, true, false, false},
+    },
+    // A1: 2-bit shift register of the last two outcomes; predict
+    // not-taken only when no taken outcome is recorded (state 0).
+    {
+        "A1", 4, 3,
+        {{0, 1}, {2, 3}, {0, 1}, {2, 3}},
+        {false, true, true, true},
+    },
+    // A2: saturating up/down counter; predict taken iff state >= 2.
+    {
+        "A2", 4, 3,
+        {{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+        {false, false, true, true},
+    },
+    // A3: A2 with fast recovery from strong-taken (3 --NT--> 1).
+    {
+        "A3", 4, 3,
+        {{0, 1}, {0, 2}, {1, 3}, {1, 3}},
+        {false, false, true, true},
+    },
+    // A4: big-jump hysteresis — a confirming outcome in a weak state
+    // jumps straight to the strong state of that side (1 --T--> 3,
+    // 2 --NT--> 0).
+    {
+        "A4", 4, 3,
+        {{0, 1}, {0, 3}, {0, 3}, {2, 3}},
+        {false, false, true, true},
+    },
+};
+
+static_assert(sizeof(kAutomatonSpecs) / sizeof(kAutomatonSpecs[0]) ==
+              static_cast<std::size_t>(AutomatonKind::NumKinds));
+
 /** Spec lookup; the returned reference has static storage duration. */
 const AutomatonSpec &automatonSpec(AutomatonKind kind);
+
+/**
+ * Compile-time automaton policy for the fused simulation loop: with
+ * the kind a template parameter, lambda and delta reduce to indexed
+ * loads from a constexpr table that the optimizer keeps in registers
+ * — no virtual call, no runtime kind dispatch per branch. Behaviour
+ * is defined to be identical to PatternTable::predict()/update() and
+ * Automaton::predict()/update() for the same kind.
+ */
+template <AutomatonKind K>
+struct AutomatonOps
+{
+    bool
+    predict(std::uint8_t state) const
+    {
+        return kAutomatonSpecs[static_cast<std::size_t>(K)]
+            .predictTaken[state];
+    }
+
+    std::uint8_t
+    next(std::uint8_t state, bool taken) const
+    {
+        return kAutomatonSpecs[static_cast<std::size_t>(K)]
+            .nextState[state][taken ? 1 : 0];
+    }
+};
+
+/**
+ * Runtime-width saturating-counter policy (the PatternTable
+ * counter-entry extension): predict taken in the upper half of the
+ * range. Width is a runtime value (1..8 bits), but the policy is
+ * still branch-free enough to inline into the fused loop.
+ */
+struct CounterOps
+{
+    explicit CounterOps(unsigned bits)
+        : max(static_cast<std::uint8_t>((1u << bits) - 1)),
+          threshold(static_cast<std::uint8_t>(1u << (bits - 1)))
+    {
+    }
+
+    bool predict(std::uint8_t state) const { return state >= threshold; }
+
+    std::uint8_t
+    next(std::uint8_t state, bool taken) const
+    {
+        if (taken && state < max)
+            return static_cast<std::uint8_t>(state + 1);
+        if (!taken && state > 0)
+            return static_cast<std::uint8_t>(state - 1);
+        return state;
+    }
+
+    std::uint8_t max;
+    std::uint8_t threshold;
+};
 
 /** Parses "LT", "A1".."A4" (as used in Table 2 scheme names). */
 std::optional<AutomatonKind> automatonFromName(const std::string &name);

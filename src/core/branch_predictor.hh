@@ -15,10 +15,12 @@
 #ifndef TLAT_CORE_BRANCH_PREDICTOR_HH
 #define TLAT_CORE_BRANCH_PREDICTOR_HH
 
+#include <span>
 #include <string>
 
 #include "run_metrics.hh"
 #include "trace/trace_buffer.hh"
+#include "util/stats.hh"
 
 namespace tlat::core
 {
@@ -37,6 +39,37 @@ class BranchPredictor
 
     /** Informs the predictor of the resolved outcome. */
     virtual void update(const trace::BranchRecord &record) = 0;
+
+    /**
+     * Batch simulation: measures the whole trace span in one virtual
+     * call, tallying into @p accuracy. Non-conditional records are
+     * skipped, exactly like the harness loop always did, but callers
+     * should pass a conditional-only span
+     * (trace::TraceBuffer::conditionalView()) so the hot loop never
+     * touches them.
+     *
+     * The contract is strict bit-equivalence: for any record
+     * sequence, simulateBatch must leave the predictor in exactly the
+     * state — accuracy counts, internal tables, statistics counters,
+     * checkpoint bytes, collectMetrics() output — that the reference
+     * predict()/record()/update() loop would. The default
+     * implementation *is* that reference loop; predictors with a
+     * fused fast path (TwoLevelPredictor, GeneralizedTwoLevel,
+     * LeeSmith) override it and are held to the contract by the
+     * randomized equivalence suite (tests/test_simulate_batch_fuzz).
+     */
+    virtual void
+    simulateBatch(std::span<const trace::BranchRecord> records,
+                  AccuracyCounter &accuracy)
+    {
+        for (const trace::BranchRecord &record : records) {
+            if (record.cls != trace::BranchClass::Conditional)
+                continue;
+            const bool predicted = predict(record);
+            accuracy.record(predicted == record.taken);
+            update(record);
+        }
+    }
 
     /** Restores the initial state (fresh tables). */
     virtual void reset() = 0;

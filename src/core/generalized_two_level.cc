@@ -136,6 +136,63 @@ GeneralizedTwoLevelPredictor::update(const trace::BranchRecord &record)
               history_mask_;
 }
 
+template <typename Ops>
+void
+GeneralizedTwoLevelPredictor::fusedBatch(
+    const Ops &ops, std::span<const trace::BranchRecord> records,
+    AccuracyCounter &accuracy)
+{
+    const std::uint32_t mask = history_mask_;
+    for (const trace::BranchRecord &record : records) {
+        if (record.cls != trace::BranchClass::Conditional)
+            continue;
+        // One scope resolution per branch: the reference pair re-runs
+        // historyFor()/tableFor() (hash lookups for the per-address
+        // scopes) in both predict() and update().
+        std::uint32_t &history = historyFor(record.pc);
+        PatternTable &table = tableFor(record.pc);
+        const std::uint32_t pattern = patternFor(history, record.pc);
+        std::uint8_t &state = table.stateAt(pattern);
+        const bool predicted = ops.predict(state);
+        accuracy.record(predicted == record.taken);
+        state = ops.next(state, record.taken);
+        history =
+            ((history << 1) | (record.taken ? 1u : 0u)) & mask;
+    }
+}
+
+void
+GeneralizedTwoLevelPredictor::simulateBatch(
+    std::span<const trace::BranchRecord> records,
+    AccuracyCounter &accuracy)
+{
+    switch (config_.automaton) {
+      case AutomatonKind::LastTime:
+        fusedBatch(AutomatonOps<AutomatonKind::LastTime>{}, records,
+                   accuracy);
+        break;
+      case AutomatonKind::A1:
+        fusedBatch(AutomatonOps<AutomatonKind::A1>{}, records,
+                   accuracy);
+        break;
+      case AutomatonKind::A2:
+        fusedBatch(AutomatonOps<AutomatonKind::A2>{}, records,
+                   accuracy);
+        break;
+      case AutomatonKind::A3:
+        fusedBatch(AutomatonOps<AutomatonKind::A3>{}, records,
+                   accuracy);
+        break;
+      case AutomatonKind::A4:
+        fusedBatch(AutomatonOps<AutomatonKind::A4>{}, records,
+                   accuracy);
+        break;
+      default:
+        BranchPredictor::simulateBatch(records, accuracy);
+        break;
+    }
+}
+
 void
 GeneralizedTwoLevelPredictor::reset()
 {

@@ -87,6 +87,15 @@ class GeneralizedTwoLevelPredictor : public BranchPredictor
     void update(const trace::BranchRecord &record) override;
     void reset() override;
 
+    /**
+     * Fused fast path: resolves the (history register, pattern
+     * table) pair once per branch instead of once in predict() and
+     * again in update(), with the automaton dispatched per batch so
+     * lambda/delta inline. Bit-identical to the reference loop.
+     */
+    void simulateBatch(std::span<const trace::BranchRecord> records,
+                       AccuracyCounter &accuracy) override;
+
     const GeneralizedConfig &config() const { return config_; }
 
     /** Number of distinct pattern tables instantiated so far. */
@@ -100,6 +109,12 @@ class GeneralizedTwoLevelPredictor : public BranchPredictor
     PatternTable &tableFor(std::uint64_t pc);
     std::uint32_t patternFor(std::uint32_t history,
                              std::uint64_t pc) const;
+
+    /** Fused loop body, monomorphized over the automaton policy. */
+    template <typename Ops>
+    void fusedBatch(const Ops &ops,
+                    std::span<const trace::BranchRecord> records,
+                    AccuracyCounter &accuracy);
 
     GeneralizedConfig config_;
     std::uint32_t history_mask_;

@@ -101,6 +101,12 @@ class HistoryTable
     /**
      * Finds or allocates the entry for @p pc and returns a reference
      * valid until the next lookup.
+     *
+     * Each concrete table also exposes the same operation as a
+     * non-virtual lookupDirect() with identical behaviour (including
+     * statistics); the fused batch simulation loop dispatches once on
+     * the table kind and then calls lookupDirect() so the per-branch
+     * probe inlines.
      */
     virtual Entry &lookup(std::uint64_t pc) = 0;
 
@@ -178,6 +184,13 @@ class IdealTable : public HistoryTable<Entry>
 
     Entry &
     lookup(std::uint64_t pc) override
+    {
+        return lookupDirect(pc);
+    }
+
+    /** Non-virtual lookup for the devirtualized batch loop. */
+    Entry &
+    lookupDirect(std::uint64_t pc)
     {
         auto [it, inserted] = entries_.try_emplace(pc, initial_);
         if (inserted)
@@ -272,6 +285,13 @@ class AssociativeTable : public HistoryTable<Entry>
 
     Entry &
     lookup(std::uint64_t pc) override
+    {
+        return lookupDirect(pc);
+    }
+
+    /** Non-virtual lookup for the devirtualized batch loop. */
+    Entry &
+    lookupDirect(std::uint64_t pc)
     {
         const std::uint64_t line = pc >> addr_shift_;
         const std::size_t set = line & (num_sets_ - 1);
@@ -397,6 +417,13 @@ class HashedTable : public HistoryTable<Entry>
 
     Entry &
     lookup(std::uint64_t pc) override
+    {
+        return lookupDirect(pc);
+    }
+
+    /** Non-virtual lookup for the devirtualized batch loop. */
+    Entry &
+    lookupDirect(std::uint64_t pc)
     {
         const std::uint64_t line = pc >> addr_shift_;
         const std::uint64_t index =

@@ -110,6 +110,41 @@ class PatternTable
         state = automatonSpec(kind_).nextState[state][taken ? 1 : 0];
     }
 
+    /**
+     * lambda through a compile-time policy (AutomatonOps<K> or
+     * CounterOps) — the fused simulation loop's devirtualized twin of
+     * predict(). The caller must pass the policy matching this
+     * table's entry kind; behaviour is then bit-identical to
+     * predict().
+     */
+    template <typename Ops>
+    bool
+    predictWith(const Ops &ops, std::uint32_t pattern) const
+    {
+        return ops.predict(states_[index(pattern)]);
+    }
+
+    /** delta through a compile-time policy; twin of update(). */
+    template <typename Ops>
+    void
+    updateWith(const Ops &ops, std::uint32_t pattern, bool taken)
+    {
+        std::uint8_t &state = states_[index(pattern)];
+        state = ops.next(state, taken);
+    }
+
+    /**
+     * Direct entry access for the fused loop: index once, then apply
+     * lambda and delta to the same reference — equivalent to
+     * predictWith() followed by updateWith() on the same pattern,
+     * minus the second index computation.
+     */
+    std::uint8_t &
+    stateAt(std::uint32_t pattern)
+    {
+        return states_[index(pattern)];
+    }
+
     /** Raw state of one entry (tests, inspection). */
     std::uint8_t
     state(std::uint32_t pattern) const

@@ -96,6 +96,20 @@ class TwoLevelPredictor : public BranchPredictor
     void reset() override;
     void collectMetrics(RunMetrics &metrics) const override;
 
+    /**
+     * Fused fast path: one HRT probe per branch (the Section 3.2
+     * stored next-prediction bit makes the second probe of the
+     * predict()/update() pair unnecessary), with the HRT flavour and
+     * the automaton dispatched once per batch so lambda/delta and the
+     * probe inline. Bit-identical to the predict()/update() loop —
+     * same tables, same statistics, same checkpoint bytes
+     * (tests/test_simulate_batch_fuzz holds it to that). Falls back
+     * to the reference loop when predict/update state is mid-pair
+     * (in-flight speculation or a live lookup memo).
+     */
+    void simulateBatch(std::span<const trace::BranchRecord> records,
+                       AccuracyCounter &accuracy) override;
+
     /** HRT access statistics (hit ratio drives Figure 6's ordering). */
     const TableStats &hrtStats() const { return hrt_->stats(); }
 
@@ -145,6 +159,19 @@ class TwoLevelPredictor : public BranchPredictor
     };
 
     HrtEntry &lookup(std::uint64_t pc);
+
+    /** Fused loop body, monomorphized over (HRT type, automaton). */
+    template <typename Table, typename Ops>
+    void fusedBatch(Table &table, const Ops &ops,
+                    std::span<const trace::BranchRecord> records,
+                    AccuracyCounter &accuracy);
+
+    /** Second dispatch level: automaton/counter policy selection. */
+    template <typename Table>
+    void dispatchAutomaton(Table &table,
+                           std::span<const trace::BranchRecord>
+                               records,
+                           AccuracyCounter &accuracy);
 
     TwoLevelConfig config_;
     std::uint32_t history_mask_;

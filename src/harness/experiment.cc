@@ -10,6 +10,15 @@ measure(core::BranchPredictor &predictor,
         const trace::TraceBuffer &test)
 {
     AccuracyCounter accuracy;
+    predictor.simulateBatch(test.conditionalView(), accuracy);
+    return accuracy;
+}
+
+AccuracyCounter
+measureReference(core::BranchPredictor &predictor,
+                 const trace::TraceBuffer &test)
+{
+    AccuracyCounter accuracy;
     for (const trace::BranchRecord &record : test.records()) {
         if (record.cls != trace::BranchClass::Conditional)
             continue;

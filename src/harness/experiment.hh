@@ -37,9 +37,23 @@ struct ExperimentResult
 /**
  * Measures @p predictor on the conditional branches of @p test.
  * The predictor is *not* reset first (callers may pre-train).
+ *
+ * Routed through BranchPredictor::simulateBatch() over the trace's
+ * prefiltered conditional view — predictors with a fused fast path
+ * run it here; the result is defined to be bit-identical to
+ * measureReference().
  */
 AccuracyCounter measure(core::BranchPredictor &predictor,
                         const trace::TraceBuffer &test);
+
+/**
+ * The reference measuring loop: per-record virtual
+ * predict()/update() over the full trace. Kept as the semantic
+ * ground truth that the fuzz tests and bench_throughput compare the
+ * fused path against; not used by the figure benches.
+ */
+AccuracyCounter measureReference(core::BranchPredictor &predictor,
+                                 const trace::TraceBuffer &test);
 
 /**
  * Full protocol: reset, train if the scheme requires it, measure.

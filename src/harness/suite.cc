@@ -1,14 +1,34 @@
 #include "suite.hh"
 
 #include <cstdlib>
+#include <filesystem>
+#include <optional>
+
+#include <unistd.h>
 
 #include "sim/simulator.hh"
+#include "trace/trace_io.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 #include "util/thread_pool.hh"
 
 namespace tlat::harness
 {
+
+namespace
+{
+
+/** Trace cache directory, or nullopt when caching is off. */
+std::optional<std::string>
+traceCacheDir()
+{
+    const char *dir = std::getenv("TLAT_TRACE_CACHE_DIR");
+    if (!dir || !*dir)
+        return std::nullopt;
+    return std::string(dir);
+}
+
+} // namespace
 
 std::uint64_t
 branchBudgetFromEnv()
@@ -33,6 +53,46 @@ BenchmarkSuite::benchmarks() const
     return workloads::workloadNames();
 }
 
+trace::TraceBuffer
+BenchmarkSuite::generateTrace(const std::string &benchmark,
+                              const std::string &dataSet) const
+{
+    const auto dir = traceCacheDir();
+    std::string path;
+    if (dir) {
+        path = *dir + "/" + benchmark + "-" + dataSet + "-" +
+               std::to_string(budget_) + ".tltr";
+        if (auto cached = trace::loadFromFile(path)) {
+            // The name check guards against a foreign file landing on
+            // the cache key; a stale or corrupt file just regenerates.
+            if (cached->name() == benchmark)
+                return std::move(*cached);
+        }
+    }
+
+    const auto workload = workloads::makeWorkload(benchmark);
+    trace::TraceBuffer buffer =
+        sim::collectTrace(workload->build(dataSet), budget_);
+    buffer.setName(benchmark);
+
+    if (dir) {
+        // Best-effort save; write-then-rename keeps a concurrent
+        // process from ever observing a half-written cache file.
+        std::error_code ec;
+        std::filesystem::create_directories(*dir, ec);
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid());
+        if (trace::saveToFile(buffer, tmp)) {
+            std::filesystem::rename(tmp, path, ec);
+            if (ec)
+                std::filesystem::remove(tmp, ec);
+        } else {
+            std::filesystem::remove(tmp, ec);
+        }
+    }
+    return buffer;
+}
+
 const trace::TraceBuffer &
 BenchmarkSuite::traceFor(const std::string &benchmark,
                          const std::string &dataSet)
@@ -42,12 +102,8 @@ BenchmarkSuite::traceFor(const std::string &benchmark,
     if (it != cache_.end())
         return it->second;
 
-    const auto workload = workloads::makeWorkload(benchmark);
-    const isa::Program program = workload->build(dataSet);
-    trace::TraceBuffer buffer =
-        sim::collectTrace(program, budget_);
-    buffer.setName(benchmark);
-    auto [inserted, ok] = cache_.emplace(key, std::move(buffer));
+    auto [inserted, ok] =
+        cache_.emplace(key, generateTrace(benchmark, dataSet));
     tlat_assert(ok, "duplicate trace cache entry");
     return inserted->second;
 }
@@ -86,10 +142,7 @@ BenchmarkSuite::preload(util::ThreadPool &pool, bool include_training)
 
     util::parallelFor(pool, pending.size(), [&](std::size_t i) {
         Pending &job = pending[i];
-        const auto workload = workloads::makeWorkload(job.benchmark);
-        job.buffer =
-            sim::collectTrace(workload->build(job.dataSet), budget_);
-        job.buffer.setName(job.benchmark);
+        job.buffer = generateTrace(job.benchmark, job.dataSet);
     });
 
     for (Pending &job : pending)

@@ -9,6 +9,15 @@
  * the whole figure set regenerates in seconds — override with the
  * TLAT_BRANCH_BUDGET environment variable, accuracy converges long
  * before the paper's budget on these workloads).
+ *
+ * When TLAT_TRACE_CACHE_DIR names a directory, generated traces are
+ * persisted there in the TLTR binary format, keyed
+ * "<benchmark>-<dataset>-<budget>.tltr", and loaded back on the next
+ * run instead of re-simulating — this removes the per-run preload
+ * cost of every sweep/figure invocation. Cache files are validated on
+ * load (format version, trace name) and silently regenerated when
+ * stale; saves go through write-then-rename so concurrent runs never
+ * observe partial files.
  */
 
 #ifndef TLAT_HARNESS_SUITE_HH
@@ -79,6 +88,15 @@ class BenchmarkSuite
     const trace::TraceBuffer &
     traceFor(const std::string &benchmark,
              const std::string &dataSet);
+
+    /**
+     * Loads the trace from the TLAT_TRACE_CACHE_DIR binary cache or
+     * generates (and caches) it. Pure function of
+     * (benchmark, dataSet, budget) — safe to call from preload()
+     * workers concurrently.
+     */
+    trace::TraceBuffer generateTrace(const std::string &benchmark,
+                                     const std::string &dataSet) const;
 
     std::uint64_t budget_;
     std::map<std::string, trace::TraceBuffer> cache_;

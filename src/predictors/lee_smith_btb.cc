@@ -65,6 +65,90 @@ LeeSmithPredictor::update(const trace::BranchRecord &record)
     last_entry_ = nullptr;
 }
 
+template <typename Table, typename Ops>
+void
+LeeSmithPredictor::fusedBatch(
+    Table &table, const Ops &ops,
+    std::span<const trace::BranchRecord> records,
+    AccuracyCounter &accuracy)
+{
+    for (const trace::BranchRecord &record : records) {
+        if (record.cls != trace::BranchClass::Conditional)
+            continue;
+        // One probe per branch; the reference pair does the same via
+        // the predict()/update() memo, so the table statistics match.
+        Automaton &automaton = table.lookupDirect(record.pc);
+        const bool predicted = ops.predict(automaton.state());
+        accuracy.record(predicted == record.taken);
+        automaton.setState(ops.next(automaton.state(), record.taken));
+    }
+}
+
+template <typename Table>
+void
+LeeSmithPredictor::dispatchAutomaton(
+    Table &table, std::span<const trace::BranchRecord> records,
+    AccuracyCounter &accuracy)
+{
+    using core::AutomatonKind;
+    using core::AutomatonOps;
+    switch (config_.automaton) {
+      case AutomatonKind::LastTime:
+        fusedBatch(table, AutomatonOps<AutomatonKind::LastTime>{},
+                   records, accuracy);
+        break;
+      case AutomatonKind::A1:
+        fusedBatch(table, AutomatonOps<AutomatonKind::A1>{}, records,
+                   accuracy);
+        break;
+      case AutomatonKind::A2:
+        fusedBatch(table, AutomatonOps<AutomatonKind::A2>{}, records,
+                   accuracy);
+        break;
+      case AutomatonKind::A3:
+        fusedBatch(table, AutomatonOps<AutomatonKind::A3>{}, records,
+                   accuracy);
+        break;
+      case AutomatonKind::A4:
+        fusedBatch(table, AutomatonOps<AutomatonKind::A4>{}, records,
+                   accuracy);
+        break;
+      default:
+        BranchPredictor::simulateBatch(records, accuracy);
+        break;
+    }
+}
+
+void
+LeeSmithPredictor::simulateBatch(
+    std::span<const trace::BranchRecord> records,
+    AccuracyCounter &accuracy)
+{
+    if (last_entry_ != nullptr) {
+        // Mid predict/update pair: the memo models a shared physical
+        // access, so hand off to the reference loop which honours it.
+        BranchPredictor::simulateBatch(records, accuracy);
+        return;
+    }
+    switch (config_.tableKind) {
+      case TableKind::Ideal:
+        dispatchAutomaton(
+            static_cast<core::IdealTable<Automaton> &>(*table_),
+            records, accuracy);
+        break;
+      case TableKind::Associative:
+        dispatchAutomaton(
+            static_cast<core::AssociativeTable<Automaton> &>(*table_),
+            records, accuracy);
+        break;
+      case TableKind::Hashed:
+        dispatchAutomaton(
+            static_cast<core::HashedTable<Automaton> &>(*table_),
+            records, accuracy);
+        break;
+    }
+}
+
 void
 LeeSmithPredictor::reset()
 {

@@ -44,6 +44,14 @@ class LeeSmithPredictor : public core::BranchPredictor
     void update(const trace::BranchRecord &record) override;
     void reset() override;
 
+    /**
+     * Fused fast path: one table probe per branch, automaton
+     * dispatched per batch so lambda/delta inline. Bit-identical to
+     * the predict()/update() loop.
+     */
+    void simulateBatch(std::span<const trace::BranchRecord> records,
+                       AccuracyCounter &accuracy) override;
+
     /** The BTB table counters map onto the level-1 metric fields. */
     void
     collectMetrics(core::RunMetrics &metrics) const override
@@ -64,6 +72,19 @@ class LeeSmithPredictor : public core::BranchPredictor
 
   private:
     core::Automaton &lookup(std::uint64_t pc);
+
+    /** Fused loop body, monomorphized over (table type, automaton). */
+    template <typename Table, typename Ops>
+    void fusedBatch(Table &table, const Ops &ops,
+                    std::span<const trace::BranchRecord> records,
+                    AccuracyCounter &accuracy);
+
+    /** Second dispatch level: automaton policy selection. */
+    template <typename Table>
+    void dispatchAutomaton(Table &table,
+                           std::span<const trace::BranchRecord>
+                               records,
+                           AccuracyCounter &accuracy);
 
     LeeSmithConfig config_;
     std::unique_ptr<core::HistoryTable<core::Automaton>> table_;

@@ -32,7 +32,17 @@ enum class BranchClass : std::uint8_t
 /** Human-readable class name. */
 const char *branchClassName(BranchClass cls);
 
-/** One executed branch instruction. */
+/**
+ * One executed branch instruction.
+ *
+ * Layout note: the simulation hot path streams millions of these, so
+ * the size is pinned. The two 8-byte addresses come first, then the
+ * three 1-byte fields share one tail word: 16 + 3 = 19 bytes, padded
+ * to 24 by the 8-byte alignment of `pc`. Any field addition that
+ * spills past the 5 free tail bytes doubles the stride of every trace
+ * scan — the static_assert below makes that growth a compile error
+ * instead of a silent throughput regression.
+ */
 struct BranchRecord
 {
     /** Byte address of the branch instruction. */
@@ -57,6 +67,12 @@ struct BranchRecord
                isCall == other.isCall;
     }
 };
+
+static_assert(sizeof(BranchRecord) == 24 &&
+                  alignof(BranchRecord) == 8,
+              "BranchRecord grew past 24 bytes — the trace hot path "
+              "streams these; keep new fields in the tail padding or "
+              "justify the stride increase here");
 
 /**
  * Dynamic instruction counts by semantic group, kept as summary

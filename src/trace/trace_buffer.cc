@@ -6,12 +6,7 @@ namespace tlat::trace
 std::uint64_t
 TraceBuffer::conditionalCount() const
 {
-    std::uint64_t count = 0;
-    for (const BranchRecord &record : records_) {
-        if (record.cls == BranchClass::Conditional)
-            ++count;
-    }
-    return count;
+    return conditional_.size();
 }
 
 } // namespace tlat::trace

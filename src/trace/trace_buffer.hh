@@ -7,6 +7,7 @@
 #ifndef TLAT_TRACE_TRACE_BUFFER_HH
 #define TLAT_TRACE_TRACE_BUFFER_HH
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,7 +26,12 @@ class TraceBuffer
     void append(const BranchRecord &record)
     {
         records_.push_back(record);
+        if (record.cls == BranchClass::Conditional)
+            conditional_.push_back(record);
     }
+
+    /** Pre-sizes the record storage (bulk loaders). */
+    void reserve(std::size_t count) { records_.reserve(count); }
 
     const std::string &name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
@@ -49,16 +55,37 @@ class TraceBuffer
     /** Number of conditional-branch records. */
     std::uint64_t conditionalCount() const;
 
+    /**
+     * Dense conditional-only view of the trace, in trace order.
+     *
+     * The view is maintained incrementally by append() — it costs one
+     * record copy at trace-construction (preload) time and nothing
+     * afterwards — so the batch simulation hot path
+     * (BranchPredictor::simulateBatch) streams a contiguous array of
+     * conditional records instead of re-filtering the full class mix
+     * on every measurement. Because it is built with the buffer and
+     * only ever read afterwards, sharing a preloaded TraceBuffer
+     * read-only across sweep workers stays race-free.
+     */
+    std::span<const BranchRecord>
+    conditionalView() const
+    {
+        return conditional_;
+    }
+
     void
     clear()
     {
         records_.clear();
+        conditional_.clear();
         mix_ = InstructionMix{};
     }
 
   private:
     std::string name_;
     std::vector<BranchRecord> records_;
+    /** Conditional records only, contiguous (conditionalView()). */
+    std::vector<BranchRecord> conditional_;
     InstructionMix mix_;
 };
 

@@ -1,11 +1,13 @@
 #include "trace_io.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "util/string_utils.hh"
 
@@ -77,6 +79,40 @@ setError(TextReadError *error, std::size_t line,
     error->message = std::move(message);
 }
 
+/** On-wire record stride: pc u64 + target u64 + cls u8 + flags u8. */
+constexpr std::size_t kWireRecordSize = 18;
+
+/** Records staged per bulk read/write (bounds buffer memory and keeps
+ *  a corrupt count field from triggering a giant allocation). */
+constexpr std::size_t kRecordChunk = 1u << 16;
+
+void
+packRecord(const BranchRecord &record, char *out)
+{
+    std::memcpy(out, &record.pc, sizeof(record.pc));
+    std::memcpy(out + 8, &record.target, sizeof(record.target));
+    out[16] = static_cast<char>(record.cls);
+    out[17] = static_cast<char>(
+        static_cast<std::uint8_t>(record.taken ? 1 : 0) |
+        static_cast<std::uint8_t>(record.isCall ? 2 : 0));
+}
+
+bool
+unpackRecord(const char *in, BranchRecord &record)
+{
+    std::memcpy(&record.pc, in, sizeof(record.pc));
+    std::memcpy(&record.target, in + 8, sizeof(record.target));
+    const auto cls = static_cast<std::uint8_t>(in[16]);
+    const auto flags = static_cast<std::uint8_t>(in[17]);
+    if (cls >= static_cast<std::uint8_t>(BranchClass::NumClasses) ||
+        flags > 3)
+        return false;
+    record.cls = static_cast<BranchClass>(cls);
+    record.taken = (flags & 1) != 0;
+    record.isCall = (flags & 2) != 0;
+    return true;
+}
+
 } // namespace
 
 bool
@@ -98,14 +134,18 @@ writeBinary(const TraceBuffer &trace, std::ostream &os)
     writeScalar(os, mix.other);
 
     writeScalar(os, static_cast<std::uint64_t>(trace.size()));
-    for (const BranchRecord &record : trace.records()) {
-        writeScalar(os, record.pc);
-        writeScalar(os, record.target);
-        writeScalar(os, static_cast<std::uint8_t>(record.cls));
-        const std::uint8_t flags =
-            static_cast<std::uint8_t>(record.taken ? 1 : 0) |
-            static_cast<std::uint8_t>(record.isCall ? 2 : 0);
-        writeScalar(os, flags);
+    std::vector<char> buffer;
+    const auto &records = trace.records();
+    for (std::size_t base = 0; base < records.size();
+         base += kRecordChunk) {
+        const std::size_t n =
+            std::min(kRecordChunk, records.size() - base);
+        buffer.resize(n * kWireRecordSize);
+        for (std::size_t i = 0; i < n; ++i)
+            packRecord(records[base + i],
+                       buffer.data() + i * kWireRecordSize);
+        os.write(buffer.data(),
+                 static_cast<std::streamsize>(buffer.size()));
     }
     return static_cast<bool>(os);
 }
@@ -140,21 +180,23 @@ readBinary(std::istream &is)
     std::uint64_t count;
     if (!readScalar(is, count))
         return std::nullopt;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        BranchRecord record;
-        std::uint8_t cls;
-        std::uint8_t flags;
-        if (!readScalar(is, record.pc) ||
-            !readScalar(is, record.target) || !readScalar(is, cls) ||
-            !readScalar(is, flags))
+    trace.reserve(count);
+    std::vector<char> buffer;
+    for (std::uint64_t base = 0; base < count; base += kRecordChunk) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kRecordChunk, count - base));
+        buffer.resize(n * kWireRecordSize);
+        is.read(buffer.data(),
+                static_cast<std::streamsize>(buffer.size()));
+        if (!is)
             return std::nullopt;
-        if (cls >= static_cast<std::uint8_t>(BranchClass::NumClasses) ||
-            flags > 3)
-            return std::nullopt;
-        record.cls = static_cast<BranchClass>(cls);
-        record.taken = (flags & 1) != 0;
-        record.isCall = (flags & 2) != 0;
-        trace.append(record);
+        for (std::size_t i = 0; i < n; ++i) {
+            BranchRecord record;
+            if (!unpackRecord(buffer.data() + i * kWireRecordSize,
+                              record))
+                return std::nullopt;
+            trace.append(record);
+        }
     }
     return trace;
 }

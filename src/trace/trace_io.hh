@@ -10,12 +10,17 @@
  *
  * Binary layout (all integers little-endian):
  *   magic            4 bytes  "TLTR"
- *   version          u32      currently 1
+ *   version          u32      currently 2
  *   name length      u32
  *   name bytes       ...
  *   instruction mix  5 x u64  (intAlu, fpAlu, memory, controlFlow, other)
  *   record count     u64
- *   records          count x { pc u64, target u64, cls u8, taken u8 }
+ *   records          count x { pc u64, target u64, cls u8, flags u8 }
+ * where flags bit 0 is the taken outcome and bit 1 the call bit.
+ * Records are staged through a flat buffer and hit the stream as a
+ * few large read()/write() calls, not one per field — this is the
+ * fast preload path for every sweep run (see TLAT_TRACE_CACHE_DIR in
+ * harness::Suite).
  *
  * Text format, after an optional "# name: ..." header line:
  *   <pc-hex> <target-hex> <class-letter> <T|N>

@@ -4,6 +4,7 @@
  * suite, the scheme factory and the paper-style accuracy report.
  */
 
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -130,6 +131,43 @@ TEST(Suite, CachesTraces)
     const trace::TraceBuffer &second = suite.testTrace("matrix300");
     EXPECT_EQ(&first, &second); // same object: cached
     EXPECT_EQ(first.conditionalCount(), 500u);
+}
+
+TEST(Suite, BinaryTraceCacheRoundTrips)
+{
+    // With TLAT_TRACE_CACHE_DIR set, a second suite must load the
+    // persisted binary trace instead of re-simulating, and the loaded
+    // trace must be bit-identical to the generated one.
+    const std::string dir = ::testing::TempDir() + "tlat_trace_cache";
+    ::setenv("TLAT_TRACE_CACHE_DIR", dir.c_str(), 1);
+
+    BenchmarkSuite generator(400);
+    const trace::TraceBuffer &generated =
+        generator.testTrace("eqntott");
+    const std::string cache_file =
+        dir + "/eqntott-" +
+        workloads::makeWorkload("eqntott")->testSet() + "-400.tltr";
+    EXPECT_TRUE(std::ifstream(cache_file).good())
+        << "expected cache file " << cache_file;
+
+    BenchmarkSuite loader(400);
+    const trace::TraceBuffer &loaded = loader.testTrace("eqntott");
+    ::unsetenv("TLAT_TRACE_CACHE_DIR");
+
+    ASSERT_EQ(loaded.size(), generated.size());
+    ASSERT_EQ(loaded.conditionalCount(),
+              generated.conditionalCount());
+    EXPECT_EQ(loaded.name(), generated.name());
+    EXPECT_EQ(loaded.mix().total(), generated.mix().total());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].pc, generated[i].pc) << i;
+        EXPECT_EQ(loaded[i].target, generated[i].target) << i;
+        EXPECT_EQ(loaded[i].cls, generated[i].cls) << i;
+        EXPECT_EQ(loaded[i].taken, generated[i].taken) << i;
+        EXPECT_EQ(loaded[i].isCall, generated[i].isCall) << i;
+        if (::testing::Test::HasFailure())
+            break;
+    }
 }
 
 TEST(Suite, TrainTraceOnlyWhereTable3HasOne)

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Randomized equivalence suite for the batched simulation fast path.
+ *
+ * BranchPredictor::simulateBatch() carries a strict bit-equivalence
+ * contract: the fused overrides must leave the predictor in exactly
+ * the state the reference predict()/record()/update() loop would —
+ * same accuracy counts, same internal tables and statistics, same
+ * collectMetrics() JSON, same checkpoint bytes. This suite holds
+ * every scheme the factory can build (and the direct-construction
+ * configurations the factory never emits: cached prediction bit,
+ * speculative history update, counter-width pattern entries, the
+ * generalized scope matrix, delayed updates) to that contract on
+ * randomized traces across multiple seeds.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/delayed_update.hh"
+#include "core/generalized_two_level.hh"
+#include "core/scheme_config.hh"
+#include "core/two_level_predictor.hh"
+#include "harness/experiment.hh"
+#include "harness/metrics_json.hh"
+#include "predictors/scheme_factory.hh"
+#include "trace/trace_buffer.hh"
+#include "util/random.hh"
+
+namespace tlat
+{
+namespace
+{
+
+using core::TwoLevelConfig;
+using core::TwoLevelPredictor;
+using harness::measure;
+using harness::measureReference;
+using trace::BranchClass;
+using trace::BranchRecord;
+using trace::TraceBuffer;
+
+/**
+ * A randomized trace mixing biased conditional branches (a small pc
+ * pool so histories and tables actually warm up), loop-like
+ * alternating branches, and the non-conditional classes the batch
+ * loop must skip. Forward and backward targets both occur so BTFN is
+ * exercised in both directions.
+ */
+TraceBuffer
+makeRandomTrace(std::uint64_t seed, std::size_t records = 4000)
+{
+    Rng rng(seed);
+    TraceBuffer trace("fuzz-" + std::to_string(seed));
+
+    constexpr std::size_t kSites = 48;
+    struct Site
+    {
+        std::uint64_t pc;
+        std::uint64_t target;
+        std::uint32_t takenPermille;
+        bool alternating;
+        bool lastTaken;
+    };
+    std::vector<Site> sites;
+    for (std::size_t i = 0; i < kSites; ++i) {
+        Site site;
+        site.pc = 0x1000 + 4 * rng.nextBelow(1 << 14);
+        // Half backward targets, half forward, so BTFN sees both.
+        site.target = (i % 2 == 0) ? site.pc - 4 * rng.nextBelow(64)
+                                   : site.pc + 4 * rng.nextBelow(64);
+        site.takenPermille =
+            static_cast<std::uint32_t>(rng.nextBelow(1001));
+        site.alternating = rng.nextBelow(8) == 0;
+        site.lastTaken = false;
+        sites.push_back(site);
+    }
+
+    for (std::size_t i = 0; i < records; ++i) {
+        // ~1 in 8 records is non-conditional noise the loop skips.
+        if (rng.nextBelow(8) == 0) {
+            BranchRecord record;
+            record.pc = 0x9000 + 4 * rng.nextBelow(1 << 10);
+            record.target = 0x9000 + 4 * rng.nextBelow(1 << 10);
+            const std::uint64_t pick = rng.nextBelow(3);
+            record.cls = pick == 0
+                ? BranchClass::Return
+                : pick == 1 ? BranchClass::ImmediateUnconditional
+                            : BranchClass::RegisterUnconditional;
+            record.taken = true;
+            record.isCall = rng.nextBelow(2) == 0;
+            trace.append(record);
+            continue;
+        }
+        Site &site = sites[rng.nextBelow(kSites)];
+        BranchRecord record;
+        record.pc = site.pc;
+        record.target = site.target;
+        record.cls = BranchClass::Conditional;
+        if (site.alternating) {
+            site.lastTaken = !site.lastTaken;
+            record.taken = site.lastTaken;
+        } else {
+            record.taken = rng.nextBelow(1000) < site.takenPermille;
+        }
+        trace.append(record);
+    }
+    return trace;
+}
+
+/** collectMetrics() rendered through the stable JSON serializer. */
+std::string
+metricsJson(const core::BranchPredictor &predictor,
+            const AccuracyCounter &accuracy,
+            const TraceBuffer &trace)
+{
+    harness::RunMetricsReport report;
+    report.scheme = predictor.name();
+    report.benchmark = trace.name();
+    report.accuracy = accuracy;
+    predictor.collectMetrics(report.predictor);
+    return harness::runMetricsJsonString(report);
+}
+
+/**
+ * Runs the measured protocol on two freshly built predictors — one
+ * through measure() (the batch API, fused where overridden), one
+ * through measureReference() (the per-record virtual loop) — and
+ * asserts identical accuracy and identical metrics JSON.
+ */
+void
+expectBatchEqualsReference(core::BranchPredictor &fast,
+                           core::BranchPredictor &reference,
+                           const TraceBuffer &trace)
+{
+    fast.reset();
+    reference.reset();
+    if (fast.needsTraining())
+        fast.train(trace);
+    if (reference.needsTraining())
+        reference.train(trace);
+
+    const AccuracyCounter fast_acc = measure(fast, trace);
+    const AccuracyCounter ref_acc = measureReference(reference, trace);
+
+    EXPECT_EQ(fast_acc.total(), ref_acc.total())
+        << fast.name() << " on " << trace.name();
+    EXPECT_EQ(fast_acc.hits(), ref_acc.hits())
+        << fast.name() << " on " << trace.name();
+    EXPECT_EQ(metricsJson(fast, fast_acc, trace),
+              metricsJson(reference, ref_acc, trace))
+        << fast.name() << " on " << trace.name();
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+
+TEST(SimulateBatchFuzz, EveryFactoryScheme)
+{
+    std::vector<std::string> schemes;
+    for (const char *hrt :
+         {"IHRT(,", "AHRT(64,", "HHRT(64,"}) {
+        for (const char *atm : {"LT", "A1", "A2", "A3", "A4"}) {
+            schemes.push_back(std::string("AT(") + hrt + "6SR),PT(2^6," +
+                              atm + "),)");
+        }
+        schemes.push_back(std::string("ST(") + hrt +
+                          "6SR),PT(2^6,PB),Same)");
+    }
+    for (const char *hrt : {"IHRT(,", "AHRT(64,", "HHRT(64,"}) {
+        schemes.push_back(std::string("LS(") + hrt + "A2),,)");
+        schemes.push_back(std::string("LS(") + hrt + "LT),,)");
+    }
+    schemes.insert(schemes.end(),
+                   {"AlwaysTaken", "AlwaysNotTaken", "BTFN",
+                    "Profile"});
+
+    for (const std::string &scheme : schemes) {
+        const auto config = core::SchemeConfig::parse(scheme);
+        ASSERT_TRUE(config.has_value()) << scheme;
+        for (const std::uint64_t seed : kSeeds) {
+            const TraceBuffer trace = makeRandomTrace(seed);
+            const auto fast = predictors::makePredictor(*config);
+            const auto reference = predictors::makePredictor(*config);
+            expectBatchEqualsReference(*fast, *reference, trace);
+        }
+    }
+}
+
+TEST(SimulateBatchFuzz, TwoLevelCachedSpeculativeAndCounterModes)
+{
+    // The factory never sets these knobs; construct directly. Every
+    // (HRT flavour x cached bit x speculative update) combination
+    // plus the counter-width extension must stay bit-identical —
+    // including checkpoint bytes, compared below.
+    for (const core::TableKind kind :
+         {core::TableKind::Ideal, core::TableKind::Associative,
+          core::TableKind::Hashed}) {
+        for (const bool cached : {false, true}) {
+            for (const bool speculative : {false, true}) {
+                for (const unsigned counter_bits : {0u, 3u}) {
+                    TwoLevelConfig config;
+                    config.hrtKind = kind;
+                    config.hrtEntries = 64;
+                    config.historyBits = 6;
+                    config.cachedPredictionBit = cached;
+                    config.speculativeHistoryUpdate = speculative;
+                    config.counterBits = counter_bits;
+                    for (const std::uint64_t seed : kSeeds) {
+                        const TraceBuffer trace = makeRandomTrace(seed);
+                        TwoLevelPredictor fast(config);
+                        TwoLevelPredictor reference(config);
+                        expectBatchEqualsReference(fast, reference,
+                                                   trace);
+                        EXPECT_EQ(fast.inFlightBranches(), 0u);
+                        EXPECT_EQ(fast.squashEvents(),
+                                  reference.squashEvents());
+
+                        std::ostringstream fast_ckpt;
+                        std::ostringstream ref_ckpt;
+                        ASSERT_TRUE(fast.saveCheckpoint(fast_ckpt));
+                        ASSERT_TRUE(
+                            reference.saveCheckpoint(ref_ckpt));
+                        EXPECT_EQ(fast_ckpt.str(), ref_ckpt.str())
+                            << fast.name() << " cached=" << cached
+                            << " spec=" << speculative
+                            << " counterBits=" << counter_bits;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimulateBatchFuzz, GeneralizedScopeMatrix)
+{
+    using core::GeneralizedConfig;
+    using core::GeneralizedTwoLevelPredictor;
+    using core::HistoryScope;
+    using core::PatternScope;
+    for (const HistoryScope history :
+         {HistoryScope::Global, HistoryScope::PerAddress,
+          HistoryScope::PerSet}) {
+        for (const PatternScope pattern :
+             {PatternScope::Global, PatternScope::PerSet,
+              PatternScope::PerAddress}) {
+            GeneralizedConfig config;
+            config.historyScope = history;
+            config.patternScope = pattern;
+            config.historyBits = 6;
+            config.xorAddress = history == HistoryScope::Global;
+            for (const std::uint64_t seed : kSeeds) {
+                const TraceBuffer trace = makeRandomTrace(seed);
+                GeneralizedTwoLevelPredictor fast(config);
+                GeneralizedTwoLevelPredictor reference(config);
+                expectBatchEqualsReference(fast, reference, trace);
+            }
+        }
+    }
+}
+
+TEST(SimulateBatchFuzz, DelayedUpdateWrapperUsesReferenceSemantics)
+{
+    // The delayed-update wrapper does not override simulateBatch; the
+    // default implementation must reproduce the reference loop's
+    // delayed pipeline exactly, including the tight-loop
+    // predict-taken-when-unresolved policy.
+    for (const unsigned delay : {0u, 3u, 7u}) {
+        for (const std::uint64_t seed : kSeeds) {
+            const TraceBuffer trace = makeRandomTrace(seed);
+            TwoLevelConfig config;
+            config.hrtKind = core::TableKind::Associative;
+            config.hrtEntries = 64;
+            config.historyBits = 6;
+            core::DelayedUpdatePredictor fast(
+                std::make_unique<TwoLevelPredictor>(config), delay);
+            core::DelayedUpdatePredictor reference(
+                std::make_unique<TwoLevelPredictor>(config), delay);
+            expectBatchEqualsReference(fast, reference, trace);
+        }
+    }
+}
+
+TEST(SimulateBatchFuzz, MidPairStateFallsBackToReference)
+{
+    // A predict() without its paired update() leaves the lookup memo
+    // live; a batch issued in that state must still match the
+    // reference loop run from the same mid-pair state.
+    const TraceBuffer trace = makeRandomTrace(11);
+    ASSERT_FALSE(trace.conditionalView().empty());
+    const BranchRecord &first = trace.conditionalView().front();
+
+    TwoLevelConfig config;
+    config.hrtKind = core::TableKind::Associative;
+    config.hrtEntries = 64;
+    config.historyBits = 6;
+    TwoLevelPredictor fast(config);
+    TwoLevelPredictor reference(config);
+
+    (void)fast.predict(first);
+    (void)reference.predict(first);
+    fast.update(first);
+    reference.update(first);
+
+    // Leave a dangling predict() and then batch.
+    (void)fast.predict(first);
+    (void)reference.predict(first);
+    AccuracyCounter fast_acc;
+    fast.simulateBatch(trace.conditionalView(), fast_acc);
+    AccuracyCounter ref_acc;
+    for (const BranchRecord &record : trace.records()) {
+        if (record.cls != BranchClass::Conditional)
+            continue;
+        const bool predicted = reference.predict(record);
+        ref_acc.record(predicted == record.taken);
+        reference.update(record);
+    }
+    EXPECT_EQ(fast_acc.hits(), ref_acc.hits());
+    EXPECT_EQ(fast_acc.total(), ref_acc.total());
+    EXPECT_EQ(metricsJson(fast, fast_acc, trace),
+              metricsJson(reference, ref_acc, trace));
+}
+
+TEST(SimulateBatchFuzz, EmptyTraceYieldsZeroAccuracyNotNaN)
+{
+    // End-to-end face of the AccuracyCounter divide-by-zero guard: a
+    // trace with no conditional branches measures as 0.0 everywhere.
+    TraceBuffer empty("empty");
+    TwoLevelConfig config;
+    TwoLevelPredictor predictor(config);
+    const AccuracyCounter accuracy = measure(predictor, empty);
+    EXPECT_EQ(accuracy.total(), 0u);
+    EXPECT_EQ(accuracy.accuracy(), 0.0);
+    EXPECT_EQ(accuracy.accuracyPercent(), 0.0);
+    EXPECT_EQ(accuracy.missPercent(), 0.0);
+}
+
+} // namespace
+} // namespace tlat

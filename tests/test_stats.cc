@@ -23,6 +23,24 @@ TEST(AccuracyCounter, Empty)
     EXPECT_EQ(counter.missPercent(), 0.0);
 }
 
+// Regression: a trace with no conditional branches must report 0.0
+// accuracy everywhere, never NaN — every ratio accessor divides by
+// total() and must carry its own zero guard.
+TEST(AccuracyCounter, EmptyIsZeroNotNaN)
+{
+    const AccuracyCounter counter;
+    EXPECT_FALSE(std::isnan(counter.accuracy()));
+    EXPECT_FALSE(std::isnan(counter.accuracyPercent()));
+    EXPECT_FALSE(std::isnan(counter.missPercent()));
+    EXPECT_EQ(counter.accuracyPercent(), 0.0);
+
+    // merge() of two empties stays empty and guarded.
+    AccuracyCounter merged;
+    merged.merge(counter);
+    EXPECT_EQ(merged.total(), 0u);
+    EXPECT_FALSE(std::isnan(merged.accuracy()));
+}
+
 TEST(AccuracyCounter, CountsHitsAndMisses)
 {
     AccuracyCounter counter;

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for the fused simulation fast path.
+
+Compares the headline scalars bench_throughput records in
+BENCH_throughput.json against the committed baseline
+(bench/baselines/throughput_baseline.json) and fails on a >15%
+regression.
+
+The gated number is ``fused_speedup`` — the ratio of fused
+records/sec to reference records/sec on the same host in the same
+run. Absolute records/sec vary wildly across CI hosts, but the ratio
+is self-normalizing: it only drops when the fused path itself gets
+slower relative to the reference loop, which is exactly the
+regression this gate exists to catch. Absolute numbers are printed
+for the log but never gated.
+
+Usage:
+    check_throughput.py BENCH_throughput.json [baseline.json]
+
+Exit codes: 0 ok, 1 regression or malformed input, 2 usage.
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE = 0.15
+
+
+def load_scalars(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    scalars = document.get("scalars")
+    if not isinstance(scalars, dict):
+        raise ValueError(f"{path}: no 'scalars' object")
+    return scalars
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    measured_path = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "bench",
+            "baselines",
+            "throughput_baseline.json",
+        )
+    )
+
+    try:
+        measured = load_scalars(measured_path)
+        baseline = load_scalars(baseline_path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    for name in (
+        "reference_records_per_sec",
+        "fused_records_per_sec",
+        "fused_speedup",
+    ):
+        if name not in measured:
+            print(f"error: {measured_path} lacks scalar '{name}'",
+                  file=sys.stderr)
+            return 1
+        print(f"{name}: measured {measured[name]:.4g}"
+              + (f", baseline {baseline[name]:.4g}"
+                 if name in baseline else ""))
+
+    tolerance = float(
+        os.environ.get("TLAT_THROUGHPUT_TOLERANCE", DEFAULT_TOLERANCE))
+    want = float(baseline["fused_speedup"])
+    got = float(measured["fused_speedup"])
+    floor = want * (1.0 - tolerance)
+    if got < floor:
+        print(
+            f"REGRESSION: fused_speedup {got:.3f} is below "
+            f"{floor:.3f} (baseline {want:.3f} - {tolerance:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: fused_speedup {got:.3f} >= floor {floor:.3f} "
+          f"(baseline {want:.3f}, tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

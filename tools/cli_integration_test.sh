@@ -57,6 +57,31 @@ else
 fi
 rm -f "$badtrace" "$badtrace.err"
 
+# trace convert: text -> binary -> text must round-trip, with the
+# documented exit codes on misuse.
+expect 2 "convert without --out" trace convert some.txt
+expect 2 "convert with both format flags" trace convert a.txt --out b.txt --to-binary --to-text
+expect 1 "convert nonexistent input" trace convert /nonexistent/t.txt --out "$tmpdir/tlat_cli_out_$$.tltr"
+
+conv_txt="$tmpdir/tlat_cli_conv_$$.txt"
+conv_bin="$tmpdir/tlat_cli_conv_$$.tltr"
+conv_back="$tmpdir/tlat_cli_conv_back_$$.txt"
+# Headers written exactly as writeText renders them, so the text ->
+# binary -> text round-trip compares byte-for-byte.
+printf '# name: convtest\n# mix: 10 0 5 3 0\n1000 100 C T\n1004 2000 U N\n1008 100 c T\n' >"$conv_txt"
+expect 0 "convert text to binary" trace convert "$conv_txt" --out "$conv_bin" --to-binary
+expect 0 "convert binary back to text" trace convert "$conv_bin" --out "$conv_back" --to-text
+if cmp -s "$conv_txt" "$conv_back"; then
+    echo "ok: trace convert round-trips text <-> binary"
+else
+    echo "FAIL: trace convert round-trip differs:"
+    diff "$conv_txt" "$conv_back"
+    failures=$((failures + 1))
+fi
+# The binary output must be loadable by the other commands too.
+expect 0 "run on converted binary trace" run BTFN "$conv_bin"
+rm -f "$conv_txt" "$conv_bin" "$conv_back"
+
 # run --json emits the schema-tagged document on stdout.
 json=$("$TLAT" run BTFN eqntott --budget 2000 --json 2>/dev/null)
 got=$?

@@ -4,6 +4,11 @@
  *
  *   tlat list                          benchmarks and example schemes
  *   tlat trace <benchmark> [options]   generate a trace file
+ *   tlat trace convert <in> --out FILE convert a trace between the
+ *                                      text and TLTR binary formats
+ *                                      (--to-binary / --to-text force
+ *                                      a format; default: from the
+ *                                      --out extension)
  *   tlat stats <benchmark|file>        workload characterization
  *   tlat run <scheme> <benchmark|file> measure a predictor
  *   tlat profile <scheme> <benchmark>  per-branch miss breakdown
@@ -36,6 +41,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -75,6 +81,8 @@ struct Options
     std::uint64_t budget = 300000;
     unsigned jobs = 0; // 0: harness::defaultJobs()
     bool json = false;
+    bool toBinary = false;
+    bool toText = false;
     std::string data;
     std::string train;
     std::string out;
@@ -89,6 +97,8 @@ usage()
            "  list                         benchmarks and schemes\n"
            "  trace <benchmark>            generate a trace "
            "(--out file.tltr)\n"
+           "  trace convert <in>           convert text<->binary "
+           "(--out FILE [--to-binary|--to-text])\n"
            "  stats <benchmark|file>       workload statistics\n"
            "  run <scheme> <bench|file>    measure a predictor\n"
            "  profile <scheme> <bench>     per-branch breakdown\n"
@@ -148,6 +158,10 @@ parseOptions(int argc, char **argv, int first)
             options.jobs = static_cast<unsigned>(*parsed);
         } else if (arg == "--json") {
             options.json = true;
+        } else if (arg == "--to-binary") {
+            options.toBinary = true;
+        } else if (arg == "--to-text") {
+            options.toText = true;
         } else if (arg == "--data") {
             const auto value = next();
             if (!value)
@@ -222,9 +236,56 @@ cmdList()
     return kExitOk;
 }
 
+/**
+ * `tlat trace convert`: re-encode an existing trace file. The output
+ * format follows --to-binary/--to-text when given, else the --out
+ * extension (saveToFile's rule: .txt is text, anything else TLTR
+ * binary). Round-trips are lossless in both directions.
+ */
+int
+cmdTraceConvert(const Options &options)
+{
+    if (options.positional.size() != 2 || options.out.empty() ||
+        (options.toBinary && options.toText)) {
+        std::cerr << "usage: tlat trace convert <in> --out FILE "
+                     "[--to-binary|--to-text]\n";
+        return kExitUsage;
+    }
+    std::string error;
+    const auto buffer =
+        trace::loadFromFile(options.positional[1], &error);
+    if (!buffer) {
+        std::cerr << "cannot load trace '" << options.positional[1]
+                  << "': " << error << "\n";
+        return kExitRuntime;
+    }
+
+    bool written = false;
+    if (options.toBinary || options.toText) {
+        std::ofstream os(options.out,
+                         options.toBinary ? std::ios::binary
+                                          : std::ios::out);
+        written = os && (options.toBinary
+                             ? trace::writeBinary(*buffer, os)
+                             : trace::writeText(*buffer, os));
+    } else {
+        written = trace::saveToFile(*buffer, options.out);
+    }
+    if (!written) {
+        std::cerr << "cannot write '" << options.out << "'\n";
+        return kExitRuntime;
+    }
+    std::cout << "converted " << buffer->size()
+              << " branch records to " << options.out << "\n";
+    return kExitOk;
+}
+
 int
 cmdTrace(const Options &options)
 {
+    if (!options.positional.empty() &&
+        options.positional[0] == "convert")
+        return cmdTraceConvert(options);
     if (options.positional.size() != 1 || options.out.empty()) {
         std::cerr << "usage: tlat trace <benchmark> --out FILE\n";
         return kExitUsage;
