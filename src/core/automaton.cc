@@ -1,5 +1,6 @@
 #include "automaton.hh"
 
+#include "contracts.hh"
 #include "util/logging.hh"
 
 namespace tlat::core

@@ -30,6 +30,7 @@
 #ifndef TLAT_CORE_AUTOMATON_HH
 #define TLAT_CORE_AUTOMATON_HH
 
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -119,14 +120,14 @@ const AutomatonSpec &automatonSpec(AutomatonKind kind);
 template <AutomatonKind K>
 struct AutomatonOps
 {
-    bool
+    constexpr bool
     predict(std::uint8_t state) const
     {
         return kAutomatonSpecs[static_cast<std::size_t>(K)]
             .predictTaken[state];
     }
 
-    std::uint8_t
+    constexpr std::uint8_t
     next(std::uint8_t state, bool taken) const
     {
         return kAutomatonSpecs[static_cast<std::size_t>(K)]
@@ -142,15 +143,19 @@ struct AutomatonOps
  */
 struct CounterOps
 {
-    explicit CounterOps(unsigned bits)
+    explicit constexpr CounterOps(unsigned bits)
         : max(static_cast<std::uint8_t>((1u << bits) - 1)),
           threshold(static_cast<std::uint8_t>(1u << (bits - 1)))
     {
     }
 
-    bool predict(std::uint8_t state) const { return state >= threshold; }
+    constexpr bool
+    predict(std::uint8_t state) const
+    {
+        return state >= threshold;
+    }
 
-    std::uint8_t
+    constexpr std::uint8_t
     next(std::uint8_t state, bool taken) const
     {
         if (taken && state < max)
@@ -163,6 +168,23 @@ struct CounterOps
     std::uint8_t max;
     std::uint8_t threshold;
 };
+
+/**
+ * The shape every pattern-history policy must have: lambda maps a
+ * state to a direction, delta maps (state, outcome) to the successor
+ * state. PatternTable's devirtualized accessors and every fused
+ * simulateBatch loop are constrained on this concept, so a policy
+ * that drifts from the AutomatonOps/CounterOps contract is a compile
+ * error at the call site, not a subtle behavioural divergence. The
+ * full semantic pins (Figure 2 tables, CounterOps(2) == A2) live in
+ * core/contracts.hh.
+ */
+template <typename Ops>
+concept AutomatonPolicy =
+    requires(const Ops ops, std::uint8_t state, bool taken) {
+        { ops.predict(state) } -> std::same_as<bool>;
+        { ops.next(state, taken) } -> std::same_as<std::uint8_t>;
+    };
 
 /** Parses "LT", "A1".."A4" (as used in Table 2 scheme names). */
 std::optional<AutomatonKind> automatonFromName(const std::string &name);

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Compile-time determinism and layout contracts.
+ *
+ * The reproduction's headline guarantees — bit-identical sweeps at
+ * any --jobs count, byte-identical metrics JSON, fused simulateBatch
+ * == reference loop — rest on invariants that are cheap to state but
+ * easy to erode: the Figure 2 automata tables, the policy-object
+ * shapes the fused loops dispatch over, and the pinned record
+ * layouts the trace hot path streams. This header turns each of them
+ * into a static_assert, so drifting from the paper's definitions is
+ * a compile error with a named diagnostic rather than a silently
+ * different accuracy table.
+ *
+ * The header is include-what-you-pin: every translation unit in
+ * core/, predictors/ and trace/ that implements one of these
+ * contracts includes it, so the battery is re-evaluated wherever the
+ * contract could be broken. It defines no runtime symbols — only
+ * constexpr verification — and therefore costs nothing to include.
+ *
+ * tools/tlat_lint.py is the runtime-free sibling: it enforces the
+ * source-level rules (ordered emission, seeded randomness, schema
+ * single-definition) that the type system cannot see.
+ */
+
+#ifndef TLAT_CORE_CONTRACTS_HH
+#define TLAT_CORE_CONTRACTS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "automaton.hh"
+#include "trace/record.hh"
+#include "trace/trace_io.hh"
+
+namespace tlat::core
+{
+
+// ---------------------------------------------------------------------
+// Policy-shape contracts: everything the fused loops dispatch over
+// satisfies AutomatonPolicy (automaton.hh), so PatternTable's
+// devirtualized accessors accept exactly these types and nothing
+// shape-compatible-by-accident.
+// ---------------------------------------------------------------------
+
+static_assert(AutomatonPolicy<AutomatonOps<AutomatonKind::LastTime>>);
+static_assert(AutomatonPolicy<AutomatonOps<AutomatonKind::A1>>);
+static_assert(AutomatonPolicy<AutomatonOps<AutomatonKind::A2>>);
+static_assert(AutomatonPolicy<AutomatonOps<AutomatonKind::A3>>);
+static_assert(AutomatonPolicy<AutomatonOps<AutomatonKind::A4>>);
+static_assert(AutomatonPolicy<CounterOps>);
+
+// ---------------------------------------------------------------------
+// Automaton table well-formedness: states fit in 4 bits (pattern
+// table entries are stored as packed bytes and checkpointed as such),
+// the initial state is a real state, and delta is total — every
+// (state, outcome) pair maps back into the state set. An automaton
+// that can step outside its own state set would index past the
+// lambda/delta tables at simulation time.
+// ---------------------------------------------------------------------
+
+/** Hard ceiling on automaton state count: 4 bits of state. */
+inline constexpr unsigned kMaxAutomatonStates = 16;
+
+namespace contract_detail
+{
+
+constexpr bool
+specWellFormed(const AutomatonSpec &spec)
+{
+    if (spec.numStates < 1 || spec.numStates > kMaxAutomatonStates)
+        return false;
+    if (spec.initialState >= spec.numStates)
+        return false;
+    for (std::uint8_t state = 0; state < spec.numStates; ++state) {
+        for (int outcome = 0; outcome < 2; ++outcome) {
+            if (spec.nextState[state][outcome] >= spec.numStates)
+                return false;
+        }
+    }
+    return true;
+}
+
+constexpr bool
+allSpecsWellFormed()
+{
+    for (const AutomatonSpec &spec : kAutomatonSpecs) {
+        if (!specWellFormed(spec))
+            return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------------
+// Figure 2 semantic pins. Each automaton's lambda and delta are
+// re-derived here from their *behavioural* definition in the paper
+// (and DESIGN.md for A3/A4, whose diagrams live in tech report [3])
+// and checked state-by-state against the kAutomatonSpecs tables the
+// simulator actually runs. A table edit that changes behaviour now
+// fails to compile instead of shifting Figure 5 by a fraction of a
+// percent.
+// ------------------------------------------------------------------
+
+/** Last-Time: state is the last outcome; predict it again. */
+constexpr bool
+lastTimeMatchesFigure2()
+{
+    constexpr AutomatonOps<AutomatonKind::LastTime> ops;
+    for (std::uint8_t state = 0; state < 2; ++state) {
+        if (ops.predict(state) != (state == 1))
+            return false;
+        for (int outcome = 0; outcome < 2; ++outcome) {
+            if (ops.next(state, outcome != 0) != outcome)
+                return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * A1: 2-bit shift register of the last two outcomes; predict
+ * not-taken only when neither recorded outcome was taken.
+ */
+constexpr bool
+a1MatchesFigure2()
+{
+    constexpr AutomatonOps<AutomatonKind::A1> ops;
+    for (std::uint8_t state = 0; state < 4; ++state) {
+        if (ops.predict(state) != (state != 0))
+            return false;
+        for (int outcome = 0; outcome < 2; ++outcome) {
+            const auto expected = static_cast<std::uint8_t>(
+                ((state << 1) | outcome) & 3);
+            if (ops.next(state, outcome != 0) != expected)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** The 2-bit saturating up/down counter delta. */
+constexpr std::uint8_t
+saturatingNext(std::uint8_t state, bool taken)
+{
+    if (taken)
+        return state < 3 ? static_cast<std::uint8_t>(state + 1)
+                         : state;
+    return state > 0 ? static_cast<std::uint8_t>(state - 1) : state;
+}
+
+/** A2: saturating 2-bit counter; predict taken iff state >= 2. */
+constexpr bool
+a2MatchesFigure2()
+{
+    constexpr AutomatonOps<AutomatonKind::A2> ops;
+    for (std::uint8_t state = 0; state < 4; ++state) {
+        if (ops.predict(state) != (state >= 2))
+            return false;
+        for (int outcome = 0; outcome < 2; ++outcome) {
+            if (ops.next(state, outcome != 0) !=
+                saturatingNext(state, outcome != 0))
+                return false;
+        }
+    }
+    return true;
+}
+
+/** A3: A2 except a not-taken in strong-taken drops straight to 1. */
+constexpr bool
+a3MatchesFigure2()
+{
+    constexpr AutomatonOps<AutomatonKind::A3> ops;
+    for (std::uint8_t state = 0; state < 4; ++state) {
+        if (ops.predict(state) != (state >= 2))
+            return false;
+        for (int outcome = 0; outcome < 2; ++outcome) {
+            const bool taken = outcome != 0;
+            const std::uint8_t expected =
+                (state == 3 && !taken) ? 1
+                                       : saturatingNext(state, taken);
+            if (ops.next(state, taken) != expected)
+                return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * A4: big-jump hysteresis — a confirming outcome in a weak state
+ * jumps to the strong state of that side (1 -T-> 3, 2 -NT-> 0), and
+ * disconfirming outcomes in weak states fall to the opposite strong
+ * state; the strong states step like A2.
+ */
+constexpr bool
+a4MatchesFigure2()
+{
+    constexpr AutomatonOps<AutomatonKind::A4> ops;
+    constexpr std::uint8_t expected[4][2] = {
+        {0, 1}, // strong not-taken: step like the counter
+        {0, 3}, // weak not-taken: T confirms taken-side strongly
+        {0, 3}, // weak taken: NT drops to strong not-taken
+        {2, 3}, // strong taken: step like the counter
+    };
+    for (std::uint8_t state = 0; state < 4; ++state) {
+        if (ops.predict(state) != (state >= 2))
+            return false;
+        for (int outcome = 0; outcome < 2; ++outcome) {
+            if (ops.next(state, outcome != 0) !=
+                expected[state][outcome])
+                return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * The counter-entry extension's anchor: a 2-bit CounterOps is
+ * exactly automaton A2, state for state — the paper's observation
+ * that the 2-bit saturating counter *is* A2.
+ */
+constexpr bool
+counter2IsA2()
+{
+    constexpr CounterOps counter(2);
+    constexpr AutomatonOps<AutomatonKind::A2> a2;
+    for (std::uint8_t state = 0; state < 4; ++state) {
+        if (counter.predict(state) != a2.predict(state))
+            return false;
+        for (int outcome = 0; outcome < 2; ++outcome) {
+            if (counter.next(state, outcome != 0) !=
+                a2.next(state, outcome != 0))
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Every CounterOps width saturates inside its own range. */
+constexpr bool
+countersStayInRange()
+{
+    for (unsigned bits = 1; bits <= 8; ++bits) {
+        const CounterOps ops(bits);
+        const unsigned states = 1u << bits;
+        if (states > 256)
+            return false;
+        for (unsigned state = 0; state < states; ++state) {
+            for (int outcome = 0; outcome < 2; ++outcome) {
+                if (ops.next(static_cast<std::uint8_t>(state),
+                             outcome != 0) >= states)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace contract_detail
+
+static_assert(contract_detail::allSpecsWellFormed(),
+              "automaton spec broken: state count must be 1..16, the "
+              "initial state a real state, and delta total over the "
+              "state set");
+static_assert(contract_detail::lastTimeMatchesFigure2(),
+              "Last-Time table drifted from Figure 2: state must be "
+              "the last outcome and predict it again");
+static_assert(contract_detail::a1MatchesFigure2(),
+              "A1 table drifted from Figure 2: must be a 2-bit shift "
+              "register predicting taken unless both outcomes were "
+              "not-taken");
+static_assert(contract_detail::a2MatchesFigure2(),
+              "A2 table drifted from Figure 2: must be the 2-bit "
+              "saturating up/down counter with threshold 2");
+static_assert(contract_detail::a3MatchesFigure2(),
+              "A3 table drifted from DESIGN.md's definition: A2 with "
+              "fast recovery 3 --NT--> 1");
+static_assert(contract_detail::a4MatchesFigure2(),
+              "A4 table drifted from DESIGN.md's definition: "
+              "big-jump hysteresis (1 -T-> 3, 2 -NT-> 0)");
+static_assert(contract_detail::counter2IsA2(),
+              "CounterOps(2) must be exactly automaton A2");
+static_assert(contract_detail::countersStayInRange(),
+              "CounterOps must saturate inside 2^bits states for "
+              "every supported width");
+
+// ---------------------------------------------------------------------
+// Layout contracts: the in-memory BranchRecord the hot loop streams
+// and the packed TLTR wire record are both size-pinned. BranchRecord
+// additionally carries its own static_assert at the definition
+// (trace/record.hh); repeating the pin here keeps every contract the
+// fused path depends on visible in one place.
+// ---------------------------------------------------------------------
+
+static_assert(sizeof(trace::BranchRecord) == 24 &&
+                  alignof(trace::BranchRecord) == 8,
+              "BranchRecord layout drifted from the 24-byte/8-align "
+              "contract the trace hot path is sized for");
+static_assert(trace::kTltrWireRecordSize ==
+                  2 * sizeof(std::uint64_t) + 2 * sizeof(std::uint8_t),
+              "TLTR wire record must stay pc u64 + target u64 + "
+              "cls u8 + flags u8 = 18 bytes; bump kTltrFormatVersion "
+              "if the wire layout changes");
+static_assert(trace::kTltrFormatVersion == 2,
+              "TLTR format version changed: update the wire-layout "
+              "contracts here and the format notes in "
+              "trace/trace_io.hh together");
+
+// The branch classes fit the 2-bit-exclusive flags byte encoding
+// (taken = bit 0, call = bit 1, class in its own byte below
+// NumClasses).
+static_assert(static_cast<unsigned>(trace::BranchClass::NumClasses) <=
+                  255,
+              "BranchClass must fit the one-byte TLTR class field");
+
+} // namespace tlat::core
+
+#endif // TLAT_CORE_CONTRACTS_HH

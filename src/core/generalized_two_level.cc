@@ -1,5 +1,6 @@
 #include "generalized_two_level.hh"
 
+#include "contracts.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
@@ -136,7 +137,7 @@ GeneralizedTwoLevelPredictor::update(const trace::BranchRecord &record)
               history_mask_;
 }
 
-template <typename Ops>
+template <AutomatonPolicy Ops>
 void
 GeneralizedTwoLevelPredictor::fusedBatch(
     const Ops &ops, std::span<const trace::BranchRecord> records,

@@ -111,7 +111,7 @@ class GeneralizedTwoLevelPredictor : public BranchPredictor
                              std::uint64_t pc) const;
 
     /** Fused loop body, monomorphized over the automaton policy. */
-    template <typename Ops>
+    template <AutomatonPolicy Ops>
     void fusedBatch(const Ops &ops,
                     std::span<const trace::BranchRecord> records,
                     AccuracyCounter &accuracy);

@@ -23,6 +23,7 @@
 #ifndef TLAT_CORE_HISTORY_TABLE_HH
 #define TLAT_CORE_HISTORY_TABLE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -220,9 +221,21 @@ class IdealTable : public HistoryTable<Entry>
         this->saveStats(os);
         this->putScalar(
             os, static_cast<std::uint64_t>(entries_.size()));
-        for (const auto &[pc, entry] : entries_) {
-            this->putScalar(os, pc);
-            save_entry(os, entry);
+        // Ordered projection: the map is hash-ordered, but checkpoint
+        // bytes must not depend on insertion history — emit by pc so
+        // identical table contents always serialize identically.
+        std::vector<const typename decltype(entries_)::value_type *>
+            ordered;
+        ordered.reserve(entries_.size());
+        for (const auto &item : entries_)
+            ordered.push_back(&item);
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const auto *a, const auto *b) {
+                      return a->first < b->first;
+                  });
+        for (const auto *item : ordered) {
+            this->putScalar(os, item->first);
+            save_entry(os, item->second);
         }
     }
 

@@ -117,7 +117,7 @@ class PatternTable
      * table's entry kind; behaviour is then bit-identical to
      * predict().
      */
-    template <typename Ops>
+    template <AutomatonPolicy Ops>
     bool
     predictWith(const Ops &ops, std::uint32_t pattern) const
     {
@@ -125,7 +125,7 @@ class PatternTable
     }
 
     /** delta through a compile-time policy; twin of update(). */
-    template <typename Ops>
+    template <AutomatonPolicy Ops>
     void
     updateWith(const Ops &ops, std::uint32_t pattern, bool taken)
     {

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "contracts.hh"
 #include "util/string_utils.hh"
 
 namespace tlat::core
@@ -158,7 +159,7 @@ TwoLevelPredictor::update(const trace::BranchRecord &record)
     last_entry_ = nullptr;
 }
 
-template <typename Table, typename Ops>
+template <typename Table, AutomatonPolicy Ops>
 void
 TwoLevelPredictor::fusedBatch(Table &table, const Ops &ops,
                               std::span<const trace::BranchRecord>
@@ -376,11 +377,10 @@ configFingerprint(const TwoLevelConfig &config)
 bool
 TwoLevelPredictor::saveCheckpoint(std::ostream &os) const
 {
-    for (const auto &[pc, pending] : in_flight_) {
-        (void)pc;
-        if (!pending.empty())
-            return false; // checkpoint requires no speculation
-    }
+    // Drained deques are erased in update(), so a non-empty map means
+    // live speculation — and checkpointing requires none.
+    if (!in_flight_.empty())
+        return false;
 
     os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
     putScalar(os, kCheckpointVersion);

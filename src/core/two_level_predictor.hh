@@ -161,7 +161,7 @@ class TwoLevelPredictor : public BranchPredictor
     HrtEntry &lookup(std::uint64_t pc);
 
     /** Fused loop body, monomorphized over (HRT type, automaton). */
-    template <typename Table, typename Ops>
+    template <typename Table, AutomatonPolicy Ops>
     void fusedBatch(Table &table, const Ops &ops,
                     std::span<const trace::BranchRecord> records,
                     AccuracyCounter &accuracy);

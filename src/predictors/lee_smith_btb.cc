@@ -1,5 +1,6 @@
 #include "lee_smith_btb.hh"
 
+#include "core/contracts.hh"
 #include "util/string_utils.hh"
 
 namespace tlat::predictors
@@ -65,7 +66,7 @@ LeeSmithPredictor::update(const trace::BranchRecord &record)
     last_entry_ = nullptr;
 }
 
-template <typename Table, typename Ops>
+template <typename Table, core::AutomatonPolicy Ops>
 void
 LeeSmithPredictor::fusedBatch(
     Table &table, const Ops &ops,

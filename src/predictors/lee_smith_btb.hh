@@ -74,7 +74,7 @@ class LeeSmithPredictor : public core::BranchPredictor
     core::Automaton &lookup(std::uint64_t pc);
 
     /** Fused loop body, monomorphized over (table type, automaton). */
-    template <typename Table, typename Ops>
+    template <typename Table, core::AutomatonPolicy Ops>
     void fusedBatch(Table &table, const Ops &ops,
                     std::span<const trace::BranchRecord> records,
                     AccuracyCounter &accuracy);

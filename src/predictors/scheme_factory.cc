@@ -1,5 +1,6 @@
 #include "scheme_factory.hh"
 
+#include "core/contracts.hh"
 #include "core/two_level_predictor.hh"
 #include "lee_smith_btb.hh"
 #include "profile_predictor.hh"

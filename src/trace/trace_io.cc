@@ -9,6 +9,9 @@
 #include <sstream>
 #include <vector>
 
+// Include-what-you-pin: re-evaluates the TLTR wire-layout contracts
+// (core/contracts.hh) in the TU that implements the format.
+#include "core/contracts.hh"
 #include "util/string_utils.hh"
 
 namespace tlat::trace
@@ -18,7 +21,6 @@ namespace
 {
 
 constexpr char kMagic[4] = {'T', 'L', 'T', 'R'};
-constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void
@@ -80,7 +82,7 @@ setError(TextReadError *error, std::size_t line,
 }
 
 /** On-wire record stride: pc u64 + target u64 + cls u8 + flags u8. */
-constexpr std::size_t kWireRecordSize = 18;
+constexpr std::size_t kWireRecordSize = kTltrWireRecordSize;
 
 /** Records staged per bulk read/write (bounds buffer memory and keeps
  *  a corrupt count field from triggering a giant allocation). */
@@ -119,7 +121,7 @@ bool
 writeBinary(const TraceBuffer &trace, std::ostream &os)
 {
     os.write(kMagic, sizeof(kMagic));
-    writeScalar(os, kVersion);
+    writeScalar(os, kTltrFormatVersion);
 
     const auto name_length =
         static_cast<std::uint32_t>(trace.name().size());
@@ -159,7 +161,7 @@ readBinary(std::istream &is)
         return std::nullopt;
 
     std::uint32_t version;
-    if (!readScalar(is, version) || version != kVersion)
+    if (!readScalar(is, version) || version != kTltrFormatVersion)
         return std::nullopt;
 
     std::uint32_t name_length;

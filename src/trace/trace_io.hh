@@ -37,6 +37,8 @@
 #ifndef TLAT_TRACE_TRACE_IO_HH
 #define TLAT_TRACE_TRACE_IO_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -45,6 +47,21 @@
 
 namespace tlat::trace
 {
+
+/**
+ * TLTR binary format version. The single authoritative definition —
+ * tlat-lint's schema-once rule holds the tree to exactly one — bumped
+ * whenever the wire layout above changes incompatibly.
+ */
+inline constexpr std::uint32_t kTltrFormatVersion = 2;
+
+/**
+ * On-wire record stride: pc u64 + target u64 + cls u8 + flags u8.
+ * Pinned by core/contracts.hh so a field added to the packed record
+ * is a compile error until this constant (and the version) move with
+ * it.
+ */
+inline constexpr std::size_t kTltrWireRecordSize = 18;
 
 /** Writes the binary format. Returns false on stream failure. */
 bool writeBinary(const TraceBuffer &trace, std::ostream &os);

@@ -52,8 +52,11 @@ class Rng
     {
         // Multiply-shift rejection-free mapping is fine here: workload
         // bounds are tiny compared to 2^64, the bias is immeasurable.
+        // __extension__: __int128 is a GCC/Clang extension, used
+        // knowingly under -Wpedantic for the 64x64->128 high half.
+        __extension__ using Uint128 = unsigned __int128;
         return static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+            (static_cast<Uint128>(next()) * bound) >> 64);
     }
 
     /** Uniform value in [lo, hi] inclusive. */

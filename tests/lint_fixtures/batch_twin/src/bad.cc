@@ -1,0 +1,26 @@
+// Fixture: batch-twin must fire — a simulateBatch override on a
+// class that is not in the pairing manifest, so nothing ties it to a
+// reference-loop twin or the equivalence suite.
+#include <span>
+
+namespace trace
+{
+struct BranchRecord;
+}
+struct AccuracyCounter;
+
+class BasePredictor
+{
+  public:
+    virtual ~BasePredictor() = default;
+    virtual void
+    simulateBatch(std::span<const trace::BranchRecord> records,
+                  AccuracyCounter &accuracy);
+};
+
+class RogueFusedPredictor : public BasePredictor
+{
+  public:
+    void simulateBatch(std::span<const trace::BranchRecord> records,
+                       AccuracyCounter &accuracy) override;
+};

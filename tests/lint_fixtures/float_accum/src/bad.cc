@@ -1,0 +1,18 @@
+// Fixture: float-accum must fire — a merge path accumulating into a
+// double, so cell merge order perturbs low bits.
+#include <vector>
+
+struct Cell
+{
+    double accuracy = 0.0;
+    unsigned long long hits = 0;
+};
+
+double
+mergeCells(const std::vector<Cell> &cells)
+{
+    double total = 0.0;
+    for (const Cell &cell : cells)
+        total += cell.accuracy;
+    return total / static_cast<double>(cells.size());
+}

@@ -1,0 +1,19 @@
+// Fixture: raw-rand must fire — process-global and wall-clock
+// randomness sources outside tests/.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned
+rollDice()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr)));
+    return static_cast<unsigned>(rand() % 6);
+}
+
+std::uint64_t
+entropySeed()
+{
+    std::random_device device;
+    return device();
+}

@@ -1,0 +1,9 @@
+// Fixture: schema-once must fire — the same schema version string
+// defined here and in writer_b.cc.
+#include <ostream>
+
+void
+writeHeaderA(std::ostream &os)
+{
+    os << "{\"schema\": \"" << "tlat-run-metrics-v1" << "\"}";
+}

@@ -1,0 +1,38 @@
+// Fixture: must lint CLEAN — exercises the two sanctioned escapes
+// from unordered-iter: a justified suppression comment and the
+// collected-then-sorted ordered-projection pattern. Also proves the
+// scanner ignores rule-looking text inside comments and strings.
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+// The words rand( and random_device in this comment must not fire.
+const char *kDecoy = "calls rand() and iterates counts.begin()";
+
+std::uint64_t
+sumCounts(const std::unordered_map<std::uint64_t, std::uint64_t>
+              &counts)
+{
+    std::uint64_t total = 0;
+    // Order-independent fold: addition over u64 commutes.
+    // tlat-lint: allow(unordered-iter): commutative integer sum, no emission
+    for (const auto &[pc, count] : counts)
+        total += count;
+    return total;
+}
+
+void
+dumpSorted(std::ostream &os,
+           const std::unordered_map<std::uint64_t, std::uint64_t>
+               &counts)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ordered;
+    ordered.reserve(counts.size());
+    for (const auto &item : counts)
+        ordered.push_back(item);
+    std::sort(ordered.begin(), ordered.end());
+    for (const auto &[pc, count] : ordered)
+        os << pc << ' ' << count << '\n';
+}

@@ -1,0 +1,28 @@
+// Fixture: unordered-iter must fire — hash-ordered iteration feeds
+// an output stream with no ordered projection and no justification.
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+
+void
+dumpCounts(std::ostream &os,
+           const std::unordered_map<std::uint64_t, std::uint64_t>
+               &counts)
+{
+    for (const auto &[pc, count] : counts)
+        os << pc << ' ' << count << '\n';
+}
+
+class Tally
+{
+  public:
+    void
+    report(std::ostream &os) const
+    {
+        for (auto it = sites_.begin(); it != sites_.end(); ++it)
+            os << *it << '\n';
+    }
+
+  private:
+    std::unordered_set<std::uint64_t> sites_;
+};

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Regression tests for ordered emission from hash-ordered
+ * containers: the per-branch profile and the ideal-HRT checkpoint
+ * both aggregate into std::unordered_map, so their serialized output
+ * must be proven independent of insertion order — the exact property
+ * tools/tlat_lint.py's unordered-iter rule exists to protect.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/history_table.hh"
+#include "harness/branch_profile.hh"
+#include "harness/metrics_json.hh"
+
+namespace
+{
+
+using namespace tlat;
+
+/**
+ * Builds a profile from (pc, correct, taken) events delivered in the
+ * given pc visitation order; per-pc tallies are identical regardless
+ * of order.
+ */
+harness::BranchProfile
+profileWithOrder(const std::vector<std::uint64_t> &pc_order)
+{
+    harness::BranchProfile profile;
+    for (const std::uint64_t pc : pc_order) {
+        // Deterministic per-pc mix: pc decides the tallies, order of
+        // insertion into the unordered_map decides nothing.
+        const unsigned executions = 3 + pc % 5;
+        for (unsigned i = 0; i < executions; ++i) {
+            const bool correct = (pc + i) % 3 != 0;
+            const bool taken = (pc + i) % 2 == 0;
+            profile.record(pc, correct, taken);
+        }
+    }
+    return profile;
+}
+
+std::string
+serializeOffenders(const harness::BranchProfile &profile)
+{
+    harness::RunMetricsReport report;
+    report.scheme = "test";
+    report.benchmark = "shuffled";
+    report.topOffenders = profile.worstSites(64);
+    return harness::runMetricsJsonString(report);
+}
+
+TEST(DeterminismOrder, ProfileSerializationIgnoresInsertionOrder)
+{
+    // Same per-pc event mix, three adversarial insertion orders into
+    // the unordered_map: ascending, descending, and odd/even
+    // interleaved.
+    std::vector<std::uint64_t> ascending;
+    for (std::uint64_t pc = 0x1000; pc < 0x1000 + 64 * 4; pc += 4)
+        ascending.push_back(pc);
+    std::vector<std::uint64_t> descending(ascending.rbegin(),
+                                          ascending.rend());
+    std::vector<std::uint64_t> interleaved;
+    for (std::size_t i = 0; i < ascending.size(); i += 2)
+        interleaved.push_back(ascending[i]);
+    for (std::size_t i = 1; i < ascending.size(); i += 2)
+        interleaved.push_back(ascending[i]);
+
+    const auto a = profileWithOrder(ascending);
+    const auto b = profileWithOrder(descending);
+    const auto c = profileWithOrder(interleaved);
+
+    const std::string json_a = serializeOffenders(a);
+    EXPECT_EQ(json_a, serializeOffenders(b));
+    EXPECT_EQ(json_a, serializeOffenders(c));
+}
+
+TEST(DeterminismOrder, WorstSitesTotalOrderBreaksTiesByPc)
+{
+    harness::BranchProfile profile;
+    // Four sites with identical misprediction counts — only the pc
+    // tiebreak makes the top-N selection deterministic.
+    for (const std::uint64_t pc : {0x40ul, 0x10ul, 0x30ul, 0x20ul}) {
+        profile.record(pc, false, true);
+        profile.record(pc, true, false);
+    }
+    const auto sites = profile.worstSites(3);
+    ASSERT_EQ(sites.size(), 3u);
+    EXPECT_EQ(sites[0].pc, 0x10u);
+    EXPECT_EQ(sites[1].pc, 0x20u);
+    EXPECT_EQ(sites[2].pc, 0x30u);
+}
+
+TEST(DeterminismOrder, IdealTableCheckpointIgnoresInsertionOrder)
+{
+    const auto save_entry = [](std::ostream &os,
+                               const std::uint32_t &entry) {
+        os.write(reinterpret_cast<const char *>(&entry),
+                 sizeof(entry));
+    };
+
+    const auto checkpoint =
+        [&](const std::vector<std::uint64_t> &pc_order) {
+            core::IdealTable<std::uint32_t> table(0);
+            for (const std::uint64_t pc : pc_order)
+                table.lookup(pc) =
+                    static_cast<std::uint32_t>(pc * 2654435761u);
+            std::ostringstream os;
+            table.saveState(os, save_entry);
+            return os.str();
+        };
+
+    std::vector<std::uint64_t> forward;
+    for (std::uint64_t pc = 0; pc < 200; ++pc)
+        forward.push_back(0x4000 + pc * 8);
+    std::vector<std::uint64_t> backward(forward.rbegin(),
+                                        forward.rend());
+    std::vector<std::uint64_t> shuffled;
+    // Deterministic shuffle: stride through the set with a step
+    // coprime to its size.
+    for (std::size_t i = 0; i < forward.size(); ++i)
+        shuffled.push_back(forward[(i * 77) % forward.size()]);
+
+    const std::string bytes = checkpoint(forward);
+    EXPECT_EQ(bytes, checkpoint(backward));
+    EXPECT_EQ(bytes, checkpoint(shuffled));
+
+    // Round-trip: the ordered projection still loads back exactly.
+    core::IdealTable<std::uint32_t> restored(0);
+    std::istringstream is(bytes);
+    const bool loaded = restored.loadState(
+        is, [](std::istream &in, std::uint32_t &entry) {
+            in.read(reinterpret_cast<char *>(&entry), sizeof(entry));
+            return static_cast<bool>(in);
+        });
+    ASSERT_TRUE(loaded);
+    for (const std::uint64_t pc : forward) {
+        EXPECT_EQ(restored.lookup(pc),
+                  static_cast<std::uint32_t>(pc * 2654435761u));
+    }
+}
+
+} // namespace

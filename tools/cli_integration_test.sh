@@ -3,9 +3,11 @@
 # output. Driven by ctest (tier1) with the binary path as $1.
 #
 # Pinned contract (tools/tlat_cli.cpp):
-#   0  success
+#   0  success (including asked-for help: `tlat help` / --help / -h
+#      print the command summary on stdout)
 #   1  runtime failure (unloadable trace, ...)
-#   2  usage error (bad/duplicate/unknown option, bad scheme)
+#   2  usage error (bad/duplicate/unknown option, bad scheme; the
+#      same summary goes to stderr)
 #   3  unknown command
 set -u
 
@@ -28,7 +30,27 @@ expect() {
 }
 
 expect 0 "list succeeds" list
+expect 0 "help succeeds" help
+expect 0 "--help succeeds" --help
+expect 0 "-h succeeds" -h
 expect 3 "unknown command" frobnicate
+
+# Asked-for help goes to stdout and names every subcommand, so the
+# surface stays discoverable as commands are added.
+help_out=$("$TLAT" help 2>/dev/null)
+for cmd in help list "trace convert" stats run profile disasm cost \
+        compare ras cpi; do
+    if ! printf '%s\n' "$help_out" | grep -q "$cmd"; then
+        echo "FAIL: help output does not mention '$cmd'"
+        failures=$((failures + 1))
+    fi
+done
+if printf '%s\n' "$help_out" | grep -q "usage: tlat"; then
+    echo "ok: help lists all subcommands on stdout"
+else
+    echo "FAIL: help output lacks the usage banner"
+    failures=$((failures + 1))
+fi
 expect 2 "no arguments is a usage error"
 expect 2 "unknown option" list --frobnicate
 expect 2 "bad --budget value" run BTFN eqntott --budget twelve

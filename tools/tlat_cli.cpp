@@ -2,6 +2,8 @@
  * @file
  * tlat — command-line driver for the library.
  *
+ *   tlat help                          command summary on stdout
+ *                                      (also --help / -h; exit 0)
  *   tlat list                          benchmarks and example schemes
  *   tlat trace <benchmark> [options]   generate a trace file
  *   tlat trace convert <in> --out FILE convert a trace between the
@@ -89,11 +91,14 @@ struct Options
     std::vector<std::string> positional;
 };
 
-int
-usage()
+// One definition of the command surface: `tlat help` prints it to
+// stdout (exit 0), error paths print it to stderr (exit 2).
+void
+printUsage(std::ostream &os)
 {
-    std::cerr
+    os
         << "usage: tlat <command> [options]\n"
+           "  help                         this summary (also --help)\n"
            "  list                         benchmarks and schemes\n"
            "  trace <benchmark>            generate a trace "
            "(--out file.tltr)\n"
@@ -109,6 +114,12 @@ usage()
            "  cpi <scheme> <benchmark>     pipeline timing model\n"
            "options: --budget N --data SET --train SRC --out FILE "
            "--jobs N --json\n";
+}
+
+int
+usage()
+{
+    printUsage(std::cerr);
     return kExitUsage;
 }
 
@@ -587,6 +598,12 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
+    // Asked-for help is success on stdout; handled before option
+    // parsing so `--help` is not rejected as an unknown option.
+    if (command == "help" || command == "--help" || command == "-h") {
+        printUsage(std::cout);
+        return kExitOk;
+    }
     const auto options = parseOptions(argc, argv, 2);
     if (!options)
         return usage();

@@ -1,0 +1,580 @@
+#!/usr/bin/env python3
+"""tlat-lint: project-owned determinism-contract static analysis.
+
+The reproduction's guarantees -- bit-identical sweeps at any --jobs
+count, byte-identical metrics JSON, fused simulateBatch == reference
+loop -- depend on source-level invariants the type system cannot see.
+This linter walks src/, bench/ and tools/ (tests/ are exempt) and
+enforces them as named, individually suppressible rules:
+
+  unordered-iter  iterating a std::unordered_map/unordered_set feeds
+                  hash order into whatever consumes the loop. Emission
+                  paths (JsonWriter, checkpoints, text reports) must
+                  iterate an ordered projection instead. The rule
+                  accepts a loop whose collected result is passed to
+                  std::sort/std::stable_sort later in the same
+                  function ("ordered projection"), or an explicit
+                  justification comment.
+
+  raw-rand        rand()/srand()/std::time()/std::random_device tie
+                  results to process state or the wall clock. All
+                  randomness outside tests/ must come from util::Rng
+                  seeded via harness::cellSeed().
+
+  float-accum     float/double accumulation (+=) inside merge-named
+                  functions: sweep merges must combine integer
+                  counters; derived ratios are computed once at the
+                  end, never accumulated, so cell merge order can
+                  never perturb low bits.
+
+  batch-twin      every simulateBatch override must keep its
+                  reference-loop twin reachable (the
+                  BranchPredictor::simulateBatch fallback) and be
+                  listed in the pairing manifest below, which is how
+                  reviewers know the override is covered by the
+                  randomized equivalence suite.
+
+  schema-once     JSON schema version strings (tlat-run-metrics-v1,
+                  tlat-bench-v1) and the TLTR format version constant
+                  must each be defined in exactly one place, so a
+                  version bump can never half-apply.
+
+Suppression syntax (same line or the line directly above the finding):
+
+    // tlat-lint: allow(<rule-name>): <why this is safe>
+
+Dependency-free by design: regex plus a lightweight C++ scanner that
+strips comments and tracks string literals -- no libclang, no pip.
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# Directories scanned relative to --root. tests/ is deliberately
+# exempt: tests may use hostile randomness and unordered iteration to
+# prove the production code tolerates neither.
+SCAN_DIRS = ("src", "bench", "tools")
+CXX_SUFFIXES = (".hh", ".h", ".cc", ".cpp")
+
+# simulateBatch pairing manifest: class name -> implementation file
+# (relative to root) that must keep the BranchPredictor::simulateBatch
+# reference fallback reachable. Every override found in the tree must
+# appear here; every entry whose file exists must still contain the
+# fallback call. Add a row only after extending
+# tests/test_simulate_batch_fuzz.cc to cover the new override.
+BATCH_TWIN_MANIFEST = {
+    "TwoLevelPredictor": "src/core/two_level_predictor.cc",
+    "GeneralizedTwoLevelPredictor": "src/core/generalized_two_level.cc",
+    "LeeSmithPredictor": "src/predictors/lee_smith_btb.cc",
+}
+
+# String literals that version an on-disk schema: each may be defined
+# at most once in C++ code (comments excluded; shell/python consumers
+# grep for them and are not scanned).
+SCHEMA_LITERAL_PATTERN = re.compile(r"tlat-[\w.-]*-v\d+$")
+
+# Named constants versioning a binary format, matched against
+# assignment/definition sites.
+SCHEMA_CONSTANT_DEFS = ("kTltrFormatVersion",)
+
+RULES = {
+    "unordered-iter": "unordered-container iteration without an "
+    "ordered projection (hash order leaks into output)",
+    "raw-rand": "unseeded/process-global randomness or wall-clock "
+    "outside tests/",
+    "float-accum": "float/double accumulation in a merge path "
+    "(integer counters only)",
+    "batch-twin": "simulateBatch override without a reference-loop "
+    "twin in the pairing manifest",
+    "schema-once": "schema version string/constant defined more than "
+    "once",
+}
+
+ALLOW_RE = re.compile(r"tlat-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """One scanned C++ file: raw lines, comment-stripped code lines
+    (string literal contents blanked), and the string literals per
+    line. Line numbers are 1-based throughout."""
+
+    def __init__(self, path, text):
+        self.path = path
+        self.raw_lines = text.split("\n")
+        self.code_lines, self.strings = _strip(text)
+        self.allows = self._collect_allows()
+
+    def _collect_allows(self):
+        allows = {}
+        for number, line in enumerate(self.raw_lines, start=1):
+            for match in ALLOW_RE.finditer(line):
+                allows.setdefault(number, set()).add(match.group(1))
+        return allows
+
+    def suppressed(self, line, rule):
+        for candidate in (line, line - 1):
+            if rule in self.allows.get(candidate, set()):
+                return True
+        return False
+
+
+def _strip(text):
+    """Returns (code_lines, strings): code with comments removed and
+    string-literal contents blanked, plus [(line, literal)] for every
+    double-quoted string. Handles //, /* */, "..." with escapes,
+    '...' char literals. Raw strings are rare in this tree and
+    treated as plain strings (good enough for token scanning)."""
+    code = []
+    strings = []
+    state = "code"  # code | line_comment | block_comment | dq | sq
+    current = []
+    literal = []
+    line_no = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            code.append("".join(current))
+            current = []
+            if state == "line_comment":
+                state = "code"
+            line_no += 1
+            i += 1
+            continue
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if ch == '"':
+                state = "dq"
+                literal = []
+                current.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "sq"
+                current.append("'")
+                i += 1
+                continue
+            current.append(ch)
+            i += 1
+            continue
+        if state == "line_comment":
+            i += 1
+            continue
+        if state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            i += 1
+            continue
+        if state == "dq":
+            if ch == "\\" and nxt:
+                literal.append(ch + nxt)
+                i += 2
+                continue
+            if ch == '"':
+                state = "code"
+                strings.append((line_no, "".join(literal)))
+                current.append('"')
+                i += 1
+                continue
+            literal.append(ch)
+            i += 1
+            continue
+        # state == "sq"
+        if ch == "\\" and nxt:
+            i += 2
+            continue
+        if ch == "'":
+            state = "code"
+            current.append("'")
+            i += 1
+            continue
+        i += 1
+    code.append("".join(current))
+    return code, strings
+
+
+def iter_source_files(root):
+    for directory in SCAN_DIRS:
+        base = os.path.join(root, directory)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(CXX_SUFFIXES):
+                    yield os.path.join(dirpath, name)
+
+
+def load(path):
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        return SourceFile(path, handle.read())
+
+
+# ---------------------------------------------------------------- #
+# rule: unordered-iter
+# ---------------------------------------------------------------- #
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<"
+)
+IDENT_AFTER_TYPE_RE = re.compile(r"\s*(?:&\s*)?([A-Za-z_]\w*)")
+SORT_RE = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
+
+
+def _unordered_names(src):
+    """Names declared (member or local) with an unordered container
+    type anywhere in the file."""
+    names = set()
+    text = "\n".join(src.code_lines)
+    for match in UNORDERED_DECL_RE.finditer(text):
+        # Walk the template argument list to its closing '>'.
+        depth = 1
+        i = match.end()
+        while i < len(text) and depth > 0:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        ident = IDENT_AFTER_TYPE_RE.match(text, i)
+        if ident:
+            names.add(ident.group(1))
+    return names
+
+
+def _line_depths(code_lines):
+    """Cumulative brace depth *before* each line (1-based index)."""
+    depths = [0]
+    depth = 0
+    for line in code_lines:
+        depths.append(depth)
+        depth += line.count("{") - line.count("}")
+    depths.append(depth)
+    return depths
+
+
+def _has_ordered_projection(src, loop_line):
+    """True when a std::sort/std::stable_sort appears after the loop
+    but inside the same enclosing block -- the collected-then-sorted
+    projection pattern."""
+    depths = _line_depths(src.code_lines)
+    enclosing = depths[loop_line]
+    for number in range(loop_line + 1, len(src.code_lines) + 1):
+        if depths[number] < enclosing:
+            return False  # left the enclosing block
+        if SORT_RE.search(src.code_lines[number - 1]):
+            return True
+    return False
+
+
+def check_unordered_iter(src, findings):
+    names = _unordered_names(src)
+    if not names:
+        return
+    alternation = "|".join(re.escape(name) for name in sorted(names))
+    range_for = re.compile(
+        r"for\s*\([^;()]*:\s*(?:this->)?(" + alternation + r")\s*\)"
+    )
+    # .begin() starts an iteration; a bare .end() is the find()
+    # sentinel idiom and order-independent.
+    explicit_iter = re.compile(
+        r"\b(" + alternation + r")\s*\.\s*c?r?begin\s*\("
+    )
+    for number, line in enumerate(src.code_lines, start=1):
+        match = range_for.search(line) or explicit_iter.search(line)
+        if not match:
+            continue
+        if src.suppressed(number, "unordered-iter"):
+            continue
+        if _has_ordered_projection(src, number):
+            continue
+        findings.append(Finding(
+            src.path, number, "unordered-iter",
+            f"iteration over unordered container '{match.group(1)}' "
+            "leaks hash order; emit an ordered projection "
+            "(collect + std::sort on a stable key) or justify with "
+            "// tlat-lint: allow(unordered-iter): <why>",
+        ))
+
+
+# ---------------------------------------------------------------- #
+# rule: raw-rand
+# ---------------------------------------------------------------- #
+
+RAW_RAND_PATTERNS = (
+    (re.compile(r"\bstd::s?rand\s*\(|(?<![\w:.])s?rand\s*\("),
+     "rand()/srand()"),
+    (re.compile(r"\bstd::time\b"), "std::time"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     "time(NULL)"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+)
+
+
+def check_raw_rand(src, findings):
+    for number, line in enumerate(src.code_lines, start=1):
+        for pattern, label in RAW_RAND_PATTERNS:
+            if not pattern.search(line):
+                continue
+            if src.suppressed(number, "raw-rand"):
+                continue
+            findings.append(Finding(
+                src.path, number, "raw-rand",
+                f"{label} ties results to process/wall-clock state; "
+                "use util::Rng seeded from harness::cellSeed()",
+            ))
+
+
+# ---------------------------------------------------------------- #
+# rule: float-accum
+# ---------------------------------------------------------------- #
+
+MERGE_FN_RE = re.compile(r"^\s*(\w*(?i:merge|accumulate|reduce)\w*)\s*\(")
+FLOAT_DECL_RE = re.compile(
+    r"\b(?:float|double)\s+(?:&\s*)?([A-Za-z_]\w*)\s*[={;,)]"
+)
+ACCUM_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\+=")
+
+
+def _merge_function_ranges(src):
+    """(start, end) line ranges of function bodies whose name matches
+    merge/accumulate/reduce. Definitions follow the house style: the
+    name starts a line, the body's '{' opens at depth 0 or class
+    depth."""
+    depths = _line_depths(src.code_lines)
+    ranges = []
+    for number, line in enumerate(src.code_lines, start=1):
+        if not MERGE_FN_RE.match(line):
+            continue
+        # Find the opening brace of the body, then its matching close.
+        open_line = None
+        for candidate in range(number, min(number + 8,
+                                           len(src.code_lines) + 1)):
+            if "{" in src.code_lines[candidate - 1]:
+                open_line = candidate
+                break
+            if ";" in src.code_lines[candidate - 1]:
+                break  # declaration only
+        if open_line is None:
+            continue
+        body_depth = depths[open_line]
+        end_line = len(src.code_lines)
+        for candidate in range(open_line + 1,
+                               len(src.code_lines) + 1):
+            if depths[candidate] <= body_depth and \
+                    "}" in src.code_lines[candidate - 1]:
+                end_line = candidate
+                break
+        ranges.append((number, end_line))
+    return ranges
+
+
+def check_float_accum(src, findings):
+    ranges = _merge_function_ranges(src)
+    if not ranges:
+        return
+    float_names = set()
+    for line in src.code_lines:
+        for match in FLOAT_DECL_RE.finditer(line):
+            float_names.add(match.group(1))
+    if not float_names:
+        return
+    for start, end in ranges:
+        for number in range(start, end + 1):
+            line = src.code_lines[number - 1]
+            for match in ACCUM_RE.finditer(line):
+                if match.group(1) not in float_names:
+                    continue
+                if src.suppressed(number, "float-accum"):
+                    continue
+                findings.append(Finding(
+                    src.path, number, "float-accum",
+                    f"'{match.group(1)}' accumulates float/double in "
+                    "a merge path; merge integer counters and derive "
+                    "ratios once at the end",
+                ))
+
+
+# ---------------------------------------------------------------- #
+# rule: batch-twin
+# ---------------------------------------------------------------- #
+
+CLASS_RE = re.compile(r"\bclass\s+([A-Za-z_]\w*)")
+OVERRIDE_RE = re.compile(
+    r"\bsimulateBatch\s*\([^;{]*?\boverride\b", re.S
+)
+
+
+def check_batch_twin(root, sources, findings):
+    override_classes = {}
+    for src in sources:
+        text = "\n".join(src.code_lines)
+        for match in OVERRIDE_RE.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            owner = None
+            for cls in CLASS_RE.finditer(text, 0, match.start()):
+                owner = cls.group(1)
+            override_classes[owner or "?"] = (src, line)
+
+    for owner, (src, line) in sorted(override_classes.items()):
+        if src.suppressed(line, "batch-twin"):
+            continue
+        if owner not in BATCH_TWIN_MANIFEST:
+            findings.append(Finding(
+                src.path, line, "batch-twin",
+                f"simulateBatch override in '{owner}' is not in the "
+                "pairing manifest (tools/tlat_lint.py); add it after "
+                "extending test_simulate_batch_fuzz to cover it",
+            ))
+
+    for owner, rel_path in sorted(BATCH_TWIN_MANIFEST.items()):
+        path = os.path.join(root, rel_path)
+        if not os.path.isfile(path):
+            continue  # partial tree (fixtures); nothing to pair
+        src = load(path)
+        text = "\n".join(src.code_lines)
+        if "simulateBatch" not in text:
+            findings.append(Finding(
+                path, 1, "batch-twin",
+                f"manifest expects a simulateBatch implementation "
+                f"for '{owner}' here; update the manifest if the "
+                "override moved",
+            ))
+        elif "BranchPredictor::simulateBatch(" not in text:
+            findings.append(Finding(
+                path, 1, "batch-twin",
+                f"'{owner}::simulateBatch' lost its reference-loop "
+                "twin: the BranchPredictor::simulateBatch fallback "
+                "must stay reachable for the equivalence suite",
+            ))
+
+
+# ---------------------------------------------------------------- #
+# rule: schema-once
+# ---------------------------------------------------------------- #
+
+def check_schema_once(sources, findings):
+    literal_sites = {}
+    for src in sources:
+        for line, literal in src.strings:
+            if SCHEMA_LITERAL_PATTERN.match(literal):
+                literal_sites.setdefault(literal, []).append(
+                    (src, line))
+    for literal, sites in sorted(literal_sites.items()):
+        if len(sites) <= 1:
+            continue
+        for src, line in sites[1:]:
+            if src.suppressed(line, "schema-once"):
+                continue
+            first_src, first_line = sites[0]
+            findings.append(Finding(
+                src.path, line, "schema-once",
+                f'schema string "{literal}" already defined at '
+                f"{os.path.basename(first_src.path)}:{first_line}; "
+                "reference the named constant instead",
+            ))
+
+    for constant in SCHEMA_CONSTANT_DEFS:
+        def_re = re.compile(r"\b" + re.escape(constant) + r"\s*=[^=]")
+        sites = []
+        for src in sources:
+            for number, line in enumerate(src.code_lines, start=1):
+                if def_re.search(line):
+                    sites.append((src, number))
+        for src, line in sites[1:]:
+            if src.suppressed(line, "schema-once"):
+                continue
+            first_src, first_line = sites[0]
+            findings.append(Finding(
+                src.path, line, "schema-once",
+                f"format version constant {constant} already defined "
+                f"at {os.path.basename(first_src.path)}:"
+                f"{first_line}",
+            ))
+
+
+# ---------------------------------------------------------------- #
+
+
+def run(root):
+    findings = []
+    sources = [load(path) for path in iter_source_files(root)]
+    for src in sources:
+        check_unordered_iter(src, findings)
+        check_raw_rand(src, findings)
+        check_float_accum(src, findings)
+    check_batch_twin(root, sources, findings)
+    check_schema_once(sources, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="tlat_lint.py",
+        description="tlat determinism-contract linter",
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))),
+        help="repository root to scan (default: the tree containing "
+        "this script)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, description in sorted(RULES.items()):
+            print(f"{name:16s} {description}")
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"tlat-lint: no such directory: {root}",
+              file=sys.stderr)
+        return 2
+
+    findings = run(root)
+    for finding in findings:
+        print(finding.render(root))
+    if findings:
+        print(f"tlat-lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Fixture-driven self-test for tools/tlat_lint.py, run by ctest
+# (tier1) with the repository root as $1.
+#
+# Each directory under tests/lint_fixtures/ is a miniature source
+# tree: the bad_* corpus must make the linter fail mentioning the
+# expected rule, and the suppressed tree (justified allow comment +
+# ordered-projection pattern) must lint clean. Together with the
+# `tlat_lint` ctest entry (the real tree must be clean), this pins
+# both directions: the rules fire, and the tree obeys them.
+set -u
+
+ROOT=${1:?usage: tlat_lint_test.sh <repo-root>}
+LINT="$ROOT/tools/tlat_lint.py"
+FIXTURES="$ROOT/tests/lint_fixtures"
+PYTHON=${PYTHON:-python3}
+failures=0
+
+# expect_rule <fixture-dir> <rule-name>: lint must exit 1 and report
+# the named rule at least once.
+expect_rule() {
+    fixture=$1
+    rule=$2
+    out=$("$PYTHON" "$LINT" --root "$FIXTURES/$fixture" 2>&1)
+    status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "FAIL: $fixture: expected exit 1, got $status"
+        echo "$out"
+        failures=$((failures + 1))
+    elif ! printf '%s' "$out" | grep -q "\[$rule\]"; then
+        echo "FAIL: $fixture: no [$rule] finding in output:"
+        echo "$out"
+        failures=$((failures + 1))
+    else
+        echo "ok: $fixture triggers [$rule]"
+    fi
+}
+
+expect_rule unordered_iter unordered-iter
+expect_rule raw_rand raw-rand
+expect_rule float_accum float-accum
+expect_rule batch_twin batch-twin
+expect_rule schema_once schema-once
+
+# The raw_rand fixture packs several sources; all four must be caught.
+out=$("$PYTHON" "$LINT" --root "$FIXTURES/raw_rand" 2>&1)
+count=$(printf '%s\n' "$out" | grep -c "\[raw-rand\]")
+if [ "$count" -lt 4 ]; then
+    echo "FAIL: raw_rand: expected >=4 findings, got $count"
+    echo "$out"
+    failures=$((failures + 1))
+else
+    echo "ok: raw_rand reports $count distinct sources"
+fi
+
+# Sanctioned escapes must not fire: justified suppression comment and
+# the collect-then-sort ordered projection.
+out=$("$PYTHON" "$LINT" --root "$FIXTURES/suppressed" 2>&1)
+status=$?
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: suppressed fixture should lint clean, exit $status:"
+    echo "$out"
+    failures=$((failures + 1))
+else
+    echo "ok: suppression comment and ordered projection lint clean"
+fi
+
+# --list-rules is the documented discovery surface; every rule the
+# fixtures exercise must be listed.
+out=$("$PYTHON" "$LINT" --list-rules)
+for rule in unordered-iter raw-rand float-accum batch-twin \
+        schema-once; do
+    if ! printf '%s\n' "$out" | grep -q "^$rule"; then
+        echo "FAIL: --list-rules does not list $rule"
+        failures=$((failures + 1))
+    fi
+done
+echo "ok: --list-rules covers the catalog"
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures lint self-test(s) failed"
+    exit 1
+fi
+echo "all tlat-lint fixture checks passed"
