@@ -71,6 +71,24 @@ class BranchPredictor
         }
     }
 
+    /**
+     * Batch simulation over a predecoded trace
+     * (trace::TraceBuffer::predecodedView()): the SoA lanes plus the
+     * AoS conditional span they mirror. The default unwraps to the
+     * span overload above, so every predictor accepts a predecoded
+     * view and only the schemes with a dedicated SoA fast path
+     * (TwoLevelPredictor, GeneralizedTwoLevel, LeeSmith) do anything
+     * different with it. The equivalence contract is the same strict
+     * bit-identity as the span overload, against the same reference
+     * loop — an override may never let the two inputs diverge.
+     */
+    virtual void
+    simulateBatch(const trace::PredecodedView &view,
+                  AccuracyCounter &accuracy)
+    {
+        simulateBatch(view.records(), accuracy);
+    }
+
     /** Restores the initial state (fresh tables). */
     virtual void reset() = 0;
 

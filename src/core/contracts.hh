@@ -28,8 +28,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
+#include <vector>
 
 #include "automaton.hh"
+#include "trace/predecode.hh"
 #include "trace/record.hh"
 #include "trace/trace_io.hh"
 
@@ -311,6 +314,33 @@ static_assert(trace::kTltrFormatVersion == 2,
 static_assert(static_cast<unsigned>(trace::BranchClass::NumClasses) <=
                   255,
               "BranchClass must fit the one-byte TLTR class field");
+
+// ---------------------------------------------------------------------
+// Predecoded SoA lane contracts (trace/predecode.hh): the fused SoA
+// loops and the per-geometry index-lane probers are sized around
+// these exact element types — a u32 branch id (2^32-1 unique static
+// branches, asserted at build time), u64 packed-outcome words, u32
+// set/slot indices and u64 tags/lines. Widening any of them silently
+// doubles hot-lane memory traffic, which is the very thing the
+// predecode layer exists to remove.
+// ---------------------------------------------------------------------
+
+static_assert(std::is_same_v<trace::BranchId, std::uint32_t>,
+              "the dense branch-id lane is sized for u32 ids");
+static_assert(trace::PredecodedTrace::kOutcomeWordBits == 64,
+              "the packed outcome bitvector uses u64 words");
+static_assert(
+    std::is_same_v<decltype(trace::AhrtLane::sets),
+                   std::vector<std::uint32_t>> &&
+        std::is_same_v<decltype(trace::AhrtLane::tags),
+                       std::vector<std::uint64_t>>,
+    "AHRT index lane drifted from the u32-set/u64-tag layout");
+static_assert(
+    std::is_same_v<decltype(trace::HashedLane::indices),
+                   std::vector<std::uint32_t>> &&
+        std::is_same_v<decltype(trace::HashedLane::lines),
+                       std::vector<std::uint64_t>>,
+    "HHRT index lane drifted from the u32-index/u64-line layout");
 
 } // namespace tlat::core
 

@@ -162,6 +162,88 @@ GeneralizedTwoLevelPredictor::fusedBatch(
     }
 }
 
+template <AutomatonPolicy Ops>
+void
+GeneralizedTwoLevelPredictor::fusedBatchSoa(
+    const Ops &ops, const trace::PredecodedView &view,
+    AccuracyCounter &accuracy)
+{
+    const std::uint32_t mask = history_mask_;
+    const bool use_xor = config_.xorAddress;
+    const trace::PredecodedTrace &soa = view.soa();
+    const std::span<const trace::BranchId> ids = soa.branchIds();
+    const std::span<const std::uint64_t> pcs = soa.uniquePcs();
+
+    // Lazy per-unique-branch scope lanes: each static branch resolves
+    // its (history register, pattern table, xor term) triple at first
+    // appearance — the same moment the reference loop would insert it
+    // into the per-address maps, so demand-grown state is created in
+    // the identical order. The cached references stay valid because
+    // the global/per-set stores are preallocated and unordered_map
+    // nodes are stable across growth.
+    std::vector<std::uint32_t *> histories(soa.uniquePcCount(),
+                                           nullptr);
+    std::vector<PatternTable *> tables(soa.uniquePcCount(), nullptr);
+    std::vector<std::uint32_t> xor_terms(
+        use_xor ? soa.uniquePcCount() : 0, 0);
+
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const trace::BranchId id = ids[i];
+        std::uint32_t *&history = histories[id];
+        if (history == nullptr) {
+            const std::uint64_t pc = pcs[id];
+            history = &historyFor(pc);
+            tables[id] = &tableFor(pc);
+            if (use_xor) {
+                xor_terms[id] =
+                    static_cast<std::uint32_t>(
+                        pc >> config_.addrShift) &
+                    mask;
+            }
+        }
+        const bool taken = soa.taken(i);
+        std::uint32_t pattern = *history;
+        if (use_xor)
+            pattern ^= xor_terms[id];
+        std::uint8_t &state = tables[id]->stateAt(pattern);
+        const bool predicted = ops.predict(state);
+        accuracy.record(predicted == taken);
+        state = ops.next(state, taken);
+        *history = ((*history << 1) | (taken ? 1u : 0u)) & mask;
+    }
+}
+
+void
+GeneralizedTwoLevelPredictor::simulateBatch(
+    const trace::PredecodedView &view, AccuracyCounter &accuracy)
+{
+    switch (config_.automaton) {
+      case AutomatonKind::LastTime:
+        fusedBatchSoa(AutomatonOps<AutomatonKind::LastTime>{}, view,
+                      accuracy);
+        break;
+      case AutomatonKind::A1:
+        fusedBatchSoa(AutomatonOps<AutomatonKind::A1>{}, view,
+                      accuracy);
+        break;
+      case AutomatonKind::A2:
+        fusedBatchSoa(AutomatonOps<AutomatonKind::A2>{}, view,
+                      accuracy);
+        break;
+      case AutomatonKind::A3:
+        fusedBatchSoa(AutomatonOps<AutomatonKind::A3>{}, view,
+                      accuracy);
+        break;
+      case AutomatonKind::A4:
+        fusedBatchSoa(AutomatonOps<AutomatonKind::A4>{}, view,
+                      accuracy);
+        break;
+      default:
+        simulateBatch(view.records(), accuracy);
+        break;
+    }
+}
+
 void
 GeneralizedTwoLevelPredictor::simulateBatch(
     std::span<const trace::BranchRecord> records,

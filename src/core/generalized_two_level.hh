@@ -96,6 +96,17 @@ class GeneralizedTwoLevelPredictor : public BranchPredictor
     void simulateBatch(std::span<const trace::BranchRecord> records,
                        AccuracyCounter &accuracy) override;
 
+    /**
+     * SoA fused fast path over a predecoded trace: the (history
+     * register, pattern table, xor term) triple of each *unique*
+     * branch is resolved once per batch into dense id-indexed lanes
+     * (the per-address scopes otherwise pay an unordered_map probe
+     * per dynamic branch), and outcomes stream from the packed
+     * bitvector. Same bit-equivalence contract as the AoS overload.
+     */
+    void simulateBatch(const trace::PredecodedView &view,
+                       AccuracyCounter &accuracy) override;
+
     const GeneralizedConfig &config() const { return config_; }
 
     /** Number of distinct pattern tables instantiated so far. */
@@ -115,6 +126,12 @@ class GeneralizedTwoLevelPredictor : public BranchPredictor
     void fusedBatch(const Ops &ops,
                     std::span<const trace::BranchRecord> records,
                     AccuracyCounter &accuracy);
+
+    /** SoA twin of fusedBatch (lazy per-unique-branch scope lanes). */
+    template <AutomatonPolicy Ops>
+    void fusedBatchSoa(const Ops &ops,
+                       const trace::PredecodedView &view,
+                       AccuracyCounter &accuracy);
 
     GeneralizedConfig config_;
     std::uint32_t history_mask_;

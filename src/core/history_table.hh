@@ -201,6 +201,15 @@ class IdealTable : public HistoryTable<Entry>
         return it->second;
     }
 
+    /**
+     * Statistics-only accounting for the SoA fast path: once a
+     * branch-id slot caches the entry reference (node handles are
+     * stable across rehashing), repeat probes skip the hash lookup
+     * entirely but must still count as hits so the table statistics
+     * stay bit-identical to the reference loop's.
+     */
+    void noteRepeatHit() { ++this->stats_.hits; }
+
     TableKind kind() const override { return TableKind::Ideal; }
 
     void
@@ -307,8 +316,20 @@ class AssociativeTable : public HistoryTable<Entry>
     lookupDirect(std::uint64_t pc)
     {
         const std::uint64_t line = pc >> addr_shift_;
-        const std::size_t set = line & (num_sets_ - 1);
-        const std::uint64_t tag = line / num_sets_;
+        return lookupWithSetTag(line & (num_sets_ - 1),
+                                line / num_sets_);
+    }
+
+    /**
+     * Probe with the set/tag pair already derived — the SoA fast path
+     * reads both from a per-geometry index lane
+     * (trace::PredecodedTrace::ahrtLane) computed once per unique PC
+     * instead of once per dynamic branch. Behaviour and statistics
+     * are identical to lookupDirect (which now delegates here).
+     */
+    Entry &
+    lookupWithSetTag(std::size_t set, std::uint64_t tag)
+    {
         Way *ways = &ways_store_[set * ways_];
 
         ++tick_;
@@ -349,6 +370,7 @@ class AssociativeTable : public HistoryTable<Entry>
 
     std::size_t numSets() const { return num_sets_; }
     unsigned associativity() const { return ways_; }
+    unsigned addrShift() const { return addr_shift_; }
 
     void
     saveState(std::ostream &os, const typename HistoryTable<
@@ -434,14 +456,32 @@ class HashedTable : public HistoryTable<Entry>
         return lookupDirect(pc);
     }
 
-    /** Non-virtual lookup for the devirtualized batch loop. */
+    /**
+     * Non-virtual lookup for the devirtualized batch loop. Scalar
+     * fallback path: re-derives the slot index from the address on
+     * every probe — under HashKind::Mixed that is one mix64 per
+     * dynamic branch. The SoA fast path avoids the recomputation by
+     * probing through lookupAtIndex() with a per-geometry index lane
+     * hashed once per *unique* PC.
+     */
     Entry &
     lookupDirect(std::uint64_t pc)
     {
         const std::uint64_t line = pc >> addr_shift_;
-        const std::uint64_t index =
-            (hash_ == HashKind::LowBits ? line : mix64(line)) &
-            (size_ - 1);
+        return lookupAtIndex(indexOfLine(line), line);
+    }
+
+    /**
+     * Probe with the slot index already derived (from
+     * trace::PredecodedTrace::hashedLane); @p line must be the
+     * address line the index was hashed from, because it feeds the
+     * aliasing attribution. Behaviour and statistics — including the
+     * touched_/lines_ interference tracking — are identical to
+     * lookupDirect (which now delegates here).
+     */
+    Entry &
+    lookupAtIndex(std::size_t index, std::uint64_t line)
+    {
         // A tagless table cannot distinguish hit from miss; count the
         // first touch of a slot as a miss for reporting purposes. A
         // touched slot last used by a *different* line is collision
@@ -458,6 +498,14 @@ class HashedTable : public HistoryTable<Entry>
         return entries_[index];
     }
 
+    /** The slot an address line hashes to (lane-consistency tests). */
+    std::size_t
+    indexOfLine(std::uint64_t line) const
+    {
+        return (hash_ == HashKind::LowBits ? line : mix64(line)) &
+               (size_ - 1);
+    }
+
     TableKind kind() const override { return TableKind::Hashed; }
 
     void
@@ -470,6 +518,8 @@ class HashedTable : public HistoryTable<Entry>
     }
 
     std::size_t size() const { return size_; }
+    unsigned addrShift() const { return addr_shift_; }
+    HashKind hashKind() const { return hash_; }
 
     void
     saveState(std::ostream &os, const typename HistoryTable<

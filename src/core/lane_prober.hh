@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SoA index-lane probers: the glue between a predecoded trace
+ * (trace/predecode.hh) and the history-table storage flavours.
+ *
+ * Each prober wraps one concrete table and answers probe(id) — "the
+ * entry for static branch @p id" — using whatever the predecode layer
+ * precomputed for that table's geometry:
+ *
+ *  - IdealLaneProber: a per-id pointer lane. The first probe of an id
+ *    pays the one unordered_map lookup (which also books the
+ *    reference loop's hit-or-miss for that first touch, warm tables
+ *    included); every repeat is a direct vector index plus a
+ *    noteRepeatHit() — no hashing on the steady-state path at all.
+ *  - AssociativeLaneProber: reads the precomputed (set, tag) pair
+ *    from the trace's AHRT lane and probes via lookupWithSetTag().
+ *  - HashedLaneProber: reads the precomputed slot index (the mix64 is
+ *    paid once per unique PC per geometry, not once per branch) from
+ *    the trace's HHRT lane and probes via lookupAtIndex().
+ *
+ * All three produce bit-identical table state and statistics to a
+ * lookupDirect(pc)-per-branch loop; tests/test_simulate_batch_fuzz
+ * and tests/test_history_table hold them to it.
+ */
+
+#ifndef TLAT_CORE_LANE_PROBER_HH
+#define TLAT_CORE_LANE_PROBER_HH
+
+#include <span>
+#include <vector>
+
+#include "history_table.hh"
+#include "trace/predecode.hh"
+
+namespace tlat::core
+{
+
+/** IHRT prober: hash each unique PC once, then index a pointer lane. */
+template <typename Entry>
+class IdealLaneProber
+{
+  public:
+    IdealLaneProber(IdealTable<Entry> &table,
+                    std::span<const std::uint64_t> unique_pcs)
+        : table_(table), unique_pcs_(unique_pcs),
+          slots_(unique_pcs.size(), nullptr)
+    {
+    }
+
+    Entry &
+    probe(trace::BranchId id)
+    {
+        Entry *&slot = slots_[id];
+        if (slot == nullptr) {
+            // First touch in this batch: the real lookup books the
+            // hit (warm table) or miss (fresh allocation) exactly as
+            // the reference loop would. unordered_map references are
+            // node-stable, so the cached pointer survives growth.
+            slot = &table_.lookupDirect(unique_pcs_[id]);
+        } else {
+            table_.noteRepeatHit();
+        }
+        return *slot;
+    }
+
+  private:
+    IdealTable<Entry> &table_;
+    std::span<const std::uint64_t> unique_pcs_;
+    std::vector<Entry *> slots_;
+};
+
+/** AHRT prober: set/tag from the per-geometry lane, LRU probe here. */
+template <typename Entry>
+class AssociativeLaneProber
+{
+  public:
+    AssociativeLaneProber(AssociativeTable<Entry> &table,
+                          const trace::PredecodedTrace &soa)
+        : table_(table),
+          lane_(soa.ahrtLane(table.addrShift(), table.numSets()))
+    {
+    }
+
+    Entry &
+    probe(trace::BranchId id)
+    {
+        return table_.lookupWithSetTag(lane_.sets[id],
+                                       lane_.tags[id]);
+    }
+
+  private:
+    AssociativeTable<Entry> &table_;
+    const trace::AhrtLane &lane_;
+};
+
+/** HHRT prober: slot index from the per-geometry lane (no re-hash). */
+template <typename Entry>
+class HashedLaneProber
+{
+  public:
+    HashedLaneProber(HashedTable<Entry> &table,
+                     const trace::PredecodedTrace &soa)
+        : table_(table),
+          lane_(soa.hashedLane(table.addrShift(), table.size(),
+                               table.hashKind() == HashKind::Mixed))
+    {
+    }
+
+    Entry &
+    probe(trace::BranchId id)
+    {
+        return table_.lookupAtIndex(lane_.indices[id],
+                                    lane_.lines[id]);
+    }
+
+  private:
+    HashedTable<Entry> &table_;
+    const trace::HashedLane &lane_;
+};
+
+} // namespace tlat::core
+
+#endif // TLAT_CORE_LANE_PROBER_HH

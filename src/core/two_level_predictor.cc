@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "contracts.hh"
+#include "lane_prober.hh"
 #include "util/string_utils.hh"
 
 namespace tlat::core
@@ -228,6 +229,64 @@ TwoLevelPredictor::fusedBatch(Table &table, const Ops &ops,
     }
 }
 
+template <typename Prober, AutomatonPolicy Ops>
+void
+TwoLevelPredictor::fusedBatchSoa(Prober &prober, const Ops &ops,
+                                 const trace::PredecodedView &view,
+                                 AccuracyCounter &accuracy)
+{
+    // Mirrors fusedBatch() line for line; the only differences are
+    // where the operands come from — the HRT entry via the prober's
+    // precomputed index lane instead of a per-branch pc derivation,
+    // and the outcome via the packed bitvector instead of the AoS
+    // record — so the bit-equivalence argument is fusedBatch's own.
+    const bool cached = config_.cachedPredictionBit;
+    const bool speculative = config_.speculativeHistoryUpdate;
+    const std::uint32_t mask = history_mask_;
+    const trace::PredecodedTrace &soa = view.soa();
+    const std::span<const trace::BranchId> ids = soa.branchIds();
+
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        HrtEntry &entry = prober.probe(ids[i]);
+        const bool taken = soa.taken(i);
+        std::uint8_t &state = pattern_table_.stateAt(entry.history);
+        const bool predicted =
+            cached ? entry.cachedPrediction : ops.predict(state);
+        accuracy.record(predicted == taken);
+
+        if (speculative) {
+            const std::uint32_t spec_pattern = entry.history;
+            entry.history = ((entry.history << 1) |
+                             (predicted ? 1u : 0u)) &
+                            mask;
+            if (cached) {
+                entry.cachedPrediction =
+                    pattern_table_.predictWith(ops, entry.history);
+            }
+            state = ops.next(state, taken);
+            if (predicted != taken) {
+                entry.history = ((spec_pattern << 1) |
+                                 (taken ? 1u : 0u)) &
+                                mask;
+                ++squash_events_;
+            }
+            if (cached) {
+                entry.cachedPrediction =
+                    pattern_table_.predictWith(ops, entry.history);
+            }
+        } else {
+            state = ops.next(state, taken);
+            entry.history = ((entry.history << 1) |
+                             (taken ? 1u : 0u)) &
+                            mask;
+            if (cached) {
+                entry.cachedPrediction =
+                    pattern_table_.predictWith(ops, entry.history);
+            }
+        }
+    }
+}
+
 template <typename Table>
 void
 TwoLevelPredictor::dispatchAutomaton(Table &table,
@@ -265,6 +324,80 @@ TwoLevelPredictor::dispatchAutomaton(Table &table,
       default:
         BranchPredictor::simulateBatch(records, accuracy);
         break;
+    }
+}
+
+template <typename Prober>
+void
+TwoLevelPredictor::dispatchAutomatonSoa(
+    Prober &prober, const trace::PredecodedView &view,
+    AccuracyCounter &accuracy)
+{
+    if (config_.counterBits > 0) {
+        fusedBatchSoa(prober, CounterOps(config_.counterBits), view,
+                      accuracy);
+        return;
+    }
+    switch (config_.automaton) {
+      case AutomatonKind::LastTime:
+        fusedBatchSoa(prober,
+                      AutomatonOps<AutomatonKind::LastTime>{}, view,
+                      accuracy);
+        break;
+      case AutomatonKind::A1:
+        fusedBatchSoa(prober, AutomatonOps<AutomatonKind::A1>{},
+                      view, accuracy);
+        break;
+      case AutomatonKind::A2:
+        fusedBatchSoa(prober, AutomatonOps<AutomatonKind::A2>{},
+                      view, accuracy);
+        break;
+      case AutomatonKind::A3:
+        fusedBatchSoa(prober, AutomatonOps<AutomatonKind::A3>{},
+                      view, accuracy);
+        break;
+      case AutomatonKind::A4:
+        fusedBatchSoa(prober, AutomatonOps<AutomatonKind::A4>{},
+                      view, accuracy);
+        break;
+      default:
+        simulateBatch(view.records(), accuracy);
+        break;
+    }
+}
+
+void
+TwoLevelPredictor::simulateBatch(const trace::PredecodedView &view,
+                                 AccuracyCounter &accuracy)
+{
+    // Same unsafe-state guard as the AoS overload; delegating to the
+    // AoS twin (which re-checks and defers to the reference loop)
+    // keeps the fallback decision in exactly one place per overload.
+    if (last_entry_ != nullptr || !in_flight_.empty()) {
+        simulateBatch(view.records(), accuracy);
+        return;
+    }
+    switch (config_.hrtKind) {
+      case TableKind::Ideal: {
+        IdealLaneProber<HrtEntry> prober(
+            static_cast<IdealTable<HrtEntry> &>(*hrt_),
+            view.soa().uniquePcs());
+        dispatchAutomatonSoa(prober, view, accuracy);
+        break;
+      }
+      case TableKind::Associative: {
+        AssociativeLaneProber<HrtEntry> prober(
+            static_cast<AssociativeTable<HrtEntry> &>(*hrt_),
+            view.soa());
+        dispatchAutomatonSoa(prober, view, accuracy);
+        break;
+      }
+      case TableKind::Hashed: {
+        HashedLaneProber<HrtEntry> prober(
+            static_cast<HashedTable<HrtEntry> &>(*hrt_), view.soa());
+        dispatchAutomatonSoa(prober, view, accuracy);
+        break;
+      }
     }
 }
 

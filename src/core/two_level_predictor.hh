@@ -110,6 +110,21 @@ class TwoLevelPredictor : public BranchPredictor
     void simulateBatch(std::span<const trace::BranchRecord> records,
                        AccuracyCounter &accuracy) override;
 
+    /**
+     * SoA fused fast path over a predecoded trace: the dense
+     * branch-id lane turns the IHRT probe into a direct vector index
+     * (one hash per unique PC per batch instead of one per branch),
+     * the AHRT reads its set/tag pair and the HHRT its slot index
+     * from per-geometry lanes computed once per (trace, geometry).
+     * Outcomes stream from the packed bitvector. Same strict
+     * bit-equivalence contract as the AoS overload, against the same
+     * reference loop; falls back to the AoS twin (and through it to
+     * the reference loop) whenever mid-pair memo state or in-flight
+     * speculation makes the fused path unsafe.
+     */
+    void simulateBatch(const trace::PredecodedView &view,
+                       AccuracyCounter &accuracy) override;
+
     /** HRT access statistics (hit ratio drives Figure 6's ordering). */
     const TableStats &hrtStats() const { return hrt_->stats(); }
 
@@ -172,6 +187,18 @@ class TwoLevelPredictor : public BranchPredictor
                            std::span<const trace::BranchRecord>
                                records,
                            AccuracyCounter &accuracy);
+
+    /** SoA twin of fusedBatch, monomorphized over (prober, policy). */
+    template <typename Prober, AutomatonPolicy Ops>
+    void fusedBatchSoa(Prober &prober, const Ops &ops,
+                       const trace::PredecodedView &view,
+                       AccuracyCounter &accuracy);
+
+    /** SoA twin of dispatchAutomaton. */
+    template <typename Prober>
+    void dispatchAutomatonSoa(Prober &prober,
+                              const trace::PredecodedView &view,
+                              AccuracyCounter &accuracy);
 
     TwoLevelConfig config_;
     std::uint32_t history_mask_;

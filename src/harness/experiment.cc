@@ -10,7 +10,10 @@ measure(core::BranchPredictor &predictor,
         const trace::TraceBuffer &test)
 {
     AccuracyCounter accuracy;
-    predictor.simulateBatch(test.conditionalView(), accuracy);
+    // The predecoded artifact is compiled once per trace (preload
+    // builds it eagerly; otherwise the first measurement does) and
+    // shared read-only by every cell that replays the trace.
+    predictor.simulateBatch(test.predecodedView(), accuracy);
     return accuracy;
 }
 

@@ -39,9 +39,9 @@ struct ExperimentResult
  * The predictor is *not* reset first (callers may pre-train).
  *
  * Routed through BranchPredictor::simulateBatch() over the trace's
- * prefiltered conditional view — predictors with a fused fast path
- * run it here; the result is defined to be bit-identical to
- * measureReference().
+ * predecoded view (SoA lanes + the prefiltered conditional span) —
+ * predictors with a fused fast path run it here; the result is
+ * defined to be bit-identical to measureReference().
  */
 AccuracyCounter measure(core::BranchPredictor &predictor,
                         const trace::TraceBuffer &test);

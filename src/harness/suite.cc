@@ -143,6 +143,10 @@ BenchmarkSuite::preload(util::ThreadPool &pool, bool include_training)
     util::parallelFor(pool, pending.size(), [&](std::size_t i) {
         Pending &job = pending[i];
         job.buffer = generateTrace(job.benchmark, job.dataSet);
+        // Compile the SoA predecode while we are still parallel: the
+        // artifact is cached inside the buffer and re-shared by every
+        // sweep cell, so no cell pays the dictionary build.
+        job.buffer.predecoded();
     });
 
     for (Pending &job : pending)

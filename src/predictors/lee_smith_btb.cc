@@ -1,6 +1,7 @@
 #include "lee_smith_btb.hh"
 
 #include "core/contracts.hh"
+#include "core/lane_prober.hh"
 #include "util/string_utils.hh"
 
 namespace tlat::predictors
@@ -117,6 +118,98 @@ LeeSmithPredictor::dispatchAutomaton(
       default:
         BranchPredictor::simulateBatch(records, accuracy);
         break;
+    }
+}
+
+template <typename Prober, core::AutomatonPolicy Ops>
+void
+LeeSmithPredictor::fusedBatchSoa(Prober &prober, const Ops &ops,
+                                 const trace::PredecodedView &view,
+                                 AccuracyCounter &accuracy)
+{
+    // Mirrors fusedBatch(); only the operand sources differ (index
+    // lane probe + packed outcome bit), so the equivalence argument
+    // carries over unchanged.
+    const trace::PredecodedTrace &soa = view.soa();
+    const std::span<const trace::BranchId> ids = soa.branchIds();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        Automaton &automaton = prober.probe(ids[i]);
+        const bool taken = soa.taken(i);
+        const bool predicted = ops.predict(automaton.state());
+        accuracy.record(predicted == taken);
+        automaton.setState(ops.next(automaton.state(), taken));
+    }
+}
+
+template <typename Prober>
+void
+LeeSmithPredictor::dispatchAutomatonSoa(
+    Prober &prober, const trace::PredecodedView &view,
+    AccuracyCounter &accuracy)
+{
+    using core::AutomatonKind;
+    using core::AutomatonOps;
+    switch (config_.automaton) {
+      case AutomatonKind::LastTime:
+        fusedBatchSoa(prober,
+                      AutomatonOps<AutomatonKind::LastTime>{}, view,
+                      accuracy);
+        break;
+      case AutomatonKind::A1:
+        fusedBatchSoa(prober, AutomatonOps<AutomatonKind::A1>{},
+                      view, accuracy);
+        break;
+      case AutomatonKind::A2:
+        fusedBatchSoa(prober, AutomatonOps<AutomatonKind::A2>{},
+                      view, accuracy);
+        break;
+      case AutomatonKind::A3:
+        fusedBatchSoa(prober, AutomatonOps<AutomatonKind::A3>{},
+                      view, accuracy);
+        break;
+      case AutomatonKind::A4:
+        fusedBatchSoa(prober, AutomatonOps<AutomatonKind::A4>{},
+                      view, accuracy);
+        break;
+      default:
+        simulateBatch(view.records(), accuracy);
+        break;
+    }
+}
+
+void
+LeeSmithPredictor::simulateBatch(const trace::PredecodedView &view,
+                                 AccuracyCounter &accuracy)
+{
+    if (last_entry_ != nullptr) {
+        // Mid predict/update pair: the AoS twin owns the fallback to
+        // the reference loop, which honours the memo.
+        simulateBatch(view.records(), accuracy);
+        return;
+    }
+    switch (config_.tableKind) {
+      case TableKind::Ideal: {
+        core::IdealLaneProber<Automaton> prober(
+            static_cast<core::IdealTable<Automaton> &>(*table_),
+            view.soa().uniquePcs());
+        dispatchAutomatonSoa(prober, view, accuracy);
+        break;
+      }
+      case TableKind::Associative: {
+        core::AssociativeLaneProber<Automaton> prober(
+            static_cast<core::AssociativeTable<Automaton> &>(
+                *table_),
+            view.soa());
+        dispatchAutomatonSoa(prober, view, accuracy);
+        break;
+      }
+      case TableKind::Hashed: {
+        core::HashedLaneProber<Automaton> prober(
+            static_cast<core::HashedTable<Automaton> &>(*table_),
+            view.soa());
+        dispatchAutomatonSoa(prober, view, accuracy);
+        break;
+      }
     }
 }
 

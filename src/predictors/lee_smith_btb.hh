@@ -52,6 +52,16 @@ class LeeSmithPredictor : public core::BranchPredictor
     void simulateBatch(std::span<const trace::BranchRecord> records,
                        AccuracyCounter &accuracy) override;
 
+    /**
+     * SoA fused fast path over a predecoded trace: table probes go
+     * through the per-geometry index lanes (direct pointer lane for
+     * the ideal table, precomputed set/tag or hashed slot otherwise)
+     * and outcomes stream from the packed bitvector. Bit-identical to
+     * the AoS overload; falls back to it on mid-pair memo state.
+     */
+    void simulateBatch(const trace::PredecodedView &view,
+                       AccuracyCounter &accuracy) override;
+
     /** The BTB table counters map onto the level-1 metric fields. */
     void
     collectMetrics(core::RunMetrics &metrics) const override
@@ -85,6 +95,18 @@ class LeeSmithPredictor : public core::BranchPredictor
                            std::span<const trace::BranchRecord>
                                records,
                            AccuracyCounter &accuracy);
+
+    /** SoA twin of fusedBatch, monomorphized over (prober, policy). */
+    template <typename Prober, core::AutomatonPolicy Ops>
+    void fusedBatchSoa(Prober &prober, const Ops &ops,
+                       const trace::PredecodedView &view,
+                       AccuracyCounter &accuracy);
+
+    /** SoA twin of dispatchAutomaton. */
+    template <typename Prober>
+    void dispatchAutomatonSoa(Prober &prober,
+                              const trace::PredecodedView &view,
+                              AccuracyCounter &accuracy);
 
     LeeSmithConfig config_;
     std::unique_ptr<core::HistoryTable<core::Automaton>> table_;

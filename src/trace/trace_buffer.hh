@@ -7,10 +7,12 @@
 #ifndef TLAT_TRACE_TRACE_BUFFER_HH
 #define TLAT_TRACE_TRACE_BUFFER_HH
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "predecode.hh"
 #include "record.hh"
 
 namespace tlat::trace
@@ -23,6 +25,31 @@ class TraceBuffer
     TraceBuffer() = default;
     explicit TraceBuffer(std::string name) : name_(std::move(name)) {}
 
+    // Copies get a fresh predecode slot (a diverging copy must never
+    // poison the original's cached artifact); moves carry the slot
+    // with the records it mirrors.
+    TraceBuffer(const TraceBuffer &other)
+        : name_(other.name_), records_(other.records_),
+          conditional_(other.conditional_), mix_(other.mix_)
+    {
+    }
+
+    TraceBuffer &
+    operator=(const TraceBuffer &other)
+    {
+        if (this != &other) {
+            name_ = other.name_;
+            records_ = other.records_;
+            conditional_ = other.conditional_;
+            mix_ = other.mix_;
+            predecode_ = std::make_shared<PredecodeCache>();
+        }
+        return *this;
+    }
+
+    TraceBuffer(TraceBuffer &&) = default;
+    TraceBuffer &operator=(TraceBuffer &&) = default;
+
     void append(const BranchRecord &record)
     {
         records_.push_back(record);
@@ -30,8 +57,29 @@ class TraceBuffer
             conditional_.push_back(record);
     }
 
-    /** Pre-sizes the record storage (bulk loaders). */
-    void reserve(std::size_t count) { records_.reserve(count); }
+    /**
+     * Pre-sizes the record storage (bulk loaders). Both the full
+     * record vector and the conditional-only mirror are reserved to
+     * @p count — every record may be conditional, and one exact
+     * allocation beats the doubling-growth copies a multi-million
+     * record load would otherwise pay on each vector.
+     */
+    void
+    reserve(std::size_t count)
+    {
+        records_.reserve(count);
+        conditional_.reserve(count);
+    }
+
+    /** Allocated record capacity (reserve() regression tests). */
+    std::size_t recordCapacity() const { return records_.capacity(); }
+
+    /** Allocated conditional-mirror capacity (reserve() tests). */
+    std::size_t
+    conditionalCapacity() const
+    {
+        return conditional_.capacity();
+    }
 
     const std::string &name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
@@ -73,20 +121,58 @@ class TraceBuffer
         return conditional_;
     }
 
+    /**
+     * The predecoded (SoA) form of the conditional stream, compiled
+     * on first request and cached for the buffer's lifetime (see
+     * predecode.hh). Thread-safe on a const buffer: concurrent sweep
+     * cells build it once and share it read-only; preload() calls it
+     * eagerly so cells never pay the build. Appending more
+     * conditional records invalidates the cache (detected by length)
+     * and the next request recompiles.
+     */
+    std::shared_ptr<const PredecodedTrace>
+    predecoded() const
+    {
+        return cacheSlot().get(conditional_);
+    }
+
+    /** The predecoded lanes paired with their AoS fallback span. */
+    PredecodedView
+    predecodedView() const
+    {
+        return PredecodedView(conditional_, predecoded());
+    }
+
     void
     clear()
     {
         records_.clear();
         conditional_.clear();
         mix_ = InstructionMix{};
+        if (predecode_)
+            predecode_->invalidate();
     }
 
   private:
+    PredecodeCache &
+    cacheSlot() const
+    {
+        // Only a moved-from buffer has a null slot; re-arming it is
+        // not thread-safe, but moved-from buffers are by definition
+        // not shared yet.
+        if (!predecode_)
+            predecode_ = std::make_shared<PredecodeCache>();
+        return *predecode_;
+    }
+
     std::string name_;
     std::vector<BranchRecord> records_;
     /** Conditional records only, contiguous (conditionalView()). */
     std::vector<BranchRecord> conditional_;
     InstructionMix mix_;
+    /** Build-once predecode artifact (shared_ptr keeps us movable). */
+    mutable std::shared_ptr<PredecodeCache> predecode_ =
+        std::make_shared<PredecodeCache>();
 };
 
 } // namespace tlat::trace

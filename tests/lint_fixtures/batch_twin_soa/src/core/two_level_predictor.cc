@@ -1,0 +1,56 @@
+// Fixture: the batch-twin SoA sub-rule must fire — this stand-in for
+// the manifest's TwoLevelPredictor implementation keeps the
+// reference-loop twin (BranchPredictor::simulateBatch) so the base
+// pairing check passes, and implements the predecoded SoA overload
+// (mentions PredecodedView), but never re-dispatches through
+// simulateBatch(view.records(), ...). With the AoS drop-off gone,
+// unsafe predictor state (mid-pair memo, in-flight speculation) has
+// no escape hatch off the lane path.
+#include <span>
+
+namespace trace
+{
+struct BranchRecord;
+class PredecodedView;
+}
+struct AccuracyCounter;
+
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+    virtual void
+    simulateBatch(std::span<const trace::BranchRecord> records,
+                  AccuracyCounter &accuracy);
+};
+
+class TwoLevelPredictor : public BranchPredictor
+{
+  public:
+    void simulateBatch(std::span<const trace::BranchRecord> records,
+                       AccuracyCounter &accuracy) override;
+    void simulateBatch(const trace::PredecodedView &view,
+                       AccuracyCounter &accuracy);
+
+  private:
+    void fusedLoop(std::span<const trace::BranchRecord> records,
+                   AccuracyCounter &accuracy);
+    void fusedLoopSoa(const trace::PredecodedView &view,
+                      AccuracyCounter &accuracy);
+};
+
+void
+TwoLevelPredictor::simulateBatch(
+    std::span<const trace::BranchRecord> records,
+    AccuracyCounter &accuracy)
+{
+    BranchPredictor::simulateBatch(records, accuracy);
+}
+
+void
+TwoLevelPredictor::simulateBatch(const trace::PredecodedView &view,
+                                 AccuracyCounter &accuracy)
+{
+    // BUG under test: no simulateBatch(view.records(), ...) fallback.
+    fusedLoopSoa(view, accuracy);
+}

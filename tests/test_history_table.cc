@@ -9,6 +9,9 @@
 
 #include <cstdint>
 #include <list>
+#include <ostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/history_table.hh"
@@ -312,6 +315,121 @@ TEST(AssociativeTableFuzz, DeterministicUnderIdenticalSeeds)
     // The fuzz itself must be reproducible: same seed, same walk.
     for (int round = 0; round < 2; ++round)
         fuzzAssociativeAgainstReference(32, 4, 64, 0xd00d3, 5000);
+}
+
+// -----------------------------------------------------------------
+// SoA index-lane probe equivalence: lookupDirect() now delegates to
+// lookupAtIndex()/lookupWithSetTag(), and the predecode fast path
+// calls those directly with precomputed operands. Driving two tables
+// through the two entry points with the same pc walk must leave them
+// byte-identical — entries, replacement state, statistics, and (for
+// the HHRT) the touched_/lines_ aliasing attribution, all of which
+// saveState() serializes.
+// -----------------------------------------------------------------
+
+std::string
+tableStateBytes(const HistoryTable<Payload> &table)
+{
+    std::ostringstream os;
+    table.saveState(os, [](std::ostream &out, const Payload &p) {
+        out.write(reinterpret_cast<const char *>(&p.value),
+                  sizeof(p.value));
+    });
+    return os.str();
+}
+
+void
+fuzzHashedProbeEquivalence(HashKind hash, std::uint64_t seed)
+{
+    // Small table + strided addresses so collisions (and thus the
+    // aliasing attribution the satellite fix must preserve) are hot.
+    HashedTable<Payload> direct(64, Payload{-1}, 2, hash);
+    HashedTable<Payload> indexed(64, Payload{-1}, 2, hash);
+
+    tlat::Rng rng(seed);
+    int next_value = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t pc = rng.nextBelow(4096) * 4;
+        Payload &a = direct.lookupDirect(pc);
+        const std::uint64_t line = pc >> indexed.addrShift();
+        Payload &b =
+            indexed.lookupAtIndex(indexed.indexOfLine(line), line);
+        ASSERT_EQ(a.value, b.value) << "probe divergence at pc "
+                                    << pc << " (iteration " << i
+                                    << ")";
+        if (rng.nextBool(0.5)) {
+            a.value = next_value;
+            b.value = next_value;
+            ++next_value;
+        }
+    }
+
+    EXPECT_EQ(direct.stats().hits, indexed.stats().hits);
+    EXPECT_EQ(direct.stats().misses, indexed.stats().misses);
+    EXPECT_EQ(direct.stats().aliasedLookups,
+              indexed.stats().aliasedLookups);
+    EXPECT_GT(direct.stats().aliasedLookups, 0u);
+    EXPECT_EQ(tableStateBytes(direct), tableStateBytes(indexed));
+}
+
+TEST(HashedTable, LookupAtIndexMatchesDirectLowBits)
+{
+    fuzzHashedProbeEquivalence(HashKind::LowBits, 0x50a1);
+}
+
+TEST(HashedTable, LookupAtIndexMatchesDirectMixed)
+{
+    // The Mixed hash is the satellite target: lookupDirect re-runs
+    // mix64 per probe, the lane path must not change any behaviour.
+    fuzzHashedProbeEquivalence(HashKind::Mixed, 0x50a2);
+}
+
+TEST(AssociativeTable, LookupWithSetTagMatchesDirect)
+{
+    AssociativeTable<Payload> direct(32, 4, Payload{-1});
+    AssociativeTable<Payload> indexed(32, 4, Payload{-1});
+
+    tlat::Rng rng(0x5e7a);
+    int next_value = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t pc = rng.nextBelow(256) * 4;
+        Payload &a = direct.lookupDirect(pc);
+        const std::uint64_t line = pc >> indexed.addrShift();
+        Payload &b = indexed.lookupWithSetTag(
+            line & (indexed.numSets() - 1), line / indexed.numSets());
+        ASSERT_EQ(a.value, b.value);
+        if (rng.nextBool(0.5)) {
+            a.value = next_value;
+            b.value = next_value;
+            ++next_value;
+        }
+    }
+
+    EXPECT_EQ(direct.stats().hits, indexed.stats().hits);
+    EXPECT_EQ(direct.stats().misses, indexed.stats().misses);
+    EXPECT_EQ(direct.stats().evictions, indexed.stats().evictions);
+    EXPECT_GT(direct.stats().evictions, 0u);
+    EXPECT_EQ(tableStateBytes(direct), tableStateBytes(indexed));
+}
+
+TEST(IdealTable, NoteRepeatHitMatchesRepeatedLookup)
+{
+    IdealTable<Payload> direct(Payload{3});
+    IdealTable<Payload> noted(Payload{3});
+
+    for (std::uint64_t pc = 0; pc < 64; pc += 4) {
+        direct.lookupDirect(pc);
+        noted.lookupDirect(pc);
+    }
+    // Repeat pass: the SoA prober replaces the repeated hash lookup
+    // with a cached pointer + noteRepeatHit().
+    for (std::uint64_t pc = 0; pc < 64; pc += 4) {
+        direct.lookupDirect(pc);
+        noted.noteRepeatHit();
+    }
+    EXPECT_EQ(direct.stats().hits, noted.stats().hits);
+    EXPECT_EQ(direct.stats().misses, noted.stats().misses);
+    EXPECT_EQ(tableStateBytes(direct), tableStateBytes(noted));
 }
 
 } // namespace

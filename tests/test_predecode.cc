@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the trace predecode layer (trace/predecode.hh): the
+ * first-appearance branch-id dictionary, the packed outcome
+ * bitvector, the per-geometry index lanes (which must match the
+ * history tables' own index derivations bit-for-bit), and the
+ * build-once sharing/invalidation rules of the TraceBuffer cache.
+ */
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/history_table.hh"
+#include "trace/trace_buffer.hh"
+#include "util/random.hh"
+
+namespace tlat::trace
+{
+namespace
+{
+
+BranchRecord
+conditional(std::uint64_t pc, bool taken)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = pc + 16;
+    r.cls = BranchClass::Conditional;
+    r.taken = taken;
+    return r;
+}
+
+TraceBuffer
+randomTrace(std::uint64_t seed, std::size_t records,
+            std::uint64_t sites)
+{
+    TraceBuffer buffer("predecode");
+    Rng rng(seed);
+    for (std::size_t i = 0; i < records; ++i) {
+        buffer.append(conditional(4 * (1 + rng.nextBelow(sites)),
+                                  rng.nextBool(0.6)));
+    }
+    return buffer;
+}
+
+TEST(Predecode, DictionaryAssignsIdsInFirstAppearanceOrder)
+{
+    TraceBuffer buffer("dict");
+    buffer.append(conditional(40, true));
+    buffer.append(conditional(8, false));
+    buffer.append(conditional(40, true));
+    buffer.append(conditional(24, false));
+    buffer.append(conditional(8, true));
+
+    const auto soa = buffer.predecoded();
+    ASSERT_EQ(soa->size(), 5u);
+    ASSERT_EQ(soa->uniquePcCount(), 3u);
+    const std::vector<std::uint64_t> pcs(soa->uniquePcs().begin(),
+                                         soa->uniquePcs().end());
+    EXPECT_EQ(pcs, (std::vector<std::uint64_t>{40, 8, 24}));
+    const std::vector<BranchId> ids(soa->branchIds().begin(),
+                                    soa->branchIds().end());
+    EXPECT_EQ(ids, (std::vector<BranchId>{0, 1, 0, 2, 1}));
+}
+
+TEST(Predecode, OutcomeBitvectorMatchesRecords)
+{
+    const TraceBuffer buffer = randomTrace(0xb17, 1000, 37);
+    const auto soa = buffer.predecoded();
+    const auto view = buffer.conditionalView();
+    ASSERT_EQ(soa->size(), view.size());
+    for (std::size_t i = 0; i < view.size(); ++i)
+        ASSERT_EQ(soa->taken(i), view[i].taken) << "bit " << i;
+    // 1000 bits need 16 words (pinned: one u64 per 64 outcomes).
+    EXPECT_EQ(soa->outcomeWords().size(), 16u);
+}
+
+TEST(Predecode, AhrtLaneMatchesAssociativeTableDerivation)
+{
+    const TraceBuffer buffer = randomTrace(0xa427, 2000, 301);
+    const auto soa = buffer.predecoded();
+
+    // Same derivation AssociativeTable::lookupDirect performs.
+    constexpr unsigned kShift = 2;
+    constexpr std::size_t kSets = 128 / 4;
+    const AhrtLane &lane = soa->ahrtLane(kShift, kSets);
+    ASSERT_EQ(lane.sets.size(), soa->uniquePcCount());
+    ASSERT_EQ(lane.tags.size(), soa->uniquePcCount());
+    for (std::size_t id = 0; id < soa->uniquePcCount(); ++id) {
+        const std::uint64_t line = soa->uniquePcs()[id] >> kShift;
+        EXPECT_EQ(lane.sets[id], line & (kSets - 1));
+        EXPECT_EQ(lane.tags[id], line / kSets);
+    }
+}
+
+TEST(Predecode, HashedLaneMatchesHashedTableDerivation)
+{
+    const TraceBuffer buffer = randomTrace(0x4a5e, 2000, 301);
+    const auto soa = buffer.predecoded();
+
+    for (const core::HashKind hash :
+         {core::HashKind::LowBits, core::HashKind::Mixed}) {
+        const core::HashedTable<int> table(
+            256, 0, 2, hash);
+        const HashedLane &lane = soa->hashedLane(
+            table.addrShift(), table.size(),
+            table.hashKind() == core::HashKind::Mixed);
+        ASSERT_EQ(lane.indices.size(), soa->uniquePcCount());
+        for (std::size_t id = 0; id < soa->uniquePcCount(); ++id) {
+            const std::uint64_t line =
+                soa->uniquePcs()[id] >> table.addrShift();
+            EXPECT_EQ(lane.lines[id], line);
+            EXPECT_EQ(lane.indices[id], table.indexOfLine(line));
+        }
+    }
+}
+
+TEST(Predecode, LanesAreCachedPerGeometry)
+{
+    const TraceBuffer buffer = randomTrace(0xcac4e, 500, 31);
+    const auto soa = buffer.predecoded();
+    const AhrtLane &a = soa->ahrtLane(2, 32);
+    const AhrtLane &b = soa->ahrtLane(2, 32);
+    EXPECT_EQ(&a, &b);
+    const AhrtLane &c = soa->ahrtLane(2, 64);
+    EXPECT_NE(&a, &c);
+    const HashedLane &h1 = soa->hashedLane(2, 64, false);
+    const HashedLane &h2 = soa->hashedLane(2, 64, false);
+    const HashedLane &h3 = soa->hashedLane(2, 64, true);
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_NE(&h1, &h3);
+}
+
+TEST(Predecode, BufferCacheIsSharedAndInvalidatedByGrowth)
+{
+    TraceBuffer buffer = randomTrace(0x9a3, 100, 11);
+    const auto first = buffer.predecoded();
+    const auto second = buffer.predecoded();
+    EXPECT_EQ(first.get(), second.get()); // build once, re-share
+
+    buffer.append(conditional(4, true));
+    const auto rebuilt = buffer.predecoded();
+    EXPECT_NE(first.get(), rebuilt.get());
+    EXPECT_EQ(rebuilt->size(), first->size() + 1);
+
+    // The old artifact stays valid for holders of the shared_ptr.
+    EXPECT_EQ(first->size(), 100u);
+}
+
+TEST(Predecode, CopiedBufferGetsItsOwnCacheSlot)
+{
+    TraceBuffer original = randomTrace(0xc09, 50, 7);
+    const auto original_soa = original.predecoded();
+
+    TraceBuffer copy = original;
+    const auto copy_soa = copy.predecoded();
+    EXPECT_NE(original_soa.get(), copy_soa.get());
+    EXPECT_EQ(copy_soa->size(), original_soa->size());
+
+    // Diverging the copy must never poison the original's artifact.
+    copy.append(conditional(4, false));
+    copy.predecoded();
+    EXPECT_EQ(original.predecoded().get(), original_soa.get());
+}
+
+TEST(Predecode, ViewPairsLanesWithFallbackRecords)
+{
+    const TraceBuffer buffer = randomTrace(0x71e3, 300, 23);
+    const PredecodedView view = buffer.predecodedView();
+    EXPECT_EQ(view.records().data(),
+              buffer.conditionalView().data());
+    EXPECT_EQ(view.records().size(),
+              buffer.conditionalView().size());
+    EXPECT_EQ(&view.soa(), buffer.predecoded().get());
+}
+
+TEST(Predecode, EmptyAndNonConditionalTraces)
+{
+    TraceBuffer empty("empty");
+    EXPECT_EQ(empty.predecoded()->size(), 0u);
+    EXPECT_EQ(empty.predecoded()->uniquePcCount(), 0u);
+
+    TraceBuffer unconditional("uncond");
+    BranchRecord r;
+    r.pc = 4;
+    r.cls = BranchClass::Return;
+    r.taken = true;
+    unconditional.append(r);
+    const auto soa = unconditional.predecoded();
+    EXPECT_EQ(soa->size(), 0u);
+    EXPECT_TRUE(soa->outcomeWords().empty());
+}
+
+TEST(Predecode, ConcurrentLaneBuildsShareOneLane)
+{
+    const TraceBuffer buffer = randomTrace(0x7412ead, 5000, 997);
+    const auto soa = buffer.predecoded();
+
+    std::vector<const AhrtLane *> seen(8, nullptr);
+    std::vector<std::thread> threads;
+    threads.reserve(seen.size());
+    for (std::size_t t = 0; t < seen.size(); ++t) {
+        threads.emplace_back([&soa, &seen, t] {
+            seen[t] = &soa->ahrtLane(2, 128);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (const AhrtLane *lane : seen)
+        EXPECT_EQ(lane, seen[0]);
+}
+
+} // namespace
+} // namespace tlat::trace

@@ -125,34 +125,57 @@ metricsJson(const core::BranchPredictor &predictor,
     return harness::runMetricsJsonString(report);
 }
 
+/** The AoS batch overload, bypassing the predecoded view. */
+AccuracyCounter
+measureAos(core::BranchPredictor &predictor, const TraceBuffer &trace)
+{
+    AccuracyCounter accuracy;
+    predictor.simulateBatch(trace.conditionalView(), accuracy);
+    return accuracy;
+}
+
 /**
- * Runs the measured protocol on two freshly built predictors — one
- * through measure() (the batch API, fused where overridden), one
- * through measureReference() (the per-record virtual loop) — and
- * asserts identical accuracy and identical metrics JSON.
+ * Runs the measured protocol on three freshly built predictors — one
+ * through measure() (the batch API over the predecoded view, i.e.
+ * the SoA fast path where overridden), one through the AoS span
+ * overload, one through measureReference() (the per-record virtual
+ * loop) — and asserts identical accuracy and identical metrics JSON
+ * across all three.
  */
 void
 expectBatchEqualsReference(core::BranchPredictor &fast,
+                           core::BranchPredictor &aos,
                            core::BranchPredictor &reference,
                            const TraceBuffer &trace)
 {
     fast.reset();
+    aos.reset();
     reference.reset();
     if (fast.needsTraining())
         fast.train(trace);
+    if (aos.needsTraining())
+        aos.train(trace);
     if (reference.needsTraining())
         reference.train(trace);
 
     const AccuracyCounter fast_acc = measure(fast, trace);
+    const AccuracyCounter aos_acc = measureAos(aos, trace);
     const AccuracyCounter ref_acc = measureReference(reference, trace);
 
     EXPECT_EQ(fast_acc.total(), ref_acc.total())
         << fast.name() << " on " << trace.name();
     EXPECT_EQ(fast_acc.hits(), ref_acc.hits())
         << fast.name() << " on " << trace.name();
+    EXPECT_EQ(aos_acc.total(), ref_acc.total())
+        << aos.name() << " on " << trace.name();
+    EXPECT_EQ(aos_acc.hits(), ref_acc.hits())
+        << aos.name() << " on " << trace.name();
     EXPECT_EQ(metricsJson(fast, fast_acc, trace),
               metricsJson(reference, ref_acc, trace))
         << fast.name() << " on " << trace.name();
+    EXPECT_EQ(metricsJson(aos, aos_acc, trace),
+              metricsJson(reference, ref_acc, trace))
+        << aos.name() << " on " << trace.name();
 }
 
 constexpr std::uint64_t kSeeds[] = {1, 2, 3};
@@ -183,8 +206,9 @@ TEST(SimulateBatchFuzz, EveryFactoryScheme)
         for (const std::uint64_t seed : kSeeds) {
             const TraceBuffer trace = makeRandomTrace(seed);
             const auto fast = predictors::makePredictor(*config);
+            const auto aos = predictors::makePredictor(*config);
             const auto reference = predictors::makePredictor(*config);
-            expectBatchEqualsReference(*fast, *reference, trace);
+            expectBatchEqualsReference(*fast, *aos, *reference, trace);
         }
     }
 }
@@ -211,20 +235,29 @@ TEST(SimulateBatchFuzz, TwoLevelCachedSpeculativeAndCounterModes)
                     for (const std::uint64_t seed : kSeeds) {
                         const TraceBuffer trace = makeRandomTrace(seed);
                         TwoLevelPredictor fast(config);
+                        TwoLevelPredictor aos(config);
                         TwoLevelPredictor reference(config);
-                        expectBatchEqualsReference(fast, reference,
-                                                   trace);
+                        expectBatchEqualsReference(fast, aos,
+                                                   reference, trace);
                         EXPECT_EQ(fast.inFlightBranches(), 0u);
                         EXPECT_EQ(fast.squashEvents(),
                                   reference.squashEvents());
+                        EXPECT_EQ(aos.squashEvents(),
+                                  reference.squashEvents());
 
                         std::ostringstream fast_ckpt;
+                        std::ostringstream aos_ckpt;
                         std::ostringstream ref_ckpt;
                         ASSERT_TRUE(fast.saveCheckpoint(fast_ckpt));
+                        ASSERT_TRUE(aos.saveCheckpoint(aos_ckpt));
                         ASSERT_TRUE(
                             reference.saveCheckpoint(ref_ckpt));
                         EXPECT_EQ(fast_ckpt.str(), ref_ckpt.str())
                             << fast.name() << " cached=" << cached
+                            << " spec=" << speculative
+                            << " counterBits=" << counter_bits;
+                        EXPECT_EQ(aos_ckpt.str(), ref_ckpt.str())
+                            << aos.name() << " cached=" << cached
                             << " spec=" << speculative
                             << " counterBits=" << counter_bits;
                     }
@@ -254,8 +287,10 @@ TEST(SimulateBatchFuzz, GeneralizedScopeMatrix)
             for (const std::uint64_t seed : kSeeds) {
                 const TraceBuffer trace = makeRandomTrace(seed);
                 GeneralizedTwoLevelPredictor fast(config);
+                GeneralizedTwoLevelPredictor aos(config);
                 GeneralizedTwoLevelPredictor reference(config);
-                expectBatchEqualsReference(fast, reference, trace);
+                expectBatchEqualsReference(fast, aos, reference,
+                                           trace);
             }
         }
     }
@@ -276,10 +311,148 @@ TEST(SimulateBatchFuzz, DelayedUpdateWrapperUsesReferenceSemantics)
             config.historyBits = 6;
             core::DelayedUpdatePredictor fast(
                 std::make_unique<TwoLevelPredictor>(config), delay);
+            core::DelayedUpdatePredictor aos(
+                std::make_unique<TwoLevelPredictor>(config), delay);
             core::DelayedUpdatePredictor reference(
                 std::make_unique<TwoLevelPredictor>(config), delay);
-            expectBatchEqualsReference(fast, reference, trace);
+            expectBatchEqualsReference(fast, aos, reference, trace);
         }
+    }
+}
+
+/** Three-way equivalence for one factory scheme on a given trace. */
+void
+expectSchemeEqualsReference(const std::string &scheme,
+                            const TraceBuffer &trace)
+{
+    const auto config = core::SchemeConfig::parse(scheme);
+    ASSERT_TRUE(config.has_value()) << scheme;
+    const auto fast = predictors::makePredictor(*config);
+    const auto aos = predictors::makePredictor(*config);
+    const auto reference = predictors::makePredictor(*config);
+    expectBatchEqualsReference(*fast, *aos, *reference, trace);
+}
+
+/** Generalized (PAg) three-way equivalence on a given trace. */
+void
+expectGeneralizedEqualsReference(const TraceBuffer &trace)
+{
+    core::GeneralizedConfig config;
+    config.historyScope = core::HistoryScope::PerAddress;
+    config.patternScope = core::PatternScope::Global;
+    config.historyBits = 6;
+    core::GeneralizedTwoLevelPredictor fast(config);
+    core::GeneralizedTwoLevelPredictor aos(config);
+    core::GeneralizedTwoLevelPredictor reference(config);
+    expectBatchEqualsReference(fast, aos, reference, trace);
+}
+
+/** Schemes covering every SoA prober flavour plus Lee-Smith. */
+constexpr const char *kEdgeSchemes[] = {
+    "AT(IHRT(,6SR),PT(2^6,A2),)",
+    "AT(AHRT(64,6SR),PT(2^6,A2),)",
+    "AT(HHRT(64,6SR),PT(2^6,A2),)",
+    "LS(AHRT(64,A2),,)",
+};
+
+TEST(SimulateBatchFuzz, EdgeTraceZeroConditionals)
+{
+    // A trace whose records are all non-conditional predecodes to an
+    // empty SoA artifact; the fused loops must run zero iterations
+    // and leave all counters and tables untouched.
+    Rng rng(0xed6e0);
+    TraceBuffer trace("no-conditionals");
+    for (std::size_t i = 0; i < 200; ++i) {
+        BranchRecord record;
+        record.pc = 0x9000 + 4 * rng.nextBelow(1 << 8);
+        record.target = 0x9000 + 4 * rng.nextBelow(1 << 8);
+        record.cls = rng.nextBelow(2) == 0
+            ? BranchClass::Return
+            : BranchClass::ImmediateUnconditional;
+        record.taken = true;
+        trace.append(record);
+    }
+    ASSERT_TRUE(trace.conditionalView().empty());
+    for (const char *scheme : kEdgeSchemes)
+        expectSchemeEqualsReference(scheme, trace);
+    expectGeneralizedEqualsReference(trace);
+}
+
+TEST(SimulateBatchFuzz, EdgeTraceSingleUniquePc)
+{
+    // One conditional site only: the dictionary has a single id and
+    // every record is a repeat probe (the IHRT lane's repeat-hit
+    // accounting must match per-record lookups exactly).
+    Rng rng(0xed6e1);
+    TraceBuffer trace("single-site");
+    bool last = false;
+    for (std::size_t i = 0; i < 3000; ++i) {
+        if (rng.nextBelow(5) == 0)
+            last = !last;
+        trace.append([&] {
+            BranchRecord record;
+            record.pc = 0x2000;
+            record.target = 0x1f00;
+            record.cls = BranchClass::Conditional;
+            record.taken = last;
+            return record;
+        }());
+    }
+    ASSERT_EQ(trace.predecoded()->uniquePcCount(), 1u);
+    for (const char *scheme : kEdgeSchemes)
+        expectSchemeEqualsReference(scheme, trace);
+    expectGeneralizedEqualsReference(trace);
+}
+
+TEST(SimulateBatchFuzz, EdgeTraceManyUniquePcsStressDictionary)
+{
+    // >64Ki unique conditional PCs: stresses the first-appearance
+    // dictionary past the 16-bit boundary, forces cold IHRT probes
+    // for every id, and drives heavy AHRT eviction traffic. A tail
+    // of random repeats exercises warm probes over the wide id
+    // space too.
+    constexpr std::size_t kUnique = 70000; // > 65536
+    Rng rng(0xed6e2);
+    TraceBuffer trace("wide-dictionary");
+    for (std::size_t i = 0; i < kUnique; ++i) {
+        BranchRecord record;
+        record.pc = 0x10000 + 4 * i;
+        record.target = record.pc + 16;
+        record.cls = BranchClass::Conditional;
+        record.taken = i % 3 == 0;
+        trace.append(record);
+    }
+    for (std::size_t i = 0; i < 10000; ++i) {
+        BranchRecord record;
+        record.pc = 0x10000 + 4 * rng.nextBelow(kUnique);
+        record.target = record.pc + 16;
+        record.cls = BranchClass::Conditional;
+        record.taken = rng.nextBool(0.5);
+        trace.append(record);
+    }
+    ASSERT_EQ(trace.predecoded()->uniquePcCount(), kUnique);
+    for (const char *scheme : kEdgeSchemes)
+        expectSchemeEqualsReference(scheme, trace);
+    expectGeneralizedEqualsReference(trace);
+}
+
+TEST(SimulateBatchFuzz, HashedMixedHrtMatchesReference)
+{
+    // The factory builds HHRTs with the low-bits hash; the mixed
+    // hash routes the SoA fast path through the precomputed mix64
+    // index lane (and the AoS fused path through lookupDirect's
+    // indexOfLine), so pin it explicitly across seeds.
+    TwoLevelConfig config;
+    config.hrtKind = core::TableKind::Hashed;
+    config.hrtEntries = 64;
+    config.historyBits = 6;
+    config.hhrtHash = core::HashKind::Mixed;
+    for (const std::uint64_t seed : kSeeds) {
+        const TraceBuffer trace = makeRandomTrace(seed);
+        TwoLevelPredictor fast(config);
+        TwoLevelPredictor aos(config);
+        TwoLevelPredictor reference(config);
+        expectBatchEqualsReference(fast, aos, reference, trace);
     }
 }
 

@@ -95,6 +95,35 @@ TEST(TraceIo, BinaryRoundTrip)
     EXPECT_EQ(loaded->mix().total(), original.mix().total());
 }
 
+TEST(TraceIo, BinaryLoadReservesExactCapacity)
+{
+    // Bulk loads reserve both record vectors from the TLTR v2 header
+    // count, so a multi-million-record load performs exactly one
+    // allocation per lane instead of doubling-growth reallocations.
+    // A non-power-of-two count makes growth observable: push_back
+    // growth would land on a power-of-two capacity, not the count.
+    TraceBuffer original("reserve");
+    Rng rng(0xcafe);
+    constexpr std::size_t kRecords = 1234;
+    for (std::size_t i = 0; i < kRecords; ++i) {
+        const bool conditional = rng.nextBool(0.75);
+        original.append(record(
+            4 * (i + 1), 16,
+            conditional ? BranchClass::Conditional
+                        : BranchClass::ImmediateUnconditional,
+            rng.nextBool(0.5)));
+    }
+
+    std::stringstream stream;
+    ASSERT_TRUE(writeBinary(original, stream));
+    const auto loaded = readBinary(stream);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), kRecords);
+    EXPECT_EQ(loaded->recordCapacity(), kRecords);
+    EXPECT_EQ(loaded->conditionalCapacity(), kRecords);
+    EXPECT_LE(loaded->conditionalCount(), kRecords);
+}
+
 TEST(TraceIo, TextRoundTrip)
 {
     const TraceBuffer original = sampleTrace();

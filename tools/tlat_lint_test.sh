@@ -40,6 +40,7 @@ expect_rule unordered_iter unordered-iter
 expect_rule raw_rand raw-rand
 expect_rule float_accum float-accum
 expect_rule batch_twin batch-twin
+expect_rule batch_twin_soa batch-twin
 expect_rule schema_once schema-once
 
 # The raw_rand fixture packs several sources; all four must be caught.
