@@ -14,7 +14,9 @@
 #include "bench_common.hh"
 #include "core/generalized_two_level.hh"
 #include "harness/experiment.hh"
+#include "predictors/scheme_factory.hh"
 #include "util/table_printer.hh"
+#include "workloads/workload.hh"
 
 namespace
 {
@@ -93,6 +95,54 @@ main()
     }
     table.addRow(mean_row);
     table.print(std::cout);
+    for (std::size_t c = 0; c < std::size(configs); ++c) {
+        record.addScalar(
+            core::GeneralizedTwoLevelPredictor(configs[c]).name() +
+                "_total_mean",
+            std::exp(log_sums[c] /
+                     static_cast<double>(suite.benchmarks().size())));
+    }
+
+    // ---- H2P leg: the adversarial workloads through the taxonomy --
+    //
+    // The paper scheme over the analytic kernels, reported through
+    // the hard-to-predict classification: alternating must collapse
+    // to zero H2P sites, datadep/kmp surface Chaotic sites, burst's
+    // boundary misses are Systematic. Recorded to BENCH_h2p.json so
+    // CI archives the taxonomy alongside the accuracy grids.
+    bench::BenchRecorder h2p_record("h2p");
+    TablePrinter h2p_table(
+        "adversarial workloads, AT(IHRT(,6SR),PT(2^6,A2),) taxonomy");
+    h2p_table.setHeader({"workload", "accuracy", "sites", "h2p sites",
+                         "systematic", "transient"});
+    for (const std::string &name :
+         workloads::adversarialWorkloadNames()) {
+        const trace::TraceBuffer &trace = suite.testTrace(name);
+        const auto predictor =
+            predictors::makePredictor("AT(IHRT(,6SR),PT(2^6,A2),)");
+        const harness::RunMetricsReport report =
+            harness::runProfiledExperiment(*predictor, trace);
+        h2p_table.addRow(
+            {name,
+             TablePrinter::percentCell(
+                 report.accuracy.accuracyPercent()),
+             std::to_string(report.h2p.staticSites),
+             std::to_string(report.h2p.h2pSiteCount),
+             std::to_string(report.h2p.systematicMisses),
+             std::to_string(report.h2p.transientMisses)});
+        h2p_record.addScalar(name + "_accuracy_percent",
+                             report.accuracy.accuracyPercent());
+        h2p_record.addScalar(
+            name + "_h2p_sites",
+            static_cast<double>(report.h2p.h2pSiteCount));
+        h2p_record.addScalar(
+            name + "_systematic_misses",
+            static_cast<double>(report.h2p.systematicMisses));
+        h2p_record.addScalar(
+            name + "_transient_misses",
+            static_cast<double>(report.h2p.transientMisses));
+    }
+    h2p_table.print(std::cout);
 
     bench::printExpectation(
         "per-address history (the paper's choice) beats global "

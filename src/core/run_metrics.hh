@@ -19,6 +19,16 @@
  * pair — no timestamps, thread ids or allocation addresses — so
  * metrics collected under the parallel sweep engine are bit-identical
  * for every worker count.
+ *
+ * Attribution layering: RunMetrics holds the *predictor-internal*
+ * causes (HRT misses, table state, speculation squashes). The
+ * *per-static-branch* attribution — which sites miss, and the
+ * systematic/transient/chaotic hard-to-predict taxonomy derived from
+ * each site's local outcome history — lives one layer up in
+ * harness::BranchProfile / harness::H2pReport (branch_profile.hh),
+ * because it is a property of the (predictor, trace) interaction the
+ * harness measures, not of predictor internals. Both surfaces share
+ * the determinism contract above.
  */
 
 #ifndef TLAT_CORE_RUN_METRICS_HH

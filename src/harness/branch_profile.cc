@@ -1,9 +1,66 @@
 #include "branch_profile.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace tlat::harness
 {
+
+double
+BranchSite::historyEntropyBits() const
+{
+    if (executions == 0)
+        return 0.0;
+    // Visit-weighted binary entropy of the outcome per pattern,
+    // accumulated in fixed pattern order (sum of patternVisits equals
+    // executions: every record lands in exactly one pattern).
+    double entropy = 0.0;
+    for (std::size_t pattern = 0; pattern < kTaxonomyPatterns;
+         ++pattern) {
+        const std::uint64_t visits = patternVisits[pattern];
+        if (visits == 0)
+            continue;
+        const double p = static_cast<double>(patternTaken[pattern]) /
+                         static_cast<double>(visits);
+        if (p <= 0.0 || p >= 1.0)
+            continue; // deterministic pattern: zero entropy
+        const double weight = static_cast<double>(visits) /
+                              static_cast<double>(executions);
+        entropy -= weight *
+                   (p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+    }
+    return entropy;
+}
+
+const char *
+siteClassName(SiteClass cls)
+{
+    switch (cls) {
+    case SiteClass::Stable:
+        return "stable";
+    case SiteClass::Transient:
+        return "transient";
+    case SiteClass::Systematic:
+        return "systematic";
+    case SiteClass::Chaotic:
+        return "chaotic";
+    }
+    return "stable";
+}
+
+SiteClass
+classifySite(const BranchSite &site,
+             const TaxonomyThresholds &thresholds)
+{
+    if (site.executions < thresholds.executionFloor ||
+        site.accuracy() * 100.0 >= thresholds.accuracyCeilingPercent)
+        return SiteClass::Stable;
+    if (site.historyEntropyBits() >= thresholds.chaoticEntropyBits)
+        return SiteClass::Chaotic;
+    return site.systematicMisses >= site.transientMisses
+        ? SiteClass::Systematic
+        : SiteClass::Transient;
+}
 
 void
 BranchProfile::record(std::uint64_t pc, bool correct, bool taken)
@@ -12,27 +69,54 @@ BranchProfile::record(std::uint64_t pc, bool correct, bool taken)
     site.pc = pc;
     ++site.executions;
     ++executions_;
+
+    const std::size_t pattern = site.localHistory;
+    ++site.patternVisits[pattern];
+    if (taken)
+        ++site.patternTaken[pattern];
     if (!correct) {
         ++site.mispredictions;
         ++mispredictions_;
+        if (site.patternMisses[pattern] > 0)
+            ++site.systematicMisses;
+        else
+            ++site.transientMisses;
+        ++site.patternMisses[pattern];
     }
     if (taken)
         ++site.takenCount;
+    if (site.havePrevOutcome && taken != site.prevOutcome)
+        ++site.transitions;
+    site.havePrevOutcome = true;
+    site.prevOutcome = taken;
+    site.localHistory = static_cast<std::uint8_t>(
+        ((site.localHistory << 1) | (taken ? 1u : 0u)) &
+        (kTaxonomyPatterns - 1));
+}
+
+bool
+BranchProfile::siteOrder(const BranchSite &a, const BranchSite &b)
+{
+    if (a.mispredictions != b.mispredictions)
+        return a.mispredictions > b.mispredictions;
+    return a.pc < b.pc;
 }
 
 std::vector<BranchSite>
-BranchProfile::worstSites(std::size_t limit) const
+BranchProfile::allSites() const
 {
     std::vector<BranchSite> sites;
     sites.reserve(sites_.size());
     for (const auto &[pc, site] : sites_)
         sites.push_back(site);
-    std::sort(sites.begin(), sites.end(),
-              [](const BranchSite &a, const BranchSite &b) {
-                  if (a.mispredictions != b.mispredictions)
-                      return a.mispredictions > b.mispredictions;
-                  return a.pc < b.pc;
-              });
+    std::sort(sites.begin(), sites.end(), siteOrder);
+    return sites;
+}
+
+std::vector<BranchSite>
+BranchProfile::worstSites(std::size_t limit) const
+{
+    std::vector<BranchSite> sites = allSites();
     if (sites.size() > limit)
         sites.resize(limit);
     return sites;

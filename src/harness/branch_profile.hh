@@ -4,11 +4,25 @@
  * misses, how often they execute and which way they lean. The
  * analysis tool behind the "where do the 3% of misses live?"
  * question, and the basis of the branch_autopsy example.
+ *
+ * Beyond raw tallies, each site carries a misprediction *taxonomy* in
+ * the spirit of Lin & Tarsa's "Branch Prediction Is Not a Solved
+ * Problem" (see PAPERS.md): misses are split into *transient* (the
+ * first miss observed under a given short local-history pattern —
+ * warmup, cold tables) and *systematic* (repeat misses under a
+ * pattern the predictor has already been wrong about — structural
+ * mismatch between branch behaviour and predictor), and the
+ * conditional entropy of the outcome given the local history
+ * separates history-predictable branches from data-dependent
+ * (chaotic) ones. classifySite() turns those statistics into the
+ * hard-to-predict (H2P) classification surfaced by `tlat profile
+ * --json`.
  */
 
 #ifndef TLAT_HARNESS_BRANCH_PROFILE_HH
 #define TLAT_HARNESS_BRANCH_PROFILE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +33,18 @@
 namespace tlat::harness
 {
 
+/**
+ * Local-history bits the per-site taxonomy conditions on. Four bits
+ * is deliberately *shorter* than the predictors' history registers:
+ * the taxonomy asks "is this branch predictable from a little local
+ * context at all?", not "did this particular predictor capture it".
+ */
+inline constexpr unsigned kTaxonomyHistoryBits = 4;
+
+/** Number of distinct local-history patterns the taxonomy tracks. */
+inline constexpr std::size_t kTaxonomyPatterns =
+    std::size_t{1} << kTaxonomyHistoryBits;
+
 /** Accuracy tallies for one static conditional branch. */
 struct BranchSite
 {
@@ -26,6 +52,29 @@ struct BranchSite
     std::uint64_t executions = 0;
     std::uint64_t mispredictions = 0;
     std::uint64_t takenCount = 0;
+
+    // ---- misprediction taxonomy -----------------------------------
+    /** Outcome changes between consecutive executions of this site. */
+    std::uint64_t transitions = 0;
+    /**
+     * Misses under a local-history pattern that had already produced
+     * a miss at this site — the predictor keeps being wrong in a
+     * recurring context.
+     */
+    std::uint64_t systematicMisses = 0;
+    /** First miss observed under each local-history pattern. */
+    std::uint64_t transientMisses = 0;
+    /** Executions observed under each local-history pattern. */
+    std::array<std::uint64_t, kTaxonomyPatterns> patternVisits{};
+    /** Taken outcomes observed under each local-history pattern. */
+    std::array<std::uint64_t, kTaxonomyPatterns> patternTaken{};
+    /** Misses observed under each local-history pattern. */
+    std::array<std::uint64_t, kTaxonomyPatterns> patternMisses{};
+
+    // ---- per-site tracking state (BranchProfile::record only) -----
+    std::uint8_t localHistory = 0;
+    bool havePrevOutcome = false;
+    bool prevOutcome = false;
 
     double
     accuracy() const
@@ -44,17 +93,88 @@ struct BranchSite
             : static_cast<double>(takenCount) /
                   static_cast<double>(executions);
     }
+
+    double
+    transitionRate() const
+    {
+        return executions == 0
+            ? 0.0
+            : static_cast<double>(transitions) /
+                  static_cast<double>(executions);
+    }
+
+    /**
+     * Conditional entropy H(outcome | last kTaxonomyHistoryBits
+     * outcomes) in bits: 0 for a branch whose outcome is a function
+     * of its recent local history (periodic patterns), 1 for a fair
+     * coin no history window explains. Pure function of the integer
+     * pattern tallies, accumulated in fixed pattern order.
+     */
+    double historyEntropyBits() const;
 };
+
+/**
+ * Classification of one site, Lin & Tarsa-style. Stable sites predict
+ * fine (or execute too rarely to matter); everything else is a
+ * hard-to-predict (H2P) branch, subdivided by *why* it is hard.
+ */
+enum class SiteClass : std::uint8_t
+{
+    /** Accurate enough, or below the execution floor. */
+    Stable,
+    /** Misses dominated by first-time pattern misses (warmup). */
+    Transient,
+    /** Repeat misses in recurring contexts (structural mismatch). */
+    Systematic,
+    /** High outcome entropy — data-dependent, near-random. */
+    Chaotic,
+};
+
+/** Stable lower-case name of a SiteClass ("stable", "chaotic", ...). */
+const char *siteClassName(SiteClass cls);
+
+/** Thresholds of the H2P classification (all explicit, all stable). */
+struct TaxonomyThresholds
+{
+    /** Sites executing fewer times than this are Stable (noise). */
+    std::uint64_t executionFloor = 100;
+    /** Sites at or above this accuracy are Stable. */
+    double accuracyCeilingPercent = 99.0;
+    /** Entropy at or above this marks a site Chaotic. */
+    double chaoticEntropyBits = 0.9;
+};
+
+/**
+ * Classifies one site against the thresholds. Deterministic: integer
+ * tallies plus fixed-order floating point derived from them.
+ */
+SiteClass classifySite(const BranchSite &site,
+                       const TaxonomyThresholds &thresholds);
 
 /** Per-branch accuracy breakdown of one measured run. */
 class BranchProfile
 {
   public:
-    /** Records one executed conditional branch. */
+    /**
+     * Records one executed conditional branch. Call in trace order:
+     * the taxonomy tallies (local history, transitions) depend on the
+     * per-site outcome sequence.
+     */
     void record(std::uint64_t pc, bool correct, bool taken);
 
-    /** Sites ordered by misprediction count, heaviest first. */
+    /**
+     * The heaviest-missing sites under the profile's canonical total
+     * order: misprediction count descending, then pc ascending. The
+     * pc tie-break makes the order — and therefore which of several
+     * equally-missing sites survive the @p limit cut — a pure
+     * function of the tallies, independent of the unordered_map's
+     * iteration order and of insertion order. Ties at the cutoff keep
+     * the lowest pcs. limit >= size returns every site, sorted.
+     */
     std::vector<BranchSite> worstSites(std::size_t limit = 10) const;
+
+    /** Every site in the canonical order (worstSites without a cut). */
+    std::vector<BranchSite> allSites() const;
 
     /** Site lookup; a zeroed site if the pc was never seen. */
     BranchSite site(std::uint64_t pc) const;
@@ -71,6 +191,12 @@ class BranchProfile
      * @p site_count sites — the locality of the miss mass.
      */
     double missConcentration(std::size_t site_count) const;
+
+    /**
+     * The canonical site order shared by worstSites() and the h2p
+     * JSON section: misprediction count descending, pc ascending.
+     */
+    static bool siteOrder(const BranchSite &a, const BranchSite &b);
 
   private:
     std::unordered_map<std::uint64_t, BranchSite> sites_;

@@ -48,6 +48,33 @@ runExperiment(core::BranchPredictor &predictor,
     return result;
 }
 
+H2pReport
+buildH2pReport(const BranchProfile &profile,
+               const MetricsOptions &options)
+{
+    H2pReport report;
+    report.thresholds = options.h2pThresholds;
+    report.totalExecutions = profile.totalExecutions();
+    report.totalMispredictions = profile.totalMispredictions();
+    // allSites() is the canonical deterministic order; classifying in
+    // that order makes the capped site list a pure function of the
+    // tallies.
+    for (const BranchSite &site : profile.allSites()) {
+        ++report.staticSites;
+        report.systematicMisses += site.systematicMisses;
+        report.transientMisses += site.transientMisses;
+        const SiteClass cls = classifySite(site, report.thresholds);
+        if (cls == SiteClass::Stable)
+            continue;
+        ++report.h2pSiteCount;
+        report.h2pExecutions += site.executions;
+        report.h2pMispredictions += site.mispredictions;
+        if (report.sites.size() < options.h2pSites)
+            report.sites.push_back(H2pSite{site, cls});
+    }
+    return report;
+}
+
 RunMetricsReport
 measureWithMetrics(core::BranchPredictor &predictor,
                    const trace::TraceBuffer &test,
@@ -95,6 +122,7 @@ measureWithMetrics(core::BranchPredictor &predictor,
 
     predictor.collectMetrics(report.predictor);
     report.topOffenders = profile.worstSites(options.topOffenders);
+    report.h2p = buildH2pReport(profile, report.options);
     return report;
 }
 

@@ -94,6 +94,45 @@ struct MetricsOptions
     std::uint64_t warmupWindow = 10000;
     /** Entries in the per-branch top-offender list. */
     std::size_t topOffenders = 10;
+    /** Entries in the h2p section's per-site list. */
+    std::size_t h2pSites = 10;
+    /** H2P classification thresholds (see branch_profile.hh). */
+    TaxonomyThresholds h2pThresholds;
+};
+
+/** One classified hard-to-predict site of the h2p section. */
+struct H2pSite
+{
+    BranchSite site;
+    SiteClass cls = SiteClass::Stable;
+};
+
+/**
+ * Per-run hard-to-predict-branch taxonomy: every static site
+ * classified against the thresholds, the H2P set (everything not
+ * Stable) summarized, and the heaviest H2P sites listed in the
+ * profile's canonical order (misprediction count descending, pc
+ * ascending). Integer tallies plus floating point derived from them
+ * in fixed order — byte-identical across sweep worker counts.
+ */
+struct H2pReport
+{
+    TaxonomyThresholds thresholds;
+    /** All static conditional sites of the run. */
+    std::uint64_t staticSites = 0;
+    /** Sites classified as anything but Stable. */
+    std::uint64_t h2pSiteCount = 0;
+    /** Executions and misses concentrated in the H2P set. */
+    std::uint64_t h2pExecutions = 0;
+    std::uint64_t h2pMispredictions = 0;
+    /** Run totals for reference (all sites, Stable included). */
+    std::uint64_t totalExecutions = 0;
+    std::uint64_t totalMispredictions = 0;
+    /** Taxonomy split of every miss of the run. */
+    std::uint64_t systematicMisses = 0;
+    std::uint64_t transientMisses = 0;
+    /** Heaviest H2P sites, canonical order, capped at h2pSites. */
+    std::vector<H2pSite> sites;
 };
 
 /** Everything observed about one measured (scheme, benchmark) run. */
@@ -109,7 +148,17 @@ struct RunMetricsReport
     std::vector<WarmupPoint> warmupCurve;
     /** Heaviest mispredicting static branches, worst first. */
     std::vector<BranchSite> topOffenders;
+    /** Hard-to-predict-branch taxonomy of the run. */
+    H2pReport h2p;
 };
+
+/**
+ * Derives the h2p section from a collected profile: classifies every
+ * site, totals the taxonomy and keeps the heaviest non-Stable sites.
+ * Exposed so tests can build the section from hand-made profiles.
+ */
+H2pReport buildH2pReport(const BranchProfile &profile,
+                         const MetricsOptions &options);
 
 /**
  * Like measure(), but also collects the warmup curve, the per-branch

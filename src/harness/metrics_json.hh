@@ -20,8 +20,14 @@
 namespace tlat::harness
 {
 
-/** Schema identifier stamped into every run-metrics document. */
-inline constexpr const char *kRunMetricsSchema = "tlat-run-metrics-v1";
+/**
+ * Schema identifier stamped into every run-metrics document.
+ *
+ * v2 extends v1 purely additively with the trailing "h2p" taxonomy
+ * section — every v1 key keeps its name, position and formatting, so
+ * v1 consumers that ignore unknown keys keep working unchanged.
+ */
+inline constexpr const char *kRunMetricsSchema = "tlat-run-metrics-v2";
 
 /**
  * Writes the full report as one JSON document (trailing newline).

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * The adversarial workload family (see adversarial.hh): KMP string
+ * matching plus alternating / data-dependent / periodic-burst branch
+ * kernels. Each analytic branch site is exposed through a code
+ * symbol so tests can isolate it with trace filters.
+ *
+ * All four follow the workload contract: data sets change the initial
+ * data image, never the code — every parameter (pattern, pattern
+ * length, alphabet shift, failure function) is loaded from data
+ * memory, and the pattern/next arrays have fixed capacity so data
+ * addresses are data-set invariant.
+ */
+
+#include "adversarial.hh"
+
+#include <cstdint>
+
+#include "emit_helpers.hh"
+#include "util/logging.hh"
+#include "workload_base.hh"
+
+namespace tlat::workloads
+{
+
+namespace
+{
+
+/** Iterations per pass; state in data memory survives the restart. */
+constexpr std::int64_t kPassIterations = 4096;
+
+/** Fixed capacity of the kmp pattern/next arrays (max pattern len). */
+constexpr std::size_t kKmpMaxPattern = 8;
+
+// ---- kmp ----------------------------------------------------------
+
+struct KmpParams
+{
+    const char *set;
+    /** Pattern over {0, ..., sigma-1}, length <= kKmpMaxPattern. */
+    std::vector<std::uint8_t> pattern;
+    /** Alphabet size (power of two; characters are uniform). */
+    unsigned sigma;
+};
+
+/** The data sets: a^m patterns are the analytic (i.i.d.) cases. */
+const std::vector<KmpParams> &
+kmpParamSets()
+{
+    static const std::vector<KmpParams> sets = {
+        {"a4s4", {0, 0, 0, 0}, 4},
+        {"a4s8", {0, 0, 0, 0}, 8},
+        {"a6s2", {0, 0, 0, 0, 0, 0}, 2},
+        // Fibonacci-word prefix: nontrivial failure function, so the
+        // rescan loop actually revisits characters (not analytic).
+        {"fib8s4", {0, 1, 0, 0, 1, 0, 1, 0}, 4},
+    };
+    return sets;
+}
+
+/**
+ * KMP preprocessing: the border array and the strong ("next")
+ * failure function with the -1 convention (next[0] = -1; a -1 state
+ * means "give up on this character and restart at j = 0").
+ */
+struct KmpTables
+{
+    std::vector<std::int64_t> next;
+    std::int64_t restart; // border of the full pattern
+};
+
+KmpTables
+kmpTables(const std::vector<std::uint8_t> &pattern)
+{
+    const std::size_t m = pattern.size();
+    std::vector<std::int64_t> border(m + 1);
+    border[0] = -1;
+    std::int64_t k = -1;
+    for (std::size_t j = 1; j <= m; ++j) {
+        while (k >= 0 &&
+               pattern[static_cast<std::size_t>(k)] != pattern[j - 1])
+            k = border[static_cast<std::size_t>(k)];
+        ++k;
+        border[j] = k;
+    }
+
+    KmpTables tables;
+    tables.next.resize(m);
+    tables.next[0] = -1;
+    for (std::size_t j = 1; j < m; ++j) {
+        const std::int64_t b = border[j];
+        tables.next[j] =
+            (pattern[static_cast<std::size_t>(b)] == pattern[j])
+            ? tables.next[static_cast<std::size_t>(b)]
+            : b;
+    }
+    tables.restart = border[m];
+    return tables;
+}
+
+class KmpWorkload : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "kmp"; }
+    bool isFloatingPoint() const override { return false; }
+    std::string testSet() const override { return "a4s4"; }
+    std::optional<std::string> trainSet() const override
+    {
+        return std::nullopt;
+    }
+
+    std::vector<std::string>
+    dataSets() const override
+    {
+        std::vector<std::string> names;
+        for (const KmpParams &params : kmpParamSets())
+            names.emplace_back(params.set);
+        return names;
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        const KmpParams *params = nullptr;
+        for (const KmpParams &candidate : kmpParamSets()) {
+            if (dataSet == candidate.set)
+                params = &candidate;
+        }
+        tlat_assert(params, "kmp data set lookup");
+        const std::size_t m = params->pattern.size();
+        tlat_assert(m >= 1 && m <= kKmpMaxPattern,
+                    "kmp pattern length out of range");
+        const KmpTables tables = kmpTables(params->pattern);
+
+        unsigned shift = 64;
+        for (std::uint64_t s = params->sigma; s > 1; s >>= 1) {
+            tlat_assert(s % 2 == 0, "kmp alphabet not a power of two");
+            --shift;
+        }
+
+        ProgramBuilder b("kmp");
+        LcgEmitter lcg(b, 0x9e3779b97f4a7c15ULL);
+
+        // [m, char shift, chars per pass, restart j]
+        const std::uint64_t params_addr = b.data(
+            {m, shift, static_cast<std::uint64_t>(kPassIterations),
+             static_cast<std::uint64_t>(tables.restart)});
+        b.defineDataSymbol("kmp_params", params_addr);
+
+        std::vector<std::uint64_t> pattern_words(kKmpMaxPattern, 0);
+        std::vector<std::uint64_t> next_words(kKmpMaxPattern, 0);
+        for (std::size_t j = 0; j < m; ++j) {
+            pattern_words[j] = params->pattern[j];
+            next_words[j] =
+                static_cast<std::uint64_t>(tables.next[j]);
+        }
+        const std::uint64_t pattern_addr = b.data(pattern_words);
+        b.defineDataSymbol("kmp_pattern", pattern_addr);
+        const std::uint64_t next_addr = b.data(next_words);
+        b.defineDataSymbol("kmp_next", next_addr);
+
+        b.loadImm(1, static_cast<std::int64_t>(params_addr));
+        b.ld(21, 1, 0);  // m
+        b.ld(22, 1, 8);  // character shift (64 - log2 sigma)
+        b.ld(23, 1, 16); // characters per pass
+        b.ld(24, 1, 24); // j after a full match
+        b.loadImm(19, static_cast<std::int64_t>(pattern_addr));
+        b.loadImm(20, static_cast<std::int64_t>(next_addr));
+        b.li(4, 0);  // i: characters consumed this pass
+        b.li(5, 0);  // j: automaton state
+        b.li(26, 0); // match count
+
+        Label char_loop = b.newLabel();
+        Label rescan = b.newLabel();
+        Label reset_j = b.newLabel();
+        Label matched = b.newLabel();
+        Label advance = b.newLabel();
+        Label compare = b.newLabel("kmp_compare");
+        Label fallback = b.newLabel("kmp_fallback");
+        Label accept = b.newLabel("kmp_accept");
+        Label text_loop = b.newLabel("kmp_loop");
+
+        b.bind(char_loop);
+        // One fresh uniform character per outer iteration: the top
+        // log2(sigma) bits of the LCG (low bits are weak).
+        lcg.emitNext(b, 7, 1);
+        b.srl(7, 7, 22);
+        b.bind(rescan);
+        b.slli(1, 5, 3);
+        b.add(1, 1, 19);
+        b.ld(8, 1, 0); // pattern[j]
+        // THE analytic branch: for a^m patterns it fires exactly once
+        // per character against the same pattern entry, so its
+        // outcome stream is i.i.d. Bernoulli(1/sigma).
+        b.bind(compare);
+        b.beq(7, 8, matched);
+        b.slli(1, 5, 3);
+        b.add(1, 1, 20);
+        b.ld(5, 1, 0); // j = next[j]
+        b.bind(fallback);
+        b.blt(5, 0, reset_j);
+        b.jmp(rescan);
+        b.bind(reset_j);
+        b.li(5, 0);
+        b.jmp(advance);
+        b.bind(matched);
+        b.addi(5, 5, 1);
+        b.bind(accept);
+        b.bne(5, 21, advance);
+        b.addi(26, 26, 1); // full match
+        b.mov(5, 24);      // continue at the pattern's border
+        b.bind(advance);
+        b.addi(4, 4, 1);
+        b.bind(text_loop);
+        b.blt(4, 23, char_loop);
+        b.halt(); // restart: LCG state persists, text stays fresh
+
+        return b.build();
+    }
+};
+
+// ---- alternating --------------------------------------------------
+
+class AlternatingWorkload : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "alternating"; }
+    bool isFloatingPoint() const override { return false; }
+    std::string testSet() const override { return "default"; }
+    std::optional<std::string> trainSet() const override
+    {
+        return std::nullopt;
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        ProgramBuilder b("alternating");
+        // Phase counters in data memory so the periodic sequences
+        // continue seamlessly across restart-on-halt passes.
+        const std::uint64_t phases = b.data({0, 0, 0});
+        b.defineDataSymbol("alt_phases", phases);
+
+        b.loadImm(19, static_cast<std::int64_t>(phases));
+        b.li(4, 0);
+        b.loadImm(23, kPassIterations);
+
+        Label loop = b.newLabel();
+        b.bind(loop);
+
+        // Period 2: T, N, T, N, ...
+        b.ld(1, 19, 0);
+        b.xori(1, 1, 1);
+        b.st(19, 1, 0);
+        {
+            Label skip = b.newLabel();
+            b.bind(b.newLabel("alt_p2"));
+            b.bne(1, 0, skip);
+            b.nop();
+            b.bind(skip);
+        }
+
+        // Period 3: T, T, N (taken while the incremented phase < 3).
+        b.ld(1, 19, 8);
+        b.addi(1, 1, 1);
+        b.slti(2, 1, 3);
+        {
+            Label keep = b.newLabel();
+            b.bind(b.newLabel("alt_p3"));
+            b.bne(2, 0, keep);
+            b.li(1, 0);
+            b.bind(keep);
+            b.st(19, 1, 8);
+        }
+
+        // Period 4: T, N, N, T (taken while phase mod 4 < 2).
+        b.ld(1, 19, 16);
+        b.addi(1, 1, 1);
+        b.andi(1, 1, 3);
+        b.st(19, 1, 16);
+        b.slti(2, 1, 2);
+        {
+            Label skip = b.newLabel();
+            b.bind(b.newLabel("alt_p4"));
+            b.bne(2, 0, skip);
+            b.nop();
+            b.bind(skip);
+        }
+
+        b.addi(4, 4, 1);
+        b.bind(b.newLabel("alt_loop"));
+        b.blt(4, 23, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+// ---- datadep ------------------------------------------------------
+
+class DataDepWorkload : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "datadep"; }
+    bool isFloatingPoint() const override { return false; }
+    std::string testSet() const override { return "default"; }
+    std::optional<std::string> trainSet() const override
+    {
+        return std::nullopt;
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        ProgramBuilder b("datadep");
+        LcgEmitter lcg(b, 0x0da7adeb5ULL);
+        b.li(4, 0);
+        b.loadImm(23, kPassIterations);
+
+        Label loop = b.newLabel();
+        b.bind(loop);
+
+        // Fresh independent draw per site; taken probability is set
+        // by how many top bits must be zero (beq) or nonzero (bne).
+        lcg.emitNext(b, 7, 1);
+        b.srli(7, 7, 63);
+        {
+            Label skip = b.newLabel();
+            b.bind(b.newLabel("dd_coin"));
+            b.bne(7, 0, skip); // taken w.p. 1/2
+            b.nop();
+            b.bind(skip);
+        }
+        lcg.emitNext(b, 7, 1);
+        b.srli(7, 7, 62);
+        {
+            Label skip = b.newLabel();
+            b.bind(b.newLabel("dd_quarter"));
+            b.beq(7, 0, skip); // taken w.p. 1/4
+            b.nop();
+            b.bind(skip);
+        }
+        lcg.emitNext(b, 7, 1);
+        b.srli(7, 7, 61);
+        {
+            Label skip = b.newLabel();
+            b.bind(b.newLabel("dd_eighth"));
+            b.beq(7, 0, skip); // taken w.p. 1/8
+            b.nop();
+            b.bind(skip);
+        }
+
+        b.addi(4, 4, 1);
+        b.bind(b.newLabel("dd_loop"));
+        b.blt(4, 23, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+// ---- burst --------------------------------------------------------
+
+class BurstWorkload : public WorkloadBase
+{
+  public:
+    std::string name() const override { return "burst"; }
+    bool isFloatingPoint() const override { return false; }
+    std::string testSet() const override { return "default"; }
+    std::optional<std::string> trainSet() const override
+    {
+        return std::nullopt;
+    }
+
+    isa::Program
+    build(const std::string &dataSet) const override
+    {
+        checkDataSet(dataSet);
+        ProgramBuilder b("burst");
+        const std::uint64_t phases = b.data({0, 0});
+        b.defineDataSymbol("burst_phases", phases);
+
+        b.loadImm(19, static_cast<std::int64_t>(phases));
+        b.li(4, 0);
+        b.loadImm(23, kPassIterations);
+
+        Label loop = b.newLabel();
+        b.bind(loop);
+
+        // 16 taken, 16 not-taken (counter mod 32, taken while < 16).
+        b.ld(1, 19, 0);
+        b.addi(1, 1, 1);
+        b.andi(1, 1, 31);
+        b.st(19, 1, 0);
+        b.slti(2, 1, 16);
+        {
+            Label skip = b.newLabel();
+            b.bind(b.newLabel("burst16"));
+            b.bne(2, 0, skip);
+            b.nop();
+            b.bind(skip);
+        }
+
+        // 8 taken, 8 not-taken (counter mod 16, taken while < 8).
+        b.ld(1, 19, 8);
+        b.addi(1, 1, 1);
+        b.andi(1, 1, 15);
+        b.st(19, 1, 8);
+        b.slti(2, 1, 8);
+        {
+            Label skip = b.newLabel();
+            b.bind(b.newLabel("burst8"));
+            b.bne(2, 0, skip);
+            b.nop();
+            b.bind(skip);
+        }
+
+        b.addi(4, 4, 1);
+        b.bind(b.newLabel("burst_loop"));
+        b.blt(4, 23, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeKmp()
+{
+    return std::make_unique<KmpWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeAlternating()
+{
+    return std::make_unique<AlternatingWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeDataDep()
+{
+    return std::make_unique<DataDepWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeBurst()
+{
+    return std::make_unique<BurstWorkload>();
+}
+
+} // namespace tlat::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Adversarial workloads beyond the nine SPEC mirrors: small kernels
+ * whose branch behaviour is *analytically known*, so measured
+ * accuracy can be asserted against closed-form expected values
+ * instead of against the simulator itself (ROADMAP open item 4).
+ *
+ * The family (registered alongside the paper benchmarks, see
+ * workload.cc):
+ *
+ *  - "kmp": Knuth-Morris-Pratt string matching over pseudo-random
+ *    text, parameterized by (pattern, alphabet size) through its data
+ *    sets. For the a^m pattern sets the comparison branch consumes
+ *    exactly one fresh uniform character per execution, so its
+ *    outcome stream is i.i.d. Bernoulli(1/sigma) and its steady-state
+ *    misprediction rate under every Figure-2 automaton has the closed
+ *    form of h2p_analytic.hh (the Markov-chain method of Nicaud /
+ *    Pivoteau / Vialette, "Asymptotic analysis of branch mispredicts
+ *    in pattern matching", applied to the paper's automata). The
+ *    comparison branch pc is exposed as the "kmp_compare" symbol.
+ *
+ *  - "alternating": three short deterministic periodic branches
+ *    (periods 2, 3 and 4). Every pattern-table entry a site touches
+ *    settles to a constant outcome, so the steady-state miss count of
+ *    any two-level scheme with enough history is exactly zero.
+ *
+ *  - "datadep": data-dependent branches on fresh pseudo-random draws
+ *    at taken probabilities 1/2, 1/4 and 1/8 ("dd_coin",
+ *    "dd_quarter", "dd_eighth" symbols) — the same i.i.d. closed
+ *    forms as kmp from an independent generator, plus the canonical
+ *    Chaotic site for the taxonomy.
+ *
+ *  - "burst": periodic burst branches — K taken then K not-taken for
+ *    K = 16 ("burst16") and K = 8 ("burst8"). With history shorter
+ *    than K the per-period miss count of each automaton is a small
+ *    exact constant (h2p_analytic.hh analyticBurstMissRate).
+ *
+ * Golden tests measure each analytic site on a trace *filtered to
+ * that site's pc* (trace/trace_filter.hh): that removes pattern-table
+ * interference from the workload's bookkeeping branches and matches
+ * the single-branch model the closed forms describe.
+ */
+
+#ifndef TLAT_WORKLOADS_ADVERSARIAL_HH
+#define TLAT_WORKLOADS_ADVERSARIAL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload.hh"
+
+namespace tlat::workloads
+{
+
+std::unique_ptr<Workload> makeKmp();
+std::unique_ptr<Workload> makeAlternating();
+std::unique_ptr<Workload> makeDataDep();
+std::unique_ptr<Workload> makeBurst();
+
+} // namespace tlat::workloads
+
+#endif // TLAT_WORKLOADS_ADVERSARIAL_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Closed-form steady-state misprediction rates of the paper's
+ * Figure-2 automata on analytically tractable branch processes. These
+ * are the *external* expected values the adversarial-workload golden
+ * tests assert against — derived by hand from the automaton
+ * transition tables, never from simulator output.
+ *
+ * Method (Nicaud/Pivoteau/Vialette's Markov-chain analysis of branch
+ * predictors in string matching, applied to core/automaton.hh's
+ * tables): for an i.i.d. Bernoulli(p) outcome stream, the automaton
+ * state forms a finite Markov chain; solve the stationary balance
+ * equations and weight each state's misprediction probability (p when
+ * the state predicts not-taken, 1-p when it predicts taken) by its
+ * stationary mass. A two-level predictor slices an i.i.d. stream by
+ * history pattern into sub-streams that are again i.i.d. Bernoulli(p),
+ * so the rate is history-length invariant.
+ *
+ * Stationary solutions (q = 1 - p):
+ *   LT  pi proportional to (q, p); predicts the last outcome:
+ *       M = 2pq
+ *   A1  2-bit shift register, predicts taken unless both recorded
+ *       outcomes were not-taken (state 0, mass q^2):
+ *       M = p q^2 + q (1 - q^2)
+ *   A2  saturating counter; balance p*pi0 = q*pi1, p*pi1 = q*pi2,
+ *       p*pi2 = q*pi3 gives pi ~ (q^3, pq^2, p^2q, p^3)/norm:
+ *       M = pq / (1 - 2pq)
+ *   A3  A2 with 3 --NT--> 1 fast recovery; balance gives
+ *       pi ~ (q^2, pq, p^2 q, p^3) / (q^2 + pq + p^2 q + p^3):
+ *       M = pq (1 + p) / (q^2 + pq + p^2 q + p^3)
+ *   A4  big-jump hysteresis (1 -T-> 3, 2 -NT-> 0); balance
+ *       pi1 = p pi0, pi2 = q pi3, pi3 = (p^2/q^2) pi0:
+ *       M = (p + 2p^2 + p^2/q) / (1 + p + p^2/q + p^2/q^2)
+ *
+ * All five reduce to M = 1/2 at p = 1/2 (the symmetry check), and
+ * every formula has been cross-checked against direct stationary
+ * iteration of the kAutomatonSpecs tables.
+ *
+ * For a periodic burst branch (K taken then K not-taken, K larger
+ * than the history length) each recurring history pattern sees a
+ * deterministic outcome except at the two burst boundaries; walking
+ * the tables around a period gives exact per-period miss counts:
+ *   LT 4, A1 4, A2 2, A3 3, A4 2  per period of 2K.
+ */
+
+#ifndef TLAT_WORKLOADS_H2P_ANALYTIC_HH
+#define TLAT_WORKLOADS_H2P_ANALYTIC_HH
+
+#include "core/automaton.hh"
+#include "util/logging.hh"
+
+namespace tlat::workloads
+{
+
+/**
+ * Steady-state misprediction rate of @p kind predicting an i.i.d.
+ * Bernoulli(@p p) branch, 0 < p < 1.
+ */
+inline double
+analyticIidMissRate(core::AutomatonKind kind, double p)
+{
+    const double q = 1.0 - p;
+    switch (kind) {
+    case core::AutomatonKind::LastTime:
+        return 2.0 * p * q;
+    case core::AutomatonKind::A1:
+        return p * q * q + q * (1.0 - q * q);
+    case core::AutomatonKind::A2:
+        return p * q / (1.0 - 2.0 * p * q);
+    case core::AutomatonKind::A3:
+        return p * q * (1.0 + p) /
+               (q * q + p * q + p * p * q + p * p * p);
+    case core::AutomatonKind::A4:
+        return (p + 2.0 * p * p + p * p / q) /
+               (1.0 + p + p * p / q + (p * p) / (q * q));
+    default:
+        tlat_fatal("no analytic rate for automaton kind");
+    }
+}
+
+/**
+ * Steady-state misprediction rate of @p kind on a periodic burst
+ * branch (@p k taken outcomes then @p k not-taken), as seen through a
+ * two-level predictor whose history is shorter than @p k: exact
+ * per-period miss count divided by the period 2k.
+ */
+inline double
+analyticBurstMissRate(core::AutomatonKind kind, unsigned k)
+{
+    const double period = 2.0 * static_cast<double>(k);
+    switch (kind) {
+    case core::AutomatonKind::LastTime:
+        return 4.0 / period; // 1 at each boundary + 1 echo each
+    case core::AutomatonKind::A1:
+        return 4.0 / period; // 1 entering the taken run, 3 leaving
+    case core::AutomatonKind::A2:
+        return 2.0 / period; // hysteresis absorbs the echo
+    case core::AutomatonKind::A3:
+        return 3.0 / period; // fast NT recovery echoes once
+    case core::AutomatonKind::A4:
+        return 2.0 / period; // big jump re-saturates immediately
+    default:
+        tlat_fatal("no analytic burst rate for automaton kind");
+    }
+}
+
+} // namespace tlat::workloads
+
+#endif // TLAT_WORKLOADS_H2P_ANALYTIC_HH

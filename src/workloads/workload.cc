@@ -1,5 +1,6 @@
 #include "workload.hh"
 
+#include "adversarial.hh"
 #include "util/logging.hh"
 #include "workload_base.hh"
 
@@ -27,6 +28,17 @@ const RegistryEntry kRegistry[] = {
     {"matrix300", makeMatrix300, true},
     {"spice2g6", makeSpice2g6, true},
     {"tomcatv", makeTomcatv, true},
+};
+
+// Analytic kernels: resolvable through makeWorkload() but outside
+// kRegistry so workloadNames() — and everything that means "the
+// paper's suite" (figure sweeps, suite means, AccuracyReport rows) —
+// stays the nine SPEC mirrors.
+const RegistryEntry kAdversarialRegistry[] = {
+    {"kmp", makeKmp, false},
+    {"alternating", makeAlternating, false},
+    {"datadep", makeDataDep, false},
+    {"burst", makeBurst, false},
 };
 
 } // namespace
@@ -62,10 +74,32 @@ floatingPointWorkloadNames()
     return names;
 }
 
+std::vector<std::string>
+adversarialWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const RegistryEntry &entry : kAdversarialRegistry)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names = workloadNames();
+    for (const RegistryEntry &entry : kAdversarialRegistry)
+        names.emplace_back(entry.name);
+    return names;
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name)
 {
     for (const RegistryEntry &entry : kRegistry) {
+        if (name == entry.name)
+            return entry.factory();
+    }
+    for (const RegistryEntry &entry : kAdversarialRegistry) {
         if (name == entry.name)
             return entry.factory();
     }

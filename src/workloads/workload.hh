@@ -68,7 +68,20 @@ std::vector<std::string> integerWorkloadNames();
 /** Names of the floating point benchmarks. */
 std::vector<std::string> floatingPointWorkloadNames();
 
-/** Instantiates a workload by name; fatal on unknown names. */
+/**
+ * Names of the adversarial workloads (adversarial.hh): analytic
+ * branch kernels kept *outside* workloadNames() so the paper's
+ * figure sweeps and suite means stay the nine SPEC mirrors.
+ */
+std::vector<std::string> adversarialWorkloadNames();
+
+/** The nine paper benchmarks followed by the adversarial family. */
+std::vector<std::string> allWorkloadNames();
+
+/**
+ * Instantiates a workload by name — paper benchmark or adversarial
+ * kernel; fatal on unknown names.
+ */
 std::unique_ptr<Workload> makeWorkload(const std::string &name);
 
 } // namespace tlat::workloads

@@ -16,6 +16,7 @@
 #include "core/history_table.hh"
 #include "harness/branch_profile.hh"
 #include "harness/metrics_json.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace
 {
@@ -77,6 +78,69 @@ TEST(DeterminismOrder, ProfileSerializationIgnoresInsertionOrder)
     const std::string json_a = serializeOffenders(a);
     EXPECT_EQ(json_a, serializeOffenders(b));
     EXPECT_EQ(json_a, serializeOffenders(c));
+}
+
+/**
+ * Serializes the full metrics document including the h2p taxonomy
+ * section, with thresholds low enough that every profiled site lands
+ * in the H2P set (the sites of profileWithOrder() execute only a
+ * handful of times each).
+ */
+std::string
+serializeH2p(const harness::BranchProfile &profile)
+{
+    harness::RunMetricsReport report;
+    report.scheme = "test";
+    report.benchmark = "shuffled";
+    report.options.h2pSites = 16;
+    report.options.h2pThresholds.executionFloor = 1;
+    report.topOffenders = profile.worstSites(64);
+    report.h2p =
+        harness::buildH2pReport(profile, report.options);
+    return harness::runMetricsJsonString(report);
+}
+
+TEST(DeterminismOrder, H2pSectionIgnoresInsertionOrder)
+{
+    std::vector<std::uint64_t> ascending;
+    for (std::uint64_t pc = 0x2000; pc < 0x2000 + 48 * 4; pc += 4)
+        ascending.push_back(pc);
+    std::vector<std::uint64_t> descending(ascending.rbegin(),
+                                          ascending.rend());
+    std::vector<std::uint64_t> strided;
+    for (std::size_t i = 0; i < ascending.size(); ++i)
+        strided.push_back(ascending[(i * 31) % ascending.size()]);
+
+    const std::string json =
+        serializeH2p(profileWithOrder(ascending));
+    EXPECT_EQ(json, serializeH2p(profileWithOrder(descending)));
+    EXPECT_EQ(json, serializeH2p(profileWithOrder(strided)));
+    // The low thresholds really did populate the section.
+    EXPECT_NE(json.find("\"h2p\""), std::string::npos);
+    EXPECT_NE(json.find("\"class\""), std::string::npos);
+}
+
+TEST(DeterminismOrder, H2pJsonIdenticalAcrossSweepWorkerCounts)
+{
+    harness::BenchmarkSuite suite(2000);
+    const std::vector<std::string> schemes = {
+        "AT(IHRT(,6SR),PT(2^6,A2),)"};
+
+    const auto sweep_json = [&](unsigned jobs) {
+        std::vector<harness::RunMetricsReport> metrics;
+        harness::runSweep(suite, "determinism", schemes, {}, jobs,
+                          &metrics);
+        std::string all;
+        for (const harness::RunMetricsReport &report : metrics)
+            all += harness::runMetricsJsonString(report);
+        return all;
+    };
+
+    const std::string serial = sweep_json(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_NE(serial.find("\"h2p\""), std::string::npos);
+    EXPECT_EQ(serial, sweep_json(4));
+    EXPECT_EQ(serial, sweep_json(8));
 }
 
 TEST(DeterminismOrder, WorstSitesTotalOrderBreaksTiesByPc)

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Analytic golden tests for the adversarial workloads and unit tests
+ * for the H2P misprediction taxonomy.
+ *
+ * The golden half asserts *measured* steady-state misprediction rates
+ * against the closed forms of workloads/h2p_analytic.hh — expected
+ * values derived by hand from the automaton tables, never from
+ * simulator output — for every Figure-2 automaton kind. Method: build
+ * the workload, collect its trace, filter to one analytic site's pc
+ * (removing pattern-table interference from bookkeeping branches),
+ * warm the predictor on a prefix and measure the suffix.
+ *
+ * The taxonomy half feeds hand-built outcome/correctness sequences to
+ * BranchProfile and checks the transient/systematic split, the
+ * local-history entropy and classifySite() against first principles.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/automaton.hh"
+#include "harness/experiment.hh"
+#include "isa/instruction.hh"
+#include "predictors/scheme_factory.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_filter.hh"
+#include "workloads/h2p_analytic.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tlat;
+
+constexpr core::AutomatonKind kAllKinds[] = {
+    core::AutomatonKind::LastTime, core::AutomatonKind::A1,
+    core::AutomatonKind::A2, core::AutomatonKind::A3,
+    core::AutomatonKind::A4,
+};
+
+/** Per-address two-level scheme with the given pattern automaton. */
+std::string
+schemeFor(core::AutomatonKind kind)
+{
+    return std::string("AT(IHRT(,6SR),PT(2^6,") +
+           core::automatonName(kind) + "),)";
+}
+
+/** Byte pc of a labelled branch site. */
+std::uint64_t
+sitePc(const isa::Program &program, const std::string &symbol)
+{
+    return program.symbols.at(symbol) * isa::kInstructionBytes;
+}
+
+/** The trace restricted to one static site. */
+trace::TraceBuffer
+siteTrace(const trace::TraceBuffer &trace, std::uint64_t pc)
+{
+    return trace::filterByPcRange(trace, pc,
+                                  pc + isa::kInstructionBytes);
+}
+
+/**
+ * Steady-state miss rate of @p scheme on @p site_records: warm on the
+ * first @p warm records, measure the rest.
+ */
+double
+steadyMissRate(const std::string &scheme,
+               const trace::TraceBuffer &site_records, std::size_t warm)
+{
+    EXPECT_GT(site_records.size(), 2 * warm);
+    const auto predictor = predictors::makePredictor(scheme);
+    harness::measure(*predictor, trace::prefix(site_records, warm));
+    const auto counter = harness::measure(
+        *predictor, trace::suffix(site_records, warm));
+    return 1.0 - counter.accuracy();
+}
+
+void
+expectWithinRelative(double measured, double expected,
+                     double rel_tolerance, const std::string &what)
+{
+    EXPECT_NEAR(measured, expected, expected * rel_tolerance)
+        << what << ": measured " << measured << " vs analytic "
+        << expected;
+}
+
+// ---- closed forms vs the automaton tables -------------------------
+
+/**
+ * Independent check of the i.i.d. formulas: stationary distribution
+ * of each kAutomatonSpecs chain by fixed-point iteration, miss rate
+ * by weighting each state's wrong-side probability. Ties the closed
+ * forms to the repo's actual tables, not to the derivation notes.
+ */
+double
+stationaryIidMissRate(core::AutomatonKind kind, double p)
+{
+    const core::AutomatonSpec &spec = core::automatonSpec(kind);
+    std::vector<double> pi(spec.numStates, 0.0);
+    pi[spec.initialState] = 1.0;
+    for (int step = 0; step < 20000; ++step) {
+        std::vector<double> next(spec.numStates, 0.0);
+        for (int s = 0; s < spec.numStates; ++s) {
+            next[spec.nextState[s][0]] += pi[s] * (1.0 - p);
+            next[spec.nextState[s][1]] += pi[s] * p;
+        }
+        pi.swap(next);
+    }
+    double miss = 0.0;
+    for (int s = 0; s < spec.numStates; ++s)
+        miss += pi[s] * (spec.predictTaken[s] ? 1.0 - p : p);
+    return miss;
+}
+
+TEST(H2pAnalytic, ClosedFormsMatchAutomatonTables)
+{
+    for (const core::AutomatonKind kind : kAllKinds) {
+        for (const double p : {0.1, 0.125, 0.25, 0.5, 0.75, 0.9}) {
+            EXPECT_NEAR(workloads::analyticIidMissRate(kind, p),
+                        stationaryIidMissRate(kind, p), 1e-9)
+                << core::automatonName(kind) << " at p=" << p;
+        }
+        // Symmetry: every automaton is a fair coin against a fair coin.
+        EXPECT_NEAR(workloads::analyticIidMissRate(kind, 0.5), 0.5,
+                    1e-12);
+    }
+}
+
+// ---- KMP goldens --------------------------------------------------
+
+struct KmpCase
+{
+    const char *set;
+    double p; // taken probability of the comparison branch
+};
+
+/**
+ * The a^m data sets make the comparison branch i.i.d. Bernoulli
+ * (1/sigma): one fresh uniform character per execution, always
+ * compared against the same pattern symbol.
+ */
+TEST(H2pAnalytic, KmpComparisonBranchMatchesClosedForm)
+{
+    const KmpCase cases[] = {
+        {"a4s4", 0.25},
+        {"a4s8", 0.125},
+        {"a6s2", 0.5},
+    };
+    const auto workload = workloads::makeWorkload("kmp");
+    for (const KmpCase &c : cases) {
+        const isa::Program program = workload->build(c.set);
+        const trace::TraceBuffer trace =
+            sim::collectTrace(program, 2400000);
+        const trace::TraceBuffer compare =
+            siteTrace(trace, sitePc(program, "kmp_compare"));
+        // One compare per character: a third of the conditionals.
+        ASSERT_GT(compare.size(), 600000u);
+        for (const core::AutomatonKind kind : kAllKinds) {
+            const double measured =
+                steadyMissRate(schemeFor(kind), compare, 8192);
+            const double expected =
+                workloads::analyticIidMissRate(kind, c.p);
+            expectWithinRelative(
+                measured, expected, 0.01,
+                std::string("kmp ") + c.set + " " +
+                    core::automatonName(kind));
+        }
+    }
+}
+
+// ---- data-dependent goldens ---------------------------------------
+
+TEST(H2pAnalytic, DataDepSitesMatchClosedForm)
+{
+    const auto workload = workloads::makeWorkload("datadep");
+    const isa::Program program = workload->buildTest();
+    const trace::TraceBuffer trace =
+        sim::collectTrace(program, 1600000);
+    const struct
+    {
+        const char *symbol;
+        double p;
+    } sites[] = {
+        {"dd_coin", 0.5},
+        {"dd_quarter", 0.25},
+        {"dd_eighth", 0.125},
+    };
+    for (const auto &site : sites) {
+        const trace::TraceBuffer records =
+            siteTrace(trace, sitePc(program, site.symbol));
+        ASSERT_GT(records.size(), 300000u) << site.symbol;
+        for (const core::AutomatonKind kind : kAllKinds) {
+            const double measured =
+                steadyMissRate(schemeFor(kind), records, 8192);
+            const double expected =
+                workloads::analyticIidMissRate(kind, site.p);
+            expectWithinRelative(measured, expected, 0.01,
+                                 std::string(site.symbol) + " " +
+                                     core::automatonName(kind));
+        }
+    }
+}
+
+// ---- burst goldens ------------------------------------------------
+
+TEST(H2pAnalytic, BurstSitesMatchPerPeriodMissCounts)
+{
+    const auto workload = workloads::makeWorkload("burst");
+    const isa::Program program = workload->buildTest();
+    const trace::TraceBuffer trace = sim::collectTrace(program, 90000);
+    const struct
+    {
+        const char *symbol;
+        unsigned k;
+    } sites[] = {
+        {"burst16", 16},
+        {"burst8", 8},
+    };
+    for (const auto &site : sites) {
+        const trace::TraceBuffer records =
+            siteTrace(trace, sitePc(program, site.symbol));
+        ASSERT_GT(records.size(), 20000u) << site.symbol;
+        for (const core::AutomatonKind kind : kAllKinds) {
+            const double measured =
+                steadyMissRate(schemeFor(kind), records, 1024);
+            const double expected =
+                workloads::analyticBurstMissRate(kind, site.k);
+            // Exact per-period counts; the tolerance only covers the
+            // partial period at the ends of the measured window.
+            expectWithinRelative(measured, expected, 0.01,
+                                 std::string(site.symbol) + " " +
+                                     core::automatonName(kind));
+        }
+    }
+}
+
+// ---- alternating: exactly zero steady-state misses ----------------
+
+TEST(H2pAnalytic, AlternatingSitesReachZeroSteadyStateMisses)
+{
+    const auto workload = workloads::makeWorkload("alternating");
+    const isa::Program program = workload->buildTest();
+    const trace::TraceBuffer trace = sim::collectTrace(program, 40000);
+    for (const char *symbol : {"alt_p2", "alt_p3", "alt_p4"}) {
+        const trace::TraceBuffer records =
+            siteTrace(trace, sitePc(program, symbol));
+        ASSERT_GT(records.size(), 4000u) << symbol;
+        for (const core::AutomatonKind kind : kAllKinds) {
+            const auto predictor =
+                predictors::makePredictor(schemeFor(kind));
+            harness::measure(*predictor,
+                             trace::prefix(records, 2000));
+            const auto counter = harness::measure(
+                *predictor, trace::suffix(records, 2000));
+            EXPECT_EQ(counter.misses(), 0u)
+                << symbol << " " << core::automatonName(kind);
+        }
+    }
+}
+
+// ---- taxonomy unit tests ------------------------------------------
+
+/** Feeds @p n events with outcome period-2 (T, N, T, N, ...). */
+void
+feedAlternating(harness::BranchProfile &profile, std::uint64_t pc,
+                unsigned n, bool correct)
+{
+    for (unsigned i = 0; i < n; ++i)
+        profile.record(pc, correct, i % 2 == 0);
+}
+
+TEST(H2pTaxonomy, TransitionsCountOutcomeChanges)
+{
+    harness::BranchProfile profile;
+    feedAlternating(profile, 0x40, 4, true); // T N T N
+    EXPECT_EQ(profile.site(0x40).transitions, 3u);
+    profile.record(0x40, true, false); // N after N: no transition
+    EXPECT_EQ(profile.site(0x40).transitions, 3u);
+}
+
+TEST(H2pTaxonomy, PeriodicOutcomesHaveZeroHistoryEntropy)
+{
+    harness::BranchProfile profile;
+    feedAlternating(profile, 0x40, 400, true);
+    const auto site = profile.site(0x40);
+    // Each recurring 4-bit pattern (0101 / 1010) fully determines the
+    // next outcome; only the handful of warmup patterns could deviate
+    // and they determine it too.
+    EXPECT_EQ(site.historyEntropyBits(), 0.0);
+    EXPECT_NEAR(site.transitionRate(), 1.0, 0.01);
+}
+
+TEST(H2pTaxonomy, CoinFlipOutcomesApproachOneBitOfEntropy)
+{
+    harness::BranchProfile profile;
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;
+    for (unsigned i = 0; i < 20000; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        profile.record(0x40, (lcg >> 62) % 2 == 0, (lcg >> 63) != 0);
+    }
+    EXPECT_GT(profile.site(0x40).historyEntropyBits(), 0.95);
+}
+
+TEST(H2pTaxonomy, ClassifyStableBelowExecutionFloor)
+{
+    harness::TaxonomyThresholds thresholds;
+    harness::BranchProfile profile;
+    feedAlternating(profile, 0x40, 50, false); // all misses, but rare
+    EXPECT_EQ(harness::classifySite(profile.site(0x40), thresholds),
+              harness::SiteClass::Stable);
+}
+
+TEST(H2pTaxonomy, ClassifyStableAtHighAccuracy)
+{
+    harness::TaxonomyThresholds thresholds;
+    harness::BranchProfile profile;
+    feedAlternating(profile, 0x40, 995, true);
+    feedAlternating(profile, 0x40, 5, false); // 99.5% accurate
+    EXPECT_EQ(harness::classifySite(profile.site(0x40), thresholds),
+              harness::SiteClass::Stable);
+}
+
+TEST(H2pTaxonomy, ClassifySystematicOnRepeatPatternMisses)
+{
+    harness::TaxonomyThresholds thresholds;
+    harness::BranchProfile profile;
+    // Periodic outcomes, never predicted: every recurring pattern
+    // keeps producing misses after its first.
+    feedAlternating(profile, 0x40, 400, false);
+    const auto site = profile.site(0x40);
+    EXPECT_GT(site.systematicMisses, site.transientMisses);
+    EXPECT_EQ(site.systematicMisses + site.transientMisses,
+              site.mispredictions);
+    EXPECT_EQ(harness::classifySite(site, thresholds),
+              harness::SiteClass::Systematic);
+}
+
+TEST(H2pTaxonomy, ClassifyTransientOnFirstPatternMissesOnly)
+{
+    harness::TaxonomyThresholds thresholds;
+    harness::BranchProfile profile;
+    // Miss exactly on the first visit of each local-history pattern:
+    // a warmup signature. 100 executions keep accuracy below the
+    // Stable ceiling.
+    std::array<bool, harness::kTaxonomyPatterns> seen{};
+    std::uint8_t history = 0;
+    for (unsigned i = 0; i < 100; ++i) {
+        const bool taken = i % 2 == 0;
+        const bool first = !seen[history];
+        seen[history] = true;
+        profile.record(0x40, !first, taken);
+        history = static_cast<std::uint8_t>(
+            ((history << 1) | (taken ? 1 : 0)) &
+            (harness::kTaxonomyPatterns - 1));
+    }
+    const auto site = profile.site(0x40);
+    EXPECT_EQ(site.systematicMisses, 0u);
+    EXPECT_GT(site.transientMisses, 0u);
+    EXPECT_EQ(harness::classifySite(site, thresholds),
+              harness::SiteClass::Transient);
+}
+
+TEST(H2pTaxonomy, ClassifyChaoticOnHighEntropy)
+{
+    harness::TaxonomyThresholds thresholds;
+    harness::BranchProfile profile;
+    std::uint64_t lcg = 42;
+    for (unsigned i = 0; i < 20000; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        // Half the predictions wrong, outcomes a fair coin.
+        profile.record(0x40, (lcg >> 62) % 2 == 0, (lcg >> 63) != 0);
+    }
+    EXPECT_EQ(harness::classifySite(profile.site(0x40), thresholds),
+              harness::SiteClass::Chaotic);
+}
+
+TEST(H2pTaxonomy, BuildH2pReportAggregatesAndCaps)
+{
+    harness::BranchProfile profile;
+    // Site 0x10: accurate -> Stable, excluded from the H2P set.
+    feedAlternating(profile, 0x10, 1000, true);
+    // Sites 0x20 and 0x30: never predicted -> Systematic, with 0x30
+    // missing more.
+    feedAlternating(profile, 0x20, 200, false);
+    feedAlternating(profile, 0x30, 300, false);
+
+    harness::MetricsOptions options;
+    options.h2pSites = 1; // force the cap
+    const harness::H2pReport report =
+        harness::buildH2pReport(profile, options);
+
+    EXPECT_EQ(report.staticSites, 3u);
+    EXPECT_EQ(report.h2pSiteCount, 2u);
+    EXPECT_EQ(report.h2pExecutions, 500u);
+    EXPECT_EQ(report.h2pMispredictions, 500u);
+    EXPECT_EQ(report.totalExecutions, 1500u);
+    EXPECT_EQ(report.totalMispredictions, 500u);
+    EXPECT_EQ(report.systematicMisses + report.transientMisses,
+              report.totalMispredictions);
+    // Capped to the heaviest H2P site, canonical order.
+    ASSERT_EQ(report.sites.size(), 1u);
+    EXPECT_EQ(report.sites[0].site.pc, 0x30u);
+    EXPECT_EQ(report.sites[0].cls, harness::SiteClass::Systematic);
+}
+
+TEST(H2pTaxonomy, WorstSitesLimitBeyondSizeReturnsAllSorted)
+{
+    harness::BranchProfile profile;
+    feedAlternating(profile, 0x20, 10, false);
+    feedAlternating(profile, 0x10, 10, false);
+    const auto sites = profile.worstSites(100);
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0].pc, 0x10u); // tie -> pc ascending
+    EXPECT_EQ(sites[1].pc, 0x20u);
+}
+
+TEST(H2pTaxonomy, SiteClassNamesAreStable)
+{
+    EXPECT_STREQ(harness::siteClassName(harness::SiteClass::Stable),
+                 "stable");
+    EXPECT_STREQ(harness::siteClassName(harness::SiteClass::Transient),
+                 "transient");
+    EXPECT_STREQ(
+        harness::siteClassName(harness::SiteClass::Systematic),
+        "systematic");
+    EXPECT_STREQ(harness::siteClassName(harness::SiteClass::Chaotic),
+                 "chaotic");
+}
+
+// ---- registry -----------------------------------------------------
+
+TEST(H2pAnalytic, AdversarialWorkloadsAreRegistered)
+{
+    const auto adversarial = workloads::adversarialWorkloadNames();
+    EXPECT_EQ(adversarial,
+              (std::vector<std::string>{"kmp", "alternating",
+                                        "datadep", "burst"}));
+    // The paper suite stays the nine SPEC mirrors...
+    EXPECT_EQ(workloads::workloadNames().size(), 9u);
+    // ...and the combined list appends the adversarial family.
+    const auto all = workloads::allWorkloadNames();
+    EXPECT_EQ(all.size(), 13u);
+    for (const std::string &name : adversarial) {
+        const auto workload = workloads::makeWorkload(name);
+        EXPECT_EQ(workload->name(), name);
+        EXPECT_FALSE(workload->isFloatingPoint());
+    }
+}
+
+/** Data sets must change the data image only, never the code. */
+TEST(H2pAnalytic, KmpDataSetsShareOneCodeImage)
+{
+    const auto workload = workloads::makeWorkload("kmp");
+    const isa::Program reference = workload->build("a4s4");
+    for (const std::string &set : workload->dataSets()) {
+        const isa::Program program = workload->build(set);
+        ASSERT_EQ(program.code.size(), reference.code.size()) << set;
+        for (std::size_t i = 0; i < program.code.size(); ++i) {
+            EXPECT_TRUE(program.code[i] == reference.code[i])
+                << set << " instruction " << i;
+        }
+    }
+}
+
+} // namespace

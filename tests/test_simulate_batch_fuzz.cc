@@ -26,9 +26,13 @@
 #include "core/two_level_predictor.hh"
 #include "harness/experiment.hh"
 #include "harness/metrics_json.hh"
+#include "isa/instruction.hh"
 #include "predictors/scheme_factory.hh"
+#include "sim/simulator.hh"
 #include "trace/trace_buffer.hh"
+#include "trace/trace_filter.hh"
 #include "util/random.hh"
+#include "workloads/workload.hh"
 
 namespace tlat
 {
@@ -431,6 +435,41 @@ TEST(SimulateBatchFuzz, EdgeTraceManyUniquePcsStressDictionary)
         trace.append(record);
     }
     ASSERT_EQ(trace.predecoded()->uniquePcCount(), kUnique);
+    for (const char *scheme : kEdgeSchemes)
+        expectSchemeEqualsReference(scheme, trace);
+    expectGeneralizedEqualsReference(trace);
+}
+
+TEST(SimulateBatchFuzz, AdversarialAlternatingTraceMatchesReference)
+{
+    // A real simulator-collected trace from the adversarial family:
+    // strictly periodic sites drive long same-pattern runs through
+    // the SoA lanes (saturated pattern entries, constant history
+    // windows) that the synthetic random traces rarely sustain.
+    const auto workload = workloads::makeWorkload("alternating");
+    const TraceBuffer trace =
+        sim::collectTrace(workload->buildTest(), 6000);
+    ASSERT_FALSE(trace.conditionalView().empty());
+    for (const char *scheme : kEdgeSchemes)
+        expectSchemeEqualsReference(scheme, trace);
+    expectGeneralizedEqualsReference(trace);
+}
+
+TEST(SimulateBatchFuzz, AdversarialSingleHotBranchMatchesReference)
+{
+    // The kmp comparison branch filtered to its own pc: one blazing
+    // hot conditional site with an i.i.d. outcome stream — a
+    // single-id dictionary whose every probe is a repeat hit, with
+    // genuinely random (not synthetic-runs) history churn.
+    const auto workload = workloads::makeWorkload("kmp");
+    const isa::Program program = workload->buildTest();
+    const TraceBuffer full = sim::collectTrace(program, 12000);
+    const std::uint64_t pc =
+        program.symbols.at("kmp_compare") * isa::kInstructionBytes;
+    const TraceBuffer trace = trace::filterByPcRange(
+        full, pc, pc + isa::kInstructionBytes);
+    ASSERT_GT(trace.size(), 3000u);
+    ASSERT_EQ(trace.predecoded()->uniquePcCount(), 1u);
     for (const char *scheme : kEdgeSchemes)
         expectSchemeEqualsReference(scheme, trace);
     expectGeneralizedEqualsReference(trace);

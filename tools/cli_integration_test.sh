@@ -110,14 +110,17 @@ got=$?
 if [ "$got" -ne 0 ]; then
     echo "FAIL: run --json: expected exit 0, got $got"
     failures=$((failures + 1))
-elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v1"'; then
+elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v2"'; then
     echo "FAIL: run --json output lacks schema tag"
     failures=$((failures + 1))
 elif ! printf '%s' "$json" | grep -q '"top_offenders"'; then
     echo "FAIL: run --json output lacks top_offenders"
     failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"h2p"'; then
+    echo "FAIL: run --json output lacks the h2p section"
+    failures=$((failures + 1))
 else
-    echo "ok: run --json emits tlat-run-metrics-v1"
+    echo "ok: run --json emits tlat-run-metrics-v2"
 fi
 
 # profile --json uses the same schema.
@@ -126,11 +129,29 @@ got=$?
 if [ "$got" -ne 0 ]; then
     echo "FAIL: profile --json: expected exit 0, got $got"
     failures=$((failures + 1))
-elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v1"'; then
+elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v2"'; then
     echo "FAIL: profile --json output lacks schema tag"
     failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"systematic_misses"'; then
+    echo "FAIL: profile --json output lacks the h2p taxonomy"
+    failures=$((failures + 1))
 else
-    echo "ok: profile --json emits tlat-run-metrics-v1"
+    echo "ok: profile --json emits tlat-run-metrics-v2"
+fi
+
+# Adversarial workloads resolve as benchmarks everywhere a SPEC
+# mirror does.
+expect 0 "run on adversarial kmp" run BTFN kmp --budget 2000
+json=$("$TLAT" profile "AT(IHRT(,6SR),PT(2^6,A2),)" kmp --budget 2000 --json 2>/dev/null)
+got=$?
+if [ "$got" -ne 0 ]; then
+    echo "FAIL: profile kmp --json: expected exit 0, got $got"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"h2p"'; then
+    echo "FAIL: profile kmp --json lacks the h2p section"
+    failures=$((failures + 1))
+else
+    echo "ok: adversarial kmp profiles with an h2p section"
 fi
 
 if [ "$failures" -ne 0 ]; then

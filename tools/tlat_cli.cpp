@@ -29,9 +29,10 @@
  *                   hardware thread count; results are identical for
  *                   every value)
  *   --json          `run` and `profile` emit one machine-readable
- *                   JSON document (schema tlat-run-metrics-v1) with
- *                   accuracy, predictor counters, the warmup curve
- *                   and the top mispredicting branches
+ *                   JSON document (schema tlat-run-metrics-v2) with
+ *                   accuracy, predictor counters, the warmup curve,
+ *                   the top mispredicting branches and the h2p
+ *                   hard-to-predict-branch taxonomy
  *
  * Exit codes (stable; the CLI integration test pins them):
  *   0  success
@@ -201,7 +202,7 @@ parseOptions(int argc, char **argv, int first)
 bool
 isBenchmark(const std::string &name)
 {
-    const auto names = workloads::workloadNames();
+    const auto names = workloads::allWorkloadNames();
     return std::find(names.begin(), names.end(), name) !=
            names.end();
 }
@@ -232,6 +233,15 @@ cmdList()
 {
     std::cout << "benchmarks (SPEC'89 mirrors):\n";
     for (const std::string &name : workloads::workloadNames()) {
+        const auto workload = workloads::makeWorkload(name);
+        std::cout << "  " << name << "  (data sets:";
+        for (const std::string &set : workload->dataSets())
+            std::cout << ' ' << set;
+        std::cout << ")\n";
+    }
+    std::cout << "\nadversarial workloads (analytic branch kernels):\n";
+    for (const std::string &name :
+         workloads::adversarialWorkloadNames()) {
         const auto workload = workloads::makeWorkload(name);
         std::cout << "  " << name << "  (data sets:";
         for (const std::string &set : workload->dataSets())

@@ -39,7 +39,7 @@ enforces them as named, individually suppressible rules:
                   simulateBatch(view.records(), ...) — so unsafe
                   predictor state can always drop off the lane path.
 
-  schema-once     JSON schema version strings (tlat-run-metrics-v1,
+  schema-once     JSON schema version strings (tlat-run-metrics-v2,
                   tlat-bench-v1) and the TLTR format version constant
                   must each be defined in exactly one place, so a
                   version bump can never half-apply.
