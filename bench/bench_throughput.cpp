@@ -173,6 +173,35 @@ BM_LeeSmithSoa(benchmark::State &state)
 }
 BENCHMARK(BM_LeeSmithSoa);
 
+// Tournament scheme: both components plus the chooser on every
+// branch, so the reference loop pays roughly the sum of its parts.
+// The fused path instead runs each component's own fused batch and
+// replays the chooser over captured correctness lanes.
+const char kCombiningScheme[] =
+    "CMB(AT(AHRT(512,12SR),PT(2^12,A2),),LS(AHRT(512,A2),,),"
+    "CT(2^12))";
+
+void
+BM_Combining(benchmark::State &state)
+{
+    runPredictorLoop(state, kCombiningScheme);
+}
+BENCHMARK(BM_Combining);
+
+void
+BM_CombiningFused(benchmark::State &state)
+{
+    runFusedLoop(state, kCombiningScheme);
+}
+BENCHMARK(BM_CombiningFused);
+
+void
+BM_CombiningSoa(benchmark::State &state)
+{
+    runSoaLoop(state, kCombiningScheme);
+}
+BENCHMARK(BM_CombiningSoa);
+
 void
 BM_StaticTraining(benchmark::State &state)
 {
@@ -329,6 +358,21 @@ main(int argc, char **argv)
     // direct vector index.
     record.addScalar("soa_speedup", soa_ihrt / fused_ihrt);
 
+    // Tournament A/B/C: the combining fused path should recover most
+    // of the component fused speedup despite the chooser replay pass.
+    const double comb_reference =
+        timedRecordsPerSec(kCombiningScheme, DriveMode::Reference);
+    const double comb_fused =
+        timedRecordsPerSec(kCombiningScheme, DriveMode::Fused);
+    const double comb_soa =
+        timedRecordsPerSec(kCombiningScheme, DriveMode::Soa);
+    record.addScalar("comb_reference_records_per_sec",
+                     comb_reference);
+    record.addScalar("comb_fused_records_per_sec", comb_fused);
+    record.addScalar("comb_fused_speedup",
+                     comb_fused / comb_reference);
+    record.addScalar("comb_soa_records_per_sec", comb_soa);
+
     // Predecode build cost, expressed in fused-AoS-pass units: how
     // many single-scheme passes one build costs. Sweeps run hundreds
     // of cells per trace, so anything well under 1.0 amortizes away.
@@ -349,6 +393,11 @@ main(int argc, char **argv)
               << " records/sec, soa(ihrt): " << soa_ihrt
               << " records/sec, soa_speedup: "
               << soa_ihrt / fused_ihrt << "x\n"
+              << "combining reference: " << comb_reference
+              << " records/sec, fused: " << comb_fused
+              << " records/sec, speedup: "
+              << comb_fused / comb_reference << "x, soa: "
+              << comb_soa << " records/sec\n"
               << "predecode build: " << predecode_overhead
               << " fused passes\n";
     return 0;

@@ -15,6 +15,7 @@
 #ifndef TLAT_CORE_BRANCH_PREDICTOR_HH
 #define TLAT_CORE_BRANCH_PREDICTOR_HH
 
+#include <iosfwd>
 #include <span>
 #include <string>
 
@@ -114,6 +115,30 @@ class BranchPredictor
     virtual void collectMetrics(RunMetrics &metrics) const
     {
         (void)metrics;
+    }
+
+    /**
+     * Serializes the complete dynamic state to @p os so a fresh
+     * predictor of the same configuration can resume bit-identically
+     * via loadCheckpoint(). Returns false when the scheme does not
+     * support checkpoints (the default) or cannot checkpoint right
+     * now (e.g. speculation in flight). The framing contract is in
+     * core/checkpoint.hh: magic + version + config fingerprint, the
+     * payload, then an end sentinel; loads are atomic (the predictor
+     * is untouched unless the whole stream parses, matches the
+     * configuration, and is fully consumed).
+     */
+    virtual bool saveCheckpoint(std::ostream &os) const
+    {
+        (void)os;
+        return false;
+    }
+
+    /** Restores state written by saveCheckpoint(); see above. */
+    virtual bool loadCheckpoint(std::istream &is)
+    {
+        (void)is;
+        return false;
     }
 };
 

@@ -48,6 +48,33 @@ storageCost(const SchemeConfig &config, std::uint64_t staticBranches,
 {
     StorageCost cost;
 
+    // A combining predictor is the sum of its components plus the
+    // chooser: one 2-bit counter per chooser-table entry, accounted
+    // as pattern storage (it is a second-level structure).
+    if (config.scheme == Scheme::Combining) {
+        for (const SchemeConfig &component : config.components) {
+            const StorageCost part =
+                storageCost(component, staticBranches, addressBits,
+                            cachedPredictionBit);
+            cost.historyBits += part.historyBits;
+            cost.tagBits += part.tagBits;
+            cost.lruBits += part.lruBits;
+            cost.patternBits += part.patternBits;
+        }
+        cost.patternBits +=
+            2 * (std::uint64_t{1} << config.chooserBits);
+        return cost;
+    }
+
+    // Gshare keeps a single global k-bit register and one pattern
+    // table; the address XOR adds no storage.
+    if (config.scheme == Scheme::Gshare) {
+        cost.historyBits = config.historyBits;
+        cost.patternBits = (std::uint64_t{1} << config.historyBits) *
+                           automatonStateBits(config.automaton);
+        return cost;
+    }
+
     // Entry payload: a k-bit shift register for AT/ST, an automaton
     // for LS.
     std::uint64_t payload_bits;

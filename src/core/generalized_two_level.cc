@@ -1,5 +1,9 @@
 #include "generalized_two_level.hh"
 
+#include <algorithm>
+#include <utility>
+
+#include "checkpoint.hh"
 #include "contracts.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
@@ -309,6 +313,171 @@ GeneralizedTwoLevelPredictor::historyRegisterCount() const
       default:
         return address_histories_.size();
     }
+}
+
+namespace
+{
+
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** Scope/geometry fingerprint, salted per class (0x6e2a1 = GTL). */
+std::uint64_t
+configFingerprint(const GeneralizedConfig &config)
+{
+    std::uint64_t fp = 0x6e2a1;
+    const auto mixIn = [&fp](std::uint64_t value) {
+        fp = mix64(fp ^ value);
+    };
+    mixIn(static_cast<std::uint64_t>(config.historyScope));
+    mixIn(static_cast<std::uint64_t>(config.patternScope));
+    mixIn(config.historyBits);
+    mixIn(static_cast<std::uint64_t>(config.automaton));
+    mixIn(config.setBits);
+    mixIn(config.xorAddress ? 1 : 0);
+    mixIn(config.addrShift);
+    return fp;
+}
+
+} // namespace
+
+bool
+GeneralizedTwoLevelPredictor::saveCheckpoint(std::ostream &os) const
+{
+    ckpt::writeHeader(os, kCheckpointVersion,
+                      configFingerprint(config_));
+    ckpt::putScalar(os, global_history_);
+
+    ckpt::putScalar(
+        os, static_cast<std::uint64_t>(set_histories_.size()));
+    for (const std::uint32_t history : set_histories_)
+        ckpt::putScalar(os, history);
+
+    // The demand-grown maps serialize as pc-sorted ordered
+    // projections, so the bytes are independent of hash iteration
+    // order (determinism contract).
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> histories;
+    histories.reserve(address_histories_.size());
+    for (const auto &[pc, history] : address_histories_)
+        histories.emplace_back(pc, history);
+    std::sort(histories.begin(), histories.end());
+    ckpt::putScalar(os,
+                    static_cast<std::uint64_t>(histories.size()));
+    for (const auto &[pc, history] : histories) {
+        ckpt::putScalar(os, pc);
+        ckpt::putScalar(os, history);
+    }
+
+    ckpt::putScalar(
+        os, static_cast<std::uint64_t>(fixed_tables_.size()));
+    for (const PatternTable &table : fixed_tables_)
+        table.saveState(os);
+
+    std::vector<std::pair<std::uint64_t, const PatternTable *>>
+        tables;
+    tables.reserve(address_tables_.size());
+    for (const auto &[pc, table] : address_tables_)
+        tables.emplace_back(pc, &table);
+    std::sort(tables.begin(), tables.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    ckpt::putScalar(os, static_cast<std::uint64_t>(tables.size()));
+    for (const auto &[pc, table] : tables) {
+        ckpt::putScalar(os, pc);
+        table->saveState(os);
+    }
+
+    ckpt::writeEnd(os);
+    return static_cast<bool>(os);
+}
+
+bool
+GeneralizedTwoLevelPredictor::loadCheckpoint(std::istream &is)
+{
+    if (!ckpt::readHeader(is, kCheckpointVersion,
+                          configFingerprint(config_)))
+        return false;
+
+    // Parse everything into temporaries; commit only after the end
+    // sentinel and the fully-consumed check pass.
+    std::uint32_t global_history = 0;
+    if (!ckpt::getScalar(is, global_history) ||
+        (global_history & ~history_mask_) != 0)
+        return false;
+
+    std::uint64_t set_count = 0;
+    if (!ckpt::getScalar(is, set_count) ||
+        set_count != set_histories_.size())
+        return false;
+    std::vector<std::uint32_t> set_histories(
+        static_cast<std::size_t>(set_count));
+    for (std::uint32_t &history : set_histories) {
+        if (!ckpt::getScalar(is, history) ||
+            (history & ~history_mask_) != 0)
+            return false;
+    }
+
+    std::uint64_t history_count = 0;
+    if (!ckpt::getScalar(is, history_count) ||
+        history_count > (std::uint64_t{1} << 32))
+        return false;
+    std::unordered_map<std::uint64_t, std::uint32_t>
+        address_histories;
+    address_histories.reserve(
+        static_cast<std::size_t>(history_count));
+    std::uint64_t previous_pc = 0;
+    for (std::uint64_t i = 0; i < history_count; ++i) {
+        std::uint64_t pc = 0;
+        std::uint32_t history = 0;
+        if (!ckpt::getScalar(is, pc) ||
+            !ckpt::getScalar(is, history) ||
+            (history & ~history_mask_) != 0)
+            return false;
+        if (i > 0 && pc <= previous_pc)
+            return false; // must be strictly pc-sorted
+        previous_pc = pc;
+        address_histories.emplace(pc, history);
+    }
+
+    std::uint64_t fixed_count = 0;
+    if (!ckpt::getScalar(is, fixed_count) ||
+        fixed_count != fixed_tables_.size())
+        return false;
+    std::vector<PatternTable> fixed_tables = fixed_tables_;
+    for (PatternTable &table : fixed_tables) {
+        if (!table.loadState(is))
+            return false;
+    }
+
+    std::uint64_t table_count = 0;
+    if (!ckpt::getScalar(is, table_count) ||
+        table_count > (std::uint64_t{1} << 32))
+        return false;
+    std::unordered_map<std::uint64_t, PatternTable> address_tables;
+    address_tables.reserve(static_cast<std::size_t>(table_count));
+    previous_pc = 0;
+    for (std::uint64_t i = 0; i < table_count; ++i) {
+        std::uint64_t pc = 0;
+        if (!ckpt::getScalar(is, pc))
+            return false;
+        if (i > 0 && pc <= previous_pc)
+            return false;
+        previous_pc = pc;
+        PatternTable table(config_.historyBits, config_.automaton);
+        if (!table.loadState(is))
+            return false;
+        address_tables.emplace(pc, std::move(table));
+    }
+
+    if (!ckpt::readEnd(is))
+        return false;
+
+    global_history_ = global_history;
+    set_histories_ = std::move(set_histories);
+    address_histories_ = std::move(address_histories);
+    fixed_tables_ = std::move(fixed_tables);
+    address_tables_ = std::move(address_tables);
+    return true;
 }
 
 } // namespace tlat::core

@@ -109,6 +109,17 @@ class GeneralizedTwoLevelPredictor : public BranchPredictor
 
     const GeneralizedConfig &config() const { return config_; }
 
+    /**
+     * Checkpointing in the core/checkpoint.hh framing: the history
+     * registers and pattern tables of whatever scopes the config
+     * uses, with the demand-grown per-address maps serialized as
+     * pc-sorted ordered projections (determinism contract). Loads
+     * are atomic: parsed into temporaries, committed only after the
+     * whole stream — end sentinel included — validated.
+     */
+    bool saveCheckpoint(std::ostream &os) const override;
+    bool loadCheckpoint(std::istream &is) override;
+
     /** Number of distinct pattern tables instantiated so far. */
     std::size_t patternTableCount() const;
 

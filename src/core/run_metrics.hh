@@ -35,6 +35,7 @@
 #define TLAT_CORE_RUN_METRICS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace tlat::core
@@ -81,6 +82,28 @@ struct RunMetrics
      * must be 0 — the regression guard for the drained-deque leak.
      */
     std::uint64_t inFlightBranches = 0;
+
+    // ---- Combining predictor chooser ------------------------------
+    /**
+     * True when the run's scheme was a combining (tournament)
+     * predictor; the fields below are meaningful only then (the JSON
+     * writer always emits the block so the v3 schema's key set stays
+     * fixed, zeroed for non-combining schemes).
+     */
+    bool combPresent = false;
+    /** Component scheme names, in chooser order (A wins at >= 2). */
+    std::string combComponentA;
+    std::string combComponentB;
+    /** Updates where component A / B predicted correctly. */
+    std::uint64_t combCorrectA = 0;
+    std::uint64_t combCorrectB = 0;
+    /** Updates where the two components disagreed. */
+    std::uint64_t combDisagreements = 0;
+    /** Disagreements the chooser resolved in favour of A / B. */
+    std::uint64_t combOverridesA = 0;
+    std::uint64_t combOverridesB = 0;
+    /** Chooser updates that flipped an entry's selected component. */
+    std::uint64_t combChooserFlips = 0;
 
     double
     hrtHitRatio() const

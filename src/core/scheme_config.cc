@@ -1,5 +1,6 @@
 #include "scheme_config.hh"
 
+#include "util/bitops.hh"
 #include "util/string_utils.hh"
 
 namespace tlat::core
@@ -150,6 +151,13 @@ SchemeConfig::text() const
         return "BTFN";
       case Scheme::Profile:
         return "Profile";
+      case Scheme::Gshare:
+        return format("GSH(%u,%s)", historyBits,
+                      automatonName(automaton));
+      case Scheme::Combining:
+        return "CMB(" + components[0].text() + "," +
+               components[1].text() +
+               format(",CT(2^%u))", chooserBits);
     }
     return "?";
 }
@@ -182,6 +190,23 @@ SchemeConfig::parse(const std::string &name)
     if (!call)
         return std::nullopt;
     const auto clauses = splitTopLevel(call->second, ',');
+
+    // GSH(12,A2) has two fields, not the three-clause Table 2 shape.
+    if (call->first == "GSH") {
+        if (clauses.size() != 2)
+            return std::nullopt;
+        const auto bits = parseSize(trim(clauses[0]));
+        if (!bits || *bits == 0 || *bits > 24)
+            return std::nullopt;
+        const auto automaton = automatonFromName(trim(clauses[1]));
+        if (!automaton)
+            return std::nullopt;
+        config.scheme = Scheme::Gshare;
+        config.historyBits = static_cast<unsigned>(*bits);
+        config.automaton = *automaton;
+        return config;
+    }
+
     if (clauses.size() != 3)
         return std::nullopt;
     const std::string history = trim(clauses[0]);
@@ -220,6 +245,26 @@ SchemeConfig::parse(const std::string &name)
             return std::nullopt;
         if (!parseHistoryClause(history, config, true))
             return std::nullopt;
+        return config;
+    }
+    if (call->first == "CMB") {
+        // CMB(A,B,CT(2^k)): the first two clauses are full scheme
+        // names in their own right (splitTopLevel is depth-aware, so
+        // their internal commas stay put), recursively parsed.
+        const auto component_a = parse(history);
+        const auto component_b = parse(pattern);
+        if (!component_a || !component_b)
+            return std::nullopt;
+        const auto chooser = splitCall(data);
+        if (!chooser || chooser->first != "CT")
+            return std::nullopt;
+        const auto entries = parseSize(trim(chooser->second));
+        if (!entries || !isPowerOfTwo(*entries) || *entries < 2 ||
+            *entries > (std::uint64_t{1} << 24))
+            return std::nullopt;
+        config.scheme = Scheme::Combining;
+        config.components = {*component_a, *component_b};
+        config.chooserBits = floorLog2(*entries);
         return config;
     }
     return std::nullopt;

@@ -13,6 +13,15 @@
  * plus the static schemes, which the paper names in prose:
  *   AlwaysTaken, AlwaysNotTaken, BTFN, Profile
  *
+ * and two post-paper extensions in the same spirit:
+ *   GSH(12,A2)            gshare: one global 12-bit history XORed
+ *                         with the branch address into one PT
+ *   CMB(A,B,CT(2^12))     tournament of any two schemes A and B,
+ *                         arbitrated by 2^12 2-bit chooser counters
+ *
+ * CMB components are themselves full scheme names, e.g.
+ *   CMB(AT(AHRT(512,12SR),PT(2^12,A2),),LS(AHRT(512,A2),,),CT(2^12))
+ *
  * SchemeConfig is the parsed form; makePredictor() (in
  * predictors/scheme_factory.hh) turns one into a live predictor.
  */
@@ -23,6 +32,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "automaton.hh"
 #include "history_table.hh"
@@ -39,7 +49,9 @@ enum class Scheme : std::uint8_t
     AlwaysTaken,
     AlwaysNotTaken,
     Btfn,             ///< backward taken / forward not taken
-    Profile           ///< per-branch majority from a profiling run
+    Profile,          ///< per-branch majority from a profiling run
+    Gshare,           ///< GSH — global history XOR address, one PT
+    Combining         ///< CMB — tournament of two components
 };
 
 /** How training data relates to testing data (ST only). */
@@ -68,6 +80,15 @@ struct SchemeConfig
 
     /** Training/testing data relationship (ST; Profile implies Same). */
     DataMode data = DataMode::None;
+
+    /**
+     * Component schemes (CMB only, exactly two, recursive — a
+     * component may itself be a CMB). Empty for every other scheme.
+     */
+    std::vector<SchemeConfig> components;
+
+    /** log2 of the chooser table size (CMB only). */
+    unsigned chooserBits = 12;
 
     /** Canonical Table 2 rendering. */
     std::string text() const;

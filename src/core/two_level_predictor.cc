@@ -3,9 +3,12 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <utility>
 
+#include "checkpoint.hh"
 #include "contracts.hh"
 #include "lane_prober.hh"
+#include "util/logging.hh"
 #include "util/string_utils.hh"
 
 namespace tlat::core
@@ -34,26 +37,30 @@ TwoLevelPredictor::TwoLevelPredictor(const TwoLevelConfig &config)
           lowMask(config.historyBits))),
       pattern_table_(makePatternTable(config))
 {
-    HrtEntry initial;
-    initial.history = config_.initHistoryOnes ? history_mask_ : 0;
-    initial.cachedPrediction =
-        pattern_table_.predict(initial.history);
+    initial_entry_.history =
+        config_.initHistoryOnes ? history_mask_ : 0;
+    initial_entry_.cachedPrediction =
+        pattern_table_.predict(initial_entry_.history);
+    hrt_ = makeHrt();
+}
 
+std::unique_ptr<HistoryTable<TwoLevelPredictor::HrtEntry>>
+TwoLevelPredictor::makeHrt() const
+{
     switch (config_.hrtKind) {
       case TableKind::Ideal:
-        hrt_ = std::make_unique<IdealTable<HrtEntry>>(initial);
-        break;
+        return std::make_unique<IdealTable<HrtEntry>>(
+            initial_entry_);
       case TableKind::Associative:
-        hrt_ = std::make_unique<AssociativeTable<HrtEntry>>(
-            config_.hrtEntries, config_.associativity, initial,
-            config_.addrShift);
-        break;
+        return std::make_unique<AssociativeTable<HrtEntry>>(
+            config_.hrtEntries, config_.associativity,
+            initial_entry_, config_.addrShift);
       case TableKind::Hashed:
-        hrt_ = std::make_unique<HashedTable<HrtEntry>>(
-            config_.hrtEntries, initial, config_.addrShift,
+        return std::make_unique<HashedTable<HrtEntry>>(
+            config_.hrtEntries, initial_entry_, config_.addrShift,
             config_.hhrtHash);
-        break;
     }
+    tlat_panic("unhandled HRT kind");
 }
 
 std::string
@@ -463,25 +470,11 @@ TwoLevelPredictor::collectMetrics(RunMetrics &metrics) const
 namespace
 {
 
-constexpr char kCheckpointMagic[4] = {'T', 'L', 'C', 'P'};
 // v2: TableStats gained eviction/aliasing counters and the HHRT
 // serializes its per-slot last-line attribution state.
-constexpr std::uint32_t kCheckpointVersion = 2;
-
-template <typename T>
-void
-putScalar(std::ostream &os, T value)
-{
-    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
-}
-
-template <typename T>
-bool
-getScalar(std::istream &is, T &value)
-{
-    is.read(reinterpret_cast<char *>(&value), sizeof(value));
-    return static_cast<bool>(is);
-}
+// v3: core/checkpoint.hh framing — end sentinel plus the
+// fully-consumed check, and loads commit atomically.
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 /** Geometry/behaviour fingerprint; checkpoints only restore onto an
  *  identically configured predictor. */
@@ -515,47 +508,51 @@ TwoLevelPredictor::saveCheckpoint(std::ostream &os) const
     if (!in_flight_.empty())
         return false;
 
-    os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
-    putScalar(os, kCheckpointVersion);
-    putScalar(os, configFingerprint(config_));
+    ckpt::writeHeader(os, kCheckpointVersion,
+                      configFingerprint(config_));
     pattern_table_.saveState(os);
     hrt_->saveState(os, [](std::ostream &out, const HrtEntry &entry) {
-        putScalar(out, entry.history);
-        putScalar(out, static_cast<std::uint8_t>(
-                           entry.cachedPrediction ? 1 : 0));
+        ckpt::putScalar(out, entry.history);
+        ckpt::putScalar(out, static_cast<std::uint8_t>(
+                                 entry.cachedPrediction ? 1 : 0));
     });
+    ckpt::writeEnd(os);
     return static_cast<bool>(os);
 }
 
 bool
 TwoLevelPredictor::loadCheckpoint(std::istream &is)
 {
-    char magic[4];
-    is.read(magic, sizeof(magic));
-    if (!is ||
-        std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0)
+    if (!ckpt::readHeader(is, kCheckpointVersion,
+                          configFingerprint(config_)))
         return false;
-    std::uint32_t version;
-    std::uint64_t fingerprint;
-    if (!getScalar(is, version) || version != kCheckpointVersion ||
-        !getScalar(is, fingerprint) ||
-        fingerprint != configFingerprint(config_))
+    // Parse the whole stream into same-geometry temporaries first;
+    // the live tables are only touched by the commit below, so a
+    // stream that fails anywhere — truncated mid-table, wrong
+    // sentinel, trailing junk — leaves the predictor exactly as it
+    // was.
+    PatternTable pattern_table = pattern_table_;
+    if (!pattern_table.loadState(is))
         return false;
-    if (!pattern_table_.loadState(is))
-        return false;
-    const bool loaded = hrt_->loadState(
+    std::unique_ptr<HistoryTable<HrtEntry>> hrt = makeHrt();
+    const bool loaded = hrt->loadState(
         is, [](std::istream &in, HrtEntry &entry) {
             std::uint8_t cached;
-            if (!getScalar(in, entry.history) ||
-                !getScalar(in, cached) || cached > 1)
+            if (!ckpt::getScalar(in, entry.history) ||
+                !ckpt::getScalar(in, cached) || cached > 1)
                 return false;
             entry.cachedPrediction = cached != 0;
             return true;
         });
+    if (!loaded || !ckpt::readEnd(is))
+        return false;
+
+    pattern_table_ = std::move(pattern_table);
+    hrt_ = std::move(hrt);
     in_flight_.clear();
     last_pc_ = ~std::uint64_t{0};
     last_entry_ = nullptr;
-    return loaded;
+    return true;
 }
 
 } // namespace tlat::core

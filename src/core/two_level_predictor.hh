@@ -153,16 +153,19 @@ class TwoLevelPredictor : public BranchPredictor
 
     /**
      * Checkpointing: writes the predictor's full state (pattern
-     * table, HRT contents, replacement state, statistics).
+     * table, HRT contents, replacement state, statistics) in the
+     * core/checkpoint.hh framing.
      *
      * Checkpoints are taken at branch boundaries; with
      * speculativeHistoryUpdate enabled there must be no in-flight
      * speculation (returns false otherwise). loadCheckpoint()
      * validates that the target predictor has the identical
-     * configuration.
+     * configuration, parses the entire stream — end sentinel and
+     * fully-consumed check included — into temporaries, and only
+     * then commits: on any failure the predictor is untouched.
      */
-    bool saveCheckpoint(std::ostream &os) const;
-    bool loadCheckpoint(std::istream &is);
+    bool saveCheckpoint(std::ostream &os) const override;
+    bool loadCheckpoint(std::istream &is) override;
 
   private:
     /** One HRT entry: the history register plus the cached
@@ -174,6 +177,13 @@ class TwoLevelPredictor : public BranchPredictor
     };
 
     HrtEntry &lookup(std::uint64_t pc);
+
+    /**
+     * Builds a fresh HRT of the configured flavour seeded with the
+     * construction-time initial entry — shared by the constructor
+     * and the atomic loadCheckpoint() temp-and-swap.
+     */
+    std::unique_ptr<HistoryTable<HrtEntry>> makeHrt() const;
 
     /** Fused loop body, monomorphized over (HRT type, automaton). */
     template <typename Table, AutomatonPolicy Ops>
@@ -203,6 +213,8 @@ class TwoLevelPredictor : public BranchPredictor
     TwoLevelConfig config_;
     std::uint32_t history_mask_;
     PatternTable pattern_table_;
+    /** Construction-time HRT entry seed (pure function of config). */
+    HrtEntry initial_entry_;
     std::unique_ptr<HistoryTable<HrtEntry>> hrt_;
 
     /** In-flight speculation record (speculativeHistoryUpdate). */

@@ -54,6 +54,19 @@ writeRunMetricsJson(
     json.member("squashed_speculations", m.squashedSpeculations);
     json.member("in_flight_branches", m.inFlightBranches);
     json.endObject();
+    // v3: the tournament chooser block. Always emitted (zeroed for
+    // non-combining schemes) so the schema's key set is fixed.
+    json.key("combining").beginObject();
+    json.member("present", m.combPresent);
+    json.member("component_a", m.combComponentA);
+    json.member("component_b", m.combComponentB);
+    json.member("correct_a", m.combCorrectA);
+    json.member("correct_b", m.combCorrectB);
+    json.member("disagreements", m.combDisagreements);
+    json.member("overrides_a", m.combOverridesA);
+    json.member("overrides_b", m.combOverridesB);
+    json.member("chooser_flips", m.combChooserFlips);
+    json.endObject();
     json.endObject();
 
     json.key("warmup").beginObject();

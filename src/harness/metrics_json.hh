@@ -23,11 +23,14 @@ namespace tlat::harness
 /**
  * Schema identifier stamped into every run-metrics document.
  *
- * v2 extends v1 purely additively with the trailing "h2p" taxonomy
- * section — every v1 key keeps its name, position and formatting, so
- * v1 consumers that ignore unknown keys keep working unchanged.
+ * v2 extended v1 purely additively with the trailing "h2p" taxonomy
+ * section; v3 extends v2 the same way with the predictor "combining"
+ * block (tournament chooser counters, zeroed for non-combining
+ * schemes) — every earlier key keeps its name, position and
+ * formatting, so consumers that ignore unknown keys keep working
+ * unchanged.
  */
-inline constexpr const char *kRunMetricsSchema = "tlat-run-metrics-v2";
+inline constexpr const char *kRunMetricsSchema = "tlat-run-metrics-v3";
 
 /**
  * Writes the full report as one JSON document (trailing newline).

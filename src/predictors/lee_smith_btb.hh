@@ -80,8 +80,21 @@ class LeeSmithPredictor : public core::BranchPredictor
 
     const LeeSmithConfig &config() const { return config_; }
 
+    /**
+     * Checkpointing in the core/checkpoint.hh framing: table entries
+     * (automaton states), replacement state and statistics. Loads
+     * are atomic — parsed into a fresh table, committed by swap only
+     * after the whole stream (end sentinel included) validated.
+     */
+    bool saveCheckpoint(std::ostream &os) const override;
+    bool loadCheckpoint(std::istream &is) override;
+
   private:
     core::Automaton &lookup(std::uint64_t pc);
+
+    /** Fresh table of the configured flavour (ctor + atomic load). */
+    std::unique_ptr<core::HistoryTable<core::Automaton>>
+    makeTable() const;
 
     /** Fused loop body, monomorphized over (table type, automaton). */
     template <typename Table, core::AutomatonPolicy Ops>

@@ -1,6 +1,8 @@
 #include "scheme_factory.hh"
 
+#include "core/combining_predictor.hh"
 #include "core/contracts.hh"
+#include "core/generalized_two_level.hh"
 #include "core/two_level_predictor.hh"
 #include "lee_smith_btb.hh"
 #include "profile_predictor.hh"
@@ -52,6 +54,26 @@ makePredictor(const SchemeConfig &config)
         return std::make_unique<BtfnPredictor>();
       case Scheme::Profile:
         return std::make_unique<ProfilePredictor>();
+      case Scheme::Gshare: {
+        core::GeneralizedConfig gsh;
+        gsh.historyScope = core::HistoryScope::Global;
+        gsh.patternScope = core::PatternScope::Global;
+        gsh.historyBits = config.historyBits;
+        gsh.automaton = config.automaton;
+        gsh.xorAddress = true;
+        return std::make_unique<core::GeneralizedTwoLevelPredictor>(
+            gsh);
+      }
+      case Scheme::Combining: {
+        core::CombiningOptions options;
+        options.chooserBits = config.chooserBits;
+        // name() renders the canonical parsed text, so a factory
+        // round-trip (parse -> build -> name -> parse) is stable.
+        return std::make_unique<core::CombiningPredictor>(
+            makePredictor(config.components[0]),
+            makePredictor(config.components[1]), options,
+            config.text());
+      }
     }
     tlat_panic("unhandled scheme kind");
 }

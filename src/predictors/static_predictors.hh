@@ -9,12 +9,43 @@
 #define TLAT_PREDICTORS_STATIC_PREDICTORS_HH
 
 #include "core/branch_predictor.hh"
+#include "core/checkpoint.hh"
 
 namespace tlat::predictors
 {
 
+/**
+ * Stateless schemes still carry framed (payload-free) checkpoints —
+ * magic, version, a per-class fingerprint and the end sentinel — so
+ * a combining predictor with a static component can checkpoint. The
+ * load obeys the usual contract (full validation, trailing junk
+ * rejected) even though there is nothing to restore.
+ */
+class StatelessPredictor : public core::BranchPredictor
+{
+  public:
+    bool
+    saveCheckpoint(std::ostream &os) const override
+    {
+        core::ckpt::writeHeader(os, 1,
+                                core::ckpt::mixString(0x57a71c,
+                                                      name()));
+        core::ckpt::writeEnd(os);
+        return static_cast<bool>(os);
+    }
+
+    bool
+    loadCheckpoint(std::istream &is) override
+    {
+        return core::ckpt::readHeader(
+                   is, 1,
+                   core::ckpt::mixString(0x57a71c, name())) &&
+               core::ckpt::readEnd(is);
+    }
+};
+
 /** Predicts every conditional branch taken (~60% accuracy, Fig. 9). */
-class AlwaysTakenPredictor : public core::BranchPredictor
+class AlwaysTakenPredictor : public StatelessPredictor
 {
   public:
     std::string name() const override { return "AlwaysTaken"; }
@@ -30,7 +61,7 @@ class AlwaysTakenPredictor : public core::BranchPredictor
 };
 
 /** Predicts every conditional branch not taken. */
-class AlwaysNotTakenPredictor : public core::BranchPredictor
+class AlwaysNotTakenPredictor : public StatelessPredictor
 {
   public:
     std::string name() const override { return "AlwaysNotTaken"; }
@@ -51,7 +82,7 @@ class AlwaysNotTakenPredictor : public core::BranchPredictor
  * once per loop — poor on irregular code (paper Figure 9: ~98% on
  * matrix300/tomcatv, often below 70% elsewhere).
  */
-class BtfnPredictor : public core::BranchPredictor
+class BtfnPredictor : public StatelessPredictor
 {
   public:
     std::string name() const override { return "BTFN"; }

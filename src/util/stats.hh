@@ -25,7 +25,19 @@ class AccuracyCounter
         ++total_;
         if (correct)
             ++hits_;
+        if (capture_ != nullptr)
+            *capture_++ = correct ? 1 : 0;
     }
+
+    /**
+     * Optional per-record correctness capture: while set, every
+     * record() additionally writes one byte (1 = correct) through the
+     * cursor and advances it. The caller owns the buffer and must
+     * size it for every record() it expects; pass nullptr to detach.
+     * Combining predictors use this to replay each component's
+     * per-branch outcomes through the chooser without re-simulating.
+     */
+    void captureInto(std::uint8_t *cursor) { capture_ = cursor; }
 
     void
     merge(const AccuracyCounter &other)
@@ -66,6 +78,7 @@ class AccuracyCounter
   private:
     std::uint64_t hits_ = 0;
     std::uint64_t total_ = 0;
+    std::uint8_t *capture_ = nullptr;
 };
 
 /** Geometric mean of a set of values; 0 if the set is empty. */

@@ -1,0 +1,9 @@
+// Fixture: schema-once must fire on the current run-metrics schema
+// version — the same v3 string defined here and in writer_b.cc.
+#include <ostream>
+
+void
+writeHeaderA(std::ostream &os)
+{
+    os << "{\"schema\": \"" << "tlat-run-metrics-v3" << "\"}";
+}

@@ -1,0 +1,9 @@
+// Fixture: second definition site of the v3 schema string — the
+// duplicate that schema-once exists to reject.
+#include <ostream>
+
+void
+writeHeaderB(std::ostream &os)
+{
+    os << "{\"schema\": \"" << "tlat-run-metrics-v3" << "\"}";
+}

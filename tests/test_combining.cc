@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit and acceptance tests for the tournament/combining predictor.
+ *
+ * The unit half drives the 2-bit chooser through hand-built records
+ * and checks the training rule (train only on disagreement, toward
+ * the correct component, saturating at 0/3) and the exported chooser
+ * metrics against first principles. The acceptance half pins the
+ * reason the predictor exists — on an adversarial workload with
+ * sites biased toward different components, the combined scheme
+ * strictly beats both components run standalone — and holds the
+ * checkpoint path to the atomic-load contract: byte-identical
+ * round-trips that continue identically, and rejection with fully
+ * untouched state for truncation at every byte offset, trailing
+ * junk, and mismatched configurations.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/combining_predictor.hh"
+#include "core/run_metrics.hh"
+#include "core/scheme_config.hh"
+#include "harness/experiment.hh"
+#include "predictors/scheme_factory.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_filter.hh"
+#include "workloads/workload.hh"
+
+namespace tlat
+{
+namespace
+{
+
+using core::CombiningOptions;
+using core::CombiningPredictor;
+using trace::BranchClass;
+using trace::BranchRecord;
+using trace::TraceBuffer;
+
+std::unique_ptr<core::BranchPredictor>
+makeScheme(const std::string &scheme)
+{
+    const auto config = core::SchemeConfig::parse(scheme);
+    EXPECT_TRUE(config.has_value()) << scheme;
+    return predictors::makePredictor(*config);
+}
+
+/** AlwaysTaken vs AlwaysNotTaken: disagreement on every record. */
+CombiningPredictor
+makeStaticTournament(const CombiningOptions &options)
+{
+    return CombiningPredictor(makeScheme("AlwaysTaken"),
+                              makeScheme("AlwaysNotTaken"), options);
+}
+
+BranchRecord
+conditional(std::uint64_t pc, bool taken)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 16;
+    record.cls = BranchClass::Conditional;
+    record.taken = taken;
+    return record;
+}
+
+TEST(Combining, ChooserTrainsTowardCorrectComponentAndSaturates)
+{
+    CombiningOptions options;
+    options.chooserBits = 4;
+    options.initialState = 0; // strongly component B
+    CombiningPredictor predictor = makeStaticTournament(options);
+    const std::uint64_t pc = 0x40;
+
+    // B (AlwaysNotTaken) governs: predict() is false.
+    EXPECT_FALSE(predictor.predict(conditional(pc, true)));
+
+    // Taken outcomes: A correct, B wrong -> counter walks up and
+    // saturates at 3. 0 -> 1 keeps B selected; 1 -> 2 flips to A.
+    predictor.update(conditional(pc, true));
+    EXPECT_EQ(predictor.chooserState(pc), 1);
+    EXPECT_EQ(predictor.chooserFlips(), 0u);
+    predictor.update(conditional(pc, true));
+    EXPECT_EQ(predictor.chooserState(pc), 2);
+    EXPECT_EQ(predictor.chooserFlips(), 1u);
+    EXPECT_TRUE(predictor.predict(conditional(pc, true)));
+    predictor.update(conditional(pc, true));
+    predictor.update(conditional(pc, true)); // saturates
+    EXPECT_EQ(predictor.chooserState(pc), 3);
+
+    // Every record disagreed; the first two were resolved by B (the
+    // chooser still selected it), the last two by A.
+    EXPECT_EQ(predictor.disagreements(), 4u);
+    EXPECT_EQ(predictor.overridesB(), 2u);
+    EXPECT_EQ(predictor.overridesA(), 2u);
+    EXPECT_EQ(predictor.correctA(), 4u);
+    EXPECT_EQ(predictor.correctB(), 0u);
+
+    // Not-taken outcomes walk it back down and saturate at 0.
+    for (int i = 0; i < 5; ++i)
+        predictor.update(conditional(pc, false));
+    EXPECT_EQ(predictor.chooserState(pc), 0);
+    EXPECT_EQ(predictor.chooserFlips(), 2u); // up-flip + down-flip
+    EXPECT_FALSE(predictor.predict(conditional(pc, false)));
+}
+
+TEST(Combining, ChooserUntouchedWhenComponentsAgree)
+{
+    // Identical components never disagree: the chooser must stay at
+    // its initial state and the disagreement counters at zero.
+    CombiningOptions options;
+    options.chooserBits = 4;
+    options.initialState = 1;
+    CombiningPredictor predictor(makeScheme("AlwaysTaken"),
+                                 makeScheme("AlwaysTaken"), options);
+    for (int i = 0; i < 8; ++i)
+        predictor.update(conditional(0x40, i % 2 == 0));
+    EXPECT_EQ(predictor.chooserState(0x40), 1);
+    EXPECT_EQ(predictor.disagreements(), 0u);
+    EXPECT_EQ(predictor.overridesA(), 0u);
+    EXPECT_EQ(predictor.overridesB(), 0u);
+    EXPECT_EQ(predictor.chooserFlips(), 0u);
+    EXPECT_EQ(predictor.correctA(), predictor.correctB());
+}
+
+TEST(Combining, ChooserSlotsAliasByAddressShiftAndMask)
+{
+    CombiningOptions options;
+    options.chooserBits = 2; // 4 counters
+    options.addrShift = 2;
+    options.initialState = 0;
+    CombiningPredictor predictor = makeStaticTournament(options);
+    // pc 0x10 and 0x20 share slot 0 (0x10 >> 2 = 4, 0x20 >> 2 = 8;
+    // both & 3 = 0); pc 0x14 lands in slot 1.
+    predictor.update(conditional(0x10, true));
+    predictor.update(conditional(0x20, true));
+    EXPECT_EQ(predictor.chooserState(0x10), 2);
+    EXPECT_EQ(predictor.chooserState(0x20), 2);
+    EXPECT_EQ(predictor.chooserState(0x14), 0);
+}
+
+TEST(Combining, ResetRestoresInitialChooserAndCounters)
+{
+    CombiningOptions options;
+    options.chooserBits = 4;
+    options.initialState = 3;
+    CombiningPredictor predictor = makeStaticTournament(options);
+    for (int i = 0; i < 6; ++i)
+        predictor.update(conditional(0x40, false));
+    ASSERT_EQ(predictor.chooserState(0x40), 0);
+    predictor.reset();
+    EXPECT_EQ(predictor.chooserState(0x40), 3);
+    EXPECT_EQ(predictor.disagreements(), 0u);
+    EXPECT_EQ(predictor.correctA(), 0u);
+    EXPECT_EQ(predictor.correctB(), 0u);
+    EXPECT_EQ(predictor.chooserFlips(), 0u);
+}
+
+TEST(Combining, NameSynthesizedFromComponentsOrDisplayText)
+{
+    CombiningOptions options;
+    options.chooserBits = 6;
+    CombiningPredictor anonymous(makeScheme("AlwaysTaken"),
+                                 makeScheme("BTFN"), options);
+    EXPECT_EQ(anonymous.name(),
+              "CMB(AlwaysTaken,BTFN,CT(2^6))");
+    const auto factory_built = makeScheme(
+        "CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),"
+        "CT(2^8))");
+    EXPECT_EQ(factory_built->name(),
+              "CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),"
+              "CT(2^8))");
+}
+
+// ---- acceptance: the combined scheme must beat its components -----
+
+TEST(Combining, BeatsBothComponentsOnAdversarialKmp)
+{
+    // kmp a4s4 has branch sites biased in both directions: the
+    // comparison branch is not-taken 3 of 4 times while the loop
+    // bookkeeping branches are taken-heavy. A per-branch chooser over
+    // the two constant predictors converges to each site's majority
+    // direction, so the tournament strictly beats either constant
+    // run standalone — the acceptance property of the whole design.
+    const auto workload = workloads::makeWorkload("kmp");
+    const TraceBuffer trace =
+        sim::collectTrace(workload->build("a4s4"), 120000);
+
+    const auto combined =
+        makeScheme("CMB(AlwaysTaken,AlwaysNotTaken,CT(2^12))");
+    const auto alone_a = makeScheme("AlwaysTaken");
+    const auto alone_b = makeScheme("AlwaysNotTaken");
+    const AccuracyCounter comb_acc = harness::measure(*combined, trace);
+    const AccuracyCounter a_acc = harness::measure(*alone_a, trace);
+    const AccuracyCounter b_acc = harness::measure(*alone_b, trace);
+
+    ASSERT_EQ(comb_acc.total(), a_acc.total());
+    EXPECT_GT(comb_acc.hits(), a_acc.hits());
+    EXPECT_GT(comb_acc.hits(), b_acc.hits());
+}
+
+TEST(Combining, TournamentMatchesTwoLevelOnAlternatingSteadyState)
+{
+    // On the purely periodic workload the two-level component is
+    // perfect after warmup and the per-address A2 component is not;
+    // the tournament must converge to the two-level side and hold
+    // its zero steady-state misses, strictly beating the weaker
+    // component standalone.
+    const auto workload = workloads::makeWorkload("alternating");
+    const TraceBuffer trace =
+        sim::collectTrace(workload->buildTest(), 30000);
+    const std::string two_level = "AT(IHRT(,6SR),PT(2^6,A2),)";
+    const std::string btb = "LS(IHRT(,A2),,)";
+
+    const auto combined = makeScheme("CMB(" + two_level + "," + btb +
+                                     ",CT(2^10))");
+    const auto weak = makeScheme(btb);
+    harness::measure(*combined, trace::prefix(trace, 8000));
+    harness::measure(*weak, trace::prefix(trace, 8000));
+    const AccuracyCounter comb_acc =
+        harness::measure(*combined, trace::suffix(trace, 8000));
+    const AccuracyCounter weak_acc =
+        harness::measure(*weak, trace::suffix(trace, 8000));
+    // A handful of residual misses on non-periodic bookkeeping
+    // branches is fine; the periodic sites must be clean, which
+    // bounds the tournament at a sliver of the weak component.
+    EXPECT_LE(comb_acc.misses(), 4u);
+    EXPECT_GT(weak_acc.misses(), 50 * comb_acc.misses());
+}
+
+// ---- checkpointing ------------------------------------------------
+
+constexpr const char *kCheckpointScheme =
+    "CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),CT(2^8))";
+
+/** Serialized checkpoint of @p predictor (must succeed). */
+std::string
+checkpointBytes(const core::BranchPredictor &predictor)
+{
+    std::ostringstream os;
+    EXPECT_TRUE(predictor.saveCheckpoint(os));
+    return os.str();
+}
+
+TEST(Combining, CheckpointRoundTripsByteIdenticallyAndContinues)
+{
+    const auto workload = workloads::makeWorkload("kmp");
+    const TraceBuffer trace =
+        sim::collectTrace(workload->build("a4s4"), 24000);
+    const TraceBuffer first = trace::prefix(trace, 12000);
+    const TraceBuffer second = trace::suffix(trace, 12000);
+
+    const auto original = makeScheme(kCheckpointScheme);
+    harness::measure(*original, first);
+    const std::string bytes = checkpointBytes(*original);
+
+    // Restore into a differently warmed twin: the load must replace
+    // its state wholesale, after which the serialization and every
+    // future prediction agree with the original.
+    const auto restored = makeScheme(kCheckpointScheme);
+    harness::measure(*restored, second);
+    std::istringstream is(bytes);
+    ASSERT_TRUE(restored->loadCheckpoint(is));
+    EXPECT_EQ(checkpointBytes(*restored), bytes);
+
+    const AccuracyCounter original_acc =
+        harness::measure(*original, second);
+    const AccuracyCounter restored_acc =
+        harness::measure(*restored, second);
+    EXPECT_EQ(original_acc.hits(), restored_acc.hits());
+    EXPECT_EQ(original_acc.total(), restored_acc.total());
+    EXPECT_EQ(checkpointBytes(*restored), checkpointBytes(*original));
+
+    // The chooser metrics live in the checkpoint too.
+    core::RunMetrics original_metrics;
+    core::RunMetrics restored_metrics;
+    original->collectMetrics(original_metrics);
+    restored->collectMetrics(restored_metrics);
+    EXPECT_EQ(original_metrics.combDisagreements,
+              restored_metrics.combDisagreements);
+    EXPECT_EQ(original_metrics.combChooserFlips,
+              restored_metrics.combChooserFlips);
+}
+
+TEST(Combining, CheckpointLoadIsAtomicUnderTruncation)
+{
+    const auto workload = workloads::makeWorkload("kmp");
+    const TraceBuffer trace =
+        sim::collectTrace(workload->build("a4s4"), 16000);
+    const auto source = makeScheme(kCheckpointScheme);
+    harness::measure(*source, trace::prefix(trace, 8000));
+    const std::string bytes = checkpointBytes(*source);
+
+    // A victim in a different trained state: a failed load at any
+    // truncation point must leave it byte-for-byte untouched —
+    // including the embedded component states, which is exactly what
+    // the pre-fix loader corrupted.
+    const auto victim = makeScheme(kCheckpointScheme);
+    harness::measure(*victim, trace::suffix(trace, 8000));
+    const std::string victim_bytes = checkpointBytes(*victim);
+    ASSERT_NE(victim_bytes, bytes);
+
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        std::istringstream is(bytes.substr(0, len));
+        EXPECT_FALSE(victim->loadCheckpoint(is)) << "len=" << len;
+        EXPECT_EQ(checkpointBytes(*victim), victim_bytes)
+            << "state mutated by truncated load, len=" << len;
+    }
+}
+
+TEST(Combining, CheckpointRejectsTrailingJunk)
+{
+    const auto source = makeScheme(kCheckpointScheme);
+    const std::string bytes = checkpointBytes(*source);
+    const auto victim = makeScheme(kCheckpointScheme);
+    const std::string victim_bytes = checkpointBytes(*victim);
+    std::istringstream is(bytes + "x");
+    EXPECT_FALSE(victim->loadCheckpoint(is));
+    EXPECT_EQ(checkpointBytes(*victim), victim_bytes);
+}
+
+TEST(Combining, CheckpointRejectsMismatchedConfiguration)
+{
+    const auto source = makeScheme(kCheckpointScheme);
+    const std::string bytes = checkpointBytes(*source);
+    // Different chooser geometry and different component geometry
+    // both change the header fingerprint.
+    for (const char *other :
+         {"CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),"
+          "CT(2^10))",
+          "CMB(AT(AHRT(64,8SR),PT(2^8,A2),),LS(AHRT(64,A2),,),"
+          "CT(2^8))",
+          "CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,LT),,),"
+          "CT(2^8))"}) {
+        const auto victim = makeScheme(other);
+        const std::string victim_bytes = checkpointBytes(*victim);
+        std::istringstream is(bytes);
+        EXPECT_FALSE(victim->loadCheckpoint(is)) << other;
+        EXPECT_EQ(checkpointBytes(*victim), victim_bytes) << other;
+    }
+}
+
+TEST(Combining, CheckpointRefusedMidPredictUpdatePair)
+{
+    CombiningOptions options;
+    options.chooserBits = 4;
+    CombiningPredictor predictor = makeStaticTournament(options);
+    (void)predictor.predict(conditional(0x40, true));
+    std::ostringstream os;
+    EXPECT_FALSE(predictor.saveCheckpoint(os));
+    predictor.update(conditional(0x40, true));
+    std::ostringstream after;
+    EXPECT_TRUE(predictor.saveCheckpoint(after));
+}
+
+} // namespace
+} // namespace tlat

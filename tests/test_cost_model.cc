@@ -112,6 +112,39 @@ TEST(CostModel, StaticSchemesAreFree)
     }
 }
 
+TEST(CostModel, GshareIsOneRegisterPlusOnePatternTable)
+{
+    const StorageCost cost = storageCost(parse("GSH(12,A2)"));
+    // One global 12-bit register; 4096 x 2-bit pattern automata; the
+    // address XOR is free.
+    EXPECT_EQ(cost.historyBits, 12u);
+    EXPECT_EQ(cost.patternBits, 4096u * 2);
+    EXPECT_EQ(cost.tagBits, 0u);
+    EXPECT_EQ(cost.lruBits, 0u);
+    EXPECT_EQ(storageCost(parse("GSH(8,LT)")).patternBits, 256u);
+}
+
+TEST(CostModel, CombiningSumsComponentsPlusChooser)
+{
+    const StorageCost a =
+        storageCost(parse("AT(AHRT(512,12SR),PT(2^12,A2),)"));
+    const StorageCost b = storageCost(parse("LS(AHRT(512,A2),,)"));
+    const StorageCost combined = storageCost(
+        parse("CMB(AT(AHRT(512,12SR),PT(2^12,A2),),"
+              "LS(AHRT(512,A2),,),CT(2^10))"));
+    EXPECT_EQ(combined.historyBits, a.historyBits + b.historyBits);
+    EXPECT_EQ(combined.tagBits, a.tagBits + b.tagBits);
+    EXPECT_EQ(combined.lruBits, a.lruBits + b.lruBits);
+    // The chooser is 2^10 2-bit counters on the pattern side.
+    EXPECT_EQ(combined.patternBits,
+              a.patternBits + b.patternBits + 2 * 1024);
+
+    // Static components contribute nothing; only the chooser costs.
+    const StorageCost static_pair = storageCost(
+        parse("CMB(AlwaysTaken,AlwaysNotTaken,CT(2^12))"));
+    EXPECT_EQ(static_pair.total(), 2u * 4096);
+}
+
 TEST(CostModel, LongerHistoryCostsExponentialPatternBits)
 {
     const StorageCost k6 =

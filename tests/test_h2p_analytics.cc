@@ -24,6 +24,8 @@
 #include <gtest/gtest.h>
 
 #include "core/automaton.hh"
+#include "core/combining_predictor.hh"
+#include "core/scheme_config.hh"
 #include "harness/experiment.hh"
 #include "isa/instruction.hh"
 #include "predictors/scheme_factory.hh"
@@ -263,6 +265,86 @@ TEST(H2pAnalytic, AlternatingSitesReachZeroSteadyStateMisses)
                 << symbol << " " << core::automatonName(kind);
         }
     }
+}
+
+// ---- combining chooser convergence --------------------------------
+
+std::unique_ptr<core::BranchPredictor>
+makeScheme(const std::string &scheme)
+{
+    const auto config = core::SchemeConfig::parse(scheme);
+    EXPECT_TRUE(config.has_value()) << scheme;
+    return predictors::makePredictor(*config);
+}
+
+TEST(H2pCombining, ChooserConvergesToTwoLevelOnAlternatingSites)
+{
+    // Periodic sites are the two-level component's home turf (zero
+    // steady-state misses) and hostile to a per-address Last-Time
+    // automaton (every outcome differs from the previous one). Even
+    // started on the weak side, the per-branch chooser must migrate
+    // each site to the two-level component and hold its perfect
+    // steady state.
+    const auto workload = workloads::makeWorkload("alternating");
+    const isa::Program program = workload->buildTest();
+    const trace::TraceBuffer trace = sim::collectTrace(program, 40000);
+    for (const char *symbol : {"alt_p2", "alt_p3", "alt_p4"}) {
+        const std::uint64_t pc = sitePc(program, symbol);
+        const trace::TraceBuffer records = siteTrace(trace, pc);
+        ASSERT_GT(records.size(), 4000u) << symbol;
+        core::CombiningOptions options;
+        options.chooserBits = 6;
+        options.initialState = 0; // strongly the weak component
+        core::CombiningPredictor combined(
+            makeScheme("AT(IHRT(,6SR),PT(2^6,A2),)"),
+            makeScheme("LS(IHRT(,LT),,)"), options);
+        harness::measure(combined, trace::prefix(records, 2000));
+        EXPECT_GE(combined.chooserState(pc), 2) << symbol;
+        const auto counter = harness::measure(
+            combined, trace::suffix(records, 2000));
+        EXPECT_EQ(counter.misses(), 0u) << symbol;
+    }
+}
+
+TEST(H2pCombining, ChooserConvergesToAutomatonOnIidKmpSite)
+{
+    // The kmp comparison branch is i.i.d. Bernoulli(1/4): pattern
+    // history carries no information, so a two-level scheme with a
+    // Last-Time pattern automaton misses 2p(1-p) while a plain
+    // per-address A2 counter misses the (much lower) A2 closed form.
+    // On a stochastic site the 2-bit chooser performs a biased random
+    // walk rather than saturating, so the steady state is a mixture
+    // leaning toward the A2 component: the combined miss rate must
+    // land strictly below the weak component's closed form and
+    // closer to the strong one's.
+    const auto workload = workloads::makeWorkload("kmp");
+    const isa::Program program = workload->build("a4s4");
+    const trace::TraceBuffer trace =
+        sim::collectTrace(program, 900000);
+    const std::uint64_t pc = sitePc(program, "kmp_compare");
+    const trace::TraceBuffer records = siteTrace(trace, pc);
+    ASSERT_GT(records.size(), 200000u);
+
+    core::CombiningOptions options;
+    options.chooserBits = 6;
+    options.initialState = 3; // strongly the weak component
+    core::CombiningPredictor combined(
+        makeScheme("AT(IHRT(,6SR),PT(2^6,LT),)"),
+        makeScheme("LS(IHRT(,A2),,)"), options);
+    harness::measure(combined, trace::prefix(records, 8192));
+    EXPECT_LT(combined.chooserState(pc), 2);
+    const auto counter = harness::measure(
+        combined, trace::suffix(records, 8192));
+    const double measured =
+        1.0 - counter.accuracy();
+    const double a2_form = workloads::analyticIidMissRate(
+        core::AutomatonKind::A2, 0.25);
+    const double lt_form = workloads::analyticIidMissRate(
+        core::AutomatonKind::LastTime, 0.25);
+    EXPECT_LT(measured, 0.9 * lt_form)
+        << "combined rate did not leave the weak component's form";
+    EXPECT_LT(measured - a2_form, lt_form - measured)
+        << "combined rate closer to the weak form than the strong";
 }
 
 // ---- taxonomy unit tests ------------------------------------------

@@ -105,6 +105,66 @@ TEST(SchemeConfig, ParsesStaticSchemes)
     EXPECT_EQ(mustParse("Profile").data, DataMode::Same);
 }
 
+TEST(SchemeConfig, ParsesGshareRows)
+{
+    const SchemeConfig config = mustParse("GSH(12,A2)");
+    EXPECT_EQ(config.scheme, Scheme::Gshare);
+    EXPECT_EQ(config.historyBits, 12u);
+    EXPECT_EQ(config.automaton, AutomatonKind::A2);
+    EXPECT_EQ(config.text(), "GSH(12,A2)");
+    EXPECT_EQ(mustParse("GSH(8,LT)").automaton,
+              AutomatonKind::LastTime);
+    EXPECT_EQ(mustParse("GSH(2^4,A2)").historyBits, 16u);
+}
+
+TEST(SchemeConfig, ParsesCombiningRows)
+{
+    const SchemeConfig config = mustParse(
+        "CMB(AT(AHRT(512,12SR),PT(2^12,A2),),LS(AHRT(512,A2),,),"
+        "CT(2^12))");
+    EXPECT_EQ(config.scheme, Scheme::Combining);
+    EXPECT_EQ(config.chooserBits, 12u);
+    ASSERT_EQ(config.components.size(), 2u);
+    EXPECT_EQ(config.components[0].scheme, Scheme::TwoLevelAdaptive);
+    EXPECT_EQ(config.components[1].scheme, Scheme::LeeSmithBtb);
+    // Round trip: text() renders exactly the canonical spelling.
+    EXPECT_EQ(config.text(),
+              "CMB(AT(AHRT(512,12SR),PT(2^12,A2),),"
+              "LS(AHRT(512,A2),,),CT(2^12))");
+
+    // Components recurse through the full grammar: gshare and the
+    // static schemes are valid component spellings.
+    const SchemeConfig nested =
+        mustParse("CMB(GSH(10,A2),BTFN,CT(2^8))");
+    EXPECT_EQ(nested.components[0].scheme, Scheme::Gshare);
+    EXPECT_EQ(nested.components[1].scheme, Scheme::Btfn);
+    EXPECT_EQ(nested.chooserBits, 8u);
+    EXPECT_EQ(nested.text(), "CMB(GSH(10,A2),BTFN,CT(2^8))");
+}
+
+TEST(SchemeConfig, RejectsMalformedGshareAndCombining)
+{
+    const char *bad[] = {
+        "gshare",                         // bare word is not a scheme
+        "GSH",                            // no clauses
+        "GSH(12)",                        // missing automaton
+        "GSH(12,A2,A2)",                  // too many clauses
+        "GSH(0,A2)",                      // history bits out of range
+        "GSH(25,A2)",                     // history bits out of range
+        "GSH(12,PB)",                     // PB is ST-only
+        "CMB(BTFN,CT(2^12))",             // missing a component
+        "CMB(BTFN,AlwaysTaken,CT(12))",   // chooser not a power of two
+        "CMB(BTFN,AlwaysTaken,CT(2^0))",  // chooser too small
+        "CMB(BTFN,AlwaysTaken,CT(2^25))", // chooser too large
+        "CMB(BTFN,AlwaysTaken,PT(2^12))", // wrong chooser keyword
+        "CMB(BTFN,AlwaysTaken,CT(2^12),)",// trailing clause
+        "CMB(BTFN,NotAScheme,CT(2^12))",  // bad component
+    };
+    for (const char *name : bad) {
+        EXPECT_FALSE(SchemeConfig::parse(name).has_value()) << name;
+    }
+}
+
 TEST(SchemeConfig, AcceptsWhitespace)
 {
     EXPECT_TRUE(SchemeConfig::parse(

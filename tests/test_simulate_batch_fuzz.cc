@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/combining_predictor.hh"
 #include "core/delayed_update.hh"
 #include "core/generalized_two_level.hh"
 #include "core/scheme_config.hh"
@@ -202,7 +203,15 @@ TEST(SimulateBatchFuzz, EveryFactoryScheme)
     }
     schemes.insert(schemes.end(),
                    {"AlwaysTaken", "AlwaysNotTaken", "BTFN",
-                    "Profile"});
+                    "Profile", "GSH(6,A2)", "GSH(8,LT)"});
+    // Combining schemes: every component pairing class the factory
+    // can emit — two-level + BTB, gshare + BTB, two-level + static.
+    schemes.insert(
+        schemes.end(),
+        {"CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),"
+         "CT(2^8))",
+         "CMB(GSH(6,A2),LS(IHRT(,LT),,),CT(2^6))",
+         "CMB(AT(IHRT(,6SR),PT(2^6,A2),),BTFN,CT(2^8))"});
 
     for (const std::string &scheme : schemes) {
         const auto config = core::SchemeConfig::parse(scheme);
@@ -300,6 +309,113 @@ TEST(SimulateBatchFuzz, GeneralizedScopeMatrix)
     }
 }
 
+/** Builds a factory component for direct CombiningPredictor tests. */
+std::unique_ptr<core::BranchPredictor>
+makeComponent(const std::string &scheme)
+{
+    const auto config = core::SchemeConfig::parse(scheme);
+    EXPECT_TRUE(config.has_value()) << scheme;
+    return predictors::makePredictor(*config);
+}
+
+TEST(SimulateBatchFuzz, CombiningChooserInitStatesAndCheckpointBytes)
+{
+    // The factory always starts the chooser weakly preferring A;
+    // direct construction sweeps every initial counter value. The
+    // three drive paths must agree on accuracy, metrics JSON and
+    // checkpoint bytes.
+    for (const unsigned init : {0u, 1u, 2u, 3u}) {
+        core::CombiningOptions options;
+        options.chooserBits = 6;
+        options.initialState = static_cast<std::uint8_t>(init);
+        for (const std::uint64_t seed : kSeeds) {
+            const TraceBuffer trace = makeRandomTrace(seed);
+            core::CombiningPredictor fast(
+                makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)"),
+                makeComponent("LS(AHRT(64,A2),,)"), options);
+            core::CombiningPredictor aos(
+                makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)"),
+                makeComponent("LS(AHRT(64,A2),,)"), options);
+            core::CombiningPredictor reference(
+                makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)"),
+                makeComponent("LS(AHRT(64,A2),,)"), options);
+            expectBatchEqualsReference(fast, aos, reference, trace);
+
+            std::ostringstream fast_ckpt;
+            std::ostringstream aos_ckpt;
+            std::ostringstream ref_ckpt;
+            ASSERT_TRUE(fast.saveCheckpoint(fast_ckpt));
+            ASSERT_TRUE(aos.saveCheckpoint(aos_ckpt));
+            ASSERT_TRUE(reference.saveCheckpoint(ref_ckpt));
+            EXPECT_EQ(fast_ckpt.str(), ref_ckpt.str())
+                << "init=" << init << " seed=" << seed;
+            EXPECT_EQ(aos_ckpt.str(), ref_ckpt.str())
+                << "init=" << init << " seed=" << seed;
+        }
+    }
+}
+
+TEST(SimulateBatchFuzz, CombiningMatchesComponentwiseHandSimulation)
+{
+    // Hand simulation: drive standalone copies of both components
+    // through the trace, replay a scalar 2-bit chooser over their
+    // correctness streams in plain test code, and require the
+    // combining predictor to report exactly that accuracy, the same
+    // disagreement count, and the same final chooser counter for
+    // every branch site.
+    for (const std::uint64_t seed : kSeeds) {
+        const TraceBuffer trace = makeRandomTrace(seed);
+        core::CombiningOptions options;
+        options.chooserBits = 6;
+        core::CombiningPredictor combined(
+            makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)"),
+            makeComponent("LS(AHRT(64,A2),,)"), options);
+        const auto alone_a =
+            makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)");
+        const auto alone_b = makeComponent("LS(AHRT(64,A2),,)");
+
+        std::vector<std::uint8_t> chooser(
+            std::size_t{1} << options.chooserBits,
+            options.initialState);
+        const std::uint64_t mask =
+            (std::uint64_t{1} << options.chooserBits) - 1;
+        AccuracyCounter hand;
+        std::uint64_t disagreements = 0;
+        for (const BranchRecord &record : trace.records()) {
+            if (record.cls != BranchClass::Conditional)
+                continue;
+            const bool pa = alone_a->predict(record);
+            const bool pb = alone_b->predict(record);
+            std::uint8_t &counter =
+                chooser[(record.pc >> options.addrShift) & mask];
+            hand.record((counter >= 2 ? pa : pb) == record.taken);
+            const bool correct_a = pa == record.taken;
+            const bool correct_b = pb == record.taken;
+            if (correct_a != correct_b) {
+                ++disagreements;
+                if (correct_a)
+                    counter = static_cast<std::uint8_t>(
+                        std::min<unsigned>(counter + 1u, 3u));
+                else
+                    counter = static_cast<std::uint8_t>(
+                        counter > 0 ? counter - 1u : 0u);
+            }
+            alone_a->update(record);
+            alone_b->update(record);
+        }
+
+        const AccuracyCounter combined_acc =
+            measureReference(combined, trace);
+        EXPECT_EQ(combined_acc.hits(), hand.hits()) << "seed=" << seed;
+        EXPECT_EQ(combined_acc.total(), hand.total());
+        EXPECT_EQ(combined.disagreements(), disagreements);
+        for (const std::uint64_t pc : trace.predecoded()->uniquePcs())
+            EXPECT_EQ(combined.chooserState(pc),
+                      chooser[(pc >> options.addrShift) & mask])
+                << "pc=" << pc << " seed=" << seed;
+    }
+}
+
 TEST(SimulateBatchFuzz, DelayedUpdateWrapperUsesReferenceSemantics)
 {
     // The delayed-update wrapper does not override simulateBatch; the
@@ -357,6 +473,7 @@ constexpr const char *kEdgeSchemes[] = {
     "AT(AHRT(64,6SR),PT(2^6,A2),)",
     "AT(HHRT(64,6SR),PT(2^6,A2),)",
     "LS(AHRT(64,A2),,)",
+    "CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),CT(2^6))",
 };
 
 TEST(SimulateBatchFuzz, EdgeTraceZeroConditionals)

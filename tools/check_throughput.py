@@ -19,6 +19,11 @@ regressions these gates exist to catch:
   ``max(1.15, baseline * (1 - tolerance))``: the hard 1.15x floor is
   the acceptance bar for shipping the SoA path at all.
 
+``comb_fused_speedup`` (the tournament scheme's fused path over its
+reference loop — the chooser-replay design keeps this near the
+component speedups) is required to be present and printed, but not
+gated yet: the replay pass's share of runtime shifts with component
+choice, so the ratio is noisier than the single-scheme twins.
 ``predecode_overhead`` (one artifact build, in fused-AoS-pass units)
 and ``soa_ahrt_speedup`` are required to be present and are printed
 for the log, but never gated: build cost amortizes across every cell
@@ -82,6 +87,10 @@ def main(argv):
         "fused_ihrt_records_per_sec",
         "soa_ihrt_records_per_sec",
         "soa_speedup",
+        "comb_reference_records_per_sec",
+        "comb_fused_records_per_sec",
+        "comb_fused_speedup",
+        "comb_soa_records_per_sec",
         "predecode_overhead",
     ):
         if name not in measured:

@@ -58,7 +58,26 @@ expect 2 "bad --jobs value" compare BTFN --jobs 0
 expect 2 "missing option value" run BTFN eqntott --budget
 expect 2 "duplicate option" run BTFN eqntott --budget 100 --budget 200
 expect 2 "bad scheme name" run "NotAScheme(x)" eqntott
+expect 2 "bad scheme name (profile)" profile "NotAScheme(x)" eqntott
+expect 2 "bad scheme name (cpi)" cpi "NotAScheme(x)" eqntott
+expect 2 "bad scheme name (compare)" compare "NotAScheme(x)"
 expect 2 "wrong positional count" run BTFN
+
+# A bad scheme name must list the valid spellings (including the
+# combining grammar) on stderr so the notation is discoverable.
+scheme_err=$("$TLAT" run "NotAScheme(x)" eqntott 2>&1 >/dev/null)
+for example in "AT(AHRT" "GSH(" "CMB(" "BTFN"; do
+    if ! printf '%s\n' "$scheme_err" | grep -qF "$example"; then
+        echo "FAIL: bad-scheme stderr does not list '$example'"
+        failures=$((failures + 1))
+    fi
+done
+if printf '%s\n' "$scheme_err" | grep -q "bad scheme name 'NotAScheme(x)'"; then
+    echo "ok: bad scheme name lists valid spellings on stderr"
+else
+    echo "FAIL: bad-scheme stderr lacks the offending name"
+    failures=$((failures + 1))
+fi
 expect 1 "nonexistent trace file" run BTFN /nonexistent/trace.tltr
 
 # A malformed text trace must fail at runtime with a line number.
@@ -110,7 +129,7 @@ got=$?
 if [ "$got" -ne 0 ]; then
     echo "FAIL: run --json: expected exit 0, got $got"
     failures=$((failures + 1))
-elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v2"'; then
+elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v3"'; then
     echo "FAIL: run --json output lacks schema tag"
     failures=$((failures + 1))
 elif ! printf '%s' "$json" | grep -q '"top_offenders"'; then
@@ -120,7 +139,7 @@ elif ! printf '%s' "$json" | grep -q '"h2p"'; then
     echo "FAIL: run --json output lacks the h2p section"
     failures=$((failures + 1))
 else
-    echo "ok: run --json emits tlat-run-metrics-v2"
+    echo "ok: run --json emits tlat-run-metrics-v3"
 fi
 
 # profile --json uses the same schema.
@@ -129,14 +148,14 @@ got=$?
 if [ "$got" -ne 0 ]; then
     echo "FAIL: profile --json: expected exit 0, got $got"
     failures=$((failures + 1))
-elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v2"'; then
+elif ! printf '%s' "$json" | grep -q '"schema": "tlat-run-metrics-v3"'; then
     echo "FAIL: profile --json output lacks schema tag"
     failures=$((failures + 1))
 elif ! printf '%s' "$json" | grep -q '"systematic_misses"'; then
     echo "FAIL: profile --json output lacks the h2p taxonomy"
     failures=$((failures + 1))
 else
-    echo "ok: profile --json emits tlat-run-metrics-v2"
+    echo "ok: profile --json emits tlat-run-metrics-v3"
 fi
 
 # Adversarial workloads resolve as benchmarks everywhere a SPEC
@@ -153,6 +172,57 @@ elif ! printf '%s' "$json" | grep -q '"h2p"'; then
 else
     echo "ok: adversarial kmp profiles with an h2p section"
 fi
+
+# Combining (tournament) schemes are first-class CLI citizens: run
+# emits the chooser block, and compare is byte-identical regardless
+# of the worker count.
+CMB="CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),CT(2^8))"
+json=$("$TLAT" run "$CMB" eqntott --budget 2000 --json 2>/dev/null)
+got=$?
+if [ "$got" -ne 0 ]; then
+    echo "FAIL: run combining --json: expected exit 0, got $got"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"combining"'; then
+    echo "FAIL: combining run --json lacks the combining block"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"present": true'; then
+    echo "FAIL: combining run --json lacks present: true"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"chooser_flips"'; then
+    echo "FAIL: combining run --json lacks chooser_flips"
+    failures=$((failures + 1))
+else
+    echo "ok: combining run --json emits the chooser block"
+fi
+# Non-combining runs keep the block, zeroed, with present: false.
+json=$("$TLAT" run BTFN eqntott --budget 2000 --json 2>/dev/null)
+if printf '%s' "$json" | grep -q '"present": false'; then
+    echo "ok: non-combining run --json marks combining absent"
+else
+    echo "FAIL: non-combining run --json lacks present: false"
+    failures=$((failures + 1))
+fi
+
+cmp_base="$tmpdir/tlat_cli_cmb_$$"
+for jobs in 1 4 8; do
+    "$TLAT" compare "$CMB" --budget 4000 --jobs "$jobs" \
+        >"$cmp_base.j$jobs" 2>/dev/null
+    got=$?
+    if [ "$got" -ne 0 ]; then
+        echo "FAIL: compare combining --jobs $jobs: exit $got"
+        failures=$((failures + 1))
+    fi
+done
+if cmp -s "$cmp_base.j1" "$cmp_base.j4" &&
+    cmp -s "$cmp_base.j1" "$cmp_base.j8"; then
+    echo "ok: combining compare byte-identical at --jobs 1/4/8"
+else
+    echo "FAIL: combining compare output differs across --jobs"
+    diff "$cmp_base.j1" "$cmp_base.j4" | head -20
+    diff "$cmp_base.j1" "$cmp_base.j8" | head -20
+    failures=$((failures + 1))
+fi
+rm -f "$cmp_base.j1" "$cmp_base.j4" "$cmp_base.j8"
 
 if [ "$failures" -ne 0 ]; then
     echo "$failures check(s) failed"

@@ -29,9 +29,10 @@
  *                   hardware thread count; results are identical for
  *                   every value)
  *   --json          `run` and `profile` emit one machine-readable
- *                   JSON document (schema tlat-run-metrics-v2) with
- *                   accuracy, predictor counters, the warmup curve,
- *                   the top mispredicting branches and the h2p
+ *                   JSON document (schema tlat-run-metrics-v3) with
+ *                   accuracy, predictor counters (including the
+ *                   combining chooser block), the warmup curve, the
+ *                   top mispredicting branches and the h2p
  *                   hard-to-predict-branch taxonomy
  *
  * Exit codes (stable; the CLI integration test pins them):
@@ -121,6 +122,32 @@ int
 usage()
 {
     printUsage(std::cerr);
+    return kExitUsage;
+}
+
+// One definition of the scheme grammar examples: `tlat list` prints
+// it to stdout, bad-scheme-name error paths print it to stderr so
+// the user learns the valid spellings from the failure itself.
+void
+printSchemeExamples(std::ostream &os)
+{
+    os << "scheme name examples (paper Table 2 notation):\n"
+          "  AT(AHRT(512,12SR),PT(2^12,A2),)\n"
+          "  AT(IHRT(,8SR),PT(2^8,LT),)\n"
+          "  ST(AHRT(512,12SR),PT(2^12,PB),Same)\n"
+          "  LS(AHRT(512,A2),,)\n"
+          "  GSH(12,A2)\n"
+          "  CMB(AT(AHRT(512,12SR),PT(2^12,A2),),LS(AHRT(512,A2),,)"
+          ",CT(2^12))\n"
+          "  Profile | BTFN | AlwaysTaken | AlwaysNotTaken\n";
+}
+
+/** Bad-scheme usage error: names the offender, lists valid names. */
+int
+badSchemeName(const std::string &name)
+{
+    std::cerr << "bad scheme name '" << name << "'\n";
+    printSchemeExamples(std::cerr);
     return kExitUsage;
 }
 
@@ -248,12 +275,8 @@ cmdList()
             std::cout << ' ' << set;
         std::cout << ")\n";
     }
-    std::cout << "\nscheme name examples (paper Table 2 notation):\n"
-                 "  AT(AHRT(512,12SR),PT(2^12,A2),)\n"
-                 "  AT(IHRT(,8SR),PT(2^8,LT),)\n"
-                 "  ST(AHRT(512,12SR),PT(2^12,PB),Same)\n"
-                 "  LS(AHRT(512,A2),,)\n"
-                 "  Profile | BTFN | AlwaysTaken | AlwaysNotTaken\n";
+    std::cout << '\n';
+    printSchemeExamples(std::cout);
     return kExitOk;
 }
 
@@ -364,11 +387,8 @@ cmdRun(const Options &options)
     }
     const auto config =
         core::SchemeConfig::parse(options.positional[0]);
-    if (!config) {
-        std::cerr << "bad scheme name '" << options.positional[0]
-                  << "'\n";
-        return kExitUsage;
-    }
+    if (!config)
+        return badSchemeName(options.positional[0]);
     const auto test = loadTrace(options.positional[1], options);
     if (!test)
         return kExitRuntime;
@@ -429,8 +449,13 @@ cmdProfile(const Options &options)
         std::cerr << "usage: tlat profile <scheme> <benchmark>\n";
         return kExitUsage;
     }
-    auto predictor =
-        predictors::makePredictor(options.positional[0]);
+    // Parse-first: an unknown scheme is a usage error (exit 2), not
+    // the fatal abort makePredictor(string) raises.
+    const auto config =
+        core::SchemeConfig::parse(options.positional[0]);
+    if (!config)
+        return badSchemeName(options.positional[0]);
+    auto predictor = predictors::makePredictor(*config);
     const auto test = loadTrace(options.positional[1], options);
     if (!test)
         return kExitRuntime;
@@ -502,10 +527,8 @@ cmdCost(const Options &options)
         return usage();
     const auto config =
         core::SchemeConfig::parse(options.positional[0]);
-    if (!config) {
-        std::cerr << "bad scheme name\n";
-        return kExitUsage;
-    }
+    if (!config)
+        return badSchemeName(options.positional[0]);
     const core::StorageCost cost = core::storageCost(*config);
     TablePrinter table("storage cost: " + config->text());
     table.setHeader({"component", "bits"});
@@ -549,8 +572,13 @@ cmdCpi(const Options &options)
         std::cerr << "usage: tlat cpi <scheme> <benchmark|file>\n";
         return kExitUsage;
     }
-    auto predictor =
-        predictors::makePredictor(options.positional[0]);
+    // Parse-first: an unknown scheme is a usage error (exit 2), not
+    // the fatal abort makePredictor(string) raises.
+    const auto scheme =
+        core::SchemeConfig::parse(options.positional[0]);
+    if (!scheme)
+        return badSchemeName(options.positional[0]);
+    auto predictor = predictors::makePredictor(*scheme);
     const auto buffer = loadTrace(options.positional[1], options);
     if (!buffer)
         return kExitRuntime;
@@ -587,10 +615,8 @@ cmdCompare(const Options &options)
         return kExitUsage;
     }
     for (const std::string &scheme : options.positional) {
-        if (!core::SchemeConfig::parse(scheme)) {
-            std::cerr << "bad scheme name '" << scheme << "'\n";
-            return kExitUsage;
-        }
+        if (!core::SchemeConfig::parse(scheme))
+            return badSchemeName(scheme);
     }
     harness::BenchmarkSuite suite(options.budget);
     const harness::AccuracyReport report = harness::runSchemes(

@@ -39,7 +39,7 @@ enforces them as named, individually suppressible rules:
                   simulateBatch(view.records(), ...) — so unsafe
                   predictor state can always drop off the lane path.
 
-  schema-once     JSON schema version strings (tlat-run-metrics-v2,
+  schema-once     JSON schema version strings (tlat-run-metrics-v3,
                   tlat-bench-v1) and the TLTR format version constant
                   must each be defined in exactly one place, so a
                   version bump can never half-apply.
@@ -76,6 +76,7 @@ BATCH_TWIN_MANIFEST = {
     "TwoLevelPredictor": "src/core/two_level_predictor.cc",
     "GeneralizedTwoLevelPredictor": "src/core/generalized_two_level.cc",
     "LeeSmithPredictor": "src/predictors/lee_smith_btb.cc",
+    "CombiningPredictor": "src/core/combining_predictor.cc",
 }
 
 # String literals that version an on-disk schema: each may be defined

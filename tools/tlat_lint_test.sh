@@ -41,7 +41,9 @@ expect_rule raw_rand raw-rand
 expect_rule float_accum float-accum
 expect_rule batch_twin batch-twin
 expect_rule batch_twin_soa batch-twin
+expect_rule batch_twin_combining batch-twin
 expect_rule schema_once schema-once
+expect_rule schema_once_v3 schema-once
 
 # The raw_rand fixture packs several sources; all four must be caught.
 out=$("$PYTHON" "$LINT" --root "$FIXTURES/raw_rand" 2>&1)
