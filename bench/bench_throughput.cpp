@@ -8,11 +8,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
+#include <algorithm>
+
 #include "bench_common.hh"
 #include "core/two_level_predictor.hh"
 #include "predictors/scheme_factory.hh"
 #include "sim/simulator.hh"
 #include "trace/predecode.hh"
+#include "util/simd.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -284,16 +289,27 @@ timedRecordsPerSec(const std::string &scheme, DriveMode mode)
     };
 
     pass(); // warm tables, caches, and (for SoA) the index lanes
-    constexpr int kPasses = 20;
-    std::uint64_t records = 0;
-    const auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < kPasses; ++i)
-        records += pass();
-    const double seconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    return static_cast<double>(records) / seconds;
+    // Best-of-N repeats rather than one long window: on shared CI
+    // hosts a neighbour stealing the core mid-window skews whichever
+    // leg it lands on, and the gated ratios divide two such windows.
+    // The fastest repeat approximates the uncontended rate of each
+    // leg, so the ratio stays stable run to run.
+    constexpr int kRepeats = 5;
+    constexpr int kPassesPerRepeat = 4;
+    double best = 0.0;
+    for (int r = 0; r < kRepeats; ++r) {
+        std::uint64_t records = 0;
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < kPassesPerRepeat; ++i)
+            records += pass();
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        best = std::max(best,
+                        static_cast<double>(records) / seconds);
+    }
+    return best;
 }
 
 /**
@@ -358,6 +374,28 @@ main(int argc, char **argv)
     // direct vector index.
     record.addScalar("soa_speedup", soa_ihrt / fused_ihrt);
 
+    // SIMD A/B on the same IHRT SoA leg: the vector fused kernel
+    // (whatever level runtime dispatch picked) against the same run
+    // with the level pinned to Scalar, which routes simulateBatch
+    // back through the pre-SIMD lane-prober path. Self-normalizing
+    // like the other gated ratios; simd_active records whether a
+    // vector level was available at all (the gate relaxes to ~1.0x
+    // on scalar-only hosts, where both legs run the same code).
+    const double simd_rps = soa_ihrt;
+    double simd_scalar_rps;
+    {
+        const util::simd::ScopedLevelOverride pin(
+            util::simd::Level::Scalar);
+        simd_scalar_rps = timedRecordsPerSec(ihrt, DriveMode::Soa);
+    }
+    const bool simd_active =
+        util::simd::activeLevel() != util::simd::Level::Scalar;
+    record.addScalar("simd_records_per_sec", simd_rps);
+    record.addScalar("simd_scalar_records_per_sec",
+                     simd_scalar_rps);
+    record.addScalar("simd_speedup", simd_rps / simd_scalar_rps);
+    record.addScalar("simd_active", simd_active ? 1.0 : 0.0);
+
     // Tournament A/B/C: the combining fused path should recover most
     // of the component fused speedup despite the chooser replay pass.
     const double comb_reference =
@@ -383,6 +421,17 @@ main(int argc, char **argv)
         timedPredecodeBuildSeconds() / fused_pass_seconds;
     record.addScalar("predecode_overhead", predecode_overhead);
 
+    // Peak resident set of the whole bench run — the memory-side
+    // companion to the throughput scalars, printed (not gated) so a
+    // footprint regression in the hot paths shows up in the log.
+    struct rusage usage
+    {
+    };
+    getrusage(RUSAGE_SELF, &usage);
+    const double peak_rss_bytes =
+        static_cast<double>(usage.ru_maxrss) * 1024.0;
+    record.addScalar("peak_rss_bytes", peak_rss_bytes);
+
     std::cout << "reference: " << reference
               << " records/sec, fused: " << fused
               << " records/sec, speedup: " << fused / reference
@@ -399,6 +448,13 @@ main(int argc, char **argv)
               << comb_fused / comb_reference << "x, soa: "
               << comb_soa << " records/sec\n"
               << "predecode build: " << predecode_overhead
-              << " fused passes\n";
+              << " fused passes\n"
+              << "simd(" << util::simd::levelName(
+                     util::simd::activeLevel())
+              << "): " << simd_rps << " records/sec, scalar soa: "
+              << simd_scalar_rps << " records/sec, simd_speedup: "
+              << simd_rps / simd_scalar_rps << "x\n"
+              << "peak rss: " << peak_rss_bytes / (1024.0 * 1024.0)
+              << " MiB\n";
     return 0;
 }

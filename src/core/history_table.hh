@@ -210,6 +210,14 @@ class IdealTable : public HistoryTable<Entry>
      */
     void noteRepeatHit() { ++this->stats_.hits; }
 
+    /** Bulk form of noteRepeatHit() for the SIMD lane path, which
+     *  resolves each unique pc exactly once up front and knows the
+     *  remaining probes are all repeat hits. */
+    void noteRepeatHits(std::uint64_t count)
+    {
+        this->stats_.hits += count;
+    }
+
     TableKind kind() const override { return TableKind::Ideal; }
 
     void

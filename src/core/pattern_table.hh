@@ -20,6 +20,7 @@
 
 #include "automaton.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace tlat::core
 {
@@ -55,7 +56,8 @@ class PatternTable
                 : static_cast<std::uint8_t>(initial_state);
         tlat_assert(initial_state_ < spec.numStates,
                     "initial state out of range");
-        states_.assign(std::size_t{1} << history_bits,
+        states_.assign((std::size_t{1} << history_bits) +
+                           util::simd::kGatherSlackBytes,
                        initial_state_);
     }
 
@@ -79,7 +81,8 @@ class PatternTable
                     "counter width out of range: ", counter.bits);
         initial_state_ = static_cast<std::uint8_t>(
             (1u << counter_bits_) - 1);
-        states_.assign(std::size_t{1} << history_bits,
+        states_.assign((std::size_t{1} << history_bits) +
+                           util::simd::kGatherSlackBytes,
                        initial_state_);
     }
 
@@ -152,7 +155,16 @@ class PatternTable
         return states_[index(pattern)];
     }
 
-    std::size_t size() const { return states_.size(); }
+    std::size_t size() const { return std::size_t{1} << history_bits_; }
+
+    /**
+     * Raw entry storage for the SIMD fused pass (util/simd.hh). The
+     * array extends util::simd::kGatherSlackBytes past the last real
+     * entry so a scale-1 dword gather at the highest index stays in
+     * bounds; the slack bytes are never real entries — size(),
+     * checkpoints and the histogram all use the logical 2^k count.
+     */
+    std::uint8_t *statesData() { return states_.data(); }
     unsigned historyBits() const { return history_bits_; }
     AutomatonKind automatonKind() const { return kind_; }
 
@@ -176,7 +188,8 @@ class PatternTable
     stateHistogram() const
     {
         std::vector<std::uint64_t> histogram(statesPerEntry(), 0);
-        for (const std::uint8_t state : states_) {
+        for (std::size_t i = 0; i < size(); ++i) {
+            const std::uint8_t state = states_[i];
             if (state < histogram.size())
                 ++histogram[state];
         }
@@ -194,7 +207,7 @@ class PatternTable
     saveState(std::ostream &os) const
     {
         os.write(reinterpret_cast<const char *>(states_.data()),
-                 static_cast<std::streamsize>(states_.size()));
+                 static_cast<std::streamsize>(size()));
     }
 
     /** Restores entry states; false on short input. */
@@ -202,7 +215,7 @@ class PatternTable
     loadState(std::istream &is)
     {
         is.read(reinterpret_cast<char *>(states_.data()),
-                static_cast<std::streamsize>(states_.size()));
+                static_cast<std::streamsize>(size()));
         return static_cast<bool>(is);
     }
 
@@ -210,7 +223,7 @@ class PatternTable
     std::size_t
     index(std::uint32_t pattern) const
     {
-        return pattern & (states_.size() - 1);
+        return pattern & (size() - 1);
     }
 
     unsigned history_bits_;

@@ -210,6 +210,27 @@ class TwoLevelPredictor : public BranchPredictor
                               const trace::PredecodedView &view,
                               AccuracyCounter &accuracy);
 
+    /**
+     * Vectorized twin of the IHRT fusedBatchSoa steady state
+     * (util/simd.hh). Key observation: with no speculation and no
+     * cached-bit, the history registers evolve independently of the
+     * predictions, so every record's PT index is precomputable into a
+     * dense lane before any automaton state is touched; the remaining
+     * per-record program (gather state, compare lambda to the packed
+     * outcome bit, store delta) is then a pure array kernel that
+     * fusedPass() runs 8-wide, with intra-block PT read-modify-write
+     * hazards detected per block and run scalar. Bit-identical to the
+     * prober path: same accuracy, capture bytes, HRT statistics (one
+     * real probe per unique pc in id order — the reference loop's
+     * first-touch order — plus bulk repeat-hit accounting) and
+     * checkpoint bytes. Returns false when ineligible (non-IHRT
+     * callers must not call; speculative/cached modes, >4-bit
+     * counters, undispatchable automata, or scalar-only hosts), in
+     * which case the caller falls through to the prober path.
+     */
+    bool trySimdBatch(const trace::PredecodedView &view,
+                      AccuracyCounter &accuracy);
+
     TwoLevelConfig config_;
     std::uint32_t history_mask_;
     PatternTable pattern_table_;

@@ -9,11 +9,24 @@ AccuracyCounter
 measure(core::BranchPredictor &predictor,
         const trace::TraceBuffer &test)
 {
+    // Routed through the chunk iterator: with TLAT_CHUNK_RECORDS
+    // unset the stream degenerates to one whole-buffer chunk that
+    // re-shares the trace's cached predecode artifact (compiled once
+    // per trace and shared read-only by every cell that replays it),
+    // so the legacy cost model is unchanged; when set, the whole
+    // sweep engine runs chunked with bit-identical results.
+    trace::BufferChunkStream stream(test,
+                                    trace::defaultChunkRecords());
+    return measureStream(predictor, stream);
+}
+
+AccuracyCounter
+measureStream(core::BranchPredictor &predictor,
+              trace::ChunkStream &stream)
+{
     AccuracyCounter accuracy;
-    // The predecoded artifact is compiled once per trace (preload
-    // builds it eagerly; otherwise the first measurement does) and
-    // shared read-only by every cell that replays the trace.
-    predictor.simulateBatch(test.predecodedView(), accuracy);
+    while (const trace::TraceChunk *chunk = stream.next())
+        predictor.simulateBatch(chunk->view, accuracy);
     return accuracy;
 }
 
@@ -80,9 +93,22 @@ measureWithMetrics(core::BranchPredictor &predictor,
                    const trace::TraceBuffer &test,
                    const MetricsOptions &options)
 {
+    // One loop implementation for both faces: the whole-buffer call
+    // is the stream loop over a degenerate single chunk (zero-copy),
+    // so chunked and unchunked metrics cannot drift apart.
+    trace::BufferChunkStream stream(test,
+                                    trace::defaultChunkRecords());
+    return measureStreamWithMetrics(predictor, stream, options);
+}
+
+RunMetricsReport
+measureStreamWithMetrics(core::BranchPredictor &predictor,
+                         trace::ChunkStream &stream,
+                         const MetricsOptions &options)
+{
     RunMetricsReport report;
     report.scheme = predictor.name();
-    report.benchmark = test.name();
+    report.benchmark = stream.name();
     report.options = options;
     report.options.warmupWindow =
         std::max<std::uint64_t>(1, options.warmupWindow);
@@ -103,19 +129,25 @@ measureWithMetrics(core::BranchPredictor &predictor,
         window_hits = 0;
     };
 
-    for (const trace::BranchRecord &record : test.records()) {
-        if (record.cls != trace::BranchClass::Conditional)
-            continue;
-        const bool predicted = predictor.predict(record);
-        const bool correct = predicted == record.taken;
-        report.accuracy.record(correct);
-        profile.record(record.pc, correct, record.taken);
-        ++window_branches;
-        if (correct)
-            ++window_hits;
-        if (window_branches == report.options.warmupWindow)
-            closeWindow();
-        predictor.update(record);
+    // Window and profile state live outside the chunk loop, so chunk
+    // boundaries are invisible to every derived metric: the record
+    // walk is the concatenation of the chunks, which the stream
+    // contract defines to equal the whole trace in order.
+    while (const trace::TraceChunk *chunk = stream.next()) {
+        for (const trace::BranchRecord &record : chunk->records) {
+            if (record.cls != trace::BranchClass::Conditional)
+                continue;
+            const bool predicted = predictor.predict(record);
+            const bool correct = predicted == record.taken;
+            report.accuracy.record(correct);
+            profile.record(record.pc, correct, record.taken);
+            ++window_branches;
+            if (correct)
+                ++window_hits;
+            if (window_branches == report.options.warmupWindow)
+                closeWindow();
+            predictor.update(record);
+        }
     }
     if (window_branches > 0)
         closeWindow(); // final partial window

@@ -20,6 +20,7 @@
 #include "core/branch_predictor.hh"
 #include "core/run_metrics.hh"
 #include "core/scheme_config.hh"
+#include "trace/chunk_stream.hh"
 #include "trace/trace_buffer.hh"
 #include "util/stats.hh"
 
@@ -45,6 +46,23 @@ struct ExperimentResult
  */
 AccuracyCounter measure(core::BranchPredictor &predictor,
                         const trace::TraceBuffer &test);
+
+/**
+ * Measures @p predictor over a chunk stream: one simulateBatch() call
+ * per chunk, predictor state carried across chunks. Bit-identical to
+ * measure() over the equivalent whole buffer for every chunk size —
+ * history, pattern tables and the capture feed all live in the
+ * predictor, never in the stream. The caller owns error handling:
+ * check stream.error() after the call (a failed stream simply ends
+ * early).
+ *
+ * This is the O(chunk)-memory path: paired with MmapChunkStream it
+ * simulates traces far larger than RAM. measure() itself routes
+ * through a BufferChunkStream when TLAT_CHUNK_RECORDS is set, so the
+ * whole sweep engine inherits chunked execution from one knob.
+ */
+AccuracyCounter measureStream(core::BranchPredictor &predictor,
+                              trace::ChunkStream &stream);
 
 /**
  * The reference measuring loop: per-record virtual
@@ -170,6 +188,18 @@ RunMetricsReport measureWithMetrics(core::BranchPredictor &predictor,
                                     const trace::TraceBuffer &test,
                                     const MetricsOptions &options =
                                         {});
+
+/**
+ * The metrics loop over a chunk stream: walks every record of every
+ * chunk exactly as measureWithMetrics() walks the whole buffer, so
+ * the report (accuracy, warmup curve, offenders, h2p) is
+ * byte-identical for every chunk size. Check stream.error() after
+ * the call.
+ */
+RunMetricsReport
+measureStreamWithMetrics(core::BranchPredictor &predictor,
+                         trace::ChunkStream &stream,
+                         const MetricsOptions &options = {});
 
 /**
  * Full protocol with metrics: reset, train if needed, measure with

@@ -10,17 +10,20 @@ namespace tlat::isa
 namespace
 {
 
+// format() instead of `const char * + std::string`: the
+// concatenation form trips gcc 12's -Wrestrict false positive
+// (PR105651) at -O3 under -Werror.
 std::string
 reg(unsigned index)
 {
-    return "r" + std::to_string(index);
+    return format("r%u", index);
 }
 
 std::string
 targetText(std::int32_t offset, std::int64_t pc)
 {
     if (pc < 0) {
-        return (offset >= 0 ? "+" : "") + std::to_string(offset);
+        return format("%s%d", offset >= 0 ? "+" : "", offset);
     }
     return std::to_string(pc + offset);
 }

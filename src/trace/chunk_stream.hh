@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Chunked trace delivery: iterate a branch trace as a sequence of
+ * bounded-size chunks instead of one resident buffer, so simulation
+ * memory stays O(chunk) no matter how long the trace is.
+ *
+ * Each TraceChunk carries both faces a measuring loop needs:
+ *  - the full class-mix record span of the chunk (metrics loops walk
+ *    every record to attribute windows and profiles);
+ *  - a PredecodedView of the chunk's conditional records (the fused
+ *    simulateBatch fast path consumes SoA lanes).
+ *
+ * Determinism contract: for any chunk size and any worker count, the
+ * concatenation of chunk records equals the whole trace in order, so
+ * replaying a predictor chunk-by-chunk is bit-identical to one
+ * simulateBatch over the whole buffer — predictor state is carried in
+ * the predictor itself, never in the stream. Per-chunk predecode
+ * rebuilds the dense-id dictionary from scratch each chunk; that only
+ * changes which probes are first-touch *within a chunk*, and the
+ * IHRT fused path counts repeat probes identically either way (see
+ * TwoLevelPredictor::trySimdBatch).
+ *
+ * Two implementations:
+ *  - BufferChunkStream slices an in-memory TraceBuffer (chunk size 0
+ *    degenerates to the whole buffer, re-sharing its cached predecode
+ *    artifact — the legacy path, at zero extra cost);
+ *  - MmapChunkStream maps a TLTR v2 file read-only and decodes chunk
+ *    N+1 on a single ThreadPool worker while the caller simulates
+ *    chunk N, releasing consumed pages with madvise(MADV_DONTNEED) so
+ *    resident memory is bounded by two chunks regardless of file
+ *    size.
+ */
+
+#ifndef TLAT_TRACE_CHUNK_STREAM_HH
+#define TLAT_TRACE_CHUNK_STREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predecode.hh"
+#include "record.hh"
+#include "trace_buffer.hh"
+#include "trace_io.hh"
+#include "util/thread_pool.hh"
+
+namespace tlat::trace
+{
+
+/** One delivered chunk: full record span + predecoded conditionals. */
+struct TraceChunk
+{
+    TraceChunk(std::span<const BranchRecord> all,
+               PredecodedView conditional_view)
+        : records(all), view(std::move(conditional_view))
+    {
+    }
+
+    /** Every record of the chunk, all branch classes, trace order. */
+    std::span<const BranchRecord> records;
+    /** The chunk's conditional records, predecoded. */
+    PredecodedView view;
+};
+
+/**
+ * Pull-iterator over a trace's chunks. Single-consumer: next() and
+ * rewind() must not race each other. The chunk returned by next()
+ * (and everything it references) stays valid until the next call to
+ * next() or rewind().
+ */
+class ChunkStream
+{
+  public:
+    virtual ~ChunkStream() = default;
+
+    /** Trace name (TLTR header / TraceBuffer name). */
+    virtual const std::string &name() const = 0;
+
+    /** Dynamic instruction mix of the whole trace. */
+    virtual const InstructionMix &mix() const = 0;
+
+    /** Total records in the whole trace, all classes. */
+    virtual std::uint64_t recordCount() const = 0;
+
+    /**
+     * The next chunk, or nullptr at end of trace or on error
+     * (distinguish with error()). Never returns an empty chunk for a
+     * non-empty trace.
+     */
+    virtual const TraceChunk *next() = 0;
+
+    /** Restarts iteration from the first chunk (clears any error). */
+    virtual void rewind() = 0;
+
+    /** Non-empty after a failed next() (corrupt record, I/O). */
+    virtual const std::string &error() const = 0;
+};
+
+/**
+ * Chunks an in-memory TraceBuffer. chunk_records == 0 means "one
+ * chunk: the whole buffer", which re-shares the buffer's cached
+ * predecode artifact instead of copying anything — byte-for-byte and
+ * allocation-for-allocation the legacy whole-buffer path.
+ */
+class BufferChunkStream final : public ChunkStream
+{
+  public:
+    /** @p trace must outlive the stream. */
+    BufferChunkStream(const TraceBuffer &trace,
+                      std::size_t chunk_records);
+
+    const std::string &name() const override;
+    const InstructionMix &mix() const override;
+    std::uint64_t recordCount() const override;
+    const TraceChunk *next() override;
+    void rewind() override;
+    const std::string &error() const override;
+
+  private:
+    const TraceBuffer &trace_;
+    std::size_t chunk_records_;
+    /** Next record index to deliver; == size() when drained. */
+    std::size_t next_base_ = 0;
+    bool whole_buffer_done_ = false;
+    /** Per-chunk conditional mirror (chunked mode only). */
+    std::vector<BranchRecord> conditionals_;
+    std::optional<TraceChunk> current_;
+    std::string error_;
+};
+
+/**
+ * Streams a TLTR v2 file through an mmap window with one decode-ahead
+ * worker: while the caller simulates chunk N, chunk N+1 is unpacked
+ * and predecoded on an internal ThreadPool(1). Consumed chunk byte
+ * ranges are released with madvise(MADV_DONTNEED), so peak resident
+ * memory is two decoded chunks plus two chunks of mapped file pages
+ * — constant in the trace length.
+ */
+class MmapChunkStream final : public ChunkStream
+{
+  public:
+    /**
+     * Maps @p path and validates its TLTR header.
+     * @param chunk_records Records per chunk; 0 means the whole file
+     *        as one chunk (still O(file) decoded memory — callers
+     *        wanting constant memory pass a bound).
+     * @param error Receives a reason on failure (when non-null).
+     * @return The stream, or nullptr on open/mmap/header failure.
+     */
+    static std::unique_ptr<MmapChunkStream>
+    open(const std::string &path, std::size_t chunk_records,
+         std::string *error = nullptr);
+
+    ~MmapChunkStream() override;
+
+    MmapChunkStream(const MmapChunkStream &) = delete;
+    MmapChunkStream &operator=(const MmapChunkStream &) = delete;
+
+    const std::string &name() const override;
+    const InstructionMix &mix() const override;
+    std::uint64_t recordCount() const override;
+    const TraceChunk *next() override;
+    void rewind() override;
+    const std::string &error() const override;
+
+  private:
+    /** Decoded form of one chunk, double-buffered across next(). */
+    struct Slot
+    {
+        std::vector<BranchRecord> records;
+        std::vector<BranchRecord> conditionals;
+        std::shared_ptr<const PredecodedTrace> soa;
+        /** First record index of the chunk. */
+        std::uint64_t base = 0;
+        /** False when a packed record failed to unpack. */
+        bool ok = true;
+        /** Record index of the first corrupt record when !ok. */
+        std::uint64_t badRecord = 0;
+    };
+
+    MmapChunkStream(const char *data, std::size_t map_size, int fd,
+                    TltrHeader header, std::size_t chunk_records);
+
+    /** Unpacks records [base, base+count) into @p slot. */
+    void decodeInto(Slot &slot, std::uint64_t base,
+                    std::size_t count);
+    /** Queues the decode of the chunk starting at next_base_. */
+    void scheduleNextDecode();
+    /** Waits for the in-flight decode, if any. */
+    void drainPending();
+    /** Releases the mapped pages of records [begin, end). */
+    void releaseRecords(std::uint64_t begin, std::uint64_t end);
+
+    const char *data_;
+    std::size_t map_size_;
+    int fd_;
+    TltrHeader header_;
+    std::size_t chunk_records_;
+
+    // Slots are declared before the pool: members destruct in reverse
+    // order, so the pool (and any decode task touching a slot) drains
+    // before the slots go away.
+    Slot slots_[2];
+    /** Slot index the in-flight/ready decode targets; -1 = none. */
+    int pending_slot_ = -1;
+    /** Slot the next scheduled decode will fill (strict alternation
+     *  keeps the delivered chunk's slot untouched). */
+    int next_decode_slot_ = 0;
+    std::future<void> pending_;
+    /** First record index not yet scheduled for decode. */
+    std::uint64_t next_base_ = 0;
+    /** Start of the previously delivered chunk (page release). */
+    std::uint64_t released_below_ = 0;
+    std::optional<TraceChunk> current_;
+    std::string error_;
+    util::ThreadPool pool_{1};
+};
+
+/**
+ * Chunk size, in records, that streaming call sites should use when
+ * the caller gave no explicit bound: the TLAT_CHUNK_RECORDS
+ * environment variable when set to a positive integer, else 0 (the
+ * legacy whole-buffer behaviour).
+ */
+std::size_t defaultChunkRecords();
+
+} // namespace tlat::trace
+
+#endif // TLAT_TRACE_CHUNK_STREAM_HH

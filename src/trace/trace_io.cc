@@ -88,8 +88,10 @@ constexpr std::size_t kWireRecordSize = kTltrWireRecordSize;
  *  a corrupt count field from triggering a giant allocation). */
 constexpr std::size_t kRecordChunk = 1u << 16;
 
+} // namespace
+
 void
-packRecord(const BranchRecord &record, char *out)
+packWireRecord(const BranchRecord &record, char *out)
 {
     std::memcpy(out, &record.pc, sizeof(record.pc));
     std::memcpy(out + 8, &record.target, sizeof(record.target));
@@ -100,7 +102,7 @@ packRecord(const BranchRecord &record, char *out)
 }
 
 bool
-unpackRecord(const char *in, BranchRecord &record)
+unpackWireRecord(const char *in, BranchRecord &record)
 {
     std::memcpy(&record.pc, in, sizeof(record.pc));
     std::memcpy(&record.target, in + 8, sizeof(record.target));
@@ -115,41 +117,91 @@ unpackRecord(const char *in, BranchRecord &record)
     return true;
 }
 
-} // namespace
-
 bool
-writeBinary(const TraceBuffer &trace, std::ostream &os)
+writeBinaryHeader(std::ostream &os, const std::string &name,
+                  const InstructionMix &mix,
+                  std::uint64_t record_count)
 {
     os.write(kMagic, sizeof(kMagic));
     writeScalar(os, kTltrFormatVersion);
-
-    const auto name_length =
-        static_cast<std::uint32_t>(trace.name().size());
-    writeScalar(os, name_length);
-    os.write(trace.name().data(), name_length);
-
-    const InstructionMix &mix = trace.mix();
+    writeScalar(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(),
+             static_cast<std::streamsize>(name.size()));
     writeScalar(os, mix.intAlu);
     writeScalar(os, mix.fpAlu);
     writeScalar(os, mix.memory);
     writeScalar(os, mix.controlFlow);
     writeScalar(os, mix.other);
+    writeScalar(os, record_count);
+    return static_cast<bool>(os);
+}
 
-    writeScalar(os, static_cast<std::uint64_t>(trace.size()));
+bool
+writeBinaryRecords(std::ostream &os,
+                   std::span<const BranchRecord> records)
+{
     std::vector<char> buffer;
-    const auto &records = trace.records();
     for (std::size_t base = 0; base < records.size();
          base += kRecordChunk) {
         const std::size_t n =
             std::min(kRecordChunk, records.size() - base);
         buffer.resize(n * kWireRecordSize);
         for (std::size_t i = 0; i < n; ++i)
-            packRecord(records[base + i],
-                       buffer.data() + i * kWireRecordSize);
+            packWireRecord(records[base + i],
+                           buffer.data() + i * kWireRecordSize);
         os.write(buffer.data(),
                  static_cast<std::streamsize>(buffer.size()));
     }
     return static_cast<bool>(os);
+}
+
+std::optional<TltrHeader>
+parseBinaryHeader(const char *data, std::size_t size)
+{
+    TltrHeader header;
+    std::size_t off = 0;
+    const auto have = [&](std::size_t n) { return size - off >= n; };
+    if (!have(12) || std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        return std::nullopt;
+    std::uint32_t version;
+    std::memcpy(&version, data + 4, sizeof(version));
+    if (version != kTltrFormatVersion)
+        return std::nullopt;
+    std::uint32_t name_length;
+    std::memcpy(&name_length, data + 8, sizeof(name_length));
+    if (name_length > (1u << 20))
+        return std::nullopt;
+    off = 12;
+    if (!have(name_length))
+        return std::nullopt;
+    header.name.assign(data + off, name_length);
+    off += name_length;
+    if (!have(6 * sizeof(std::uint64_t)))
+        return std::nullopt;
+    const auto readU64 = [&] {
+        std::uint64_t value;
+        std::memcpy(&value, data + off, sizeof(value));
+        off += sizeof(value);
+        return value;
+    };
+    header.mix.intAlu = readU64();
+    header.mix.fpAlu = readU64();
+    header.mix.memory = readU64();
+    header.mix.controlFlow = readU64();
+    header.mix.other = readU64();
+    header.recordCount = readU64();
+    header.recordsOffset = off;
+    if (header.recordCount > (size - off) / kWireRecordSize)
+        return std::nullopt;
+    return header;
+}
+
+bool
+writeBinary(const TraceBuffer &trace, std::ostream &os)
+{
+    return writeBinaryHeader(os, trace.name(), trace.mix(),
+                             trace.size()) &&
+           writeBinaryRecords(os, trace.records());
 }
 
 std::optional<TraceBuffer>
@@ -194,8 +246,8 @@ readBinary(std::istream &is)
             return std::nullopt;
         for (std::size_t i = 0; i < n; ++i) {
             BranchRecord record;
-            if (!unpackRecord(buffer.data() + i * kWireRecordSize,
-                              record))
+            if (!unpackWireRecord(buffer.data() + i * kWireRecordSize,
+                                  record))
                 return std::nullopt;
             trace.append(record);
         }

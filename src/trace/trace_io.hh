@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "trace_buffer.hh"
@@ -68,6 +69,57 @@ bool writeBinary(const TraceBuffer &trace, std::ostream &os);
 
 /** Reads the binary format; nullopt on malformed input. */
 std::optional<TraceBuffer> readBinary(std::istream &is);
+
+/**
+ * Streamed-access face of the binary format, shared by the
+ * whole-buffer reader/writer above, `tlat trace convert`'s streamed
+ * path, and trace::MmapChunkStream — one wire-layout implementation,
+ * three consumers.
+ */
+
+/** The TLTR header fields, plus where the record array starts. */
+struct TltrHeader
+{
+    std::string name;
+    InstructionMix mix;
+    std::uint64_t recordCount = 0;
+    /** Byte offset of the first packed record. */
+    std::size_t recordsOffset = 0;
+};
+
+/**
+ * Parses a TLTR header from an in-memory byte range (e.g. an mmap'd
+ * file). Validates magic, version, and that the range is large
+ * enough to hold recordCount packed records after the header;
+ * nullopt otherwise. Trailing bytes past the records are tolerated,
+ * matching readBinary().
+ */
+std::optional<TltrHeader> parseBinaryHeader(const char *data,
+                                            std::size_t size);
+
+/** Packs one record into kTltrWireRecordSize bytes at @p out. */
+void packWireRecord(const BranchRecord &record, char *out);
+
+/**
+ * Unpacks one packed record; false when the class or flag bits are
+ * out of range (corrupt input).
+ */
+bool unpackWireRecord(const char *in, BranchRecord &record);
+
+/**
+ * Writes everything up to the record array for a stream that will
+ * carry @p record_count records. Pair with writeBinaryRecords()
+ * calls totalling exactly that count to produce a stream
+ * byte-identical to writeBinary() of the equivalent TraceBuffer.
+ */
+bool writeBinaryHeader(std::ostream &os, const std::string &name,
+                       const InstructionMix &mix,
+                       std::uint64_t record_count);
+
+/** Packs and appends records to a stream opened by
+ *  writeBinaryHeader(). Returns false on stream failure. */
+bool writeBinaryRecords(std::ostream &os,
+                        std::span<const BranchRecord> records);
 
 /** Writes the text format. Returns false on stream failure. */
 bool writeText(const TraceBuffer &trace, std::ostream &os);

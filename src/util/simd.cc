@@ -1,0 +1,167 @@
+#include "simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace tlat::util::simd
+{
+
+namespace
+{
+
+// -1 = no override active; otherwise the Level value pinned by the
+// innermost live ScopedLevelOverride.
+std::atomic<int> g_forced_level{-1};
+
+bool
+simdDisabledByEnv()
+{
+    const char *value = std::getenv("TLAT_DISABLE_SIMD");
+    if (value == nullptr || *value == '\0')
+        return false;
+    // "0" and "OFF" read naturally as "do not disable"; anything
+    // else (ON, 1, yes, ...) disables.
+    return std::strcmp(value, "0") != 0 &&
+           std::strcmp(value, "OFF") != 0;
+}
+
+Level
+bestSupportedLevel()
+{
+#if defined(TLAT_SIMD_HAVE_AVX2)
+    if (__builtin_cpu_supports("avx2"))
+        return Level::Avx2;
+#endif
+#if defined(TLAT_SIMD_HAVE_NEON)
+    return Level::Neon;
+#endif
+    return Level::Scalar;
+}
+
+Level
+detectedLevel()
+{
+    // Probed once; the env knob is part of the cached decision so a
+    // CI job exporting TLAT_DISABLE_SIMD pins the whole process.
+    static const Level level =
+        simdDisabledByEnv() ? Level::Scalar : bestSupportedLevel();
+    return level;
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return "scalar";
+      case Level::Avx2:
+        return "avx2";
+      case Level::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+bool
+levelSupported(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return true;
+      case Level::Avx2:
+#if defined(TLAT_SIMD_HAVE_AVX2)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+      case Level::Neon:
+#if defined(TLAT_SIMD_HAVE_NEON)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Level
+activeLevel()
+{
+    const int forced = g_forced_level.load(std::memory_order_relaxed);
+    if (forced >= 0) {
+        const Level level = static_cast<Level>(forced);
+        return levelSupported(level) ? level : Level::Scalar;
+    }
+    return detectedLevel();
+}
+
+ScopedLevelOverride::ScopedLevelOverride(Level level)
+    : previous_(g_forced_level.exchange(static_cast<int>(level),
+                                        std::memory_order_relaxed))
+{
+}
+
+ScopedLevelOverride::~ScopedLevelOverride()
+{
+    g_forced_level.store(previous_, std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+std::uint64_t
+fusedPassScalar(const std::uint32_t *pt_index_lane,
+                const std::uint64_t *outcome_words, std::size_t n,
+                std::uint8_t *pattern_states, const FusedLuts &luts,
+                std::uint8_t *capture)
+{
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t index = pt_index_lane[i];
+        const bool taken =
+            ((outcome_words[i >> 6] >> (i & 63)) & 1u) != 0;
+        const std::uint8_t state = pattern_states[index];
+        const bool correct = (luts.predict[state] != 0) == taken;
+        hits += correct ? 1 : 0;
+        if (capture != nullptr)
+            capture[i] = correct ? 1 : 0;
+        pattern_states[index] = taken ? luts.nextTaken[state]
+                                      : luts.nextNotTaken[state];
+    }
+    return hits;
+}
+
+} // namespace detail
+
+std::uint64_t
+fusedPass(const std::uint32_t *pt_index_lane,
+          const std::uint64_t *outcome_words, std::size_t n,
+          std::uint8_t *pattern_states, const FusedLuts &luts,
+          std::uint8_t *capture)
+{
+    switch (activeLevel()) {
+      case Level::Avx2:
+#if defined(TLAT_SIMD_HAVE_AVX2)
+        return detail::fusedPassAvx2(pt_index_lane, outcome_words, n,
+                                     pattern_states, luts, capture);
+#else
+        break;
+#endif
+      case Level::Neon:
+#if defined(TLAT_SIMD_HAVE_NEON)
+        return detail::fusedPassNeon(pt_index_lane, outcome_words, n,
+                                     pattern_states, luts, capture);
+#else
+        break;
+#endif
+      case Level::Scalar:
+        break;
+    }
+    return detail::fusedPassScalar(pt_index_lane, outcome_words, n,
+                                   pattern_states, luts, capture);
+}
+
+} // namespace tlat::util::simd

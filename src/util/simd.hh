@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the fused predict/update kernels.
+ *
+ * The steady-state Two-Level loop over a predecoded trace is, once
+ * the PT-index lane is precomputed (core/two_level_predictor.cc), a
+ * pure array program: gather pattern-table states by index, compare
+ * the automaton's prediction against the packed outcome bit, store
+ * the successor state. fusedPass() runs that program through the
+ * widest kernel the host supports:
+ *
+ *  - AVX2 (x86-64): 8-wide dword blocks with a gather from the byte
+ *    PT and shuffle-LUT automaton steps (simd_avx2.cc);
+ *  - NEON (aarch64): 8-wide blocks from two q-registers with scalar
+ *    gather/scatter (simd_neon.cc);
+ *  - portable scalar: fusedPassScalar() in simd.cc, the semantic
+ *    twin every vector kernel is defined against, also used for
+ *    block tails and intra-block index conflicts.
+ *
+ * Dispatch is decided once per process (cached CPU probe), can be
+ * disabled via the TLAT_DISABLE_SIMD environment variable (any value
+ * except "0"/"OFF"), and can be pinned programmatically with
+ * ScopedLevelOverride (bench_throughput measures the scalar twin
+ * this way; the four-way fuzz pins both sides).
+ *
+ * Determinism contract: every kernel must produce bit-identical PT
+ * state, hit counts and capture bytes to fusedPassScalar() for any
+ * input — a block only vectorizes when every lane touching a
+ * duplicated PT index is a no-op automaton update (checked per
+ * block against the gathered states), so read-modify-write order
+ * within a block cannot be observed. tests/test_simd_kernel and the
+ * four-way tests/test_simulate_batch_fuzz hold the kernels to it.
+ *
+ * Raw vector intrinsics are confined to the simd_*.cc kernel files
+ * by the tlat-lint `simd-twin` rule.
+ */
+
+#ifndef TLAT_UTIL_SIMD_HH
+#define TLAT_UTIL_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tlat::util::simd
+{
+
+/** Kernel families, ordered scalar-first. */
+enum class Level : std::uint8_t
+{
+    Scalar,
+    Avx2,
+    Neon
+};
+
+/** Renders "scalar" / "avx2" / "neon". */
+const char *levelName(Level level);
+
+/**
+ * The kernel family fusedPass() dispatches to: the best supported
+ * level, unless TLAT_DISABLE_SIMD is set in the environment (then
+ * Scalar) or a ScopedLevelOverride is active (then the override,
+ * clamped to what the host supports). The CPU probe runs once per
+ * process.
+ */
+Level activeLevel();
+
+/** True when the host CPU can run the given kernel family. */
+bool levelSupported(Level level);
+
+/**
+ * RAII dispatch pin for benches and tests. Nesting restores the
+ * previous override on destruction; an unsupported level degrades to
+ * Scalar rather than faulting. Not thread-safe against concurrent
+ * fusedPass() callers mid-flight — pin before spawning work.
+ */
+class ScopedLevelOverride
+{
+  public:
+    explicit ScopedLevelOverride(Level level);
+    ~ScopedLevelOverride();
+
+    ScopedLevelOverride(const ScopedLevelOverride &) = delete;
+    ScopedLevelOverride &operator=(const ScopedLevelOverride &) =
+        delete;
+
+  private:
+    int previous_;
+};
+
+/**
+ * Nibble lookup tables describing one <=16-state automaton/counter
+ * policy (core/automaton.hh): lambda and delta flattened so a vector
+ * kernel can apply them with byte shuffles. Entries beyond the
+ * policy's state count are never indexed (PT states stay in range).
+ */
+struct FusedLuts
+{
+    std::uint8_t predict[16];
+    std::uint8_t nextTaken[16];
+    std::uint8_t nextNotTaken[16];
+};
+
+/** Extra readable entries required past pt_index_lane[n]. */
+inline constexpr std::size_t kLaneSlack = 8;
+
+/**
+ * Extra readable bytes required past the last pattern-table state: a
+ * 32-bit gather at the highest index reads three bytes of slack
+ * (masked off). PatternTable pads its storage accordingly.
+ */
+inline constexpr std::size_t kGatherSlackBytes = 4;
+
+/**
+ * One fused predict/update pass: for record i in [0, n),
+ *
+ *   state   = pattern_states[pt_index_lane[i]]
+ *   taken   = bit i of outcome_words (packed LSB-first, 64/word)
+ *   correct = (luts.predict[state] != 0) == taken
+ *   pattern_states[pt_index_lane[i]] =
+ *       taken ? luts.nextTaken[state] : luts.nextNotTaken[state]
+ *
+ * in index order, returning the number of correct predictions. When
+ * @p capture is non-null, capture[i] receives 1/0 for
+ * correct/incorrect (the combining predictor's per-record replay
+ * feed). Dispatches per activeLevel(); bit-identical across levels.
+ *
+ * Requirements: pt_index_lane has n + kLaneSlack readable entries;
+ * pattern_states extends kGatherSlackBytes past the largest index;
+ * outcome bit i lives at outcome_words[i/64] bit (i%64), i.e. the
+ * lane starts at bit 0 of the word stream (kernels read outcome
+ * *bytes*, so the pass must start on a record index that is 0 mod 8
+ * of its own outcome bitvector — always true for a lane built from
+ * index 0 of a PredecodedTrace).
+ */
+std::uint64_t fusedPass(const std::uint32_t *pt_index_lane,
+                        const std::uint64_t *outcome_words,
+                        std::size_t n, std::uint8_t *pattern_states,
+                        const FusedLuts &luts, std::uint8_t *capture);
+
+namespace detail
+{
+
+/** Portable scalar twin (simd.cc); the semantic reference. */
+std::uint64_t fusedPassScalar(const std::uint32_t *pt_index_lane,
+                              const std::uint64_t *outcome_words,
+                              std::size_t n,
+                              std::uint8_t *pattern_states,
+                              const FusedLuts &luts,
+                              std::uint8_t *capture);
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TLAT_SIMD_HAVE_AVX2 1
+/** AVX2 kernel (simd_avx2.cc); scalar twin: fusedPassScalar. */
+std::uint64_t fusedPassAvx2(const std::uint32_t *pt_index_lane,
+                            const std::uint64_t *outcome_words,
+                            std::size_t n,
+                            std::uint8_t *pattern_states,
+                            const FusedLuts &luts,
+                            std::uint8_t *capture);
+#endif
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define TLAT_SIMD_HAVE_NEON 1
+/** NEON kernel (simd_neon.cc); scalar twin: fusedPassScalar. */
+std::uint64_t fusedPassNeon(const std::uint32_t *pt_index_lane,
+                            const std::uint64_t *outcome_words,
+                            std::size_t n,
+                            std::uint8_t *pattern_states,
+                            const FusedLuts &luts,
+                            std::uint8_t *capture);
+#endif
+
+} // namespace detail
+
+} // namespace tlat::util::simd
+
+#endif // TLAT_UTIL_SIMD_HH

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * AVX2 fused predict/update kernel. Scalar twin: fusedPassScalar
+ * (simd.cc) — every block this kernel cannot prove safe runs the
+ * same per-record program the twin defines, and the vector blocks
+ * are bit-identical to it by construction (see the conflict check
+ * below). Raw _mm256_* intrinsics are sanctioned here and only here
+ * by the tlat-lint `simd-twin` rule.
+ *
+ * Shape: 8 records per block. The PT indexes of a block are loaded
+ * as one dword vector; the seven cyclic rotations compared against
+ * the original mark every lane whose index appears in another lane.
+ * A block vectorizes when every
+ * lane touching a duplicated pattern-table slot is a no-op update
+ * (its successor state equals its gathered state): then no write in
+ * the block can change a slot another lane reads, every serial step
+ * sees exactly the gathered states, and the result equals the
+ * in-order scalar twin bit for bit. This matters on real traces —
+ * hot branches with saturated histories repeat one PT index many
+ * times per 8 records (pairwise-distinct blocks are <1% on the gcc
+ * trace), but those slots sit at an automaton fixed point almost
+ * always, so ~93% of blocks still take the vector path. Blocks where
+ * a duplicated slot does change state, and the <8-record tail, fall
+ * back to the scalar program, preserving order.
+ *
+ * The whole file compiles with the generic tree flags; only these
+ * functions carry target("avx2"), and fusedPass() dispatches here
+ * only after __builtin_cpu_supports("avx2") says yes.
+ */
+
+#include "simd.hh"
+
+#if defined(TLAT_SIMD_HAVE_AVX2)
+
+#include <cstring>
+#include <immintrin.h>
+
+namespace tlat::util::simd::detail
+{
+
+namespace
+{
+
+/** In-order scalar program over [begin, end) with global outcome-bit
+ *  indexing; semantically fusedPassScalar shifted to an offset. */
+inline std::uint64_t
+scalarSpan(const std::uint32_t *pt_index_lane,
+           const std::uint64_t *outcome_words, std::size_t begin,
+           std::size_t end, std::uint8_t *pattern_states,
+           const FusedLuts &luts, std::uint8_t *capture)
+{
+    std::uint64_t hits = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t index = pt_index_lane[i];
+        const bool taken =
+            ((outcome_words[i >> 6] >> (i & 63)) & 1u) != 0;
+        const std::uint8_t state = pattern_states[index];
+        const bool correct = (luts.predict[state] != 0) == taken;
+        hits += correct ? 1 : 0;
+        if (capture != nullptr)
+            capture[i] = correct ? 1 : 0;
+        pattern_states[index] = taken ? luts.nextTaken[state]
+                                      : luts.nextNotTaken[state];
+    }
+    return hits;
+}
+
+__attribute__((target("avx2"))) inline __m256i
+loadNibbleLut(const std::uint8_t (&table)[16])
+{
+    // The same 16-byte table in both 128-bit lanes: vpshufb shuffles
+    // within lanes, and every state value is < 16 (bit 7 clear), so
+    // each byte selects the right entry regardless of lane.
+    return _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(&table[0])));
+}
+
+} // namespace
+
+__attribute__((target("avx2"))) std::uint64_t
+fusedPassAvx2(const std::uint32_t *pt_index_lane,
+              const std::uint64_t *outcome_words, std::size_t n,
+              std::uint8_t *pattern_states, const FusedLuts &luts,
+              std::uint8_t *capture)
+{
+    const std::uint8_t *outcome_bytes =
+        reinterpret_cast<const std::uint8_t *>(outcome_words);
+
+    const __m256i lut_pred = loadNibbleLut(luts.predict);
+    const __m256i lut_next_t = loadNibbleLut(luts.nextTaken);
+    const __m256i lut_next_n = loadNibbleLut(luts.nextNotTaken);
+    const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+    const __m256i one = _mm256_set1_epi32(1);
+    const __m256i bit_select =
+        _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+    const __m256i rot1 =
+        _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+    const __m256i rot2 =
+        _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+    const __m256i rot3 =
+        _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+    const __m256i rot4 =
+        _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+    const __m256i rot5 =
+        _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+    const __m256i rot6 =
+        _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+    const __m256i rot7 =
+        _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+
+    __m256i hits_acc = _mm256_setzero_si256();
+    std::uint64_t hits = 0;
+
+    std::size_t i = 0;
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (; i < n8; i += 8) {
+        const __m256i vh = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(&pt_index_lane[i]));
+
+        // Duplicated-index lanes. cmp_k marks lane j when idx[j] ==
+        // idx[j-k]; rotations 1..4 find every one of the 28 pairs but
+        // tag only one side for distances 1..3, and the no-op test
+        // below must veto each duplicated lane individually — so the
+        // distance-1..3 masks are rotated back to mark the partner
+        // lane too (cheaper than three more compares against
+        // rotations 5..7; distance-4 pairs mark both sides already).
+        const __m256i cmp1 = _mm256_cmpeq_epi32(
+            vh, _mm256_permutevar8x32_epi32(vh, rot1));
+        const __m256i cmp2 = _mm256_cmpeq_epi32(
+            vh, _mm256_permutevar8x32_epi32(vh, rot2));
+        const __m256i cmp3 = _mm256_cmpeq_epi32(
+            vh, _mm256_permutevar8x32_epi32(vh, rot3));
+        const __m256i cmp4 = _mm256_cmpeq_epi32(
+            vh, _mm256_permutevar8x32_epi32(vh, rot4));
+        const __m256i conflict = _mm256_or_si256(
+            _mm256_or_si256(
+                _mm256_or_si256(cmp1, _mm256_permutevar8x32_epi32(
+                                          cmp1, rot7)),
+                _mm256_or_si256(cmp2, _mm256_permutevar8x32_epi32(
+                                          cmp2, rot6))),
+            _mm256_or_si256(
+                _mm256_or_si256(cmp3, _mm256_permutevar8x32_epi32(
+                                          cmp3, rot5)),
+                cmp4));
+
+        // Gather the eight states. Scale-1 dword gathers read three
+        // bytes past each state; PatternTable's kGatherSlackBytes
+        // padding keeps the highest index in bounds.
+        const __m256i states = _mm256_and_si256(
+            _mm256_i32gather_epi32(
+                reinterpret_cast<const int *>(pattern_states), vh, 1),
+            byte_mask);
+
+        // Outcome bits i..i+7 are exactly one byte of the packed
+        // bitvector (i is 8-aligned here).
+        const __m256i taken_mask = _mm256_cmpeq_epi32(
+            _mm256_and_si256(
+                _mm256_set1_epi32(outcome_bytes[i >> 3]), bit_select),
+            bit_select);
+        const __m256i taken01 = _mm256_and_si256(taken_mask, one);
+
+        const __m256i pred = _mm256_and_si256(
+            _mm256_shuffle_epi8(lut_pred, states), byte_mask);
+        const __m256i correct_mask =
+            _mm256_cmpeq_epi32(pred, taken01);
+
+        const __m256i next = _mm256_and_si256(
+            _mm256_blendv_epi8(_mm256_shuffle_epi8(lut_next_n, states),
+                               _mm256_shuffle_epi8(lut_next_t, states),
+                               taken_mask),
+            byte_mask);
+
+        // A duplicated slot is only safe when no lane moves it: if
+        // the gathered states make every conflicted lane's update a
+        // no-op, an in-order run would see those same states at each
+        // step (no write changes them), so predictions, capture bits
+        // and final PT state all match the scalar twin. Otherwise
+        // replay the block serially.
+        const __m256i bad = _mm256_andnot_si256(
+            _mm256_cmpeq_epi32(next, states), conflict);
+        if (!_mm256_testz_si256(bad, bad)) {
+            hits += scalarSpan(pt_index_lane, outcome_words, i, i + 8,
+                               pattern_states, luts, capture);
+            continue;
+        }
+        hits_acc = _mm256_add_epi32(
+            hits_acc, _mm256_and_si256(correct_mask, one));
+        if (capture != nullptr) {
+            // Expand the 8 correctness bits to 8 0/1 bytes.
+            const std::uint64_t mask = static_cast<std::uint32_t>(
+                _mm256_movemask_ps(_mm256_castsi256_ps(correct_mask)));
+            std::uint64_t bytes =
+                (mask * 0x0101010101010101ULL) & 0x8040201008040201ULL;
+            bytes |= bytes >> 1;
+            bytes |= bytes >> 2;
+            bytes |= bytes >> 4;
+            bytes &= 0x0101010101010101ULL;
+            std::memcpy(capture + i, &bytes, sizeof(bytes));
+        }
+
+        // Scatter: successor indexes come straight from the lane
+        // (already L1-hot) rather than a round-trip of vh through the
+        // stack, which would stall on store-to-load forwarding.
+        alignas(32) std::uint32_t out[8];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(out), next);
+        const std::uint32_t *idx = &pt_index_lane[i];
+        pattern_states[idx[0]] = static_cast<std::uint8_t>(out[0]);
+        pattern_states[idx[1]] = static_cast<std::uint8_t>(out[1]);
+        pattern_states[idx[2]] = static_cast<std::uint8_t>(out[2]);
+        pattern_states[idx[3]] = static_cast<std::uint8_t>(out[3]);
+        pattern_states[idx[4]] = static_cast<std::uint8_t>(out[4]);
+        pattern_states[idx[5]] = static_cast<std::uint8_t>(out[5]);
+        pattern_states[idx[6]] = static_cast<std::uint8_t>(out[6]);
+        pattern_states[idx[7]] = static_cast<std::uint8_t>(out[7]);
+    }
+
+    alignas(32) std::uint32_t acc[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc), hits_acc);
+    for (int lane = 0; lane < 8; ++lane)
+        hits += acc[lane];
+
+    hits += scalarSpan(pt_index_lane, outcome_words, i, n,
+                       pattern_states, luts, capture);
+    return hits;
+}
+
+} // namespace tlat::util::simd::detail
+
+#endif // TLAT_SIMD_HAVE_AVX2

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * NEON fused predict/update kernel. Scalar twin: fusedPassScalar
+ * (simd.cc) — the vector blocks below are bit-identical to it by
+ * construction, and any block it cannot prove safe (plus the
+ * <8-record tail) runs the twin's per-record program in order. Raw
+ * v*q_* intrinsics are sanctioned here and only here by the
+ * tlat-lint `simd-twin` rule.
+ *
+ * Shape mirrors simd_avx2.cc: 8 records per block, but NEON has no
+ * gather, so states are loaded/stored through scalar lanes while the
+ * automaton step (table lookup + select by outcome bit) runs as one
+ * 8-byte vector via vqtbl1 on the 16-entry nibble LUTs. The safety
+ * rule also mirrors the AVX2 kernel: a block vectorizes when every
+ * lane touching a duplicated PT index is a no-op update (successor
+ * state equals gathered state) — then in-order execution sees the
+ * gathered states at every step and the vector result is exact. The
+ * pair scan runs scalar (28 compares) — it is off the critical path
+ * relative to the per-lane loads.
+ *
+ * On 32-bit ARM (no vqtbl1 on 16-byte tables) the kernel degrades to
+ * the scalar twin outright; dispatch stays correct, just not faster.
+ */
+
+#include "simd.hh"
+
+#if defined(TLAT_SIMD_HAVE_NEON)
+
+#include <arm_neon.h>
+#include <cstring>
+
+namespace tlat::util::simd::detail
+{
+
+namespace
+{
+
+/** In-order scalar program over [begin, end) with global outcome-bit
+ *  indexing; semantically fusedPassScalar shifted to an offset. */
+inline std::uint64_t
+scalarSpan(const std::uint32_t *pt_index_lane,
+           const std::uint64_t *outcome_words, std::size_t begin,
+           std::size_t end, std::uint8_t *pattern_states,
+           const FusedLuts &luts, std::uint8_t *capture)
+{
+    std::uint64_t hits = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t index = pt_index_lane[i];
+        const bool taken =
+            ((outcome_words[i >> 6] >> (i & 63)) & 1u) != 0;
+        const std::uint8_t state = pattern_states[index];
+        const bool correct = (luts.predict[state] != 0) == taken;
+        hits += correct ? 1 : 0;
+        if (capture != nullptr)
+            capture[i] = correct ? 1 : 0;
+        pattern_states[index] = taken ? luts.nextTaken[state]
+                                      : luts.nextNotTaken[state];
+    }
+    return hits;
+}
+
+} // namespace
+
+#if defined(__aarch64__)
+
+std::uint64_t
+fusedPassNeon(const std::uint32_t *pt_index_lane,
+              const std::uint64_t *outcome_words, std::size_t n,
+              std::uint8_t *pattern_states, const FusedLuts &luts,
+              std::uint8_t *capture)
+{
+    const std::uint8_t *outcome_bytes =
+        reinterpret_cast<const std::uint8_t *>(outcome_words);
+
+    const uint8x16_t lut_pred = vld1q_u8(luts.predict);
+    const uint8x16_t lut_next_t = vld1q_u8(luts.nextTaken);
+    const uint8x16_t lut_next_n = vld1q_u8(luts.nextNotTaken);
+    const uint8x8_t bit_select = {1, 2, 4, 8, 16, 32, 64, 128};
+    const uint8x8_t one8 = vdup_n_u8(1);
+
+    std::uint64_t hits = 0;
+
+    std::size_t i = 0;
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (; i < n8; i += 8) {
+        const std::uint32_t *idx = &pt_index_lane[i];
+        std::uint8_t gathered[8];
+        for (int lane = 0; lane < 8; ++lane)
+            gathered[lane] = pattern_states[idx[lane]];
+        const uint8x8_t states = vld1_u8(gathered);
+
+        // Outcome bits i..i+7 are one byte of the packed bitvector
+        // (i is 8-aligned here); vtst spreads it to a lane mask.
+        const uint8x8_t taken_mask = vtst_u8(
+            vdup_n_u8(outcome_bytes[i >> 3]), bit_select);
+        const uint8x8_t taken01 = vand_u8(taken_mask, one8);
+
+        const uint8x8_t pred = vqtbl1_u8(lut_pred, states);
+        const uint8x8_t correct_mask = vceq_u8(pred, taken01);
+
+        const uint8x8_t next =
+            vbsl_u8(taken_mask, vqtbl1_u8(lut_next_t, states),
+                    vqtbl1_u8(lut_next_n, states));
+        std::uint8_t out[8];
+        vst1_u8(out, next);
+
+        // A duplicated slot is only safe when no lane moves it (see
+        // the file comment); otherwise replay the block serially.
+        bool bad = false;
+        for (int a = 0; a < 8 && !bad; ++a)
+            for (int b = a + 1; b < 8; ++b)
+                if (idx[a] == idx[b] && (out[a] != gathered[a] ||
+                                         out[b] != gathered[b])) {
+                    bad = true;
+                    break;
+                }
+        if (bad) {
+            hits += scalarSpan(pt_index_lane, outcome_words, i, i + 8,
+                               pattern_states, luts, capture);
+            continue;
+        }
+
+        hits += vaddv_u8(vand_u8(correct_mask, one8));
+        if (capture != nullptr)
+            vst1_u8(capture + i, vand_u8(correct_mask, one8));
+
+        for (int lane = 0; lane < 8; ++lane)
+            pattern_states[idx[lane]] = out[lane];
+    }
+
+    hits += scalarSpan(pt_index_lane, outcome_words, i, n,
+                       pattern_states, luts, capture);
+    return hits;
+}
+
+#else // 32-bit ARM: no 16-entry table lookup; defer to the twin.
+
+std::uint64_t
+fusedPassNeon(const std::uint32_t *pt_index_lane,
+              const std::uint64_t *outcome_words, std::size_t n,
+              std::uint8_t *pattern_states, const FusedLuts &luts,
+              std::uint8_t *capture)
+{
+    return fusedPassScalar(pt_index_lane, outcome_words, n,
+                           pattern_states, luts, capture);
+}
+
+#endif
+
+} // namespace tlat::util::simd::detail
+
+#endif // TLAT_SIMD_HAVE_NEON

@@ -39,6 +39,25 @@ class AccuracyCounter
      */
     void captureInto(std::uint8_t *cursor) { capture_ = cursor; }
 
+    /** Current capture cursor (nullptr when detached). */
+    std::uint8_t *captureCursor() const { return capture_; }
+
+    /**
+     * Folds in @p total records of which @p hits were correct, as if
+     * record() had been called that many times — used by batch paths
+     * (the SIMD fused pass) that tally hits out-of-band. The caller
+     * is responsible for having written the per-record capture bytes
+     * itself when capture is attached; this only advances the cursor.
+     */
+    void
+    recordBulk(std::uint64_t hits, std::uint64_t total)
+    {
+        hits_ += hits;
+        total_ += total;
+        if (capture_ != nullptr)
+            capture_ += total;
+    }
+
     void
     merge(const AccuracyCounter &other)
     {

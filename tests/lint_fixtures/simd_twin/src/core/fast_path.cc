@@ -1,0 +1,20 @@
+// Fixture: raw AVX2 intrinsics in a predictor source file, outside
+// the sanctioned util/simd kernel family. The simd-twin rule must
+// fire: vector code here has no scalar twin and no fuzz coverage.
+#include <immintrin.h>
+
+namespace tlat::core
+{
+
+int
+sumLanes(const int *values)
+{
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(values));
+    const __m256i doubled = _mm256_add_epi32(v, v);
+    alignas(32) int out[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(out), doubled);
+    return out[0] + out[7];
+}
+
+} // namespace tlat::core

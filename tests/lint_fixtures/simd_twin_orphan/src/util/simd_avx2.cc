@@ -1,0 +1,21 @@
+// Fixture: a sanctioned kernel file that never names its scalar
+// twin. Intrinsics are allowed here, but the simd-twin rule must
+// still fire because nothing points the reader at the scalar program
+// this kernel is supposed to be bit-identical to.
+#include <immintrin.h>
+
+namespace tlat::util::simd::detail
+{
+
+int
+orphanKernel(const int *values)
+{
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(values));
+    alignas(32) int out[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(out),
+                       _mm256_add_epi32(v, v));
+    return out[3];
+}
+
+} // namespace tlat::util::simd::detail

@@ -1,0 +1,20 @@
+// Sanctioned wrapper: intrinsics inside the util/simd kernel family
+// with the twin named. Scalar twin: fusedPassScalar. The simd-twin
+// rule must stay silent here.
+#include <immintrin.h>
+
+namespace tlat::util::simd::detail
+{
+
+int
+kernelWithTwin(const int *values)
+{
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(values));
+    alignas(32) int out[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(out),
+                       _mm256_add_epi32(v, v));
+    return out[5];
+}
+
+} // namespace tlat::util::simd::detail

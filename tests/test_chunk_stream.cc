@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Chunked trace streaming (trace/chunk_stream.hh) equivalence suite:
+ * chunk concatenation reproduces the whole trace for adversarial
+ * chunk sizes (1, 2, and the 64Ki wire-staging boundary +/- 1),
+ * streamed measurement — plain, metrics/JSON, and checkpoint bytes —
+ * is bit-identical to the whole-buffer path, the mmap-backed stream
+ * round-trips TLTR v2 files and reports corruption, and the parallel
+ * sweep engine stays byte-identical across jobs counts with chunking
+ * forced through the TLAT_CHUNK_RECORDS knob.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scheme_config.hh"
+#include "harness/experiment.hh"
+#include "harness/metrics_json.hh"
+#include "harness/parallel_sweep.hh"
+#include "harness/suite.hh"
+#include "predictors/scheme_factory.hh"
+#include "trace/chunk_stream.hh"
+#include "trace/trace_io.hh"
+#include "util/random.hh"
+
+namespace tlat
+{
+namespace
+{
+
+using trace::BranchClass;
+using trace::BranchRecord;
+using trace::BufferChunkStream;
+using trace::ChunkStream;
+using trace::MmapChunkStream;
+using trace::TraceBuffer;
+using trace::TraceChunk;
+
+/** The 64Ki staging width the wire codec and the tests pivot on. */
+constexpr std::size_t kBoundary = std::size_t{1} << 16;
+
+/** Mixed-class random trace with per-site outcome structure. */
+TraceBuffer
+makeRandomTrace(std::uint64_t seed, std::size_t records)
+{
+    Rng rng(seed);
+    TraceBuffer trace("chunk-" + std::to_string(seed));
+    trace.mix().intAlu = 5 * records;
+    trace.mix().memory = 2 * records;
+    trace.mix().controlFlow = records;
+
+    constexpr std::size_t kSites = 64;
+    std::vector<std::uint64_t> pcs;
+    std::vector<std::uint32_t> permille;
+    for (std::size_t i = 0; i < kSites; ++i) {
+        pcs.push_back(0x1000 + 4 * rng.nextBelow(1 << 14));
+        permille.push_back(
+            static_cast<std::uint32_t>(rng.nextBelow(1001)));
+    }
+    trace.reserve(records);
+    for (std::size_t i = 0; i < records; ++i) {
+        BranchRecord record;
+        const std::size_t site = rng.nextBelow(kSites);
+        record.pc = pcs[site];
+        record.target = record.pc + 4 * rng.nextBelow(64);
+        if (rng.nextBelow(8) == 0) {
+            // Non-conditional noise the measuring loops skip; some
+            // are calls so every class/flag combination serializes.
+            record.cls = (i % 2 == 0)
+                ? BranchClass::Return
+                : BranchClass::ImmediateUnconditional;
+            record.isCall = i % 4 == 1;
+            record.taken = true;
+        } else {
+            record.cls = BranchClass::Conditional;
+            record.taken = rng.nextBelow(1000) < permille[site];
+        }
+        trace.append(record);
+    }
+    return trace;
+}
+
+bool
+recordsEqual(const BranchRecord &a, const BranchRecord &b)
+{
+    return a.pc == b.pc && a.target == b.target && a.cls == b.cls &&
+           a.taken == b.taken && a.isCall == b.isCall;
+}
+
+/** Drains a stream; returns every record in delivery order. */
+std::vector<BranchRecord>
+drain(ChunkStream &stream, std::vector<BranchRecord> *conditionals =
+                               nullptr)
+{
+    std::vector<BranchRecord> all;
+    while (const TraceChunk *chunk = stream.next()) {
+        all.insert(all.end(), chunk->records.begin(),
+                   chunk->records.end());
+        if (conditionals != nullptr)
+            conditionals->insert(conditionals->end(),
+                                 chunk->view.records().begin(),
+                                 chunk->view.records().end());
+    }
+    return all;
+}
+
+std::string
+checkpointBytes(core::BranchPredictor &predictor)
+{
+    std::ostringstream os;
+    EXPECT_TRUE(predictor.saveCheckpoint(os));
+    return os.str();
+}
+
+std::unique_ptr<core::BranchPredictor>
+makeScheme(const std::string &text)
+{
+    const auto config = core::SchemeConfig::parse(text);
+    EXPECT_TRUE(config) << text;
+    return predictors::makePredictor(*config);
+}
+
+/** Saves @p trace as TLTR into the gtest temp dir; returns the path. */
+std::string
+saveTemp(const TraceBuffer &trace, const std::string &stem)
+{
+    const std::string path =
+        testing::TempDir() + "tlat_chunk_" + stem + ".tltr";
+    EXPECT_TRUE(trace::saveToFile(trace, path));
+    return path;
+}
+
+TEST(ChunkStream, BufferChunksConcatenateToWholeTrace)
+{
+    const TraceBuffer trace = makeRandomTrace(1, 4001);
+    for (const std::size_t chunk :
+         {std::size_t{1}, std::size_t{2}, std::size_t{3},
+          std::size_t{1000}, std::size_t{4000}, std::size_t{4001},
+          std::size_t{100000}}) {
+        BufferChunkStream stream(trace, chunk);
+        EXPECT_EQ(stream.name(), trace.name());
+        EXPECT_EQ(stream.recordCount(), trace.size());
+        EXPECT_EQ(stream.mix().total(), trace.mix().total());
+        std::vector<BranchRecord> conditionals;
+        const auto all = drain(stream, &conditionals);
+        ASSERT_EQ(all.size(), trace.size()) << "chunk=" << chunk;
+        for (std::size_t i = 0; i < all.size(); ++i)
+            ASSERT_TRUE(recordsEqual(all[i], trace.records()[i]))
+                << "chunk=" << chunk << " record " << i;
+        const auto whole = trace.conditionalView();
+        ASSERT_EQ(conditionals.size(), whole.size());
+        for (std::size_t i = 0; i < conditionals.size(); ++i)
+            ASSERT_TRUE(recordsEqual(conditionals[i], whole[i]));
+        EXPECT_TRUE(stream.error().empty());
+    }
+}
+
+TEST(ChunkStream, WholeBufferModeSharesCachedPredecodeArtifact)
+{
+    const TraceBuffer trace = makeRandomTrace(2, 500);
+    BufferChunkStream stream(trace, 0);
+    const TraceChunk *chunk = stream.next();
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_EQ(chunk->records.size(), trace.size());
+    // Degenerate single chunk re-shares the buffer's cached artifact
+    // — the legacy zero-copy measure() path, not a rebuild.
+    EXPECT_EQ(chunk->view.shared().get(), trace.predecoded().get());
+    EXPECT_EQ(stream.next(), nullptr);
+    stream.rewind();
+    EXPECT_NE(stream.next(), nullptr);
+    EXPECT_EQ(stream.next(), nullptr);
+}
+
+TEST(ChunkStream, EmptyTraceStreamsNoChunks)
+{
+    const TraceBuffer trace;
+    for (const std::size_t chunk : {std::size_t{0}, std::size_t{8}}) {
+        BufferChunkStream stream(trace, chunk);
+        EXPECT_EQ(stream.next(), nullptr);
+        EXPECT_TRUE(stream.error().empty());
+    }
+}
+
+TEST(ChunkStream, MeasureStreamMatchesWholeBufferAtBoundarySizes)
+{
+    // Long enough that 64Ki-record chunks straddle several chunk
+    // boundaries with conditional records on both sides of each.
+    ::unsetenv("TLAT_CHUNK_RECORDS");
+    const TraceBuffer trace = makeRandomTrace(3, 140000);
+    for (const std::string scheme :
+         {"AT(IHRT(,8SR),PT(2^8,A2),)",
+          "CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),"
+          "CT(2^8))"}) {
+        const auto whole = makeScheme(scheme);
+        const AccuracyCounter expected =
+            harness::measure(*whole, trace);
+        const std::string expected_state = checkpointBytes(*whole);
+        for (const std::size_t chunk :
+             {std::size_t{1}, std::size_t{2}, kBoundary - 1,
+              kBoundary, kBoundary + 1}) {
+            const auto chunked = makeScheme(scheme);
+            BufferChunkStream stream(trace, chunk);
+            const AccuracyCounter got =
+                harness::measureStream(*chunked, stream);
+            EXPECT_EQ(got.hits(), expected.hits())
+                << scheme << " chunk=" << chunk;
+            EXPECT_EQ(got.total(), expected.total())
+                << scheme << " chunk=" << chunk;
+            EXPECT_EQ(checkpointBytes(*chunked), expected_state)
+                << scheme << " chunk=" << chunk;
+        }
+    }
+}
+
+TEST(ChunkStream, MetricsJsonIdenticalAtEveryChunkSize)
+{
+    // The full document — accuracy, warmup curve, offenders, h2p
+    // taxonomy and the combining chooser block — serializes to the
+    // same bytes chunked and unchunked.
+    ::unsetenv("TLAT_CHUNK_RECORDS");
+    const TraceBuffer trace = makeRandomTrace(4, 20000);
+    for (const std::string scheme :
+         {"AT(IHRT(,6SR),PT(2^6,A2),)",
+          "CMB(AT(AHRT(64,6SR),PT(2^6,A2),),LS(AHRT(64,A2),,),"
+          "CT(2^8))"}) {
+        const auto whole = makeScheme(scheme);
+        const std::string expected = harness::runMetricsJsonString(
+            harness::measureWithMetrics(*whole, trace));
+        for (const std::size_t chunk :
+             {std::size_t{1}, std::size_t{777}, std::size_t{16384}}) {
+            const auto chunked = makeScheme(scheme);
+            BufferChunkStream stream(trace, chunk);
+            EXPECT_EQ(harness::runMetricsJsonString(
+                          harness::measureStreamWithMetrics(*chunked,
+                                                            stream)),
+                      expected)
+                << scheme << " chunk=" << chunk;
+        }
+    }
+}
+
+TEST(ChunkStream, MmapStreamRoundTripsFileAndMatchesBuffer)
+{
+    const TraceBuffer trace = makeRandomTrace(5, 30000);
+    const std::string path = saveTemp(trace, "roundtrip");
+    std::string error;
+    auto stream = MmapChunkStream::open(path, 1000, &error);
+    ASSERT_NE(stream, nullptr) << error;
+    EXPECT_EQ(stream->name(), trace.name());
+    EXPECT_EQ(stream->recordCount(), trace.size());
+    EXPECT_EQ(stream->mix().total(), trace.mix().total());
+    const auto all = drain(*stream);
+    ASSERT_EQ(all.size(), trace.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        ASSERT_TRUE(recordsEqual(all[i], trace.records()[i]))
+            << "record " << i;
+    EXPECT_TRUE(stream->error().empty());
+
+    // Measuring through the mmap stream is bit-identical to the
+    // in-memory path, including predictor end state.
+    const auto in_memory = makeScheme("AT(IHRT(,8SR),PT(2^8,A2),)");
+    const AccuracyCounter expected =
+        harness::measure(*in_memory, trace);
+    stream->rewind();
+    const auto streamed = makeScheme("AT(IHRT(,8SR),PT(2^8,A2),)");
+    const AccuracyCounter got =
+        harness::measureStream(*streamed, *stream);
+    EXPECT_EQ(got.hits(), expected.hits());
+    EXPECT_EQ(got.total(), expected.total());
+    EXPECT_EQ(checkpointBytes(*streamed),
+              checkpointBytes(*in_memory));
+
+    // rewind() replays the identical stream.
+    stream->rewind();
+    const auto replay = makeScheme("AT(IHRT(,8SR),PT(2^8,A2),)");
+    const AccuracyCounter again =
+        harness::measureStream(*replay, *stream);
+    EXPECT_EQ(again.hits(), got.hits());
+    EXPECT_EQ(again.total(), got.total());
+    std::remove(path.c_str());
+}
+
+TEST(ChunkStream, MmapStreamRejectsGarbageAndCorruptRecords)
+{
+    const std::string dir = testing::TempDir();
+    const std::string garbage = dir + "tlat_chunk_garbage.tltr";
+    {
+        std::ofstream os(garbage, std::ios::binary);
+        os << "this is not a TLTR file at all";
+    }
+    std::string error;
+    EXPECT_EQ(MmapChunkStream::open(garbage, 8, &error), nullptr);
+    EXPECT_FALSE(error.empty());
+    std::remove(garbage.c_str());
+
+    // Valid header, one record with out-of-range flag bits: the
+    // stream opens (header is fine) but next() fails with a message
+    // naming the record.
+    TraceBuffer trace = makeRandomTrace(6, 20);
+    const std::string corrupt = saveTemp(trace, "corrupt");
+    {
+        std::fstream os(corrupt, std::ios::binary | std::ios::in |
+                                     std::ios::out);
+        // Record 7's flags byte (offset 17 within the record).
+        const auto header = [&] {
+            std::ifstream is(corrupt, std::ios::binary);
+            std::vector<char> head(4096);
+            is.read(head.data(),
+                    static_cast<std::streamsize>(head.size()));
+            return *trace::parseBinaryHeader(
+                head.data(), static_cast<std::size_t>(is.gcount()));
+        }();
+        os.seekp(static_cast<std::streamoff>(
+            header.recordsOffset + 7 * trace::kTltrWireRecordSize +
+            17));
+        os.put(static_cast<char>(0xFF));
+    }
+    auto stream = MmapChunkStream::open(corrupt, 4, &error);
+    ASSERT_NE(stream, nullptr) << error;
+    while (stream->next() != nullptr) {
+    }
+    EXPECT_FALSE(stream->error().empty());
+    EXPECT_NE(stream->error().find("7"), std::string::npos)
+        << stream->error();
+    // rewind clears the error; the first (uncorrupted) chunk streams.
+    stream->rewind();
+    EXPECT_TRUE(stream->error().empty());
+    EXPECT_NE(stream->next(), nullptr);
+    std::remove(corrupt.c_str());
+}
+
+TEST(ChunkStream, DefaultChunkRecordsReadsEnvironment)
+{
+    ::unsetenv("TLAT_CHUNK_RECORDS");
+    EXPECT_EQ(trace::defaultChunkRecords(), 0u);
+    ::setenv("TLAT_CHUNK_RECORDS", "65536", 1);
+    EXPECT_EQ(trace::defaultChunkRecords(), 65536u);
+    ::setenv("TLAT_CHUNK_RECORDS", "not-a-number", 1);
+    EXPECT_EQ(trace::defaultChunkRecords(), 0u);
+    ::setenv("TLAT_CHUNK_RECORDS", "", 1);
+    EXPECT_EQ(trace::defaultChunkRecords(), 0u);
+    ::unsetenv("TLAT_CHUNK_RECORDS");
+}
+
+TEST(ChunkStream, SweepBitIdenticalAcrossJobsAndChunking)
+{
+    // The sweep engine inherits chunking through measure(); every
+    // (jobs, chunk) combination must render the identical CSV.
+    const std::vector<std::string> schemes{
+        "AT(IHRT(,6SR),PT(2^6,A2),)", "GSH(8,A2)"};
+    const std::vector<std::string> labels{"AT", "GSH"};
+    const auto renderSweep = [&](unsigned jobs) {
+        harness::BenchmarkSuite suite(2000);
+        const harness::AccuracyReport report = harness::runSweep(
+            suite, "chunk-equivalence", schemes, labels, jobs);
+        std::ostringstream os;
+        report.printCsv(os);
+        return os.str();
+    };
+    ::unsetenv("TLAT_CHUNK_RECORDS");
+    const std::string expected = renderSweep(1);
+    for (const char *chunk : {"", "333"}) {
+        if (*chunk == '\0')
+            ::unsetenv("TLAT_CHUNK_RECORDS");
+        else
+            ::setenv("TLAT_CHUNK_RECORDS", chunk, 1);
+        for (const unsigned jobs : {1u, 4u, 8u}) {
+            EXPECT_EQ(renderSweep(jobs), expected)
+                << "jobs=" << jobs << " chunk='" << chunk << "'";
+        }
+    }
+    ::unsetenv("TLAT_CHUNK_RECORDS");
+}
+
+} // namespace
+} // namespace tlat

@@ -12,6 +12,14 @@
  * speculative history update, counter-width pattern entries, the
  * generalized scope matrix, delayed updates) to that contract on
  * randomized traces across multiple seeds.
+ *
+ * The comparison is four-way: the predecoded-view fast path under the
+ * host's best SIMD level (util/simd.hh — the vectorized fused pass on
+ * AVX2/NEON hosts), the same path pinned to the scalar kernels via
+ * ScopedLevelOverride, the AoS span overload, and the per-record
+ * reference loop. On a scalar-only host the first two legs coincide
+ * and the suite degenerates to the original three-way — still a valid
+ * run, just without cross-level coverage.
  */
 
 #include <sstream>
@@ -33,6 +41,7 @@
 #include "trace/trace_buffer.hh"
 #include "trace/trace_filter.hh"
 #include "util/random.hh"
+#include "util/simd.hh"
 #include "workloads/workload.hh"
 
 namespace tlat
@@ -139,31 +148,50 @@ measureAos(core::BranchPredictor &predictor, const TraceBuffer &trace)
     return accuracy;
 }
 
+/** measure() with SIMD dispatch pinned to the scalar kernels. */
+AccuracyCounter
+measureScalarSoa(core::BranchPredictor &predictor,
+                 const TraceBuffer &trace)
+{
+    const util::simd::ScopedLevelOverride pin(
+        util::simd::Level::Scalar);
+    return measure(predictor, trace);
+}
+
 /**
- * Runs the measured protocol on three freshly built predictors — one
- * through measure() (the batch API over the predecoded view, i.e.
- * the SoA fast path where overridden), one through the AoS span
+ * Runs the measured protocol on four freshly built predictors — one
+ * through measure() at the host's best SIMD level (the vectorized
+ * fused pass where eligible), one through measure() pinned to
+ * scalar dispatch (the SoA fast path), one through the AoS span
  * overload, one through measureReference() (the per-record virtual
  * loop) — and asserts identical accuracy and identical metrics JSON
- * across all three.
+ * across all four.
  */
 void
 expectBatchEqualsReference(core::BranchPredictor &fast,
+                           core::BranchPredictor &scalar_soa,
                            core::BranchPredictor &aos,
                            core::BranchPredictor &reference,
                            const TraceBuffer &trace)
 {
     fast.reset();
+    scalar_soa.reset();
     aos.reset();
     reference.reset();
     if (fast.needsTraining())
         fast.train(trace);
+    if (scalar_soa.needsTraining()) {
+        const util::simd::ScopedLevelOverride pin(
+            util::simd::Level::Scalar);
+        scalar_soa.train(trace);
+    }
     if (aos.needsTraining())
         aos.train(trace);
     if (reference.needsTraining())
         reference.train(trace);
 
     const AccuracyCounter fast_acc = measure(fast, trace);
+    const AccuracyCounter soa_acc = measureScalarSoa(scalar_soa, trace);
     const AccuracyCounter aos_acc = measureAos(aos, trace);
     const AccuracyCounter ref_acc = measureReference(reference, trace);
 
@@ -171,6 +199,10 @@ expectBatchEqualsReference(core::BranchPredictor &fast,
         << fast.name() << " on " << trace.name();
     EXPECT_EQ(fast_acc.hits(), ref_acc.hits())
         << fast.name() << " on " << trace.name();
+    EXPECT_EQ(soa_acc.total(), ref_acc.total())
+        << scalar_soa.name() << " (scalar) on " << trace.name();
+    EXPECT_EQ(soa_acc.hits(), ref_acc.hits())
+        << scalar_soa.name() << " (scalar) on " << trace.name();
     EXPECT_EQ(aos_acc.total(), ref_acc.total())
         << aos.name() << " on " << trace.name();
     EXPECT_EQ(aos_acc.hits(), ref_acc.hits())
@@ -178,6 +210,9 @@ expectBatchEqualsReference(core::BranchPredictor &fast,
     EXPECT_EQ(metricsJson(fast, fast_acc, trace),
               metricsJson(reference, ref_acc, trace))
         << fast.name() << " on " << trace.name();
+    EXPECT_EQ(metricsJson(scalar_soa, soa_acc, trace),
+              metricsJson(reference, ref_acc, trace))
+        << scalar_soa.name() << " (scalar) on " << trace.name();
     EXPECT_EQ(metricsJson(aos, aos_acc, trace),
               metricsJson(reference, ref_acc, trace))
         << aos.name() << " on " << trace.name();
@@ -219,9 +254,11 @@ TEST(SimulateBatchFuzz, EveryFactoryScheme)
         for (const std::uint64_t seed : kSeeds) {
             const TraceBuffer trace = makeRandomTrace(seed);
             const auto fast = predictors::makePredictor(*config);
+            const auto scalar = predictors::makePredictor(*config);
             const auto aos = predictors::makePredictor(*config);
             const auto reference = predictors::makePredictor(*config);
-            expectBatchEqualsReference(*fast, *aos, *reference, trace);
+            expectBatchEqualsReference(*fast, *scalar, *aos,
+                                       *reference, trace);
         }
     }
 }
@@ -248,26 +285,36 @@ TEST(SimulateBatchFuzz, TwoLevelCachedSpeculativeAndCounterModes)
                     for (const std::uint64_t seed : kSeeds) {
                         const TraceBuffer trace = makeRandomTrace(seed);
                         TwoLevelPredictor fast(config);
+                        TwoLevelPredictor scalar(config);
                         TwoLevelPredictor aos(config);
                         TwoLevelPredictor reference(config);
-                        expectBatchEqualsReference(fast, aos,
+                        expectBatchEqualsReference(fast, scalar, aos,
                                                    reference, trace);
                         EXPECT_EQ(fast.inFlightBranches(), 0u);
                         EXPECT_EQ(fast.squashEvents(),
+                                  reference.squashEvents());
+                        EXPECT_EQ(scalar.squashEvents(),
                                   reference.squashEvents());
                         EXPECT_EQ(aos.squashEvents(),
                                   reference.squashEvents());
 
                         std::ostringstream fast_ckpt;
+                        std::ostringstream scalar_ckpt;
                         std::ostringstream aos_ckpt;
                         std::ostringstream ref_ckpt;
                         ASSERT_TRUE(fast.saveCheckpoint(fast_ckpt));
+                        ASSERT_TRUE(
+                            scalar.saveCheckpoint(scalar_ckpt));
                         ASSERT_TRUE(aos.saveCheckpoint(aos_ckpt));
                         ASSERT_TRUE(
                             reference.saveCheckpoint(ref_ckpt));
                         EXPECT_EQ(fast_ckpt.str(), ref_ckpt.str())
                             << fast.name() << " cached=" << cached
                             << " spec=" << speculative
+                            << " counterBits=" << counter_bits;
+                        EXPECT_EQ(scalar_ckpt.str(), ref_ckpt.str())
+                            << scalar.name() << " (scalar) cached="
+                            << cached << " spec=" << speculative
                             << " counterBits=" << counter_bits;
                         EXPECT_EQ(aos_ckpt.str(), ref_ckpt.str())
                             << aos.name() << " cached=" << cached
@@ -300,10 +347,11 @@ TEST(SimulateBatchFuzz, GeneralizedScopeMatrix)
             for (const std::uint64_t seed : kSeeds) {
                 const TraceBuffer trace = makeRandomTrace(seed);
                 GeneralizedTwoLevelPredictor fast(config);
+                GeneralizedTwoLevelPredictor scalar(config);
                 GeneralizedTwoLevelPredictor aos(config);
                 GeneralizedTwoLevelPredictor reference(config);
-                expectBatchEqualsReference(fast, aos, reference,
-                                           trace);
+                expectBatchEqualsReference(fast, scalar, aos,
+                                           reference, trace);
             }
         }
     }
@@ -333,22 +381,30 @@ TEST(SimulateBatchFuzz, CombiningChooserInitStatesAndCheckpointBytes)
             core::CombiningPredictor fast(
                 makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)"),
                 makeComponent("LS(AHRT(64,A2),,)"), options);
+            core::CombiningPredictor scalar(
+                makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)"),
+                makeComponent("LS(AHRT(64,A2),,)"), options);
             core::CombiningPredictor aos(
                 makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)"),
                 makeComponent("LS(AHRT(64,A2),,)"), options);
             core::CombiningPredictor reference(
                 makeComponent("AT(AHRT(64,6SR),PT(2^6,A2),)"),
                 makeComponent("LS(AHRT(64,A2),,)"), options);
-            expectBatchEqualsReference(fast, aos, reference, trace);
+            expectBatchEqualsReference(fast, scalar, aos, reference,
+                                       trace);
 
             std::ostringstream fast_ckpt;
+            std::ostringstream scalar_ckpt;
             std::ostringstream aos_ckpt;
             std::ostringstream ref_ckpt;
             ASSERT_TRUE(fast.saveCheckpoint(fast_ckpt));
+            ASSERT_TRUE(scalar.saveCheckpoint(scalar_ckpt));
             ASSERT_TRUE(aos.saveCheckpoint(aos_ckpt));
             ASSERT_TRUE(reference.saveCheckpoint(ref_ckpt));
             EXPECT_EQ(fast_ckpt.str(), ref_ckpt.str())
                 << "init=" << init << " seed=" << seed;
+            EXPECT_EQ(scalar_ckpt.str(), ref_ckpt.str())
+                << "(scalar) init=" << init << " seed=" << seed;
             EXPECT_EQ(aos_ckpt.str(), ref_ckpt.str())
                 << "init=" << init << " seed=" << seed;
         }
@@ -431,16 +487,19 @@ TEST(SimulateBatchFuzz, DelayedUpdateWrapperUsesReferenceSemantics)
             config.historyBits = 6;
             core::DelayedUpdatePredictor fast(
                 std::make_unique<TwoLevelPredictor>(config), delay);
+            core::DelayedUpdatePredictor scalar(
+                std::make_unique<TwoLevelPredictor>(config), delay);
             core::DelayedUpdatePredictor aos(
                 std::make_unique<TwoLevelPredictor>(config), delay);
             core::DelayedUpdatePredictor reference(
                 std::make_unique<TwoLevelPredictor>(config), delay);
-            expectBatchEqualsReference(fast, aos, reference, trace);
+            expectBatchEqualsReference(fast, scalar, aos, reference,
+                                       trace);
         }
     }
 }
 
-/** Three-way equivalence for one factory scheme on a given trace. */
+/** Four-way equivalence for one factory scheme on a given trace. */
 void
 expectSchemeEqualsReference(const std::string &scheme,
                             const TraceBuffer &trace)
@@ -448,12 +507,14 @@ expectSchemeEqualsReference(const std::string &scheme,
     const auto config = core::SchemeConfig::parse(scheme);
     ASSERT_TRUE(config.has_value()) << scheme;
     const auto fast = predictors::makePredictor(*config);
+    const auto scalar = predictors::makePredictor(*config);
     const auto aos = predictors::makePredictor(*config);
     const auto reference = predictors::makePredictor(*config);
-    expectBatchEqualsReference(*fast, *aos, *reference, trace);
+    expectBatchEqualsReference(*fast, *scalar, *aos, *reference,
+                               trace);
 }
 
-/** Generalized (PAg) three-way equivalence on a given trace. */
+/** Generalized (PAg) four-way equivalence on a given trace. */
 void
 expectGeneralizedEqualsReference(const TraceBuffer &trace)
 {
@@ -462,9 +523,10 @@ expectGeneralizedEqualsReference(const TraceBuffer &trace)
     config.patternScope = core::PatternScope::Global;
     config.historyBits = 6;
     core::GeneralizedTwoLevelPredictor fast(config);
+    core::GeneralizedTwoLevelPredictor scalar(config);
     core::GeneralizedTwoLevelPredictor aos(config);
     core::GeneralizedTwoLevelPredictor reference(config);
-    expectBatchEqualsReference(fast, aos, reference, trace);
+    expectBatchEqualsReference(fast, scalar, aos, reference, trace);
 }
 
 /** Schemes covering every SoA prober flavour plus Lee-Smith. */
@@ -606,9 +668,11 @@ TEST(SimulateBatchFuzz, HashedMixedHrtMatchesReference)
     for (const std::uint64_t seed : kSeeds) {
         const TraceBuffer trace = makeRandomTrace(seed);
         TwoLevelPredictor fast(config);
+        TwoLevelPredictor scalar(config);
         TwoLevelPredictor aos(config);
         TwoLevelPredictor reference(config);
-        expectBatchEqualsReference(fast, aos, reference, trace);
+        expectBatchEqualsReference(fast, scalar, aos, reference,
+                                   trace);
     }
 }
 

@@ -18,6 +18,15 @@ regressions these gates exist to catch:
   hash-map probe with a direct vector index). Gated against
   ``max(1.15, baseline * (1 - tolerance))``: the hard 1.15x floor is
   the acceptance bar for shipping the SoA path at all.
+* ``simd_speedup`` — the vectorized fused kernel (runtime-dispatched
+  AVX2/NEON) over the same SoA run with the SIMD level pinned to
+  Scalar (which routes through the pre-SIMD lane-prober path), AT
+  (IHRT) scheme. On hosts where a vector level is active
+  (``simd_active`` == 1) the gate is
+  ``max(1.5, baseline * (1 - tolerance))`` — the 1.5x hard floor is
+  the acceptance bar for shipping the vector kernels. On scalar-only
+  hosts both legs run the same code, so the ratio is only required
+  to stay near 1.0 (>= 0.85) and the baseline comparison is skipped.
 
 ``comb_fused_speedup`` (the tournament scheme's fused path over its
 reference loop — the chooser-replay design keeps this near the
@@ -43,6 +52,10 @@ import sys
 
 DEFAULT_TOLERANCE = 0.15
 SOA_SPEEDUP_HARD_FLOOR = 1.15
+SIMD_SPEEDUP_HARD_FLOOR = 1.5
+# Scalar-only hosts run the same code on both simd legs; the ratio
+# must simply not fall materially below parity.
+SIMD_INACTIVE_FLOOR = 0.85
 
 
 def load_scalars(path):
@@ -92,6 +105,11 @@ def main(argv):
         "comb_fused_speedup",
         "comb_soa_records_per_sec",
         "predecode_overhead",
+        "simd_records_per_sec",
+        "simd_scalar_records_per_sec",
+        "simd_speedup",
+        "simd_active",
+        "peak_rss_bytes",
     ):
         if name not in measured:
             print(f"error: {measured_path} lacks scalar '{name}'",
@@ -105,10 +123,27 @@ def main(argv):
         os.environ.get("TLAT_THROUGHPUT_TOLERANCE", DEFAULT_TOLERANCE))
 
     failed = False
+    simd_active = float(measured.get("simd_active", 0.0)) >= 0.5
     for name, hard_floor in (
         ("fused_speedup", None),
         ("soa_speedup", SOA_SPEEDUP_HARD_FLOOR),
+        ("simd_speedup", SIMD_SPEEDUP_HARD_FLOOR),
     ):
+        if name == "simd_speedup" and not simd_active:
+            got = float(measured[name])
+            if got < SIMD_INACTIVE_FLOOR:
+                print(
+                    f"REGRESSION: simd_speedup {got:.3f} below "
+                    f"parity floor {SIMD_INACTIVE_FLOOR:.2f} with "
+                    "no vector level active",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(f"ok: simd_speedup {got:.3f} recorded "
+                      "(no vector level active; baseline "
+                      "comparison skipped)")
+            continue
         want = float(baseline[name])
         got = float(measured[name])
         floor = want * (1.0 - tolerance)

@@ -121,7 +121,46 @@ else
 fi
 # The binary output must be loadable by the other commands too.
 expect 0 "run on converted binary trace" run BTFN "$conv_bin"
-rm -f "$conv_txt" "$conv_bin" "$conv_back"
+
+# Streamed binary->binary convert (the mmap chunk iterator) must be
+# byte-identical to the legacy whole-buffer path, at any chunk size.
+conv_stream="$tmpdir/tlat_cli_conv_stream_$$.tltr"
+conv_whole="$tmpdir/tlat_cli_conv_whole_$$.tltr"
+expect 0 "streamed binary convert" trace convert "$conv_bin" --out "$conv_stream" --chunk-records 2
+expect 0 "whole-buffer binary convert" trace convert "$conv_bin" --out "$conv_whole" --no-stream
+if cmp -s "$conv_stream" "$conv_whole" && cmp -s "$conv_stream" "$conv_bin"; then
+    echo "ok: streamed convert is byte-identical to --no-stream"
+else
+    echo "FAIL: streamed convert output differs from --no-stream"
+    failures=$((failures + 1))
+fi
+
+# run on a TLTR file streams by default; the result must match the
+# whole-buffer load byte-for-byte, chunked or not, JSON included.
+run_stream="$tmpdir/tlat_cli_run_stream_$$.txt"
+run_whole="$tmpdir/tlat_cli_run_whole_$$.txt"
+SCHEME="AT(IHRT(,6SR),PT(2^6,A2),)"
+"$TLAT" run "$SCHEME" "$conv_bin" --chunk-records 1 >"$run_stream" 2>/dev/null
+"$TLAT" run "$SCHEME" "$conv_bin" --no-stream >"$run_whole" 2>/dev/null
+if cmp -s "$run_stream" "$run_whole"; then
+    echo "ok: streamed run matches --no-stream"
+else
+    echo "FAIL: streamed run differs from --no-stream"
+    diff "$run_stream" "$run_whole"
+    failures=$((failures + 1))
+fi
+"$TLAT" run "$SCHEME" "$conv_bin" --chunk-records 2 --json >"$run_stream" 2>/dev/null
+"$TLAT" run "$SCHEME" "$conv_bin" --no-stream --json >"$run_whole" 2>/dev/null
+if cmp -s "$run_stream" "$run_whole"; then
+    echo "ok: streamed run --json matches --no-stream"
+else
+    echo "FAIL: streamed run --json differs from --no-stream"
+    diff "$run_stream" "$run_whole" | head -20
+    failures=$((failures + 1))
+fi
+expect 2 "bad --chunk-records value" run BTFN eqntott --chunk-records 0
+rm -f "$conv_txt" "$conv_bin" "$conv_back" "$conv_stream" \
+    "$conv_whole" "$run_stream" "$run_whole"
 
 # run --json emits the schema-tagged document on stdout.
 json=$("$TLAT" run BTFN eqntott --budget 2000 --json 2>/dev/null)

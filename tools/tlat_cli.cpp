@@ -34,6 +34,12 @@
  *                   combining chooser block), the warmup curve, the
  *                   top mispredicting branches and the h2p
  *                   hard-to-predict-branch taxonomy
+ *   --chunk-records N  records per streamed chunk for `run` and
+ *                   `trace convert` on TLTR files (default: the
+ *                   TLAT_CHUNK_RECORDS environment variable, else a
+ *                   built-in bound for convert / whole-file for run)
+ *   --no-stream     force the legacy whole-buffer load; output is
+ *                   defined to be byte-identical either way
  *
  * Exit codes (stable; the CLI integration test pins them):
  *   0  success
@@ -62,6 +68,7 @@
 #include "isa/disassembler.hh"
 #include "predictors/scheme_factory.hh"
 #include "sim/simulator.hh"
+#include "trace/chunk_stream.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
 #include "util/string_utils.hh"
@@ -87,11 +94,23 @@ struct Options
     bool json = false;
     bool toBinary = false;
     bool toText = false;
+    /** Records per streamed chunk; 0 defers to TLAT_CHUNK_RECORDS. */
+    std::size_t chunkRecords = 0;
+    /** Force the legacy whole-buffer load for `run`/`trace convert`. */
+    bool noStream = false;
     std::string data;
     std::string train;
     std::string out;
     std::vector<std::string> positional;
 };
+
+/** Chunk size for streamed paths: the flag, else the env knob. */
+std::size_t
+effectiveChunkRecords(const Options &options)
+{
+    return options.chunkRecords != 0 ? options.chunkRecords
+                                     : trace::defaultChunkRecords();
+}
 
 // One definition of the command surface: `tlat help` prints it to
 // stdout (exit 0), error paths print it to stderr (exit 2).
@@ -115,7 +134,13 @@ printUsage(std::ostream &os)
            "  ras <benchmark>              return-stack sweep\n"
            "  cpi <scheme> <benchmark>     pipeline timing model\n"
            "options: --budget N --data SET --train SRC --out FILE "
-           "--jobs N --json\n";
+           "--jobs N --json\n"
+           "         --chunk-records N --no-stream  (run / trace "
+           "convert on .tltr files:\n"
+           "         stream through an mmap chunk iterator in "
+           "O(chunk) memory; results\n"
+           "         are bit-identical to --no-stream for every "
+           "chunk size)\n";
 }
 
 int
@@ -197,6 +222,21 @@ parseOptions(int argc, char **argv, int first)
             options.jobs = static_cast<unsigned>(*parsed);
         } else if (arg == "--json") {
             options.json = true;
+        } else if (arg == "--chunk-records") {
+            const auto value = next();
+            const auto parsed =
+                value ? parseSize(*value) : std::nullopt;
+            if (!parsed || *parsed == 0) {
+                if (value)
+                    std::cerr << "bad value '" << *value
+                              << "' for --chunk-records "
+                                 "(want N >= 1)\n";
+                return std::nullopt;
+            }
+            options.chunkRecords =
+                static_cast<std::size_t>(*parsed);
+        } else if (arg == "--no-stream") {
+            options.noStream = true;
         } else if (arg == "--to-binary") {
             options.toBinary = true;
         } else if (arg == "--to-text") {
@@ -286,6 +326,50 @@ cmdList()
  * extension (saveToFile's rule: .txt is text, anything else TLTR
  * binary). Round-trips are lossless in both directions.
  */
+/**
+ * Streamed binary-to-binary convert: pump the input through the mmap
+ * chunk iterator and append each chunk's packed records behind one
+ * up-front header, in O(chunk) memory. The wire composition is the
+ * same writeBinaryHeader + writeBinaryRecords pair writeBinary() is
+ * built from, so the output is byte-identical to the whole-buffer
+ * path (the CLI integration test pins this with cmp).
+ */
+int
+convertBinaryStreamed(const std::string &in_path,
+                      const std::string &out_path,
+                      std::size_t chunk_records)
+{
+    std::string error;
+    auto stream =
+        trace::MmapChunkStream::open(in_path, chunk_records, &error);
+    if (!stream) {
+        std::cerr << "cannot load trace '" << in_path
+                  << "': " << error << "\n";
+        return kExitRuntime;
+    }
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os || !trace::writeBinaryHeader(os, stream->name(),
+                                         stream->mix(),
+                                         stream->recordCount())) {
+        std::cerr << "cannot write '" << out_path << "'\n";
+        return kExitRuntime;
+    }
+    while (const trace::TraceChunk *chunk = stream->next()) {
+        if (!trace::writeBinaryRecords(os, chunk->records)) {
+            std::cerr << "cannot write '" << out_path << "'\n";
+            return kExitRuntime;
+        }
+    }
+    if (!stream->error().empty()) {
+        std::cerr << "cannot load trace '" << in_path
+                  << "': " << stream->error() << "\n";
+        return kExitRuntime;
+    }
+    std::cout << "converted " << stream->recordCount()
+              << " branch records to " << out_path << "\n";
+    return kExitOk;
+}
+
 int
 cmdTraceConvert(const Options &options)
 {
@@ -294,6 +378,21 @@ cmdTraceConvert(const Options &options)
         std::cerr << "usage: tlat trace convert <in> --out FILE "
                      "[--to-binary|--to-text]\n";
         return kExitUsage;
+    }
+    // Binary-to-binary conversions stream chunk-by-chunk; text input
+    // cannot (headers like '# name:' may appear anywhere in the
+    // file), and text output goes through the one writeText()
+    // implementation rather than duplicating its line format here.
+    const std::string &in_path = options.positional[1];
+    const bool in_binary = !endsWith(in_path, ".txt");
+    const bool out_text =
+        options.toText ||
+        (!options.toBinary && endsWith(options.out, ".txt"));
+    if (in_binary && !out_text && !options.noStream) {
+        const std::size_t chunk = effectiveChunkRecords(options);
+        return convertBinaryStreamed(
+            in_path, options.out,
+            chunk != 0 ? chunk : std::size_t{1} << 16);
     }
     std::string error;
     const auto buffer =
@@ -378,6 +477,24 @@ cmdStats(const Options &options)
     return kExitOk;
 }
 
+/** The human-readable `tlat run` result block. */
+void
+printRunResult(const std::string &scheme,
+               const std::string &benchmark,
+               const AccuracyCounter &accuracy)
+{
+    std::cout << scheme << " on " << benchmark << ":\n"
+              << "  conditional branches: " << accuracy.total()
+              << "\n"
+              << "  accuracy:  "
+              << TablePrinter::percentCell(
+                     accuracy.accuracyPercent())
+              << " %\n"
+              << "  miss rate: "
+              << TablePrinter::percentCell(accuracy.missPercent())
+              << " %\n";
+}
+
 int
 cmdRun(const Options &options)
 {
@@ -389,9 +506,8 @@ cmdRun(const Options &options)
         core::SchemeConfig::parse(options.positional[0]);
     if (!config)
         return badSchemeName(options.positional[0]);
-    const auto test = loadTrace(options.positional[1], options);
-    if (!test)
-        return kExitRuntime;
+    auto predictor = predictors::makePredictor(*config);
+    const std::string &source = options.positional[1];
 
     std::optional<trace::TraceBuffer> train;
     if (!options.train.empty()) {
@@ -399,21 +515,70 @@ cmdRun(const Options &options)
         if (!train)
             return kExitRuntime;
     } else if (config->data == core::DataMode::Diff &&
-               isBenchmark(options.positional[1])) {
-        const auto workload =
-            workloads::makeWorkload(options.positional[1]);
+               isBenchmark(source)) {
+        const auto workload = workloads::makeWorkload(source);
         if (const auto set = workload->trainSet()) {
             Options train_options = options;
             train_options.data = *set;
-            train = loadTrace(options.positional[1], train_options);
+            train = loadTrace(source, train_options);
         } else {
-            std::cerr << "no training data set for "
-                      << options.positional[1] << "\n";
+            std::cerr << "no training data set for " << source
+                      << "\n";
             return kExitRuntime;
         }
     }
 
-    auto predictor = predictors::makePredictor(*config);
+    // TLTR file inputs stream through the mmap chunk iterator in
+    // O(chunk) memory — bit-identical to the whole-buffer load below
+    // for every chunk size, since predictor state never lives in the
+    // stream. Schemes that train on the test trace itself need the
+    // whole buffer resident anyway, so they (and --no-stream) take
+    // the legacy path.
+    if (!options.noStream && !isBenchmark(source) &&
+        !endsWith(source, ".txt") &&
+        (!predictor->needsTraining() || train)) {
+        std::string error;
+        auto stream = trace::MmapChunkStream::open(
+            source, effectiveChunkRecords(options), &error);
+        if (!stream) {
+            std::cerr << "cannot load trace '" << source
+                      << "': " << error << "\n";
+            return kExitRuntime;
+        }
+        predictor->reset();
+        if (predictor->needsTraining())
+            predictor->train(*train);
+        if (options.json) {
+            const harness::RunMetricsReport report =
+                harness::measureStreamWithMetrics(*predictor,
+                                                  *stream);
+            if (!stream->error().empty()) {
+                std::cerr << "cannot load trace '" << source
+                          << "': " << stream->error() << "\n";
+                return kExitRuntime;
+            }
+            std::vector<std::pair<std::string, std::string>> context;
+            context.emplace_back("budget",
+                                 std::to_string(options.budget));
+            if (train)
+                context.emplace_back("train", train->name());
+            harness::writeRunMetricsJson(report, std::cout, context);
+            return kExitOk;
+        }
+        const AccuracyCounter accuracy =
+            harness::measureStream(*predictor, *stream);
+        if (!stream->error().empty()) {
+            std::cerr << "cannot load trace '" << source
+                      << "': " << stream->error() << "\n";
+            return kExitRuntime;
+        }
+        printRunResult(predictor->name(), stream->name(), accuracy);
+        return kExitOk;
+    }
+
+    const auto test = loadTrace(source, options);
+    if (!test)
+        return kExitRuntime;
     if (options.json) {
         const harness::RunMetricsReport report =
             harness::runProfiledExperiment(
@@ -428,17 +593,8 @@ cmdRun(const Options &options)
     }
     const auto result = harness::runExperiment(
         *predictor, *test, train ? &*train : nullptr);
-    std::cout << predictor->name() << " on " << test->name() << ":\n"
-              << "  conditional branches: "
-              << result.accuracy.total() << "\n"
-              << "  accuracy:  "
-              << TablePrinter::percentCell(
-                     result.accuracy.accuracyPercent())
-              << " %\n"
-              << "  miss rate: "
-              << TablePrinter::percentCell(
-                     result.accuracy.missPercent())
-              << " %\n";
+    printRunResult(predictor->name(), test->name(),
+                   result.accuracy);
     return kExitOk;
 }
 

@@ -44,6 +44,16 @@ enforces them as named, individually suppressible rules:
                   must each be defined in exactly one place, so a
                   version bump can never half-apply.
 
+  simd-twin       raw vector intrinsics (_mm*/_mm256_*/NEON v*_u8
+                  calls) are sanctioned only inside the util/simd
+                  kernel family (SIMD_SANCTIONED_FILES below), where
+                  every kernel is written against a named scalar twin
+                  and fuzzed for bit-identity; any other file must
+                  route vector work through util::simd::fusedPass.
+                  Each sanctioned kernel file must in turn reference
+                  its scalar twin (fusedPassScalar) so the semantic
+                  reference is always one search away.
+
 Suppression syntax (same line or the line directly above the finding):
 
     // tlat-lint: allow(<rule-name>): <why this is safe>
@@ -99,6 +109,9 @@ RULES = {
     "twin in the pairing manifest",
     "schema-once": "schema version string/constant defined more than "
     "once",
+    "simd-twin": "raw vector intrinsics outside the sanctioned "
+    "util/simd kernel family, or a kernel file that never names its "
+    "scalar twin",
 }
 
 ALLOW_RE = re.compile(r"tlat-lint:\s*allow\(([a-z0-9-]+)\)")
@@ -499,6 +512,74 @@ def check_batch_twin(root, sources, findings):
 
 
 # ---------------------------------------------------------------- #
+# rule: simd-twin
+# ---------------------------------------------------------------- #
+
+# The only files allowed to spell raw vector intrinsics, relative to
+# root: the dispatch header, the portable scalar twin, and the
+# per-ISA kernels. Everything else goes through util::simd::fusedPass
+# so the bit-identity contract (and its fuzz coverage) stays in one
+# place. Kernel files must mention the twin's name so a reader of any
+# vector block can find the scalar program it is defined against.
+SIMD_SANCTIONED_FILES = (
+    "src/util/simd.hh",
+    "src/util/simd.cc",
+    "src/util/simd_avx2.cc",
+    "src/util/simd_neon.cc",
+)
+SIMD_TWIN_TOKEN = "fusedPassScalar"
+
+# Intrinsic call shapes: x86 (_mm_/_mm256_/_mm512_) and NEON
+# (vld1q_u8(...), vaddv_u8(...), ... -- a v-prefixed call whose name
+# ends in an element-type suffix).
+SIMD_INTRINSIC_RES = (
+    re.compile(r"\b_mm\d*_\w+\s*\("),
+    re.compile(r"\bv[a-z][a-z0-9_]*_[usfp]\d+(?:x\d+)?\s*\("),
+)
+
+
+def check_simd_twin(root, sources, findings):
+    sanctioned = {
+        os.path.normpath(os.path.join(root, rel))
+        for rel in SIMD_SANCTIONED_FILES
+    }
+    for src in sources:
+        uses = []
+        for number, line in enumerate(src.code_lines, start=1):
+            for pattern in SIMD_INTRINSIC_RES:
+                match = pattern.search(line)
+                if match:
+                    uses.append((number,
+                                 match.group(0).rstrip("( \t")))
+                    break
+        if not uses:
+            continue
+        if os.path.normpath(src.path) in sanctioned:
+            # Comments count: the twin reference is navigational, and
+            # the kernels cite fusedPassScalar in their doc comments.
+            if SIMD_TWIN_TOKEN not in "\n".join(src.raw_lines):
+                findings.append(Finding(
+                    src.path, 1, "simd-twin",
+                    "SIMD kernel file never references its scalar "
+                    f"twin {SIMD_TWIN_TOKEN}; every vector kernel "
+                    "must name the scalar program it is bit-identical "
+                    "to (and test_simd_kernel must hold it there)",
+                ))
+            continue
+        for number, token in uses:
+            if src.suppressed(number, "simd-twin"):
+                continue
+            findings.append(Finding(
+                src.path, number, "simd-twin",
+                f"raw vector intrinsic '{token}' outside the "
+                "sanctioned util/simd kernel family; route through "
+                "util::simd::fusedPass (or add the file to "
+                "SIMD_SANCTIONED_FILES with a scalar twin and fuzz "
+                "coverage)",
+            ))
+
+
+# ---------------------------------------------------------------- #
 # rule: schema-once
 # ---------------------------------------------------------------- #
 
@@ -554,6 +635,7 @@ def run(root):
         check_float_accum(src, findings)
     check_batch_twin(root, sources, findings)
     check_schema_once(sources, findings)
+    check_simd_twin(root, sources, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

@@ -44,6 +44,8 @@ expect_rule batch_twin_soa batch-twin
 expect_rule batch_twin_combining batch-twin
 expect_rule schema_once schema-once
 expect_rule schema_once_v3 schema-once
+expect_rule simd_twin simd-twin
+expect_rule simd_twin_orphan simd-twin
 
 # The raw_rand fixture packs several sources; all four must be caught.
 out=$("$PYTHON" "$LINT" --root "$FIXTURES/raw_rand" 2>&1)
@@ -56,8 +58,9 @@ else
     echo "ok: raw_rand reports $count distinct sources"
 fi
 
-# Sanctioned escapes must not fire: justified suppression comment and
-# the collect-then-sort ordered projection.
+# Sanctioned escapes must not fire: justified suppression comment,
+# the collect-then-sort ordered projection, and intrinsics inside the
+# util/simd kernel family with the scalar twin named.
 out=$("$PYTHON" "$LINT" --root "$FIXTURES/suppressed" 2>&1)
 status=$?
 if [ "$status" -ne 0 ]; then
@@ -72,7 +75,7 @@ fi
 # fixtures exercise must be listed.
 out=$("$PYTHON" "$LINT" --list-rules)
 for rule in unordered-iter raw-rand float-accum batch-twin \
-        schema-once; do
+        schema-once simd-twin; do
     if ! printf '%s\n' "$out" | grep -q "^$rule"; then
         echo "FAIL: --list-rules does not list $rule"
         failures=$((failures + 1))
