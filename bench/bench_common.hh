@@ -18,7 +18,6 @@
 
 #include <chrono>
 #include <cstdint>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -28,8 +27,11 @@
 #include "harness/figure_runner.hh"
 #include "harness/parallel_sweep.hh"
 #include "harness/suite.hh"
+#include "util/env.hh"
 #include "util/json_writer.hh"
+#include "util/mutex.hh"
 #include "util/string_utils.hh"
+#include "util/thread_annotations.hh"
 
 namespace tlat::bench
 {
@@ -68,10 +70,10 @@ inline void
 maybeWriteCsv(const harness::AccuracyReport &report,
               const std::string &stem)
 {
-    const char *dir = std::getenv("TLAT_CSV_DIR");
+    const auto dir = util::envString("TLAT_CSV_DIR");
     if (!dir)
         return;
-    const std::string path = std::string(dir) + "/" + stem + ".csv";
+    const std::string path = *dir + "/" + stem + ".csv";
     std::ofstream os(path);
     if (!os) {
         std::cerr << "cannot write " << path << "\n";
@@ -109,10 +111,17 @@ class BenchRecorder
     BenchRecorder(const BenchRecorder &) = delete;
     BenchRecorder &operator=(const BenchRecorder &) = delete;
 
-    /** Copies the report's cells and means into the record. */
+    /**
+     * Copies the report's cells and means into the record.
+     * Thread-safe: a bench that records from sweep callbacks on pool
+     * workers appends under the recorder's lock; rows keep arrival
+     * order, so callers that need a deterministic file still record
+     * from one thread or in a fixed order.
+     */
     void
     addReport(const harness::AccuracyReport &report)
     {
+        const util::MutexLock lock(mutex_);
         for (const std::string &scheme : report.schemes()) {
             for (const std::string &benchmark :
                  report.benchmarks()) {
@@ -131,6 +140,7 @@ class BenchRecorder
     void
     addScalar(const std::string &name, double value)
     {
+        const util::MutexLock lock(mutex_);
         scalars_.emplace_back(name, value);
     }
 
@@ -140,14 +150,18 @@ class BenchRecorder
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start_)
                 .count();
-        const char *dir = std::getenv("TLAT_BENCH_JSON_DIR");
-        const std::string path = (dir ? std::string(dir) + "/" : "") +
+        const auto dir = util::envString("TLAT_BENCH_JSON_DIR");
+        const std::string path = (dir ? *dir + "/" : "") +
                                  "BENCH_" + stem_ + ".json";
         std::ofstream os(path);
         if (!os) {
             std::cerr << "cannot write " << path << "\n";
             return;
         }
+        // Destruction is single-threaded by construction, but the
+        // annotated fields are read here, so hold the lock for the
+        // analysis (uncontended: no recorder outlives its writers).
+        const util::MutexLock lock(mutex_);
         JsonWriter json(os);
         json.beginObject();
         json.member("schema", "tlat-bench-v1");
@@ -205,7 +219,7 @@ class BenchRecorder
 
     /** FNV-1a over the run configuration, as a hex string. */
     std::string
-    fingerprint() const
+    fingerprint() const TLAT_REQUIRES(mutex_)
     {
         std::uint64_t hash = 0xcbf29ce484222325ULL;
         const auto absorb = [&hash](std::string_view text) {
@@ -230,9 +244,11 @@ class BenchRecorder
 
     std::string stem_;
     std::chrono::steady_clock::time_point start_;
-    std::vector<Row> rows_;
-    std::vector<Mean> means_;
-    std::vector<std::pair<std::string, double>> scalars_;
+    mutable util::Mutex mutex_;
+    std::vector<Row> rows_ TLAT_GUARDED_BY(mutex_);
+    std::vector<Mean> means_ TLAT_GUARDED_BY(mutex_);
+    std::vector<std::pair<std::string, double>> scalars_
+        TLAT_GUARDED_BY(mutex_);
 };
 
 } // namespace tlat::bench

@@ -28,13 +28,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <type_traits>
-#include <vector>
 
 #include "automaton.hh"
-#include "trace/predecode.hh"
-#include "trace/record.hh"
-#include "trace/trace_io.hh"
+#include "trace/wire_contracts.hh"
 
 namespace tlat::core
 {
@@ -287,60 +283,12 @@ static_assert(contract_detail::countersStayInRange(),
               "every supported width");
 
 // ---------------------------------------------------------------------
-// Layout contracts: the in-memory BranchRecord the hot loop streams
-// and the packed TLTR wire record are both size-pinned. BranchRecord
-// additionally carries its own static_assert at the definition
-// (trace/record.hh); repeating the pin here keeps every contract the
-// fused path depends on visible in one place.
+// Layout contracts: the in-memory BranchRecord, the packed TLTR wire
+// record, and the predecoded SoA lane element types are pinned in
+// trace/wire_contracts.hh — owned by the trace layer (layer-order:
+// trace sits below core), re-evaluated here via the include above so
+// every hot-path TU that includes this battery still sees them.
 // ---------------------------------------------------------------------
-
-static_assert(sizeof(trace::BranchRecord) == 24 &&
-                  alignof(trace::BranchRecord) == 8,
-              "BranchRecord layout drifted from the 24-byte/8-align "
-              "contract the trace hot path is sized for");
-static_assert(trace::kTltrWireRecordSize ==
-                  2 * sizeof(std::uint64_t) + 2 * sizeof(std::uint8_t),
-              "TLTR wire record must stay pc u64 + target u64 + "
-              "cls u8 + flags u8 = 18 bytes; bump kTltrFormatVersion "
-              "if the wire layout changes");
-static_assert(trace::kTltrFormatVersion == 2,
-              "TLTR format version changed: update the wire-layout "
-              "contracts here and the format notes in "
-              "trace/trace_io.hh together");
-
-// The branch classes fit the 2-bit-exclusive flags byte encoding
-// (taken = bit 0, call = bit 1, class in its own byte below
-// NumClasses).
-static_assert(static_cast<unsigned>(trace::BranchClass::NumClasses) <=
-                  255,
-              "BranchClass must fit the one-byte TLTR class field");
-
-// ---------------------------------------------------------------------
-// Predecoded SoA lane contracts (trace/predecode.hh): the fused SoA
-// loops and the per-geometry index-lane probers are sized around
-// these exact element types — a u32 branch id (2^32-1 unique static
-// branches, asserted at build time), u64 packed-outcome words, u32
-// set/slot indices and u64 tags/lines. Widening any of them silently
-// doubles hot-lane memory traffic, which is the very thing the
-// predecode layer exists to remove.
-// ---------------------------------------------------------------------
-
-static_assert(std::is_same_v<trace::BranchId, std::uint32_t>,
-              "the dense branch-id lane is sized for u32 ids");
-static_assert(trace::PredecodedTrace::kOutcomeWordBits == 64,
-              "the packed outcome bitvector uses u64 words");
-static_assert(
-    std::is_same_v<decltype(trace::AhrtLane::sets),
-                   std::vector<std::uint32_t>> &&
-        std::is_same_v<decltype(trace::AhrtLane::tags),
-                       std::vector<std::uint64_t>>,
-    "AHRT index lane drifted from the u32-set/u64-tag layout");
-static_assert(
-    std::is_same_v<decltype(trace::HashedLane::indices),
-                   std::vector<std::uint32_t>> &&
-        std::is_same_v<decltype(trace::HashedLane::lines),
-                       std::vector<std::uint64_t>>,
-    "HHRT index lane drifted from the u32-index/u64-line layout");
 
 } // namespace tlat::core
 

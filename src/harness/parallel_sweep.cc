@@ -1,12 +1,12 @@
 #include "parallel_sweep.hh"
 
-#include <cstdlib>
 #include <optional>
 
 #include "core/scheme_config.hh"
 #include "experiment.hh"
 #include "predictors/scheme_factory.hh"
 #include "util/bitops.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 #include "util/thread_pool.hh"
@@ -18,12 +18,12 @@ namespace tlat::harness
 unsigned
 defaultJobs()
 {
-    const char *text = std::getenv("TLAT_JOBS");
+    const auto text = util::envString("TLAT_JOBS");
     if (!text)
         return util::ThreadPool::hardwareThreads();
-    const auto value = parseSize(text);
+    const auto value = parseSize(*text);
     if (!value || *value == 0)
-        tlat_fatal("bad TLAT_JOBS value '", text, "'");
+        tlat_fatal("bad TLAT_JOBS value '", *text, "'");
     return static_cast<unsigned>(*value);
 }
 
@@ -108,7 +108,13 @@ runSweep(BenchmarkSuite &suite, const std::string &title,
     std::vector<std::optional<ExperimentResult>> results(cells.size());
     std::vector<RunMetricsReport> cell_metrics(
         metrics_out ? cells.size() : 0);
-    util::parallelFor(pool, cells.size(), [&](std::size_t i) {
+    // Explicit capture list (guarded-state lint rule): workers read
+    // the shared cell/config tables and write only their preassigned
+    // slot of results/cell_metrics — no default capture can smuggle
+    // new shared state in unreviewed.
+    util::parallelFor(pool, cells.size(), [&cells, &configs,
+                                           metrics_out, &cell_metrics,
+                                           &results](std::size_t i) {
         const Cell &cell = cells[i];
         const auto predictor =
             predictors::makePredictor(configs[cell.scheme]);

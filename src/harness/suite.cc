@@ -1,6 +1,5 @@
 #include "suite.hh"
 
-#include <cstdlib>
 #include <filesystem>
 #include <optional>
 
@@ -8,6 +7,7 @@
 
 #include "sim/simulator.hh"
 #include "trace/trace_io.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 #include "util/thread_pool.hh"
@@ -22,10 +22,7 @@ namespace
 std::optional<std::string>
 traceCacheDir()
 {
-    const char *dir = std::getenv("TLAT_TRACE_CACHE_DIR");
-    if (!dir || !*dir)
-        return std::nullopt;
-    return std::string(dir);
+    return util::envString("TLAT_TRACE_CACHE_DIR");
 }
 
 } // namespace
@@ -33,12 +30,12 @@ traceCacheDir()
 std::uint64_t
 branchBudgetFromEnv()
 {
-    const char *text = std::getenv("TLAT_BRANCH_BUDGET");
+    const auto text = util::envString("TLAT_BRANCH_BUDGET");
     if (!text)
         return kDefaultBranchBudget;
-    const auto value = parseSize(text);
+    const auto value = parseSize(*text);
     if (!value || *value == 0) {
-        tlat_fatal("bad TLAT_BRANCH_BUDGET value '", text, "'");
+        tlat_fatal("bad TLAT_BRANCH_BUDGET value '", *text, "'");
     }
     return *value;
 }
@@ -53,15 +50,26 @@ BenchmarkSuite::benchmarks() const
     return workloads::workloadNames();
 }
 
+namespace
+{
+
+/**
+ * Loads the trace from the TLAT_TRACE_CACHE_DIR binary cache or
+ * generates (and caches) it. Free function of exactly
+ * (budget, benchmark, dataSet) so preload() workers can run it while
+ * capturing only the budget value — no shared suite state reaches
+ * the pool (guarded-state lint rule).
+ */
 trace::TraceBuffer
-BenchmarkSuite::generateTrace(const std::string &benchmark,
-                              const std::string &dataSet) const
+generateTraceToBudget(std::uint64_t budget,
+                      const std::string &benchmark,
+                      const std::string &dataSet)
 {
     const auto dir = traceCacheDir();
     std::string path;
     if (dir) {
         path = *dir + "/" + benchmark + "-" + dataSet + "-" +
-               std::to_string(budget_) + ".tltr";
+               std::to_string(budget) + ".tltr";
         if (auto cached = trace::loadFromFile(path)) {
             // The name check guards against a foreign file landing on
             // the cache key; a stale or corrupt file just regenerates.
@@ -72,7 +80,7 @@ BenchmarkSuite::generateTrace(const std::string &benchmark,
 
     const auto workload = workloads::makeWorkload(benchmark);
     trace::TraceBuffer buffer =
-        sim::collectTrace(workload->build(dataSet), budget_);
+        sim::collectTrace(workload->build(dataSet), budget);
     buffer.setName(benchmark);
 
     if (dir) {
@@ -91,6 +99,15 @@ BenchmarkSuite::generateTrace(const std::string &benchmark,
         }
     }
     return buffer;
+}
+
+} // namespace
+
+trace::TraceBuffer
+BenchmarkSuite::generateTrace(const std::string &benchmark,
+                              const std::string &dataSet) const
+{
+    return generateTraceToBudget(budget_, benchmark, dataSet);
 }
 
 const trace::TraceBuffer &
@@ -140,9 +157,15 @@ BenchmarkSuite::preload(util::ThreadPool &pool, bool include_training)
         }
     }
 
-    util::parallelFor(pool, pending.size(), [&](std::size_t i) {
+    // Workers capture only the pending slots and the budget value:
+    // generation is a pure function of (budget, benchmark, data set),
+    // and the cache_ commit below happens serially after the join.
+    util::parallelFor(pool, pending.size(), [&pending,
+                                             budget = budget_](
+                                                std::size_t i) {
         Pending &job = pending[i];
-        job.buffer = generateTrace(job.benchmark, job.dataSet);
+        job.buffer = generateTraceToBudget(budget, job.benchmark,
+                                           job.dataSet);
         // Compile the SoA predecode while we are still parallel: the
         // artifact is cached inside the buffer and re-shared by every
         // sweep cell, so no cell pays the dictionary build.

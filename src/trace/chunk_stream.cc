@@ -1,12 +1,13 @@
 #include "chunk_stream.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "util/env.hh"
 
 namespace tlat::trace
 {
@@ -181,9 +182,10 @@ MmapChunkStream::recordCount() const
 }
 
 void
-MmapChunkStream::decodeInto(Slot &slot, std::uint64_t base,
+MmapChunkStream::decodeInto(int target, std::uint64_t base,
                             std::size_t count)
 {
+    Slot &slot = slots_[target];
     slot.base = base;
     slot.ok = true;
     slot.records.clear();
@@ -211,8 +213,8 @@ MmapChunkStream::decodeInto(Slot &slot, std::uint64_t base,
 void
 MmapChunkStream::scheduleNextDecode()
 {
-    Slot &slot = slots_[next_decode_slot_];
-    pending_slot_ = next_decode_slot_;
+    const int target = next_decode_slot_;
+    pending_slot_ = target;
     next_decode_slot_ ^= 1;
     const std::uint64_t base = next_base_;
     const std::uint64_t stride = chunk_records_ == 0
@@ -222,8 +224,10 @@ MmapChunkStream::scheduleNextDecode()
         std::min<std::uint64_t>(stride,
                                 header_.recordCount - base));
     next_base_ = base + count;
-    pending_ = pool_.submit(
-        [this, &slot, base, count] { decodeInto(slot, base, count); });
+    pending_ = pool_.submit([this, target, base, count] {
+        const util::MutexLock lock(slots_mutex_);
+        decodeInto(target, base, count);
+    });
 }
 
 void
@@ -278,23 +282,29 @@ MmapChunkStream::next()
     pending_.get();
     const int ready = pending_slot_;
     pending_slot_ = -1;
-    Slot &slot = slots_[ready];
-    if (!slot.ok) {
-        error_ = "corrupt record at index " +
-                 std::to_string(slot.badRecord);
-        current_.reset();
-        return nullptr;
+    {
+        // pending_.get() is the ordering edge; the lock makes the
+        // slot read provable to the thread-safety analysis (and
+        // serializes it against the next decode scheduled below).
+        const util::MutexLock lock(slots_mutex_);
+        Slot &slot = slots_[ready];
+        if (!slot.ok) {
+            error_ = "corrupt record at index " +
+                     std::to_string(slot.badRecord);
+            current_.reset();
+            return nullptr;
+        }
+        // Everything before this chunk has been decoded and
+        // consumed; drop its file pages so residency stays bounded.
+        releaseRecords(released_below_, slot.base);
+        released_below_ = slot.base;
+        current_.emplace(std::span<const BranchRecord>(slot.records),
+                         PredecodedView(slot.conditionals, slot.soa));
     }
-    // Everything before this chunk has been decoded and consumed;
-    // drop its file pages so residency stays bounded.
-    releaseRecords(released_below_, slot.base);
-    released_below_ = slot.base;
-    // Overlap: decode the following chunk while the caller simulates
-    // this one.
+    // Overlap: decode the following chunk (strictly the other slot)
+    // while the caller simulates this one.
     if (next_base_ < header_.recordCount)
         scheduleNextDecode();
-    current_.emplace(std::span<const BranchRecord>(slot.records),
-                     PredecodedView(slot.conditionals, slot.soa));
     return &*current_;
 }
 
@@ -321,14 +331,10 @@ MmapChunkStream::error() const
 std::size_t
 defaultChunkRecords()
 {
-    const char *env = std::getenv("TLAT_CHUNK_RECORDS");
-    if (env == nullptr || *env == '\0')
-        return 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(env, &end, 10);
-    if (end == env || *end != '\0')
-        return 0;
-    return static_cast<std::size_t>(value);
+    // A malformed value degrades to 0 (whole-buffer) by design: the
+    // knob is a perf hint, never a correctness switch.
+    return static_cast<std::size_t>(
+        util::envUnsigned("TLAT_CHUNK_RECORDS").value_or(0));
 }
 
 } // namespace tlat::trace

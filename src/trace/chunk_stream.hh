@@ -47,6 +47,8 @@
 #include "record.hh"
 #include "trace_buffer.hh"
 #include "trace_io.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 #include "util/thread_pool.hh"
 
 namespace tlat::trace
@@ -186,9 +188,9 @@ class MmapChunkStream final : public ChunkStream
     MmapChunkStream(const char *data, std::size_t map_size, int fd,
                     TltrHeader header, std::size_t chunk_records);
 
-    /** Unpacks records [base, base+count) into @p slot. */
-    void decodeInto(Slot &slot, std::uint64_t base,
-                    std::size_t count);
+    /** Unpacks records [base, base+count) into slots_[target]. */
+    void decodeInto(int target, std::uint64_t base, std::size_t count)
+        TLAT_REQUIRES(slots_mutex_);
     /** Queues the decode of the chunk starting at next_base_. */
     void scheduleNextDecode();
     /** Waits for the in-flight decode, if any. */
@@ -204,8 +206,15 @@ class MmapChunkStream final : public ChunkStream
 
     // Slots are declared before the pool: members destruct in reverse
     // order, so the pool (and any decode task touching a slot) drains
-    // before the slots go away.
-    Slot slots_[2];
+    // before the slots go away. The mutex carries the cross-thread
+    // handoff contract for -Wthread-safety: the decode worker fills a
+    // slot under the lock, the consumer drains pending_ (the real
+    // ordering edge) and then reads the slot under the same lock, so
+    // every slot access is provably serialized. Strict slot
+    // alternation keeps the delivered chunk's slot untouched while
+    // the next one decodes.
+    util::Mutex slots_mutex_;
+    Slot slots_[2] TLAT_GUARDED_BY(slots_mutex_);
     /** Slot index the in-flight/ready decode targets; -1 = none. */
     int pending_slot_ = -1;
     /** Slot the next scheduled decode will fill (strict alternation

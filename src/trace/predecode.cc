@@ -52,7 +52,7 @@ PredecodedTrace::ahrtLane(unsigned addr_shift,
     tlat_assert(isPowerOfTwo(num_sets),
                 "AHRT set count must be a power of two, got ",
                 num_sets);
-    const std::lock_guard<std::mutex> lock(lanes_mutex_);
+    const util::MutexLock lock(lanes_mutex_);
     auto &slot = ahrt_lanes_[AhrtKey{addr_shift, num_sets}];
     if (!slot) {
         auto lane = std::make_unique<AhrtLane>();
@@ -77,7 +77,7 @@ PredecodedTrace::hashedLane(unsigned addr_shift,
 {
     tlat_assert(isPowerOfTwo(table_size),
                 "HHRT size must be a power of two, got ", table_size);
-    const std::lock_guard<std::mutex> lock(lanes_mutex_);
+    const util::MutexLock lock(lanes_mutex_);
     auto &slot =
         hashed_lanes_[HashedKey{addr_shift, table_size, mixed}];
     if (!slot) {

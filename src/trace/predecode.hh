@@ -37,13 +37,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <tuple>
 #include <utility>
 #include <vector>
 
 #include "record.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 
 namespace tlat::trace
 {
@@ -142,11 +143,11 @@ class PredecodedTrace
     // references stable across cache growth.
     using AhrtKey = std::pair<unsigned, std::size_t>;
     using HashedKey = std::tuple<unsigned, std::size_t, bool>;
-    mutable std::mutex lanes_mutex_;
+    mutable util::Mutex lanes_mutex_;
     mutable std::map<AhrtKey, std::unique_ptr<const AhrtLane>>
-        ahrt_lanes_;
+        ahrt_lanes_ TLAT_GUARDED_BY(lanes_mutex_);
     mutable std::map<HashedKey, std::unique_ptr<const HashedLane>>
-        hashed_lanes_;
+        hashed_lanes_ TLAT_GUARDED_BY(lanes_mutex_);
 };
 
 /**
@@ -197,7 +198,7 @@ class PredecodeCache
     std::shared_ptr<const PredecodedTrace>
     get(std::span<const BranchRecord> conditionals)
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         if (!trace_ || trace_->size() != conditionals.size()) {
             trace_ =
                 std::make_shared<const PredecodedTrace>(conditionals);
@@ -208,13 +209,14 @@ class PredecodeCache
     void
     invalidate()
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         trace_.reset();
     }
 
   private:
-    std::mutex mutex_;
-    std::shared_ptr<const PredecodedTrace> trace_;
+    util::Mutex mutex_;
+    std::shared_ptr<const PredecodedTrace> trace_
+        TLAT_GUARDED_BY(mutex_);
 };
 
 } // namespace tlat::trace

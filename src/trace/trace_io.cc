@@ -10,8 +10,10 @@
 #include <vector>
 
 // Include-what-you-pin: re-evaluates the TLTR wire-layout contracts
-// (core/contracts.hh) in the TU that implements the format.
-#include "core/contracts.hh"
+// in the TU that implements the format. The trace-local header keeps
+// the layer DAG acyclic (trace must not include core; layer-order
+// lint rule).
+#include "wire_contracts.hh"
 #include "util/string_utils.hh"
 
 namespace tlat::trace
@@ -163,11 +165,11 @@ parseBinaryHeader(const char *data, std::size_t size)
     const auto have = [&](std::size_t n) { return size - off >= n; };
     if (!have(12) || std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
         return std::nullopt;
-    std::uint32_t version;
+    std::uint32_t version = 0;
     std::memcpy(&version, data + 4, sizeof(version));
     if (version != kTltrFormatVersion)
         return std::nullopt;
-    std::uint32_t name_length;
+    std::uint32_t name_length = 0;
     std::memcpy(&name_length, data + 8, sizeof(name_length));
     if (name_length > (1u << 20))
         return std::nullopt;
@@ -179,7 +181,7 @@ parseBinaryHeader(const char *data, std::size_t size)
     if (!have(6 * sizeof(std::uint64_t)))
         return std::nullopt;
     const auto readU64 = [&] {
-        std::uint64_t value;
+        std::uint64_t value = 0;
         std::memcpy(&value, data + off, sizeof(value));
         off += sizeof(value);
         return value;
@@ -212,11 +214,11 @@ readBinary(std::istream &is)
     if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
         return std::nullopt;
 
-    std::uint32_t version;
+    std::uint32_t version = 0;
     if (!readScalar(is, version) || version != kTltrFormatVersion)
         return std::nullopt;
 
-    std::uint32_t name_length;
+    std::uint32_t name_length = 0;
     if (!readScalar(is, name_length) || name_length > (1u << 20))
         return std::nullopt;
     std::string name(name_length, '\0');
@@ -231,7 +233,7 @@ readBinary(std::istream &is)
         !readScalar(is, mix.controlFlow) || !readScalar(is, mix.other))
         return std::nullopt;
 
-    std::uint64_t count;
+    std::uint64_t count = 0;
     if (!readScalar(is, count))
         return std::nullopt;
     trace.reserve(count);

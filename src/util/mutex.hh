@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Annotated mutex / scoped-lock / condition-variable wrappers.
+ *
+ * This is the project's only sanctioned spelling of a lock: a raw
+ * std::mutex carries no thread-safety attributes, so clang's
+ * -Wthread-safety analysis cannot connect it to the fields it guards.
+ * util::Mutex is a zero-overhead std::mutex wrapper that does carry
+ * them, util::MutexLock is the lock_guard-shaped scoped capability,
+ * and util::ConditionVariable pairs a std::condition_variable with a
+ * util::Mutex.
+ *
+ * Waiting convention: ConditionVariable::wait() takes the Mutex and
+ * is annotated TLAT_REQUIRES(it), so call sites spell the predicate
+ * as an explicit loop in the waiting function's own body —
+ *
+ *     MutexLock lock(mutex_);
+ *     while (!condition_on_guarded_state())
+ *         cv_.wait(mutex_);
+ *
+ * — which keeps every read of guarded state inside a scope the
+ * analysis can see (a wait-with-predicate lambda would be analyzed as
+ * an unannotated function and rejected).
+ *
+ * tools/tlat_lint.py (lock-discipline) confines raw std::mutex /
+ * std::lock_guard / std::condition_variable / std::atomic spellings
+ * to this file plus an explicit sanctioned list.
+ */
+
+#ifndef TLAT_UTIL_MUTEX_HH
+#define TLAT_UTIL_MUTEX_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#include "thread_annotations.hh"
+
+namespace tlat::util
+{
+
+/** Annotated exclusive lock; the only mutex type allowed in src/. */
+class TLAT_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() TLAT_ACQUIRE() { mutex_.lock(); }
+    void unlock() TLAT_RELEASE() { mutex_.unlock(); }
+
+  private:
+    friend class ConditionVariable;
+
+    std::mutex mutex_;
+};
+
+/** RAII scoped lock over util::Mutex (lock_guard shape). */
+class TLAT_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) TLAT_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() TLAT_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable bound to util::Mutex. wait() releases the mutex
+ * while blocked and re-acquires it before returning, exactly like
+ * std::condition_variable::wait — the TLAT_REQUIRES annotation states
+ * the caller-visible contract (held on entry, held on return).
+ */
+class ConditionVariable
+{
+  public:
+    ConditionVariable() = default;
+    ConditionVariable(const ConditionVariable &) = delete;
+    ConditionVariable &operator=(const ConditionVariable &) = delete;
+
+    /**
+     * Blocks until notified (spurious wakeups possible — callers loop
+     * on their predicate). @p mutex must be the lock guarding the
+     * predicate's state and must be held.
+     */
+    void
+    wait(Mutex &mutex) TLAT_REQUIRES(mutex)
+    {
+        std::unique_lock<std::mutex> native(mutex.mutex_,
+                                            std::adopt_lock);
+        cv_.wait(native);
+        // The unique_lock re-acquired the mutex; hand ownership back
+        // to the caller's scoped capability instead of unlocking.
+        native.release();
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace tlat::util
+
+#endif // TLAT_UTIL_MUTEX_HH

@@ -1,8 +1,8 @@
 #include "simd.hh"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
+
+#include "env.hh"
 
 namespace tlat::util::simd
 {
@@ -11,19 +11,18 @@ namespace
 {
 
 // -1 = no override active; otherwise the Level value pinned by the
-// innermost live ScopedLevelOverride.
+// innermost live ScopedLevelOverride. A raw std::atomic is sanctioned
+// here (tools/tlat_lint.py lock-discipline list): the latch is a
+// single word with no invariant spanning other state, so a mutex
+// would only add a capability the analysis has nothing to tie it to.
 std::atomic<int> g_forced_level{-1};
 
 bool
 simdDisabledByEnv()
 {
-    const char *value = std::getenv("TLAT_DISABLE_SIMD");
-    if (value == nullptr || *value == '\0')
-        return false;
     // "0" and "OFF" read naturally as "do not disable"; anything
     // else (ON, 1, yes, ...) disables.
-    return std::strcmp(value, "0") != 0 &&
-           std::strcmp(value, "OFF") != 0;
+    return envFlag("TLAT_DISABLE_SIMD");
 }
 
 Level

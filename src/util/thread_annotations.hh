@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis attribute macros.
+ *
+ * The determinism contract (bit-identical sweeps at any --jobs count,
+ * byte-identical checkpoints at any chunk size) is carried by real
+ * concurrency: the worker pool, the decode-ahead streamer, the lazily
+ * built predecode lanes. ThreadSanitizer can only witness the races a
+ * test happens to schedule; these annotations let clang *prove* lock
+ * discipline at compile time instead (-Wthread-safety, enabled as an
+ * error by the clang-thread-safety CMake preset and its CI job).
+ *
+ * Usage conventions (enforced by tools/tlat_lint.py lock-discipline):
+ *  - every lock in src/ is a util::Mutex (mutex.hh), never a raw
+ *    std::mutex — the wrapper carries the CAPABILITY attribute the
+ *    analysis needs;
+ *  - every field written by more than one thread is declared with
+ *    TLAT_GUARDED_BY(its_mutex_);
+ *  - every helper that assumes a lock is already held is declared
+ *    with TLAT_REQUIRES(its_mutex_) instead of re-locking.
+ *
+ * Off clang every macro expands to nothing, so gcc builds (including
+ * all sanitizer presets) are byte-for-byte unaffected.
+ */
+
+#ifndef TLAT_UTIL_THREAD_ANNOTATIONS_HH
+#define TLAT_UTIL_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define TLAT_THREAD_ATTR(x) __attribute__((x))
+#else
+#define TLAT_THREAD_ATTR(x) // no-op off clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define TLAT_CAPABILITY(x) TLAT_THREAD_ATTR(capability(x))
+
+/** Marks an RAII type that acquires in ctor / releases in dtor. */
+#define TLAT_SCOPED_CAPABILITY TLAT_THREAD_ATTR(scoped_lockable)
+
+/** Field access requires holding the named mutex. */
+#define TLAT_GUARDED_BY(x) TLAT_THREAD_ATTR(guarded_by(x))
+
+/** Pointee access requires holding the named mutex. */
+#define TLAT_PT_GUARDED_BY(x) TLAT_THREAD_ATTR(pt_guarded_by(x))
+
+/** Function may only be called with the named mutexes held. */
+#define TLAT_REQUIRES(...) \
+    TLAT_THREAD_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function acquires the named mutexes and does not release them. */
+#define TLAT_ACQUIRE(...) \
+    TLAT_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function releases the named mutexes. */
+#define TLAT_RELEASE(...) \
+    TLAT_THREAD_ATTR(release_capability(__VA_ARGS__))
+
+/** Function may only be called with the named mutexes NOT held. */
+#define TLAT_EXCLUDES(...) TLAT_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Return value is a reference to a mutex-guarded object. */
+#define TLAT_RETURN_CAPABILITY(x) TLAT_THREAD_ATTR(lock_returned(x))
+
+/**
+ * Escape hatch for functions the analysis cannot follow. The
+ * clang-thread-safety acceptance bar is zero uses in src/; the macro
+ * exists so a future exceptional case is greppable, not invisible.
+ */
+#define TLAT_NO_THREAD_SAFETY_ANALYSIS \
+    TLAT_THREAD_ATTR(no_thread_safety_analysis)
+
+#endif // TLAT_UTIL_THREAD_ANNOTATIONS_HH

@@ -25,10 +25,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         stopping_ = true;
     }
-    work_ready_.notify_all();
+    work_ready_.notifyAll();
     for (std::thread &worker : workers_)
         worker.join();
 }
@@ -39,10 +39,10 @@ ThreadPool::submit(std::function<void()> task)
     std::packaged_task<void()> packaged(std::move(task));
     std::future<void> future = packaged.get_future();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         queue_.push_back(std::move(packaged));
     }
-    work_ready_.notify_one();
+    work_ready_.notifyOne();
     return future;
 }
 
@@ -52,10 +52,12 @@ ThreadPool::workerLoop()
     for (;;) {
         std::packaged_task<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_ready_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
-            });
+            const MutexLock lock(mutex_);
+            // Explicit predicate loop: every read of the guarded
+            // queue_/stopping_ state stays inside this annotated
+            // scope (see util/mutex.hh on why not a wait-lambda).
+            while (!stopping_ && queue_.empty())
+                work_ready_.wait(mutex_);
             // Drain before honouring shutdown so every submitted
             // task's future becomes ready.
             if (queue_.empty())

@@ -23,14 +23,15 @@
 #ifndef TLAT_UTIL_THREAD_POOL_HH
 #define TLAT_UTIL_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "mutex.hh"
+#include "thread_annotations.hh"
 
 namespace tlat::util
 {
@@ -66,10 +67,11 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::packaged_task<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable work_ready_;
-    bool stopping_ = false;
+    Mutex mutex_;
+    ConditionVariable work_ready_;
+    std::deque<std::packaged_task<void()>> queue_
+        TLAT_GUARDED_BY(mutex_);
+    bool stopping_ TLAT_GUARDED_BY(mutex_) = false;
 };
 
 /**

@@ -61,7 +61,7 @@ class Spice2g6 : public WorkloadBase
         std::vector<std::uint64_t> devices(num_devices);
         for (auto &device : devices) {
             const std::uint64_t draw = data_rng.nextBelow(100);
-            std::uint64_t type;
+            std::uint64_t type = 0;
             if (shortInput)
                 type = draw < 70 ? 0 : (draw < 85 ? 1 : (draw < 95 ? 2 : 3));
             else

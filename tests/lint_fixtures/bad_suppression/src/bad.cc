@@ -1,0 +1,26 @@
+// Fixture: must FIRE bad-suppression twice — an allow() naming a
+// rule that does not exist (a typo here would otherwise suppress
+// nothing, silently), and an allow() with no justification (an
+// unjustified suppression is an unreviewable one). The underlying
+// raw-rand findings must ALSO fire: a malformed allow suppresses
+// nothing.
+#include <cstdlib>
+
+namespace fixture
+{
+
+int
+noiseA()
+{
+    // tlat-lint: allow(raw-rnd): rule name is a typo
+    return std::rand();
+}
+
+int
+noiseB()
+{
+    // tlat-lint: allow(raw-rand)
+    return std::rand();
+}
+
+} // namespace fixture

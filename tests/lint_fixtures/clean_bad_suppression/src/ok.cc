@@ -1,0 +1,16 @@
+// Fixture: must lint CLEAN — a well-formed suppression: the rule
+// name exists and the justification after the colon is non-empty, so
+// the allow() is honored and bad-suppression stays silent.
+#include <cstdlib>
+
+namespace fixture
+{
+
+int
+sanctionedNoise()
+{
+    // tlat-lint: allow(raw-rand): fixture proves a justified allow suppresses
+    return std::rand();
+}
+
+} // namespace fixture

@@ -1,0 +1,51 @@
+// Fixture: must lint CLEAN — a simulateBatch override that keeps the
+// contract: the class is in the pairing manifest
+// (tools/tlat_lint.py BATCH_TWIN_MANIFEST) and the reference-loop
+// twin stays reachable through the BranchPredictor::simulateBatch
+// fallback.
+#include <cstdint>
+#include <span>
+
+namespace fixture
+{
+
+struct Record
+{
+    std::uint64_t pc;
+    bool taken;
+};
+
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+    virtual std::uint64_t simulateBatch(std::span<const Record> records);
+};
+
+class TwoLevelPredictor : public BranchPredictor
+{
+  public:
+    std::uint64_t simulateBatch(std::span<const Record> records) override;
+};
+
+std::uint64_t
+BranchPredictor::simulateBatch(std::span<const Record> records)
+{
+    std::uint64_t hits = 0;
+    for (const Record &record : records)
+        hits += record.taken ? 1 : 0;
+    return hits;
+}
+
+std::uint64_t
+TwoLevelPredictor::simulateBatch(std::span<const Record> records)
+{
+    if (records.size() < 4)
+        return BranchPredictor::simulateBatch(records);
+    std::uint64_t hits = 0;
+    for (const Record &record : records)
+        hits += record.taken ? 1 : 0;
+    return hits;
+}
+
+} // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: must lint CLEAN — src/util/env.cc is the sanctioned front
+// door: the one translation unit allowed to call getenv() raw,
+// because it is the place every configuration knob is enumerated.
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace fixture
+{
+
+std::optional<std::string>
+envString(const char *name)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return std::nullopt;
+    return std::string(value);
+}
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: must lint CLEAN — a merge path that combines integer
+// counters only; the derived ratio is computed once at the end from
+// the merged integers, never accumulated, so merge order cannot
+// perturb low bits.
+#include <cstdint>
+
+namespace fixture
+{
+
+struct Counters
+{
+    std::uint64_t predicted = 0;
+    std::uint64_t total = 0;
+};
+
+void
+mergeCounters(Counters &into, const Counters &from)
+{
+    into.predicted += from.predicted;
+    into.total += from.total;
+}
+
+double
+accuracyPercent(const Counters &counters)
+{
+    if (counters.total == 0)
+        return 0.0;
+    const double ratio =
+        static_cast<double>(counters.predicted) /
+        static_cast<double>(counters.total);
+    return 100.0 * ratio;
+}
+
+} // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: must lint CLEAN — thread-pool lambdas done right: every
+// capture named (no [&]/[=]), and the `this` capture lives in a file
+// whose class carries thread-safety annotations, so the analysis can
+// tie the worker's writes to the lock that guards them.
+#include <cstddef>
+
+#define TLAT_GUARDED_BY(x)
+#define TLAT_REQUIRES(x)
+
+namespace fixture
+{
+
+struct Pool
+{
+    template <typename F> void submit(F &&fn);
+};
+
+class Mutex
+{
+};
+
+class Sweep
+{
+  public:
+    void
+    runAll(Pool &pool, std::size_t cells)
+    {
+        pool.submit([this, cells] { record(cells); });
+        std::size_t local = 0;
+        pool.submit([&local, cells] { local = cells; });
+    }
+
+  private:
+    void record(std::size_t cells) TLAT_REQUIRES(mutex_);
+
+    Mutex mutex_;
+    std::size_t total_ TLAT_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace fixture

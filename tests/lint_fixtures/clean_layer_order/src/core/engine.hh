@@ -1,0 +1,19 @@
+// Fixture: must lint CLEAN — includes that point strictly downward
+// in the layer DAG: core (rank 2) may use trace (rank 1) and util
+// (rank 0).
+#ifndef FIXTURE_CORE_ENGINE_HH
+#define FIXTURE_CORE_ENGINE_HH
+
+#include "trace/record.hh"
+#include "util/bits.hh"
+
+namespace fixture
+{
+inline int
+engineFootprint()
+{
+    return kRecordBytes + kWordBits;
+}
+} // namespace fixture
+
+#endif

@@ -1,0 +1,10 @@
+// Fixture support header: a rank-1 (trace) include target. May use
+// util (rank 0) below it.
+#ifndef FIXTURE_TRACE_RECORD_HH
+#define FIXTURE_TRACE_RECORD_HH
+
+#include "util/bits.hh"
+
+inline constexpr int kRecordBytes = 24;
+
+#endif

@@ -1,0 +1,8 @@
+// Fixture support header: the rank-0 (util) leaf of the downward
+// include chain.
+#ifndef FIXTURE_UTIL_BITS_HH
+#define FIXTURE_UTIL_BITS_HH
+
+inline constexpr int kWordBits = 64;
+
+#endif

@@ -1,0 +1,25 @@
+// Fixture: must lint CLEAN — synchronization through the annotated
+// wrapper types only; no raw std:: primitive spelled outside the
+// sanctioned wrapper header next door.
+#include "util/mutex.hh"
+
+namespace fixture
+{
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        mutex_.lock();
+        ++value_;
+        mutex_.unlock();
+    }
+
+  private:
+    Mutex mutex_;
+    int value_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: must lint CLEAN — seeded, owned randomness in the house
+// style: a SplitMix-shaped generator advanced from an explicit seed,
+// no rand()/srand()/time()/random_device anywhere. Mentions of the
+// banned names live only in this comment, which the scanner strips.
+#include <cstdint>
+
+namespace fixture
+{
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: must lint CLEAN — the schema version string is defined in
+// exactly one place and referenced through the named constant.
+#include <ostream>
+
+namespace fixture
+{
+
+constexpr const char *kMetricsSchema = "tlat-run-metrics-v3";
+
+void
+writeHeader(std::ostream &os)
+{
+    os << "{\"schema\": \"" << kMetricsSchema << "\"}";
+}
+
+} // namespace fixture

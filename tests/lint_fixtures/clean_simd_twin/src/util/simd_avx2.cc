@@ -1,0 +1,21 @@
+// Fixture: must lint CLEAN — raw intrinsics inside the sanctioned
+// util/simd kernel family, with the scalar twin named so any reader
+// of the vector block can find the program it is bit-identical to.
+// Scalar twin: fusedPassScalar.
+#include <immintrin.h>
+
+namespace fixture
+{
+
+int
+horizontalAdd(const int *values)
+{
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(values));
+    alignas(32) int lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes),
+                       _mm256_add_epi32(v, v));
+    return lanes[0];
+}
+
+} // namespace fixture

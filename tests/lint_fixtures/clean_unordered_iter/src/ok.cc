@@ -1,0 +1,27 @@
+// Fixture: must lint CLEAN — the sanctioned unordered-iter escape:
+// collect the unordered container into a vector, sort on a stable
+// key, then emit. Hash order never reaches the output.
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture
+{
+
+void
+emitSorted(std::ostream &os,
+           const std::unordered_map<std::uint64_t, std::uint64_t>
+               &histogram)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ordered;
+    ordered.reserve(histogram.size());
+    for (const auto &entry : histogram)
+        ordered.push_back(entry);
+    std::sort(ordered.begin(), ordered.end());
+    for (const auto &[key, count] : ordered)
+        os << key << ' ' << count << '\n';
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: must FIRE env-read — a raw getenv() outside the
+// util::env front door (src/util/env.cc). Scattered environment
+// reads make the configuration surface impossible to enumerate.
+#include <cstdlib>
+#include <string>
+
+namespace fixture
+{
+
+std::string
+traceDir()
+{
+    const char *dir = std::getenv("FIXTURE_TRACE_DIR");
+    return dir ? dir : ".";
+}
+
+} // namespace fixture

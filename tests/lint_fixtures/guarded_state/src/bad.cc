@@ -1,0 +1,31 @@
+// Fixture: must FIRE guarded-state twice — a default capture in a
+// lambda handed to the thread pool (the entire enclosing scope
+// silently becomes cross-thread state), and a `this` capture in a
+// file that carries no thread-safety annotations (nothing tells the
+// analysis which members the worker may touch).
+#include <cstddef>
+
+namespace fixture
+{
+
+struct Pool
+{
+    template <typename F> void submit(F &&fn);
+};
+
+class Sweep
+{
+  public:
+    void
+    runAll(Pool &pool, std::size_t cells)
+    {
+        std::size_t done = 0;
+        pool.submit([&] { done = cells; });
+        pool.submit([this] { total_ += 1; });
+    }
+
+  private:
+    std::size_t total_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: must FIRE layer-order — cycle_a.hh and cycle_b.hh include
+// each other. Same layer, so no back-edge fires, but the include
+// graph stops being a DAG, which the cycle check reports outright.
+#ifndef FIXTURE_CORE_CYCLE_A_HH
+#define FIXTURE_CORE_CYCLE_A_HH
+
+#include "core/cycle_b.hh"
+
+#endif

@@ -1,0 +1,8 @@
+// Fixture support header: the second half of the include cycle with
+// cycle_a.hh.
+#ifndef FIXTURE_CORE_CYCLE_B_HH
+#define FIXTURE_CORE_CYCLE_B_HH
+
+#include "core/cycle_a.hh"
+
+#endif

@@ -1,0 +1,8 @@
+// Fixture support header: the upward-include target for the
+// layer-order back-edge in util/bad_dep.hh.
+#ifndef FIXTURE_CORE_REGISTRY_HH
+#define FIXTURE_CORE_REGISTRY_HH
+
+inline constexpr int kRegistrySize = 16;
+
+#endif

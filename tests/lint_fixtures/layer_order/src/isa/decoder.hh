@@ -1,0 +1,18 @@
+// Fixture: must FIRE layer-order — isa and trace share rank 1;
+// a sideways include between same-rank layers couples siblings the
+// DAG keeps independent.
+#ifndef FIXTURE_ISA_DECODER_HH
+#define FIXTURE_ISA_DECODER_HH
+
+#include "trace/record.hh"
+
+namespace fixture
+{
+inline int
+decode()
+{
+    return kRecordBytes;
+}
+} // namespace fixture
+
+#endif

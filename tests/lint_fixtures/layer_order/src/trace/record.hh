@@ -1,0 +1,8 @@
+// Fixture support header: the sideways-include target for
+// isa/decoder.hh.
+#ifndef FIXTURE_TRACE_RECORD_HH
+#define FIXTURE_TRACE_RECORD_HH
+
+inline constexpr int kRecordBytes = 24;
+
+#endif

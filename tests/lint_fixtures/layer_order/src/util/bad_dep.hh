@@ -1,0 +1,18 @@
+// Fixture: must FIRE layer-order — util (rank 0) reaching UP into
+// core (rank 2). The layer DAG only permits includes that point
+// strictly downward.
+#ifndef FIXTURE_UTIL_BAD_DEP_HH
+#define FIXTURE_UTIL_BAD_DEP_HH
+
+#include "core/registry.hh"
+
+namespace fixture
+{
+inline int
+utilUsesCore()
+{
+    return kRegistrySize;
+}
+} // namespace fixture
+
+#endif

@@ -1,0 +1,22 @@
+// Fixture: must lint CLEAN — backslash line-continuation regression.
+// A // comment whose physical line ends in a backslash splices the
+// next line into the comment, so the srand() text below is comment,
+// not code. A scanner that resets comment state at every newline
+// would misreport it.
+#include <cstdint>
+
+namespace fixture
+{
+
+// The next physical line is still this comment because of the \
+srand(42); std::rand(); time(NULL); all of this is commentary
+
+std::uint64_t
+live()
+{
+    // A continuation at the end of the last comment line must not \
+       swallow the code that follows the comment block.
+    return 7;
+}
+
+} // namespace fixture

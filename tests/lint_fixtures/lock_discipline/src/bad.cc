@@ -1,0 +1,30 @@
+// Fixture: must FIRE lock-discipline — raw std::mutex/lock_guard/
+// condition_variable/atomic spellings outside the annotated
+// util::Mutex wrapper and the sanctioned list. A raw lock carries no
+// thread-safety attributes, so -Wthread-safety cannot connect it to
+// the fields it guards.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture
+{
+
+class Queue
+{
+  public:
+    void
+    push(int value)
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        value_ = value;
+        ready_.notify_one();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::atomic<int> value_{0};
+};
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: raw-string regression. The scanner must treat the entire
+// R"tl(...)tl" literal as one string — including the embedded
+// quotes, the `)"` that would terminate a naively-delimited scan,
+// the // that is not a comment, and the std::rand() text that is not
+// a call — and still catch the ONE real std::rand() after it. The
+// self-test pins exactly one raw-rand finding for this tree.
+#include <cstdlib>
+#include <string>
+
+namespace fixture
+{
+
+const std::string kUsage = R"tl(usage: fixture [--seed N]
+  seeds std::rand() deterministically — honest! )" no, still going
+  // this is string content, not a comment
+  "nested quotes are content too"
+)tl";
+
+int
+realFinding()
+{
+    return std::rand();
+}
+
+} // namespace fixture

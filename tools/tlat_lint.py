@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""tlat-lint: project-owned determinism-contract static analysis.
+"""tlat-lint: project-owned determinism/concurrency-contract analysis.
 
 The reproduction's guarantees -- bit-identical sweeps at any --jobs
-count, byte-identical metrics JSON, fused simulateBatch == reference
-loop -- depend on source-level invariants the type system cannot see.
-This linter walks src/, bench/ and tools/ (tests/ are exempt) and
-enforces them as named, individually suppressible rules:
+count, byte-identical metrics JSON and checkpoints at any chunk size,
+fused simulateBatch == reference loop -- depend on source-level
+invariants the type system cannot see. This linter runs in two
+phases: phase 1 builds a whole-tree index (every C++ file under src/,
+bench/ and tools/, comment-stripped, plus the resolved project
+include graph), phase 2 enforces named, individually suppressible
+rules over it. tests/ is exempt: tests may use hostile randomness,
+raw threads and unordered iteration to prove the production code
+tolerates neither.
+
+Per-file rules:
 
   unordered-iter  iterating a std::unordered_map/unordered_set feeds
                   hash order into whatever consumes the loop. Emission
@@ -26,6 +33,30 @@ enforces them as named, individually suppressible rules:
                   counters; derived ratios are computed once at the
                   end, never accumulated, so cell merge order can
                   never perturb low bits.
+
+  env-read        getenv() is process-global configuration no audit
+                  can enumerate when it is scattered. Every
+                  environment read goes through the util::env front
+                  door (src/util/env.cc is the only sanctioned raw
+                  getenv site), so the complete knob surface is one
+                  grep away.
+
+  lock-discipline raw std::mutex/std::lock_guard/std::unique_lock/
+                  std::condition_variable/std::atomic spellings are
+                  confined to the annotated wrapper (src/util/
+                  mutex.hh) and an explicit sanctioned list. A raw
+                  lock carries no thread-safety attributes, so clang's
+                  -Wthread-safety analysis (the clang-thread-safety
+                  preset) cannot connect it to the fields it guards;
+                  util::Mutex/MutexLock/ConditionVariable can.
+
+  bad-suppression a suppression comment that names an unknown rule or
+                  omits its justification is itself an error: a typo'd
+                  allow() must never silently suppress nothing (or
+                  everything), and an unjustified allow() is an
+                  unreviewable one.
+
+Cross-TU rules (phase 2 proper -- these need the whole-tree index):
 
   batch-twin      every simulateBatch override must keep its
                   reference-loop twin reachable (the
@@ -50,29 +81,54 @@ enforces them as named, individually suppressible rules:
                   every kernel is written against a named scalar twin
                   and fuzzed for bit-identity; any other file must
                   route vector work through util::simd::fusedPass.
-                  Each sanctioned kernel file must in turn reference
-                  its scalar twin (fusedPassScalar) so the semantic
-                  reference is always one search away.
 
-Suppression syntax (same line or the line directly above the finding):
+  guarded-state   a lambda handed to ThreadPool::submit or
+                  parallelFor runs on another thread: its captures
+                  are the entire cross-thread state surface. Default
+                  captures ([&]/[=]) are banned -- every capture must
+                  be named so review sees exactly what crosses the
+                  boundary -- and capturing `this` requires the
+                  submitting class to carry thread-safety annotations
+                  (TLAT_GUARDED_BY/TLAT_REQUIRES in the file or a
+                  direct include), or an explicit suppression.
+
+  layer-order     the project include graph must stay a DAG matching
+                  the documented layer order (util -> {isa, trace} ->
+                  {core, sim} -> {predictors, workloads, pipeline} ->
+                  harness -> {bench, tools}). An include from a layer
+                  into a higher or sibling layer is a back-edge; any
+                  file-level include cycle is reported outright. This
+                  is the refactor guard `tlat serve` needs before it
+                  multiplies the shared state above harness.
+
+Suppression syntax (same line or the line directly above the finding;
+the justification after the second colon is mandatory and the rule
+name must exist):
 
     // tlat-lint: allow(<rule-name>): <why this is safe>
 
 Dependency-free by design: regex plus a lightweight C++ scanner that
-strips comments and tracks string literals -- no libclang, no pip.
-Exit codes: 0 clean, 1 findings, 2 usage error.
+strips comments (including backslash-continued // comments) and
+tracks string literals, raw strings included -- no libclang, no pip.
+Exit codes: 0 clean, 1 findings, 2 usage error. --json emits a
+machine-readable report (schema tlat-lint-report-v1) for CI
+artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
 
+# The one place the report schema version is spelled (the linter
+# obeys its own schema-once rule).
+LINT_REPORT_SCHEMA = "tlat-lint-report-v1"
+
 # Directories scanned relative to --root. tests/ is deliberately
-# exempt: tests may use hostile randomness and unordered iteration to
-# prove the production code tolerates neither.
+# exempt (see module docstring).
 SCAN_DIRS = ("src", "bench", "tools")
 CXX_SUFFIXES = (".hh", ".h", ".cc", ".cpp")
 
@@ -98,6 +154,71 @@ SCHEMA_LITERAL_PATTERN = re.compile(r"tlat-[\w.-]*-v\d+$")
 # assignment/definition sites.
 SCHEMA_CONSTANT_DEFS = ("kTltrFormatVersion",)
 
+# The documented layer order, low to high. An include may only point
+# from a higher rank to a strictly lower rank (same directory is
+# always fine). Keep in sync with DESIGN.md section 14.
+LAYER_RANKS = {
+    "src/util": 0,
+    "src/isa": 1,
+    "src/trace": 1,
+    "src/core": 2,
+    "src/sim": 2,
+    "src/predictors": 3,
+    "src/workloads": 3,
+    "src/pipeline": 3,
+    "src/harness": 4,
+    "bench": 5,
+    "tools": 5,
+}
+
+LAYER_ORDER_DOC = (
+    "util -> {isa, trace} -> {core, sim} -> "
+    "{predictors, workloads, pipeline} -> harness -> {bench, tools}"
+)
+
+# Files allowed to spell raw synchronization primitives, relative to
+# root: the annotated wrapper itself, and the SIMD dispatch latch
+# (one relaxed std::atomic word with no multi-field invariant; a
+# mutex would add a capability with nothing to guard).
+LOCK_SANCTIONED_FILES = (
+    "src/util/mutex.hh",
+    "src/util/simd.cc",
+)
+
+# The only file allowed to call getenv(): the util::env front door.
+ENV_SANCTIONED_FILES = ("src/util/env.cc",)
+
+# Thread-safety annotation macros (src/util/thread_annotations.hh)
+# whose presence marks a class as carrying its concurrency contract.
+ANNOTATION_TOKENS = (
+    "TLAT_GUARDED_BY(",
+    "TLAT_REQUIRES(",
+    "TLAT_CAPABILITY(",
+    "TLAT_ACQUIRE(",
+)
+
+# The only files allowed to spell raw vector intrinsics, relative to
+# root: the dispatch header, the portable scalar twin, and the
+# per-ISA kernels. Everything else goes through util::simd::fusedPass
+# so the bit-identity contract (and its fuzz coverage) stays in one
+# place. Kernel files must mention the twin's name so a reader of any
+# vector block can find the scalar program it is defined against.
+SIMD_SANCTIONED_FILES = (
+    "src/util/simd.hh",
+    "src/util/simd.cc",
+    "src/util/simd_avx2.cc",
+    "src/util/simd_neon.cc",
+)
+SIMD_TWIN_TOKEN = "fusedPassScalar"
+
+# Intrinsic call shapes: x86 (_mm_/_mm256_/_mm512_) and NEON
+# (vld1q_u8(...), vaddv_u8(...), ... -- a v-prefixed call whose name
+# ends in an element-type suffix).
+SIMD_INTRINSIC_RES = (
+    re.compile(r"\b_mm\d*_\w+\s*\("),
+    re.compile(r"\bv[a-z][a-z0-9_]*_[usfp]\d+(?:x\d+)?\s*\("),
+)
+
 RULES = {
     "unordered-iter": "unordered-container iteration without an "
     "ordered projection (hash order leaks into output)",
@@ -112,9 +233,25 @@ RULES = {
     "simd-twin": "raw vector intrinsics outside the sanctioned "
     "util/simd kernel family, or a kernel file that never names its "
     "scalar twin",
+    "lock-discipline": "raw std::mutex/lock/condition_variable/"
+    "atomic outside the annotated util::Mutex wrapper and the "
+    "sanctioned list",
+    "guarded-state": "thread-pool lambda with a default capture, or "
+    "a `this` capture in a file with no thread-safety annotations",
+    "layer-order": "include edge against the layer DAG "
+    "(" + LAYER_ORDER_DOC + "), or an include cycle",
+    "env-read": "getenv() outside the util::env front door "
+    "(src/util/env.cc)",
+    "bad-suppression": "tlat-lint: allow(...) naming an unknown rule "
+    "or missing its justification",
 }
 
-ALLOW_RE = re.compile(r"tlat-lint:\s*allow\(([a-z0-9-]+)\)")
+# A suppression comment: rule name in parens, then a colon and a
+# non-empty justification. Parsed permissively here so malformed
+# variants can be *reported* rather than silently ignored.
+ALLOW_RE = re.compile(
+    r"tlat-lint:\s*allow\(([^()]*)\)\s*(?::\s*(.*\S)?)?"
+)
 
 
 class Finding:
@@ -131,20 +268,47 @@ class Finding:
 
 class SourceFile:
     """One scanned C++ file: raw lines, comment-stripped code lines
-    (string literal contents blanked), and the string literals per
-    line. Line numbers are 1-based throughout."""
+    (string literal contents blanked), the string literals per line,
+    and the validated suppression table. Line numbers are 1-based
+    throughout."""
 
     def __init__(self, path, text):
         self.path = path
         self.raw_lines = text.split("\n")
         self.code_lines, self.strings = _strip(text)
+        self.strings_by_line = {}
+        for line, literal in self.strings:
+            self.strings_by_line.setdefault(line, []).append(literal)
+        self.suppression_findings = []
         self.allows = self._collect_allows()
 
     def _collect_allows(self):
+        """Validates every suppression comment; well-formed ones are
+        registered, malformed ones become bad-suppression findings
+        (and suppress nothing)."""
         allows = {}
         for number, line in enumerate(self.raw_lines, start=1):
             for match in ALLOW_RE.finditer(line):
-                allows.setdefault(number, set()).add(match.group(1))
+                rule = match.group(1).strip()
+                justification = match.group(2)
+                if rule not in RULES:
+                    self.suppression_findings.append(Finding(
+                        self.path, number, "bad-suppression",
+                        f"allow() names unknown rule '{rule}'; "
+                        "run --list-rules for the catalog (a typo "
+                        "here would suppress nothing, silently)",
+                    ))
+                    continue
+                if justification is None or not justification.strip():
+                    self.suppression_findings.append(Finding(
+                        self.path, number, "bad-suppression",
+                        f"allow({rule}) has no justification; write "
+                        f"// tlat-lint: allow({rule}): <why this is "
+                        "safe> -- an unjustified suppression is an "
+                        "unreviewable one",
+                    ))
+                    continue
+                allows.setdefault(number, set()).add(rule)
         return allows
 
     def suppressed(self, line, rule):
@@ -154,24 +318,37 @@ class SourceFile:
         return False
 
 
+def _raw_string_prefix(current):
+    """True when the code scanned so far on this line ends in a raw
+    string-literal prefix (R, u8R, uR, UR, LR) that is not merely the
+    tail of a longer identifier."""
+    tail = "".join(current[-4:])
+    return re.search(r"(?:^|[^A-Za-z0-9_])(?:u8|[uUL])?R$",
+                     tail) is not None
+
+
 def _strip(text):
     """Returns (code_lines, strings): code with comments removed and
     string-literal contents blanked, plus [(line, literal)] for every
-    double-quoted string. Handles //, /* */, "..." with escapes,
-    '...' char literals. Raw strings are rare in this tree and
-    treated as plain strings (good enough for token scanning)."""
+    string literal. Handles //-comments (including backslash line
+    continuations, which splice the next physical line into the
+    comment), /* */ blocks, "..." with escapes, '...' char literals,
+    and raw strings R"delim( ... )delim" -- whose contents may span
+    lines and contain quotes and // without corrupting the scan."""
     code = []
     strings = []
-    state = "code"  # code | line_comment | block_comment | dq | sq
+    state = "code"  # code | line_comment | block_comment | dq | sq | raw
     current = []
     literal = []
+    literal_line = 0
+    raw_terminator = ""
     line_no = 1
     i = 0
     n = len(text)
     while i < n:
         ch = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "\n":
+        if ch == "\n" and state != "raw":
             code.append("".join(current))
             current = []
             if state == "line_comment":
@@ -189,8 +366,29 @@ def _strip(text):
                 i += 2
                 continue
             if ch == '"':
+                if _raw_string_prefix(current):
+                    # Raw string: R"delim( ... )delim". Scan the
+                    # delimiter up to the opening parenthesis.
+                    j = i + 1
+                    delim = []
+                    while j < n and text[j] != "(" and \
+                            text[j] not in ")\\ \n\t" and \
+                            len(delim) <= 16:
+                        delim.append(text[j])
+                        j += 1
+                    if j < n and text[j] == "(":
+                        state = "raw"
+                        raw_terminator = ")" + "".join(delim) + '"'
+                        literal = []
+                        literal_line = line_no
+                        current.append('"')
+                        i = j + 1
+                        continue
+                    # Malformed raw prefix: fall through and treat as
+                    # an ordinary string.
                 state = "dq"
                 literal = []
+                literal_line = line_no
                 current.append('"')
                 i += 1
                 continue
@@ -203,6 +401,15 @@ def _strip(text):
             i += 1
             continue
         if state == "line_comment":
+            if ch == "\\" and nxt == "\n":
+                # Backslash continuation: the next physical line is
+                # still this comment. Emit an empty code line so line
+                # numbering stays aligned.
+                code.append("".join(current))
+                current = []
+                line_no += 1
+                i += 2
+                continue
             i += 1
             continue
         if state == "block_comment":
@@ -212,6 +419,21 @@ def _strip(text):
                 continue
             i += 1
             continue
+        if state == "raw":
+            if text.startswith(raw_terminator, i):
+                state = "code"
+                strings.append((literal_line, "".join(literal)))
+                current.append('"')
+                i += len(raw_terminator)
+                continue
+            if ch == "\n":
+                code.append("".join(current))
+                current = []
+                line_no += 1
+            else:
+                literal.append(ch)
+            i += 1
+            continue
         if state == "dq":
             if ch == "\\" and nxt:
                 literal.append(ch + nxt)
@@ -219,7 +441,7 @@ def _strip(text):
                 continue
             if ch == '"':
                 state = "code"
-                strings.append((line_no, "".join(literal)))
+                strings.append((literal_line, "".join(literal)))
                 current.append('"')
                 i += 1
                 continue
@@ -255,6 +477,65 @@ def iter_source_files(root):
 def load(path):
     with open(path, encoding="utf-8", errors="replace") as handle:
         return SourceFile(path, handle.read())
+
+
+# ---------------------------------------------------------------- #
+# phase 1: whole-tree index
+# ---------------------------------------------------------------- #
+
+INCLUDE_LINE_RE = re.compile(r'^\s*#\s*include\s*""')
+
+
+class TreeIndex:
+    """Phase-1 product: every scanned SourceFile keyed by
+    root-relative path, plus the resolved project include graph
+    (quoted includes only; system headers are not project layers)."""
+
+    def __init__(self, root):
+        self.root = root
+        self.sources = [load(path) for path in iter_source_files(root)]
+        self.by_rel = {
+            self.rel(src.path): src for src in self.sources
+        }
+        # rel -> [(line, target_rel)]
+        self.includes = {
+            rel: self._resolve_includes(rel, src)
+            for rel, src in self.by_rel.items()
+        }
+
+    def rel(self, path):
+        return os.path.relpath(path, self.root).replace(os.sep, "/")
+
+    def _resolve_includes(self, rel, src):
+        """Project includes of one file, resolved against the
+        includer's directory, then src/, then the root -- only edges
+        landing on a scanned file are kept (system and generated
+        headers are outside the layer contract)."""
+        edges = []
+        directory = os.path.dirname(rel)
+        for number, line in enumerate(src.code_lines, start=1):
+            if not INCLUDE_LINE_RE.match(line):
+                continue
+            for target in src.strings_by_line.get(number, [])[:1]:
+                for base in (directory, "src", ""):
+                    candidate = os.path.normpath(
+                        os.path.join(base, target)
+                    ).replace(os.sep, "/")
+                    if candidate in self.by_rel:
+                        edges.append((number, candidate))
+                        break
+        return edges
+
+
+def layer_of(rel):
+    """The layer prefix of a root-relative path, or None when the
+    file is outside the ranked layers (partial fixture trees)."""
+    best = None
+    for prefix in LAYER_RANKS:
+        if rel == prefix or rel.startswith(prefix + "/"):
+            if best is None or len(prefix) > len(best):
+                best = prefix
+    return best
 
 
 # ---------------------------------------------------------------- #
@@ -443,6 +724,211 @@ def check_float_accum(src, findings):
 
 
 # ---------------------------------------------------------------- #
+# rule: env-read
+# ---------------------------------------------------------------- #
+
+GETENV_RE = re.compile(r"\b(?:std\s*::\s*)?(?:secure_)?getenv\s*\(")
+
+
+def check_env_read(index, findings):
+    sanctioned = set(ENV_SANCTIONED_FILES)
+    for rel, src in sorted(index.by_rel.items()):
+        if rel in sanctioned:
+            continue
+        for number, line in enumerate(src.code_lines, start=1):
+            if not GETENV_RE.search(line):
+                continue
+            if src.suppressed(number, "env-read"):
+                continue
+            findings.append(Finding(
+                src.path, number, "env-read",
+                "raw getenv() outside the util::env front door; use "
+                "util::envString/envUnsigned/envFlag (src/util/"
+                "env.hh) so the configuration surface stays "
+                "enumerable",
+            ))
+
+
+# ---------------------------------------------------------------- #
+# rule: lock-discipline
+# ---------------------------------------------------------------- #
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*("
+    r"mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|"
+    r"condition_variable|condition_variable_any|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"atomic|atomic_flag|atomic_ref|atomic_[a-z0-9_]+"
+    r")\b"
+)
+
+
+def check_lock_discipline(index, findings):
+    sanctioned = set(LOCK_SANCTIONED_FILES)
+    for rel, src in sorted(index.by_rel.items()):
+        if rel in sanctioned:
+            continue
+        for number, line in enumerate(src.code_lines, start=1):
+            match = RAW_SYNC_RE.search(line)
+            if not match:
+                continue
+            if src.suppressed(number, "lock-discipline"):
+                continue
+            findings.append(Finding(
+                src.path, number, "lock-discipline",
+                f"raw std::{match.group(1)} outside the annotated "
+                "wrapper; use util::Mutex/MutexLock/"
+                "ConditionVariable (src/util/mutex.hh) so "
+                "-Wthread-safety can tie the lock to the state it "
+                "guards (or add the file to LOCK_SANCTIONED_FILES "
+                "with a written rationale)",
+            ))
+
+
+# ---------------------------------------------------------------- #
+# rule: guarded-state
+# ---------------------------------------------------------------- #
+
+POOL_CALL_RE = re.compile(r"\b(?:submit|parallelFor)\s*\(")
+
+
+def _capture_list_after(text, start):
+    """The contents of the first lambda capture list appearing within
+    the argument window after a pool-call site, or None. The window
+    ends at the first '{' (lambda body reached) or ';'."""
+    i = start
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "[":
+            j = text.find("]", i + 1)
+            if j < 0:
+                return None
+            return text[i + 1:j]
+        if ch in "{;":
+            return None
+        i += 1
+    return None
+
+
+def _file_has_annotations(index, rel):
+    """True when the file, or any project header it directly
+    includes, contains thread-safety annotation macros."""
+    candidates = [rel] + [t for _, t in index.includes.get(rel, [])]
+    for candidate in candidates:
+        src = index.by_rel.get(candidate)
+        if src is None:
+            continue
+        text = "\n".join(src.code_lines)
+        if any(token in text for token in ANNOTATION_TOKENS):
+            return True
+    return False
+
+
+def check_guarded_state(index, findings):
+    for rel, src in sorted(index.by_rel.items()):
+        text = "\n".join(src.code_lines)
+        for match in POOL_CALL_RE.finditer(text):
+            # Skip declarations/definitions of submit/parallelFor
+            # themselves: a capture list can only appear in an
+            # argument position, which _capture_list_after finds.
+            captures = _capture_list_after(text, match.end())
+            if captures is None:
+                continue
+            line = text.count("\n", 0, match.start()) + 1
+            if src.suppressed(line, "guarded-state"):
+                continue
+            names = [c.strip() for c in captures.split(",")
+                     if c.strip()]
+            for name in names:
+                if name in ("&", "="):
+                    findings.append(Finding(
+                        src.path, line, "guarded-state",
+                        f"default capture [{name}] in a lambda "
+                        "handed to the thread pool; name every "
+                        "capture so review sees the exact "
+                        "cross-thread state surface",
+                    ))
+                elif name in ("this", "*this") and \
+                        not _file_has_annotations(index, rel):
+                    findings.append(Finding(
+                        src.path, line, "guarded-state",
+                        "lambda captures `this` but neither this "
+                        "file nor its direct includes carry "
+                        "thread-safety annotations "
+                        "(TLAT_GUARDED_BY/TLAT_REQUIRES); annotate "
+                        "the shared state or justify with "
+                        "// tlat-lint: allow(guarded-state): <why>",
+                    ))
+
+
+# ---------------------------------------------------------------- #
+# rule: layer-order
+# ---------------------------------------------------------------- #
+
+def check_layer_order(index, findings):
+    # Back-edge check: an include may only point strictly downward in
+    # the layer ranking (same directory prefix is always fine).
+    for rel in sorted(index.includes):
+        src = index.by_rel[rel]
+        source_layer = layer_of(rel)
+        if source_layer is None:
+            continue
+        for line, target in index.includes[rel]:
+            target_layer = layer_of(target)
+            if target_layer is None or target_layer == source_layer:
+                continue
+            source_rank = LAYER_RANKS[source_layer]
+            target_rank = LAYER_RANKS[target_layer]
+            if target_rank < source_rank:
+                continue
+            if src.suppressed(line, "layer-order"):
+                continue
+            kind = ("back-edge (upward include)"
+                    if target_rank > source_rank
+                    else "sideways include between same-rank layers")
+            findings.append(Finding(
+                src.path, line, "layer-order",
+                f"{source_layer} must not include {target} -- "
+                f"{kind}; the layer DAG is {LAYER_ORDER_DOC}",
+            ))
+
+    # Cycle check: the resolved include graph must be a DAG at file
+    # granularity (a cycle inside one layer is just as much of a
+    # refactor trap as one across layers).
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rel: WHITE for rel in index.by_rel}
+    stack = []
+
+    def visit(rel):
+        color[rel] = GRAY
+        stack.append(rel)
+        for _, target in index.includes.get(rel, []):
+            if color[target] == GRAY:
+                cycle = stack[stack.index(target):] + [target]
+                findings.append(Finding(
+                    index.by_rel[rel].path, 1, "layer-order",
+                    "include cycle: " + " -> ".join(cycle),
+                ))
+            elif color[target] == WHITE:
+                visit(target)
+        stack.pop()
+        color[rel] = BLACK
+
+    # Deterministic traversal order so cycle reports are stable.
+    previous_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(previous_limit,
+                              4 * len(color) + 100))
+    try:
+        for rel in sorted(color):
+            if color[rel] == WHITE:
+                visit(rel)
+    finally:
+        sys.setrecursionlimit(previous_limit)
+
+
+# ---------------------------------------------------------------- #
 # rule: batch-twin
 # ---------------------------------------------------------------- #
 
@@ -514,29 +1000,6 @@ def check_batch_twin(root, sources, findings):
 # ---------------------------------------------------------------- #
 # rule: simd-twin
 # ---------------------------------------------------------------- #
-
-# The only files allowed to spell raw vector intrinsics, relative to
-# root: the dispatch header, the portable scalar twin, and the
-# per-ISA kernels. Everything else goes through util::simd::fusedPass
-# so the bit-identity contract (and its fuzz coverage) stays in one
-# place. Kernel files must mention the twin's name so a reader of any
-# vector block can find the scalar program it is defined against.
-SIMD_SANCTIONED_FILES = (
-    "src/util/simd.hh",
-    "src/util/simd.cc",
-    "src/util/simd_avx2.cc",
-    "src/util/simd_neon.cc",
-)
-SIMD_TWIN_TOKEN = "fusedPassScalar"
-
-# Intrinsic call shapes: x86 (_mm_/_mm256_/_mm512_) and NEON
-# (vld1q_u8(...), vaddv_u8(...), ... -- a v-prefixed call whose name
-# ends in an element-type suffix).
-SIMD_INTRINSIC_RES = (
-    re.compile(r"\b_mm\d*_\w+\s*\("),
-    re.compile(r"\bv[a-z][a-z0-9_]*_[usfp]\d+(?:x\d+)?\s*\("),
-)
-
 
 def check_simd_twin(root, sources, findings):
     sanctioned = {
@@ -628,14 +1091,21 @@ def check_schema_once(sources, findings):
 
 def run(root):
     findings = []
-    sources = [load(path) for path in iter_source_files(root)]
-    for src in sources:
+    index = TreeIndex(root)  # phase 1: whole-tree symbol/include index
+    # phase 2a: per-file rules
+    for src in index.sources:
         check_unordered_iter(src, findings)
         check_raw_rand(src, findings)
         check_float_accum(src, findings)
-    check_batch_twin(root, sources, findings)
-    check_schema_once(sources, findings)
-    check_simd_twin(root, sources, findings)
+        findings.extend(src.suppression_findings)
+    # phase 2b: cross-TU rules over the index
+    check_batch_twin(root, index.sources, findings)
+    check_schema_once(index.sources, findings)
+    check_simd_twin(root, index.sources, findings)
+    check_env_read(index, findings)
+    check_lock_discipline(index, findings)
+    check_guarded_state(index, findings)
+    check_layer_order(index, findings)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -643,7 +1113,7 @@ def run(root):
 def main(argv):
     parser = argparse.ArgumentParser(
         prog="tlat_lint.py",
-        description="tlat determinism-contract linter",
+        description="tlat determinism/concurrency-contract linter",
     )
     parser.add_argument(
         "--root",
@@ -655,6 +1125,12 @@ def main(argv):
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable report "
+        f"(schema {LINT_REPORT_SCHEMA}) on stdout; exit codes are "
+        "unchanged",
     )
     args = parser.parse_args(argv)
 
@@ -670,8 +1146,27 @@ def main(argv):
         return 2
 
     findings = run(root)
-    for finding in findings:
-        print(finding.render(root))
+    if args.json:
+        report = {
+            "schema": LINT_REPORT_SCHEMA,
+            "root": root,
+            "rules": sorted(RULES),
+            "count": len(findings),
+            "findings": [
+                {
+                    "file": os.path.relpath(f.path, root),
+                    "line": f.line,
+                    "rule": f.rule,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        for finding in findings:
+            print(finding.render(root))
     if findings:
         print(f"tlat-lint: {len(findings)} finding(s)",
               file=sys.stderr)

@@ -3,11 +3,14 @@
 # (tier1) with the repository root as $1.
 #
 # Each directory under tests/lint_fixtures/ is a miniature source
-# tree: the bad_* corpus must make the linter fail mentioning the
-# expected rule, and the suppressed tree (justified allow comment +
-# ordered-projection pattern) must lint clean. Together with the
+# tree. The meta-check at the bottom enforces the fixture contract
+# structurally: every rule the linter registers must have a firing
+# fixture (directory named after the rule, dashes as underscores)
+# that makes the linter fail mentioning that rule, and a clean
+# fixture (clean_<rule>) that lints with exit 0. Together with the
 # `tlat_lint` ctest entry (the real tree must be clean), this pins
-# both directions: the rules fire, and the tree obeys them.
+# both directions for every rule: the rule fires, and the tree obeys
+# it. A rule added without fixtures fails this script, not review.
 set -u
 
 ROOT=${1:?usage: tlat_lint_test.sh <repo-root>}
@@ -36,15 +39,26 @@ expect_rule() {
     fi
 }
 
-expect_rule unordered_iter unordered-iter
-expect_rule raw_rand raw-rand
-expect_rule float_accum float-accum
-expect_rule batch_twin batch-twin
+# expect_clean <fixture-dir>: lint must exit 0 with no findings.
+expect_clean() {
+    fixture=$1
+    out=$("$PYTHON" "$LINT" --root "$FIXTURES/$fixture" 2>&1)
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL: $fixture: expected clean exit 0, got $status:"
+        echo "$out"
+        failures=$((failures + 1))
+    else
+        echo "ok: $fixture lints clean"
+    fi
+}
+
+# Extra firing fixtures beyond the one-per-rule minimum: the
+# SoA/combining batch-twin variants, a second schema constant, and
+# the orphan kernel file that never names its twin.
 expect_rule batch_twin_soa batch-twin
 expect_rule batch_twin_combining batch-twin
-expect_rule schema_once schema-once
 expect_rule schema_once_v3 schema-once
-expect_rule simd_twin simd-twin
 expect_rule simd_twin_orphan simd-twin
 
 # The raw_rand fixture packs several sources; all four must be caught.
@@ -61,27 +75,78 @@ fi
 # Sanctioned escapes must not fire: justified suppression comment,
 # the collect-then-sort ordered projection, and intrinsics inside the
 # util/simd kernel family with the scalar twin named.
-out=$("$PYTHON" "$LINT" --root "$FIXTURES/suppressed" 2>&1)
+expect_clean suppressed
+
+# Raw-string regression: the hostile R"tl(...)tl" literal (embedded
+# quotes, a )" that would fool a naive delimiter scan, // text,
+# rand() text) must contribute nothing, while the one real
+# std::rand() after it still fires — exactly one finding.
+out=$("$PYTHON" "$LINT" --root "$FIXTURES/raw_string_scan" 2>&1)
 status=$?
-if [ "$status" -ne 0 ]; then
-    echo "FAIL: suppressed fixture should lint clean, exit $status:"
+count=$(printf '%s\n' "$out" | grep -c "\[raw-rand\]")
+if [ "$status" -ne 1 ] || [ "$count" -ne 1 ]; then
+    echo "FAIL: raw_string_scan: want exit 1 with exactly one" \
+         "raw-rand finding, got exit $status with $count:"
     echo "$out"
     failures=$((failures + 1))
 else
-    echo "ok: suppression comment and ordered projection lint clean"
+    echo "ok: raw string scanned as one literal, real finding kept"
 fi
 
-# --list-rules is the documented discovery surface; every rule the
-# fixtures exercise must be listed.
-out=$("$PYTHON" "$LINT" --list-rules)
-for rule in unordered-iter raw-rand float-accum batch-twin \
-        schema-once simd-twin; do
-    if ! printf '%s\n' "$out" | grep -q "^$rule"; then
-        echo "FAIL: --list-rules does not list $rule"
+# Line-continuation regression: a // comment ending in a backslash
+# splices the next physical line (which spells srand/rand/time) into
+# the comment; the tree must lint clean.
+expect_clean line_continuation
+
+# A malformed allow() must not shield the finding under it: the
+# bad_suppression tree reports the raw-rand findings AND the
+# bad-suppression diagnostics.
+out=$("$PYTHON" "$LINT" --root "$FIXTURES/bad_suppression" 2>&1)
+if ! printf '%s' "$out" | grep -q "\[raw-rand\]"; then
+    echo "FAIL: bad_suppression: malformed allow() suppressed the" \
+         "underlying raw-rand finding:"
+    echo "$out"
+    failures=$((failures + 1))
+else
+    echo "ok: malformed allow() suppresses nothing"
+fi
+
+# The --json report must carry its schema tag and the same finding
+# count the text mode exits on (CI uploads this as an artifact).
+out=$("$PYTHON" "$LINT" --root "$FIXTURES/raw_rand" --json 2>/dev/null)
+if ! printf '%s' "$out" | grep -q '"schema": "tlat-lint-report-v1"'; then
+    echo "FAIL: --json report missing schema tlat-lint-report-v1:"
+    echo "$out"
+    failures=$((failures + 1))
+else
+    echo "ok: --json report carries its schema tag"
+fi
+
+# Meta-check: every registered rule must have a firing fixture
+# (<rule> with dashes as underscores) and a clean fixture
+# (clean_<rule>). --list-rules is the single source of truth, so a
+# rule added to the linter without fixtures fails right here.
+rules=$("$PYTHON" "$LINT" --list-rules | awk '{print $1}')
+if [ -z "$rules" ]; then
+    echo "FAIL: --list-rules returned no rules"
+    failures=$((failures + 1))
+fi
+for rule in $rules; do
+    dir=$(printf '%s' "$rule" | tr '-' '_')
+    if [ ! -d "$FIXTURES/$dir" ]; then
+        echo "FAIL: rule $rule has no firing fixture $dir/"
         failures=$((failures + 1))
+    else
+        expect_rule "$dir" "$rule"
+    fi
+    if [ ! -d "$FIXTURES/clean_$dir" ]; then
+        echo "FAIL: rule $rule has no clean fixture clean_$dir/"
+        failures=$((failures + 1))
+    else
+        expect_clean "clean_$dir"
     fi
 done
-echo "ok: --list-rules covers the catalog"
+echo "ok: every registered rule has firing and clean fixtures"
 
 if [ "$failures" -ne 0 ]; then
     echo "$failures lint self-test(s) failed"
