@@ -16,8 +16,11 @@
 #ifndef TLAT_BENCH_BENCH_COMMON_HH
 #define TLAT_BENCH_BENCH_COMMON_HH
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -153,9 +156,15 @@ class BenchRecorder
         const auto dir = util::envString("TLAT_BENCH_JSON_DIR");
         const std::string path = (dir ? *dir + "/" : "") +
                                  "BENCH_" + stem_ + ".json";
-        std::ofstream os(path);
+        // Write-then-rename (the trace preload cache's pattern): a
+        // CI gate reading BENCH_*.json concurrently can never see a
+        // half-written document, and a crashed bench never replaces
+        // a good record with a truncated one.
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid());
+        std::ofstream os(tmp);
         if (!os) {
-            std::cerr << "cannot write " << path << "\n";
+            std::cerr << "cannot write " << tmp << "\n";
             return;
         }
         // Destruction is single-threaded by construction, but the
@@ -199,6 +208,21 @@ class BenchRecorder
             json.member(name, value);
         json.endObject();
         json.endObject();
+        os.flush();
+        std::error_code ec;
+        if (!os) {
+            std::cerr << "cannot write " << tmp << "\n";
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+        os.close();
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            std::cerr << "cannot rename " << tmp << " to " << path
+                      << ": " << ec.message() << "\n";
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
         std::cout << "(bench record written to " << path << ")\n";
     }
 

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Lock-free single-producer / single-consumer ring buffer — the
+ * per-shard ingestion queue of the serve engine.
+ *
+ * Why lock-free here and nowhere else: every record a tenant streams
+ * crosses exactly one of these rings on its way from the ingest
+ * thread to its shard worker, so this hand-off *is* the serving hot
+ * path. A util::Mutex round trip per record would cost more than the
+ * predictor work it delivers. The ring is the narrowest primitive
+ * that removes it: one producer (the ingest thread), one consumer
+ * (the shard worker), bounded capacity for backpressure.
+ *
+ * Memory-ordering argument (the whole correctness story — DESIGN.md
+ * §15 restates it with the engine context):
+ *
+ *  - `tail_` is written only by the producer, `head_` only by the
+ *    consumer. Each side reads its own cursor relaxed (no
+ *    concurrent writer exists for it).
+ *  - push: the slot write happens-before the `tail_` release store;
+ *    the consumer's acquire load of `tail_` therefore observes a
+ *    fully constructed slot for every index below it.
+ *  - pop: the slot read happens-before the `head_` release store;
+ *    the producer's acquire load of `head_` therefore never reuses
+ *    a slot the consumer might still be reading.
+ *  - close(): release store after the producer's final push; the
+ *    consumer re-checks emptiness after its acquire load of
+ *    `closed_`, so no record pushed before close() can be missed.
+ *
+ * Each cursor sits on its own destructively-interfering-free line
+ * (cache-line padding), and each side caches its last view of the
+ * *other* side's cursor, so steady-state pushes and pops touch one
+ * shared line each only when the cached view goes stale — the
+ * classic SPSC layout (Lamport queue with cached cursors).
+ *
+ * This header is on the tlat_lint lock-discipline sanctioned list:
+ * it is the one place in src/serve allowed to spell std::atomic.
+ * Rationale mirrors util/simd.cc's entry — the primitive *is* the
+ * synchronization, there is no guarded multi-field invariant a
+ * util::Mutex capability could express, and confining the atomics
+ * here keeps every acquire/release pair of the serve subsystem in
+ * one reviewable file.
+ */
+
+#ifndef TLAT_SERVE_SPSC_RING_HH
+#define TLAT_SERVE_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bitops.hh"
+
+namespace tlat::serve
+{
+
+/** Cache-line stride used to pad the ring cursors apart. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * A cache-line-padded atomic counter for cross-thread progress
+ * publication (the serve engine's per-shard applied-record counters
+ * and failure latches). Same sanctioning rationale as the ring: one
+ * word, release/acquire only, nothing a mutex capability could
+ * guard.
+ */
+struct alignas(kCacheLineBytes) PaddedAtomicU64
+{
+    std::atomic<std::uint64_t> value{0};
+
+    void
+    publish(std::uint64_t v)
+    {
+        value.store(v, std::memory_order_release);
+    }
+
+    std::uint64_t
+    observe() const
+    {
+        return value.load(std::memory_order_acquire);
+    }
+};
+
+/**
+ * Bounded SPSC ring. Exactly one thread may call the producer face
+ * (tryPush/close) and exactly one the consumer face (tryPop); the
+ * capacity must be a power of two (checked at construction).
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : capacity_(capacity), mask_(capacity - 1), slots_(capacity)
+    {
+        // Power-of-two capacity so the cursor-to-slot map is one
+        // AND; free-running 64-bit cursors never wrap in practice.
+        static_assert(sizeof(std::atomic<std::uint64_t>) <=
+                          kCacheLineBytes,
+                      "cursor exceeds its padding line");
+    }
+
+    /** True when @p capacity is a valid ring size. */
+    static bool
+    validCapacity(std::size_t capacity)
+    {
+        return capacity >= 2 && isPowerOfTwo(capacity);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Producer face: enqueues @p item, or returns false when the
+     * ring is full (the caller implements backpressure — the serve
+     * engine spins with yield).
+     */
+    bool
+    tryPush(const T &item)
+    {
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_relaxed);
+        if (tail - cached_head_ == capacity_) {
+            cached_head_ = head_.load(std::memory_order_acquire);
+            if (tail - cached_head_ == capacity_)
+                return false;
+        }
+        slots_[tail & mask_] = item;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer face: dequeues into @p item, or returns false when
+     * the ring is empty.
+     */
+    bool
+    tryPop(T &item)
+    {
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        if (head == cached_tail_) {
+            cached_tail_ = tail_.load(std::memory_order_acquire);
+            if (head == cached_tail_)
+                return false;
+        }
+        item = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Producer face: marks the stream complete. The consumer drains
+     * remaining items and then observes closed-and-empty.
+     */
+    void
+    close()
+    {
+        closed_.store(true, std::memory_order_release);
+    }
+
+    /** Consumer face (also safe on the producer side). */
+    bool
+    closed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    const std::size_t capacity_;
+    const std::size_t mask_;
+    std::vector<T> slots_;
+
+    // Producer line: its own cursor plus its cached view of the
+    // consumer's; the consumer never touches either field.
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+    std::uint64_t cached_head_ = 0;
+
+    // Consumer line, mirror-image.
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
+    std::uint64_t cached_tail_ = 0;
+
+    alignas(kCacheLineBytes) std::atomic<bool> closed_{false};
+};
+
+} // namespace tlat::serve
+
+#endif // TLAT_SERVE_SPSC_RING_HH

@@ -2,10 +2,40 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace tlat::util
 {
+
+namespace
+{
+
+/**
+ * Names a worker thread "tlat-pool-N" so pool threads are
+ * identifiable in /proc, top -H, and sanitizer reports. Best-effort:
+ * the 15-char comm limit truncates large indices and non-Linux
+ * platforms are a no-op — naming is observability, never behaviour.
+ */
+void
+nameWorkerThread(std::thread &worker, unsigned index)
+{
+#if defined(__linux__)
+    const std::string name =
+        "tlat-pool-" + std::to_string(index);
+    pthread_setname_np(worker.native_handle(),
+                       name.substr(0, 15).c_str());
+#else
+    (void)worker;
+    (void)index;
+#endif
+}
+
+} // namespace
 
 unsigned
 ThreadPool::hardwareThreads()
@@ -18,8 +48,10 @@ ThreadPool::ThreadPool(unsigned threads)
     if (threads == 0)
         threads = hardwareThreads();
     workers_.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i)
+    for (unsigned i = 0; i < threads; ++i) {
         workers_.emplace_back([this] { workerLoop(); });
+        nameWorkerThread(workers_.back(), i);
+    }
 }
 
 ThreadPool::~ThreadPool()

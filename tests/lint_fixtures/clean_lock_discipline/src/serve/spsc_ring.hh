@@ -1,0 +1,30 @@
+// Clean fixture: the serving engine's SPSC ring header is on
+// LOCK_SANCTIONED_FILES — the lock-free primitive IS the
+// synchronization, and the real header carries the full
+// acquire/release memory-ordering argument. Raw std::atomic here
+// must NOT fire [lock-discipline]; the same spelling anywhere else
+// under src/serve does (see the firing tree's src/serve/mailbox.hh).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tlat::serve
+{
+
+struct PaddedCursor
+{
+    alignas(64) std::atomic<std::uint64_t> value{0}; // sanctioned
+
+    void publish(std::uint64_t v)
+    {
+        value.store(v, std::memory_order_release);
+    }
+
+    std::uint64_t observe() const
+    {
+        return value.load(std::memory_order_acquire);
+    }
+};
+
+} // namespace tlat::serve

@@ -1,0 +1,31 @@
+// Firing fixture: a lock-free lookalike living in src/serve that is
+// NOT the sanctioned spsc_ring.hh. The serve allowance is a single
+// exact path, not a directory — any other serve file spelling raw
+// std::atomic must still trip [lock-discipline].
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tlat::serve
+{
+
+/** A second hand-rolled ring must not ride on spsc_ring.hh's pass. */
+class Mailbox
+{
+public:
+    void post(std::uint64_t value)
+    {
+        slot_.store(value, std::memory_order_release); // fires
+    }
+
+    std::uint64_t take()
+    {
+        return slot_.load(std::memory_order_acquire);
+    }
+
+private:
+    std::atomic<std::uint64_t> slot_{0}; // fires
+};
+
+} // namespace tlat::serve

@@ -10,7 +10,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -98,6 +101,37 @@ TEST(ThreadPool, DestructorDrainsPendingTasks)
     }
     EXPECT_EQ(counter.load(), 8);
 }
+
+#if defined(__linux__)
+TEST(ThreadPool, WorkersAreNamedTlatPool)
+{
+    // Each worker reports its own comm (set via pthread_setname_np
+    // at pool construction) by reading /proc/self/task/<tid>/comm
+    // from inside the task — "self" resolves to the worker thread.
+    ThreadPool pool(3);
+    Mutex mutex;
+    std::set<std::string> names;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit([&mutex, &names] {
+            std::ifstream is("/proc/thread-self/comm");
+            std::string comm;
+            std::getline(is, comm);
+            const MutexLock lock(mutex);
+            names.insert(comm);
+            // Brief linger so all three workers get a task.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }));
+    }
+    for (auto &future : futures)
+        future.get();
+    ASSERT_FALSE(names.empty());
+    for (const std::string &name : names)
+        EXPECT_TRUE(name.rfind("tlat-pool-", 0) == 0)
+            << "unexpected worker thread name: " << name;
+}
+#endif
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)
 {

@@ -41,7 +41,19 @@ roughly breaks even there. Absolute records/sec vary wildly across CI
 hosts and are printed but never gated.
 
 Usage:
+The serve-path record (BENCH_serve.json, ``"figure": "serve"``) is
+gated separately against bench/baselines/serve_baseline.json:
+``tenants_per_sec`` may not fall below baseline - tolerance, and
+``p99_latency_ns`` may not rise above baseline + tolerance. The
+absolute records/sec, the served-vs-offline ratio, p50 and peak RSS
+are required to be present and are printed but not gated (they vary
+with host core count — a 1-CPU container time-slices the shard
+workers, a real host runs them in parallel). The document's
+``figure`` field selects the rule set and the default baseline file.
+
+Usage:
     check_throughput.py BENCH_throughput.json [baseline.json]
+    check_throughput.py BENCH_serve.json [baseline.json]
 
 Exit codes: 0 ok, 1 regression or malformed input, 2 usage.
 """
@@ -58,13 +70,77 @@ SIMD_SPEEDUP_HARD_FLOOR = 1.5
 SIMD_INACTIVE_FLOOR = 0.85
 
 
-def load_scalars(path):
+def load_document(path):
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     scalars = document.get("scalars")
     if not isinstance(scalars, dict):
         raise ValueError(f"{path}: no 'scalars' object")
-    return scalars
+    return document, scalars
+
+
+def default_baseline(figure):
+    name = ("serve_baseline.json" if figure == "serve"
+            else "throughput_baseline.json")
+    return os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "..",
+        "bench",
+        "baselines",
+        name,
+    )
+
+
+def check_serve(measured_path, measured, baseline, tolerance):
+    """Serve-path gates: throughput down-gated, p99 up-gated."""
+    for name in (
+        "tenants_per_sec",
+        "records_per_sec",
+        "offline_records_per_sec",
+        "serve_vs_offline",
+        "p50_latency_ns",
+        "p99_latency_ns",
+        "peak_rss_bytes",
+    ):
+        if name not in measured:
+            print(f"error: {measured_path} lacks scalar '{name}'",
+                  file=sys.stderr)
+            return 1
+        print(f"{name}: measured {measured[name]:.4g}"
+              + (f", baseline {baseline[name]:.4g}"
+                 if name in baseline else ""))
+
+    failed = False
+    floor = float(baseline["tenants_per_sec"]) * (1.0 - tolerance)
+    got = float(measured["tenants_per_sec"])
+    if got < floor:
+        print(
+            f"REGRESSION: tenants_per_sec {got:.3f} is below "
+            f"{floor:.3f} (baseline "
+            f"{float(baseline['tenants_per_sec']):.3f} - "
+            f"{tolerance:.0%})",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(f"ok: tenants_per_sec {got:.3f} >= floor "
+              f"{floor:.3f}")
+
+    ceiling = float(baseline["p99_latency_ns"]) * (1.0 + tolerance)
+    got = float(measured["p99_latency_ns"])
+    if got > ceiling:
+        print(
+            f"REGRESSION: p99_latency_ns {got:.4g} is above "
+            f"{ceiling:.4g} (baseline "
+            f"{float(baseline['p99_latency_ns']):.4g} + "
+            f"{tolerance:.0%})",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(f"ok: p99_latency_ns {got:.4g} <= ceiling "
+              f"{ceiling:.4g}")
+    return 1 if failed else 0
 
 
 def main(argv):
@@ -72,24 +148,28 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     measured_path = argv[1]
-    baseline_path = (
-        argv[2]
-        if len(argv) == 3
-        else os.path.join(
-            os.path.dirname(os.path.abspath(__file__)),
-            "..",
-            "bench",
-            "baselines",
-            "throughput_baseline.json",
-        )
-    )
 
     try:
-        measured = load_scalars(measured_path)
-        baseline = load_scalars(baseline_path)
+        document, measured = load_document(measured_path)
     except (OSError, ValueError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+    figure = document.get("figure", "")
+    baseline_path = (argv[2] if len(argv) == 3
+                     else default_baseline(figure))
+    try:
+        _, baseline = load_document(baseline_path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    tolerance = float(
+        os.environ.get("TLAT_THROUGHPUT_TOLERANCE",
+                       DEFAULT_TOLERANCE))
+    if figure == "serve":
+        return check_serve(measured_path, measured, baseline,
+                           tolerance)
 
     for name in (
         "reference_records_per_sec",
@@ -118,9 +198,6 @@ def main(argv):
         print(f"{name}: measured {measured[name]:.4g}"
               + (f", baseline {baseline[name]:.4g}"
                  if name in baseline else ""))
-
-    tolerance = float(
-        os.environ.get("TLAT_THROUGHPUT_TOLERANCE", DEFAULT_TOLERANCE))
 
     failed = False
     simd_active = float(measured.get("simd_active", 0.0)) >= 0.5

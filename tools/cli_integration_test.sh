@@ -39,7 +39,7 @@ expect 3 "unknown command" frobnicate
 # surface stays discoverable as commands are added.
 help_out=$("$TLAT" help 2>/dev/null)
 for cmd in help list "trace convert" stats run profile disasm cost \
-        compare ras cpi; do
+        compare ras cpi serve; do
     if ! printf '%s\n' "$help_out" | grep -q "$cmd"; then
         echo "FAIL: help output does not mention '$cmd'"
         failures=$((failures + 1))
@@ -262,6 +262,50 @@ else
     failures=$((failures + 1))
 fi
 rm -f "$cmp_base.j1" "$cmp_base.j4" "$cmp_base.j8"
+
+# serve: the multi-tenant engine behind --replay shares the exit-code
+# contract (0 ok, 1 runtime, 2 usage) and emits tlat-serve-metrics-v1.
+expect 2 "serve without --replay" serve BTFN
+expect 2 "serve with zero shards" serve BTFN --replay "$tmpdir" --shards 0
+expect 2 "serve with zero batch" serve BTFN --replay "$tmpdir" --batch-records 0
+expect 2 "serve with non-power-of-two ring" serve BTFN --replay "$tmpdir" --ring-capacity 3
+expect 2 "serve rejects bad scheme" serve "NotAScheme(x)" --replay "$tmpdir"
+expect 2 "serve rejects training scheme" serve "ST(HHRT(512,12SR),PT(2^12,PB),Diff)" --replay "$tmpdir"
+expect 1 "serve on unreadable replay dir" serve BTFN --replay /nonexistent/replays
+serve_dir="$tmpdir/tlat_cli_serve_$$"
+mkdir -p "$serve_dir"
+expect 1 "serve on empty replay dir" serve BTFN --replay "$serve_dir"
+printf '# name: tenant-a\n# mix: 10 0 5 3 0\n1000 100 C T\n1004 2000 U N\n1008 100 c T\n1000 100 C T\n' >"$serve_dir/tenant_a.txt"
+printf '# name: tenant-b\n# mix: 10 0 5 3 0\n2000 100 C N\n2004 100 C N\n2008 100 c T\n' >"$serve_dir/tenant_b.txt"
+expect 0 "serve replays a trace directory" serve "$SCHEME" --replay "$serve_dir"
+json=$("$TLAT" serve "$SCHEME" --replay "$serve_dir" --shards 2 --json 2>/dev/null)
+got=$?
+if [ "$got" -ne 0 ]; then
+    echo "FAIL: serve --json: expected exit 0, got $got"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"schema": "tlat-serve-metrics-v1"'; then
+    echo "FAIL: serve --json output lacks schema tag"
+    failures=$((failures + 1))
+elif ! printf '%s' "$json" | grep -q '"tenant": "tenant_a.txt"'; then
+    echo "FAIL: serve --json output lacks the tenant entries"
+    failures=$((failures + 1))
+else
+    echo "ok: serve --json emits tlat-serve-metrics-v1"
+fi
+# The determinism contract at CLI granularity: the metrics document
+# is byte-identical across shard counts and batch sizes.
+serve_a="$tmpdir/tlat_cli_serve_a_$$.json"
+serve_b="$tmpdir/tlat_cli_serve_b_$$.json"
+"$TLAT" serve "$SCHEME" --replay "$serve_dir" --shards 1 --batch-records 1 --json >"$serve_a" 2>/dev/null
+"$TLAT" serve "$SCHEME" --replay "$serve_dir" --shards 4 --batch-records 64 --json >"$serve_b" 2>/dev/null
+if cmp -s "$serve_a" "$serve_b"; then
+    echo "ok: serve --json byte-identical across shards/batch"
+else
+    echo "FAIL: serve --json differs across shards/batch"
+    diff "$serve_a" "$serve_b" | head -20
+    failures=$((failures + 1))
+fi
+rm -rf "$serve_dir" "$serve_a" "$serve_b"
 
 if [ "$failures" -ne 0 ]; then
     echo "$failures check(s) failed"

@@ -19,6 +19,15 @@
  *   tlat compare <scheme>...           suite-wide accuracy report
  *   tlat ras <benchmark>               return-stack depth sweep
  *   tlat cpi <scheme> <benchmark>      pipeline timing model
+ *   tlat serve <scheme> --replay DIR   multi-tenant serving engine:
+ *                                      each trace file in DIR becomes
+ *                                      one tenant, streams interleave
+ *                                      through the sharded engine
+ *                                      (--shards N --batch-records N
+ *                                      --ring-capacity N); --json
+ *                                      emits the tlat-serve-metrics-v1
+ *                                      document, byte-identical for
+ *                                      every shard count / batch size
  *
  * Common options:
  *   --budget N      conditional-branch budget (default 300000)
@@ -51,6 +60,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -67,6 +77,7 @@
 #include "harness/suite.hh"
 #include "isa/disassembler.hh"
 #include "predictors/scheme_factory.hh"
+#include "serve/serve_engine.hh"
 #include "sim/simulator.hh"
 #include "trace/chunk_stream.hh"
 #include "trace/trace_io.hh"
@@ -98,6 +109,14 @@ struct Options
     std::size_t chunkRecords = 0;
     /** Force the legacy whole-buffer load for `run`/`trace convert`. */
     bool noStream = false;
+    /** `serve`: shard worker count. */
+    unsigned shards = 1;
+    /** `serve`: conditionals per micro-batch flush. */
+    std::size_t batchRecords = 64;
+    /** `serve`: per-shard SPSC ring capacity (power of two). */
+    std::size_t ringCapacity = 4096;
+    /** `serve`: directory of trace files to replay as tenants. */
+    std::string replay;
     std::string data;
     std::string train;
     std::string out;
@@ -133,6 +152,16 @@ printUsage(std::ostream &os)
            "  compare <scheme>...          suite-wide report\n"
            "  ras <benchmark>              return-stack sweep\n"
            "  cpi <scheme> <benchmark>     pipeline timing model\n"
+           "  serve <scheme> --replay DIR  sharded multi-tenant "
+           "serving engine:\n"
+           "                               one tenant per trace file "
+           "in DIR\n"
+           "                               (--shards N "
+           "--batch-records N\n"
+           "                               --ring-capacity N; --json "
+           "emits the\n"
+           "                               tlat-serve-metrics-v1 "
+           "document)\n"
            "options: --budget N --data SET --train SRC --out FILE "
            "--jobs N --json\n"
            "         --chunk-records N --no-stream  (run / trace "
@@ -235,6 +264,49 @@ parseOptions(int argc, char **argv, int first)
             }
             options.chunkRecords =
                 static_cast<std::size_t>(*parsed);
+        } else if (arg == "--shards") {
+            const auto value = next();
+            const auto parsed =
+                value ? parseSize(*value) : std::nullopt;
+            if (!parsed || *parsed == 0) {
+                if (value)
+                    std::cerr << "bad value '" << *value
+                              << "' for --shards (want N >= 1)\n";
+                return std::nullopt;
+            }
+            options.shards = static_cast<unsigned>(*parsed);
+        } else if (arg == "--batch-records") {
+            const auto value = next();
+            const auto parsed =
+                value ? parseSize(*value) : std::nullopt;
+            if (!parsed || *parsed == 0) {
+                if (value)
+                    std::cerr << "bad value '" << *value
+                              << "' for --batch-records "
+                                 "(want N >= 1)\n";
+                return std::nullopt;
+            }
+            options.batchRecords =
+                static_cast<std::size_t>(*parsed);
+        } else if (arg == "--ring-capacity") {
+            const auto value = next();
+            const auto parsed =
+                value ? parseSize(*value) : std::nullopt;
+            if (!parsed ||
+                !serve::SpscRing<int>::validCapacity(*parsed)) {
+                if (value)
+                    std::cerr << "bad value '" << *value
+                              << "' for --ring-capacity "
+                                 "(want a power of two >= 2)\n";
+                return std::nullopt;
+            }
+            options.ringCapacity =
+                static_cast<std::size_t>(*parsed);
+        } else if (arg == "--replay") {
+            const auto value = next();
+            if (!value)
+                return std::nullopt;
+            options.replay = *value;
         } else if (arg == "--no-stream") {
             options.noStream = true;
         } else if (arg == "--to-binary") {
@@ -763,6 +835,157 @@ cmdCpi(const Options &options)
     return kExitOk;
 }
 
+/**
+ * `tlat serve --replay`: drive the serving engine from a directory of
+ * trace files — the socket-free test/bench entry point. Every *.tltr
+ * / *.txt file becomes one tenant (name = file name, sorted so the
+ * tenant set is independent of directory enumeration order), and the
+ * tenants' streams are ingested interleaved in fixed-size blocks to
+ * exercise cross-tenant mixing. The metrics document is defined to be
+ * byte-identical for every --shards / --batch-records value.
+ */
+int
+cmdServe(const Options &options)
+{
+    const auto serveUsage = [] {
+        std::cerr << "usage: tlat serve <scheme> --replay DIR "
+                     "[--shards N] [--batch-records N]\n"
+                     "       [--ring-capacity N] [--json]\n";
+        return kExitUsage;
+    };
+    if (options.positional.size() != 1 || options.replay.empty())
+        return serveUsage();
+    const auto config =
+        core::SchemeConfig::parse(options.positional[0]);
+    if (!config)
+        return badSchemeName(options.positional[0]);
+    // Profile-guided schemes need a training trace before measuring;
+    // a served stream has none. Usage error, not the engine's abort.
+    if (predictors::makePredictor(*config)->needsTraining()) {
+        std::cerr << "scheme '" << config->text()
+                  << "' requires profile training and cannot be "
+                     "served\n";
+        return kExitUsage;
+    }
+    serve::ServeConfig serve_config;
+    serve_config.shards = options.shards;
+    serve_config.batchRecords = options.batchRecords;
+    serve_config.ringCapacity = options.ringCapacity;
+    const std::string why = serve_config.validate();
+    if (!why.empty()) {
+        std::cerr << "bad serve configuration: " << why << "\n";
+        return kExitUsage;
+    }
+
+    std::vector<std::filesystem::path> files;
+    try {
+        std::error_code ec;
+        std::filesystem::directory_iterator it(options.replay, ec);
+        if (ec) {
+            std::cerr << "cannot read replay directory '"
+                      << options.replay << "': " << ec.message()
+                      << "\n";
+            return kExitRuntime;
+        }
+        for (const auto &entry : it) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string name =
+                entry.path().filename().string();
+            if (endsWith(name, ".tltr") || endsWith(name, ".txt"))
+                files.push_back(entry.path());
+        }
+    } catch (const std::filesystem::filesystem_error &error) {
+        std::cerr << "cannot read replay directory '"
+                  << options.replay << "': " << error.what() << "\n";
+        return kExitRuntime;
+    }
+    if (files.empty()) {
+        std::cerr << "no trace files (*.tltr, *.txt) in replay "
+                     "directory '"
+                  << options.replay << "'\n";
+        return kExitRuntime;
+    }
+    std::sort(files.begin(), files.end());
+
+    struct TenantStream
+    {
+        std::size_t tenant;
+        trace::TraceBuffer buffer;
+        std::size_t next = 0;
+    };
+    serve::ServeEngine engine(*config, serve_config);
+    std::vector<TenantStream> streams;
+    streams.reserve(files.size());
+    for (const std::filesystem::path &path : files) {
+        std::string error;
+        auto buffer = trace::loadFromFile(path.string(), &error);
+        if (!buffer) {
+            std::cerr << "cannot load trace '" << path.string()
+                      << "': " << error << "\n";
+            return kExitRuntime;
+        }
+        const std::size_t tenant =
+            engine.addTenant(path.filename().string());
+        streams.push_back({tenant, std::move(*buffer), 0});
+    }
+
+    // Round-robin block interleave across tenants: per-tenant order
+    // is preserved (the determinism contract needs nothing more),
+    // while the engine sees a realistically mixed arrival stream.
+    constexpr std::size_t kInterleaveBlock = 1024;
+    std::uint64_t total_records = 0;
+    for (bool advanced = true; advanced;) {
+        advanced = false;
+        for (TenantStream &stream : streams) {
+            const auto &records = stream.buffer.records();
+            if (stream.next >= records.size())
+                continue;
+            const std::size_t take = std::min(
+                kInterleaveBlock, records.size() - stream.next);
+            engine.ingestSpan(
+                stream.tenant,
+                {records.data() + stream.next, take});
+            stream.next += take;
+            total_records += take;
+            advanced = true;
+        }
+    }
+    try {
+        engine.drain();
+    } catch (const std::exception &error) {
+        std::cerr << "serve failed: " << error.what() << "\n";
+        return kExitRuntime;
+    }
+
+    if (options.json) {
+        engine.writeMetricsJson(std::cout);
+        return kExitOk;
+    }
+    TablePrinter table("serve replay: " + engine.schemeText());
+    table.setHeader({"tenant", "records", "conditionals",
+                     "accuracy %"});
+    AccuracyCounter totals;
+    for (const TenantStream &stream : streams) {
+        const serve::TenantReport report =
+            engine.tenantReport(stream.tenant);
+        totals.merge(report.accuracy);
+        table.addRow({report.name, std::to_string(report.records),
+                      std::to_string(report.accuracy.total()),
+                      TablePrinter::percentCell(
+                          report.accuracy.accuracyPercent())});
+    }
+    table.print(std::cout);
+    std::cout << "served " << streams.size() << " tenants ("
+              << total_records << " records) across "
+              << engine.shards() << " shard"
+              << (engine.shards() == 1 ? "" : "s")
+              << "; overall accuracy "
+              << TablePrinter::percentCell(totals.accuracyPercent())
+              << " %\n";
+    return kExitOk;
+}
+
 int
 cmdCompare(const Options &options)
 {
@@ -820,6 +1043,8 @@ main(int argc, char **argv)
         return cmdRas(*options);
     if (command == "cpi")
         return cmdCpi(*options);
+    if (command == "serve")
+        return cmdServe(*options);
     std::cerr << "unknown command '" << command << "'\n";
     usage();
     return kExitUnknownCommand;

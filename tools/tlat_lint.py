@@ -167,22 +167,29 @@ LAYER_RANKS = {
     "src/workloads": 3,
     "src/pipeline": 3,
     "src/harness": 4,
+    "src/serve": 4,
     "bench": 5,
     "tools": 5,
 }
 
 LAYER_ORDER_DOC = (
     "util -> {isa, trace} -> {core, sim} -> "
-    "{predictors, workloads, pipeline} -> harness -> {bench, tools}"
+    "{predictors, workloads, pipeline} -> {harness, serve} -> "
+    "{bench, tools}"
 )
 
 # Files allowed to spell raw synchronization primitives, relative to
-# root: the annotated wrapper itself, and the SIMD dispatch latch
-# (one relaxed std::atomic word with no multi-field invariant; a
-# mutex would add a capability with nothing to guard).
+# root: the annotated wrapper itself, the SIMD dispatch latch (one
+# relaxed std::atomic word with no multi-field invariant; a mutex
+# would add a capability with nothing to guard), and the serve
+# engine's SPSC ring (the lock-free primitive *is* the
+# synchronization — its header carries the full memory-ordering
+# argument, and confining the atomics there keeps every
+# acquire/release pair of src/serve in one reviewable file).
 LOCK_SANCTIONED_FILES = (
     "src/util/mutex.hh",
     "src/util/simd.cc",
+    "src/serve/spsc_ring.hh",
 )
 
 # The only file allowed to call getenv(): the util::env front door.

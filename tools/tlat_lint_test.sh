@@ -61,6 +61,20 @@ expect_rule batch_twin_combining batch-twin
 expect_rule schema_once_v3 schema-once
 expect_rule simd_twin_orphan simd-twin
 
+# The serve SPSC allowance is one exact path, not a directory: the
+# firing tree's src/serve/mailbox.hh (raw std::atomic in a serve file
+# that is not spsc_ring.hh) must be named in the findings, while the
+# clean tree's src/serve/spsc_ring.hh (same spelling, sanctioned
+# path) rides through the clean_lock_discipline expect_clean below.
+out=$("$PYTHON" "$LINT" --root "$FIXTURES/lock_discipline" 2>&1)
+if ! printf '%s' "$out" | grep -q "src/serve/mailbox\.hh.*\[lock-discipline\]"; then
+    echo "FAIL: lock_discipline: src/serve/mailbox.hh did not fire:"
+    echo "$out"
+    failures=$((failures + 1))
+else
+    echo "ok: serve lookalike outside spsc_ring.hh still fires"
+fi
+
 # The raw_rand fixture packs several sources; all four must be caught.
 out=$("$PYTHON" "$LINT" --root "$FIXTURES/raw_rand" 2>&1)
 count=$(printf '%s\n' "$out" | grep -c "\[raw-rand\]")
